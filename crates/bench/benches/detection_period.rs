@@ -1,0 +1,68 @@
+//! Offline ABFT cost as a function of the detection period Δ — the
+//! kernel-level basis of Fig. 11: short periods pay checkpoint +
+//! rollforward every few sweeps, long periods amortise them.
+
+use abft_core::{AbftConfig, OfflineAbft};
+use abft_hotspot::{build_sim, HotspotParams};
+use abft_stencil::{Exec, NoHook};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench_period(c: &mut Criterion) {
+    let mut group = c.benchmark_group("offline_window_64x64x8");
+    group.sample_size(10);
+    let params = HotspotParams::new(64, 64, 8);
+    for period in [1usize, 4, 16, 64] {
+        // One verified window = `period` sweeps + one verification +
+        // one checkpoint; report per-iteration throughput so the series
+        // is directly comparable across periods.
+        group.throughput(Throughput::Elements(period as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(period), &period, |b, &p| {
+            let mut sim = build_sim::<f32>(&params, 11, Exec::Parallel);
+            let cfg = AbftConfig::<f32>::paper_defaults().with_period(p);
+            let mut abft = OfflineAbft::new(&sim, cfg);
+            b.iter(|| {
+                for _ in 0..p {
+                    black_box(abft.step(&mut sim, &NoHook).verified);
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_rollback_cost(c: &mut Criterion) {
+    // Cost of a faulty window: detection at the end of the window forces
+    // rollback + Δ recomputed sweeps (the "single injected bit-flip"
+    // series of Fig. 11).
+    let mut group = c.benchmark_group("offline_faulty_window_64x64x8");
+    group.sample_size(10);
+    let params = HotspotParams::new(64, 64, 8);
+    for period in [4usize, 16] {
+        group.bench_with_input(BenchmarkId::from_parameter(period), &period, |b, &p| {
+            let cfg = AbftConfig::<f32>::paper_defaults().with_period(p);
+            let hook = move |x: usize, y: usize, z: usize, v: f32| {
+                if (x, y, z) == (10, 10, 2) {
+                    v + 1000.0
+                } else {
+                    v
+                }
+            };
+            b.iter(|| {
+                // Fresh protector per window so every window contains one
+                // fault and exactly one rollback.
+                let mut sim = build_sim::<f32>(&params, 11, Exec::Parallel);
+                let mut abft = OfflineAbft::new(&sim, cfg);
+                abft.step(&mut sim, &hook);
+                for _ in 1..p {
+                    abft.step(&mut sim, &NoHook);
+                }
+                black_box(abft.stats().rollbacks);
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_period, bench_rollback_cost);
+criterion_main!(benches);

@@ -1,0 +1,100 @@
+//! Checksum-computation and interpolation microbenchmarks, backing the
+//! complexity claims of Theorem 1: interpolating a checksum vector costs
+//! `O(k²·n)` per layer — independent of the domain volume — while
+//! recomputing it from data costs `O(nx·ny)`.
+
+use abft_core::{capture_all_layers, compute_col_into, ChecksumState, Interpolator, StripSet};
+use abft_grid::{BoundarySpec, Grid3D, NoGhosts};
+use abft_stencil::{Stencil2D, Stencil3D};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn grid(n: usize) -> Grid3D<f64> {
+    Grid3D::from_fn(n, n, 1, |x, y, _| ((x * 13 + y * 7) % 97) as f64)
+}
+
+fn bench_direct_vs_interpolated(c: &mut Criterion) {
+    let mut group = c.benchmark_group("checksum_cost_vs_domain_size");
+    group.sample_size(20);
+    for n in [64usize, 128, 256, 512] {
+        let g = grid(n);
+        let stencil = Stencil2D::<f64>::five_point(0.6, 0.1, 0.1).into_3d();
+        let bounds = BoundarySpec::clamp();
+        let interp = Interpolator::new(&stencil, &bounds, None, (n, n, 1));
+        let cs = ChecksumState::compute(&g, false);
+        let mut out = vec![0.0f64; n];
+
+        group.bench_with_input(BenchmarkId::new("direct_from_data", n), &n, |b, _| {
+            b.iter(|| {
+                compute_col_into(&g, &mut out);
+                black_box(out[0]);
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("interpolated_1d", n), &n, |b, _| {
+            b.iter(|| {
+                interp.interpolate_col(&cs.col, &StripSet::None, &NoGhosts, &mut out);
+                black_box(out[0]);
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_tap_count_scaling(c: &mut Criterion) {
+    // O(k²·n): widening stencils on a general (zero) boundary exercise
+    // both the tap loop (k) and the per-tap O(|offset|) corrections.
+    let mut group = c.benchmark_group("interpolation_vs_tap_count_256");
+    group.sample_size(20);
+    let n = 256usize;
+    let g = grid(n);
+    for half_width in [1isize, 2, 4, 8] {
+        let mut taps = vec![(0isize, 0isize, 0isize, 0.5f64)];
+        for m in 1..=half_width {
+            let w = 0.5 / (2.0 * half_width as f64);
+            taps.push((m, 0, 0, w));
+            taps.push((-m, 0, 0, w));
+        }
+        let stencil = Stencil3D::from_tuples(&taps);
+        let bounds = BoundarySpec::zero();
+        let interp = Interpolator::new(&stencil, &bounds, None, (n, n, 1));
+        let strips = capture_all_layers(&g, interp.col_strip_width(), 0);
+        let cs = ChecksumState::compute(&g, false);
+        let mut out = vec![0.0f64; n];
+        group.bench_with_input(
+            BenchmarkId::new("zero_bounds_general_path", half_width),
+            &half_width,
+            |b, _| {
+                b.iter(|| {
+                    interp.interpolate_col(
+                        &cs.col,
+                        &StripSet::Strips(&strips),
+                        &NoGhosts,
+                        &mut out,
+                    );
+                    black_box(out[0]);
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_strip_capture(c: &mut Criterion) {
+    let mut group = c.benchmark_group("strip_capture_512");
+    group.sample_size(20);
+    let g = grid(512);
+    group.bench_function("capture_width_2", |b| {
+        b.iter(|| {
+            black_box(capture_all_layers(&g, 2, 2).len());
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_direct_vs_interpolated,
+    bench_tap_count_scaling,
+    bench_strip_capture
+);
+criterion_main!(benches);

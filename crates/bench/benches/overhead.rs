@@ -1,0 +1,128 @@
+//! Per-sweep protection overhead (the kernel-level basis of Fig. 8) and
+//! the design-choice ablations called out in DESIGN.md §7:
+//! fused-checksum cost (§3.2 "a single addition operation") and
+//! maintain-row vs reconstruct-on-demand.
+
+use abft_core::{AbftConfig, OfflineAbft, OnlineAbft};
+use abft_hotspot::{build_sim, HotspotParams};
+use abft_stencil::{ChecksumMode, Exec, NoHook, StencilSim};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn sim(nx: usize, ny: usize, nz: usize) -> StencilSim<f32> {
+    let params = HotspotParams::new(nx, ny, nz);
+    build_sim::<f32>(&params, 7, Exec::Parallel)
+}
+
+fn bench_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sweep_overhead_128x128x8");
+    group.sample_size(20);
+    let dims = (128usize, 128usize, 8usize);
+
+    group.bench_function("no_abft", |b| {
+        let mut s = sim(dims.0, dims.1, dims.2);
+        b.iter(|| {
+            s.step();
+            black_box(s.iteration());
+        });
+    });
+
+    group.bench_function("fused_col_checksum_only", |b| {
+        let mut s = sim(dims.0, dims.1, dims.2);
+        let mut col = vec![0.0f32; dims.2 * dims.1];
+        b.iter(|| {
+            s.step_with_col(&NoHook, &mut col);
+            black_box(col[0]);
+        });
+    });
+
+    group.bench_function("fused_rowcol_checksums", |b| {
+        let mut s = sim(dims.0, dims.1, dims.2);
+        let mut row = vec![0.0f32; dims.2 * dims.0];
+        let mut col = vec![0.0f32; dims.2 * dims.1];
+        b.iter(|| {
+            s.step_with_rowcol(&NoHook, &mut row, &mut col);
+            black_box(col[0]);
+        });
+    });
+
+    group.bench_function("online_abft", |b| {
+        let mut s = sim(dims.0, dims.1, dims.2);
+        let mut abft = OnlineAbft::new(&s, AbftConfig::<f32>::paper_defaults());
+        b.iter(|| {
+            black_box(abft.step(&mut s, &NoHook).detections);
+        });
+    });
+
+    group.bench_function("online_abft_maintain_row", |b| {
+        let mut s = sim(dims.0, dims.1, dims.2);
+        let cfg = AbftConfig::<f32>::paper_defaults().with_maintain_row(true);
+        let mut abft = OnlineAbft::new(&s, cfg);
+        b.iter(|| {
+            black_box(abft.step(&mut s, &NoHook).detections);
+        });
+    });
+
+    group.bench_function("offline_abft_period16", |b| {
+        let mut s = sim(dims.0, dims.1, dims.2);
+        let cfg = AbftConfig::<f32>::paper_defaults().with_period(16);
+        let mut abft = OfflineAbft::new(&s, cfg);
+        b.iter(|| {
+            black_box(abft.step(&mut s, &NoHook).verified);
+        });
+    });
+
+    group.finish();
+}
+
+fn bench_serial_vs_parallel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("layer_parallelism_128x128x8");
+    group.sample_size(20);
+    for (name, exec) in [("serial", Exec::Serial), ("parallel", Exec::Parallel)] {
+        group.bench_function(name, |b| {
+            let params = HotspotParams::new(128, 128, 8);
+            let mut s = build_sim::<f32>(&params, 7, exec);
+            b.iter(|| {
+                s.step();
+                black_box(s.iteration());
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_checksum_mode_cost(c: &mut Criterion) {
+    // Isolated cost of the fused accumulation: a raw sweep through the
+    // executor with and without the checksum pass.
+    let mut group = c.benchmark_group("fused_accumulation_256x256x4");
+    group.sample_size(20);
+    let params = HotspotParams::new(256, 256, 4);
+    group.bench_function("mode_none", |b| {
+        let mut s = build_sim::<f32>(&params, 9, Exec::Serial);
+        b.iter(|| {
+            s.step_full(&NoHook, &abft_grid::NoGhosts, ChecksumMode::None);
+            black_box(s.iteration());
+        });
+    });
+    group.bench_function("mode_col", |b| {
+        let mut s = build_sim::<f32>(&params, 9, Exec::Serial);
+        let mut col = vec![0.0f32; 4 * 256];
+        b.iter(|| {
+            s.step_full(
+                &NoHook,
+                &abft_grid::NoGhosts,
+                ChecksumMode::Col { col: &mut col },
+            );
+            black_box(col[0]);
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_overhead,
+    bench_serial_vs_parallel,
+    bench_checksum_mode_cost
+);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! **Figure 11** — mean execution time of the Offline ABFT method as a
+//! function of the checkpoint/detection period Δ ∈ {1, 2, …, 128},
+//! error-free and with a single injected bit-flip, for both tiles.
+//!
+//! Expected shape (paper §5.4): short periods pay per-period checkpoint
+//! and rollforward costs; with faults, long periods pay a growing
+//! recomputation cost; the sweet spot sits around Δ = 8–16.
+
+use abft_bench::{fmt_pm, hotspot_campaign, scenario_config, time_summary, Cli};
+use abft_fault::{random_flips, BitFlip, Method};
+use abft_metrics::{write_csv, Table};
+
+fn main() {
+    let cli = Cli::parse();
+    cli.install_threads();
+
+    let periods: Vec<usize> = vec![1, 2, 4, 8, 16, 32, 64, 128];
+    let mut table = Table::new(vec![
+        "tile",
+        "period",
+        "scenario",
+        "mean time (s)",
+        "std (s)",
+        "rollback recomputed steps (mean)",
+    ]);
+
+    for scenario in cli.scenarios() {
+        let reps = if scenario.dims.0 >= 512 {
+            cli.reps.div_ceil(10).max(3)
+        } else {
+            cli.reps
+        };
+        eprintln!(
+            "[fig11] tile {} — {} reps per period x {} periods",
+            scenario.name,
+            reps,
+            periods.len()
+        );
+        let campaign = hotspot_campaign(&scenario, cli.seed);
+        let clean_plan: Vec<Option<BitFlip>> = vec![None; reps];
+        let flips = random_flips(cli.seed ^ 0xf11, reps, scenario.iters, scenario.dims, 32);
+        let flip_plan: Vec<Option<BitFlip>> = flips.into_iter().map(Some).collect();
+
+        for &period in &periods {
+            if period > scenario.iters {
+                continue;
+            }
+            let cfg = scenario_config(&scenario).with_period(period);
+            for (label, plan) in [("error-free", &clean_plan), ("single bit-flip", &flip_plan)] {
+                let records = campaign.run_many(Method::Offline, cfg, plan);
+                let s = time_summary(&records);
+                let redo: f64 = records
+                    .iter()
+                    .map(|r| r.stats.recomputed_steps as f64)
+                    .sum::<f64>()
+                    / records.len() as f64;
+                println!(
+                    "{:<10} Δ={:<4} {:<16} {}  redo {:.1}",
+                    scenario.name,
+                    period,
+                    label,
+                    fmt_pm(&s),
+                    redo
+                );
+                table.row(vec![
+                    scenario.name.to_string(),
+                    period.to_string(),
+                    label.to_string(),
+                    format!("{:.6}", s.mean),
+                    format!("{:.6}", s.std_dev),
+                    format!("{redo:.2}"),
+                ]);
+            }
+        }
+    }
+
+    let path = format!("{}/fig11_period.csv", cli.out);
+    write_csv(&table, &path).expect("write CSV");
+    println!("\n[csv] {path}");
+}

@@ -1,0 +1,78 @@
+//! **Figure 8** — mean execution time (± std) of No-ABFT / Online ABFT /
+//! Offline ABFT on HotSpot3D, error-free and with a single random
+//! bit-flip, for tiles 64×64×8 (a) and 512×512×8 (b).
+//!
+//! Expected shape (paper §5.2): in the error-free case both ABFT variants
+//! cost < ~8 % over No-ABFT; with a fault the Offline variant becomes
+//! significantly slower (rollback + recomputation) while Online barely
+//! moves.
+
+use abft_bench::{fmt_pm, hotspot_campaign, overhead_pct, scenario_config, time_summary, Cli};
+use abft_fault::{random_flips, BitFlip, Method};
+use abft_metrics::{write_csv, Table};
+
+fn main() {
+    let cli = Cli::parse();
+    cli.install_threads();
+
+    let mut table = Table::new(vec![
+        "tile",
+        "scenario",
+        "method",
+        "mean time (s)",
+        "std (s)",
+        "overhead vs No-ABFT (%)",
+    ]);
+
+    for scenario in cli.scenarios() {
+        // The large tile is ~60× the work of the small one: scale reps.
+        let reps = if scenario.dims.0 >= 512 {
+            cli.reps.div_ceil(10).max(3)
+        } else {
+            cli.reps
+        };
+        eprintln!(
+            "[fig8] tile {} — {} reps x {} iterations",
+            scenario.name, reps, scenario.iters
+        );
+        let campaign = hotspot_campaign(&scenario, cli.seed);
+        let cfg = scenario_config(&scenario);
+        let clean_plan: Vec<Option<BitFlip>> = vec![None; reps];
+        let flips = random_flips(cli.seed ^ 0xf8, reps, scenario.iters, scenario.dims, 32);
+        let flip_plan: Vec<Option<BitFlip>> = flips.into_iter().map(Some).collect();
+
+        for (label, plan) in [("error-free", &clean_plan), ("single bit-flip", &flip_plan)] {
+            let mut baseline = None;
+            for method in Method::all() {
+                let records = campaign.run_many(method, cfg, plan);
+                let s = time_summary(&records);
+                if method == Method::NoAbft {
+                    baseline = Some(s.mean);
+                }
+                let ovh = baseline
+                    .map(|b| format!("{:+.1}", overhead_pct(s.mean, b)))
+                    .unwrap_or_default();
+                println!(
+                    "{:<10} {:<16} {:<15} {}  overhead {}%",
+                    scenario.name,
+                    label,
+                    method.label(),
+                    fmt_pm(&s),
+                    ovh
+                );
+                table.row(vec![
+                    scenario.name.to_string(),
+                    label.to_string(),
+                    method.label().to_string(),
+                    format!("{:.6}", s.mean),
+                    format!("{:.6}", s.std_dev),
+                    ovh,
+                ]);
+            }
+        }
+    }
+
+    let path = format!("{}/fig8_time.csv", cli.out);
+    write_csv(&table, &path).expect("write CSV");
+    println!("\n[csv] {path}");
+}

@@ -1,0 +1,76 @@
+//! **Figure 9** — mean/median/maximum arithmetic error (Eq. 11, vs. the
+//! error-free single-threaded reference) for the three methods, error-free
+//! and with a single random bit-flip, for both tiles.
+//!
+//! Expected shape (paper §5.2): error-free ⇒ all methods < 1e-5;
+//! with a fault ⇒ No-ABFT reaches astronomically large mean/median error,
+//! Online keeps the median below ~1e-4, Offline cancels the error in most
+//! cases (median 0).
+
+use abft_bench::{error_summary, fmt_log, hotspot_campaign, scenario_config, Cli};
+use abft_fault::{random_flips, BitFlip, Method};
+use abft_metrics::{write_csv, Table};
+
+fn main() {
+    let cli = Cli::parse();
+    cli.install_threads();
+
+    let mut table = Table::new(vec![
+        "tile",
+        "scenario",
+        "method",
+        "mean l2",
+        "median l2",
+        "max l2",
+        "detected",
+    ]);
+
+    for scenario in cli.scenarios() {
+        let reps = if scenario.dims.0 >= 512 {
+            cli.reps.div_ceil(10).max(3)
+        } else {
+            cli.reps
+        };
+        eprintln!(
+            "[fig9] tile {} — {} reps x {} iterations",
+            scenario.name, reps, scenario.iters
+        );
+        let campaign = hotspot_campaign(&scenario, cli.seed);
+        let cfg = scenario_config(&scenario);
+        let clean_plan: Vec<Option<BitFlip>> = vec![None; reps];
+        let flips = random_flips(cli.seed ^ 0xf9, reps, scenario.iters, scenario.dims, 32);
+        let flip_plan: Vec<Option<BitFlip>> = flips.into_iter().map(Some).collect();
+
+        for (label, plan) in [("error-free", &clean_plan), ("single bit-flip", &flip_plan)] {
+            for method in Method::all() {
+                let records = campaign.run_many(method, cfg, plan);
+                let s = error_summary(&records);
+                let detected = records.iter().filter(|r| r.detected()).count();
+                println!(
+                    "{:<10} {:<16} {:<15} mean {:<11} median {:<11} max {:<11} detected {}/{}",
+                    scenario.name,
+                    label,
+                    method.label(),
+                    fmt_log(s.mean),
+                    fmt_log(s.median),
+                    fmt_log(s.max),
+                    detected,
+                    records.len()
+                );
+                table.row(vec![
+                    scenario.name.to_string(),
+                    label.to_string(),
+                    method.label().to_string(),
+                    fmt_log(s.mean),
+                    fmt_log(s.median),
+                    fmt_log(s.max),
+                    format!("{detected}/{}", records.len()),
+                ]);
+            }
+        }
+    }
+
+    let path = format!("{}/fig9_error.csv", cli.out);
+    write_csv(&table, &path).expect("write CSV");
+    println!("\n[csv] {path}");
+}

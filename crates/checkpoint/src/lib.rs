@@ -1,0 +1,164 @@
+//! In-memory checkpointing with rollback — the recovery substrate of the
+//! offline ABFT scheme (paper §4.2: "we conduct experiments using the
+//! standard checkpoint and recovery method").
+//!
+//! The paper checkpoints "the current state of the grid and of the
+//! checksums" every Δ iterations as "a lightweight memory copy" (§5.4).
+//! [`CheckpointStore`] holds exactly that: one snapshot of the domain, an
+//! auxiliary float payload (the checksum vectors) and the iteration number.
+
+use abft_grid::Grid3D;
+use abft_num::Real;
+
+/// One saved state: the domain grid, an auxiliary payload (checksums) and
+/// the iteration it was taken at.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Snapshot<T> {
+    pub grid: Grid3D<T>,
+    pub aux: Vec<T>,
+    pub iteration: usize,
+}
+
+/// Counters describing checkpoint activity (reported by the experiment
+/// harness alongside timings).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CheckpointStats {
+    /// Snapshots taken.
+    pub stores: usize,
+    /// Rollbacks served.
+    pub restores: usize,
+}
+
+/// Single-slot in-memory checkpoint store.
+///
+/// The offline scheme only ever needs the *last verified* state: verifying
+/// at `t0 + Δ` either commits a new snapshot or rolls back to `t0`, so a
+/// one-deep store is sufficient and keeps the memory overhead at one domain
+/// copy (plus checksums).
+#[derive(Debug, Clone, Default)]
+pub struct CheckpointStore<T> {
+    slot: Option<Snapshot<T>>,
+    stats: CheckpointStats,
+}
+
+impl<T: Real> CheckpointStore<T> {
+    /// Empty store.
+    pub fn new() -> Self {
+        Self {
+            slot: None,
+            stats: CheckpointStats::default(),
+        }
+    }
+
+    /// Save a snapshot, replacing any previous one. The grid is cloned;
+    /// when a previous snapshot with matching dimensions exists its
+    /// allocation is reused.
+    pub fn store(&mut self, grid: &Grid3D<T>, aux: &[T], iteration: usize) {
+        self.stats.stores += 1;
+        match &mut self.slot {
+            Some(s) if s.grid.dims() == grid.dims() && s.aux.len() == aux.len() => {
+                s.grid.copy_from(grid);
+                s.aux.copy_from_slice(aux);
+                s.iteration = iteration;
+            }
+            slot => {
+                *slot = Some(Snapshot {
+                    grid: grid.clone(),
+                    aux: aux.to_vec(),
+                    iteration,
+                });
+            }
+        }
+    }
+
+    /// Borrow the stored snapshot, if any.
+    pub fn peek(&self) -> Option<&Snapshot<T>> {
+        self.slot.as_ref()
+    }
+
+    /// Serve a rollback: borrow the snapshot and count the restore.
+    ///
+    /// # Panics
+    /// Panics if no snapshot was ever stored (the protectors always store
+    /// the initial state first).
+    pub fn restore(&mut self) -> &Snapshot<T> {
+        self.stats.restores += 1;
+        self.slot
+            .as_ref()
+            .expect("rollback requested but no checkpoint stored")
+    }
+
+    /// True when a snapshot is available.
+    pub fn has_snapshot(&self) -> bool {
+        self.slot.is_some()
+    }
+
+    /// Activity counters.
+    pub fn stats(&self) -> CheckpointStats {
+        self.stats
+    }
+
+    /// Approximate heap footprint of the stored snapshot in bytes.
+    pub fn bytes(&self) -> usize {
+        self.slot
+            .as_ref()
+            .map(|s| s.grid.bytes() + s.aux.len() * std::mem::size_of::<T>())
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid(v: f64) -> Grid3D<f64> {
+        Grid3D::filled(4, 3, 2, v)
+    }
+
+    #[test]
+    fn store_and_restore_roundtrip() {
+        let mut cp = CheckpointStore::new();
+        assert!(!cp.has_snapshot());
+        cp.store(&grid(1.5), &[10.0, 20.0], 7);
+        assert!(cp.has_snapshot());
+        let s = cp.restore();
+        assert_eq!(s.grid.at(0, 0, 0), 1.5);
+        assert_eq!(s.aux, vec![10.0, 20.0]);
+        assert_eq!(s.iteration, 7);
+    }
+
+    #[test]
+    fn second_store_replaces_first() {
+        let mut cp = CheckpointStore::new();
+        cp.store(&grid(1.0), &[1.0], 1);
+        cp.store(&grid(2.0), &[2.0], 2);
+        let s = cp.peek().unwrap();
+        assert_eq!(s.grid.at(1, 1, 1), 2.0);
+        assert_eq!(s.iteration, 2);
+        assert_eq!(cp.stats().stores, 2);
+    }
+
+    #[test]
+    fn stats_count_restores() {
+        let mut cp = CheckpointStore::new();
+        cp.store(&grid(1.0), &[], 0);
+        let _ = cp.restore();
+        let _ = cp.restore();
+        assert_eq!(cp.stats().restores, 2);
+    }
+
+    #[test]
+    fn bytes_accounting() {
+        let mut cp = CheckpointStore::<f64>::new();
+        assert_eq!(cp.bytes(), 0);
+        cp.store(&grid(0.0), &[0.0; 10], 0);
+        assert_eq!(cp.bytes(), 24 * 8 + 10 * 8);
+    }
+
+    #[test]
+    #[should_panic]
+    fn restore_without_store_panics() {
+        let mut cp = CheckpointStore::<f64>::new();
+        let _ = cp.restore();
+    }
+}

@@ -1,0 +1,219 @@
+//! Checksum state: the per-layer row (`a`) and column (`b`) vectors of
+//! Eqs. 2–3.
+
+use abft_grid::Grid3D;
+use abft_num::Real;
+
+/// Per-layer checksum vectors of a 3-D domain at one time step.
+///
+/// Stored flat: `col` is `[z][y]` (length `nz·ny`, the paper's `b`), `row`
+/// is `[z][x]` (length `nz·nx`, the paper's `a`). Following §3.2 the row
+/// side is optional — the online protector reconstructs it on demand
+/// unless `maintain_row` is configured.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChecksumState<T> {
+    nx: usize,
+    ny: usize,
+    nz: usize,
+    /// Column checksums `b[z][y] = Σ_x u[x,y,z]`.
+    pub col: Vec<T>,
+    /// Row checksums `a[z][x] = Σ_y u[x,y,z]`, if maintained.
+    pub row: Option<Vec<T>>,
+}
+
+impl<T: Real> ChecksumState<T> {
+    /// Compute the column checksums (and optionally the row checksums)
+    /// directly from a grid (Eqs. 2–3).
+    pub fn compute(grid: &Grid3D<T>, with_row: bool) -> Self {
+        let (nx, ny, nz) = grid.dims();
+        let mut col = vec![T::ZERO; nz * ny];
+        compute_col_into(grid, &mut col);
+        let row = with_row.then(|| {
+            let mut r = vec![T::ZERO; nz * nx];
+            compute_row_into(grid, &mut r);
+            r
+        });
+        Self {
+            nx,
+            ny,
+            nz,
+            col,
+            row,
+        }
+    }
+
+    /// Zero-initialised state with the given dimensions.
+    pub fn zeros(nx: usize, ny: usize, nz: usize, with_row: bool) -> Self {
+        Self {
+            nx,
+            ny,
+            nz,
+            col: vec![T::ZERO; nz * ny],
+            row: with_row.then(|| vec![T::ZERO; nz * nx]),
+        }
+    }
+
+    pub fn nx(&self) -> usize {
+        self.nx
+    }
+
+    pub fn ny(&self) -> usize {
+        self.ny
+    }
+
+    pub fn nz(&self) -> usize {
+        self.nz
+    }
+
+    /// Column checksum vector of one layer.
+    pub fn col_layer(&self, z: usize) -> &[T] {
+        &self.col[z * self.ny..(z + 1) * self.ny]
+    }
+
+    /// Row checksum vector of one layer (panics if not maintained).
+    pub fn row_layer(&self, z: usize) -> &[T] {
+        let row = self.row.as_ref().expect("row checksums not maintained");
+        &row[z * self.nx..(z + 1) * self.nx]
+    }
+}
+
+/// Compute all column checksums into a flat `[z][y]` buffer.
+///
+/// The inner loop is a contiguous-line reduction, the same access pattern
+/// as the fused accumulation in the sweep. Like the sweep, sums are
+/// accumulated in `f64` so that f32 checksums over long lines keep their
+/// full ε = 1e-5 detection margin (§3.4 notes the approximation error
+/// grows with the domain size).
+pub fn compute_col_into<T: Real>(grid: &Grid3D<T>, out: &mut [T]) {
+    let (_, ny, nz) = grid.dims();
+    assert_eq!(out.len(), nz * ny, "column checksum buffer size");
+    for (z, layer) in grid.layers().enumerate() {
+        for y in 0..ny {
+            let sum: f64 = layer.line_y(y).iter().map(|v| v.to_f64()).sum();
+            out[z * ny + y] = T::from_f64(sum);
+        }
+    }
+}
+
+/// Compute all row checksums into a flat `[z][x]` buffer (f64-accumulated,
+/// see [`compute_col_into`]).
+pub fn compute_row_into<T: Real>(grid: &Grid3D<T>, out: &mut [T]) {
+    let (nx, _, nz) = grid.dims();
+    assert_eq!(out.len(), nz * nx, "row checksum buffer size");
+    for z in 0..nz {
+        compute_row_layer_into(grid, z, &mut out[z * nx..(z + 1) * nx]);
+    }
+}
+
+/// Compute the row checksums of a **single layer** into `out` (length `nx`).
+pub fn compute_row_layer_into<T: Real>(grid: &Grid3D<T>, z: usize, out: &mut [T]) {
+    let (nx, ny, _) = grid.dims();
+    assert_eq!(out.len(), nx, "row checksum layer buffer size");
+    let layer = grid.layer(z);
+    let mut acc = vec![0.0f64; nx];
+    for y in 0..ny {
+        for (a, &v) in acc.iter_mut().zip(layer.line_y(y)) {
+            *a += v.to_f64();
+        }
+    }
+    for (o, &a) in out.iter_mut().zip(&acc) {
+        *o = T::from_f64(a);
+    }
+}
+
+/// Compute the column checksums of a **single layer** into `out`
+/// (length `ny`).
+pub fn compute_col_layer_into<T: Real>(grid: &Grid3D<T>, z: usize, out: &mut [T]) {
+    let (_, ny, _) = grid.dims();
+    assert_eq!(out.len(), ny, "column checksum layer buffer size");
+    let layer = grid.layer(z);
+    for (y, o) in out.iter_mut().enumerate() {
+        let sum: f64 = layer.line_y(y).iter().map(|v| v.to_f64()).sum();
+        *o = T::from_f64(sum);
+    }
+}
+
+/// Per-layer sums of the constant field: `c_x` and `c_y` of Theorem 1
+/// (`cb[z][y] = Σ_x C[x,y,z]`, `ca[z][x] = Σ_y C[x,y,z]`).
+pub fn constant_sums<T: Real>(
+    constant: Option<&Grid3D<T>>,
+    nx: usize,
+    ny: usize,
+    nz: usize,
+) -> (Vec<T>, Vec<T>) {
+    match constant {
+        None => (vec![T::ZERO; nz * nx], vec![T::ZERO; nz * ny]),
+        Some(c) => {
+            assert_eq!(c.dims(), (nx, ny, nz), "constant-field dimension mismatch");
+            let mut ca = vec![T::ZERO; nz * nx];
+            let mut cb = vec![T::ZERO; nz * ny];
+            compute_row_into(c, &mut ca);
+            compute_col_into(c, &mut cb);
+            (ca, cb)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid() -> Grid3D<f64> {
+        Grid3D::from_fn(3, 2, 2, |x, y, z| (x + 10 * y + 100 * z) as f64)
+    }
+
+    #[test]
+    fn column_checksums_match_eq3() {
+        let g = grid();
+        let cs = ChecksumState::compute(&g, false);
+        // b[z=0][y=0] = 0+1+2 = 3, b[0][1] = 10+11+12 = 33
+        assert_eq!(cs.col_layer(0), &[3.0, 33.0]);
+        // z=1 adds 100 per point: 303, 333
+        assert_eq!(cs.col_layer(1), &[303.0, 333.0]);
+        assert!(cs.row.is_none());
+    }
+
+    #[test]
+    fn row_checksums_match_eq2() {
+        let g = grid();
+        let cs = ChecksumState::compute(&g, true);
+        // a[0][x] = u[x,0,0] + u[x,1,0] = x + (x+10)
+        assert_eq!(cs.row_layer(0), &[10.0, 12.0, 14.0]);
+        assert_eq!(cs.row_layer(1), &[210.0, 212.0, 214.0]);
+    }
+
+    #[test]
+    fn single_layer_helpers_agree_with_full() {
+        let g = grid();
+        let cs = ChecksumState::compute(&g, true);
+        let mut row = vec![0.0; 3];
+        let mut col = vec![0.0; 2];
+        compute_row_layer_into(&g, 1, &mut row);
+        compute_col_layer_into(&g, 1, &mut col);
+        assert_eq!(&row[..], cs.row_layer(1));
+        assert_eq!(&col[..], cs.col_layer(1));
+    }
+
+    #[test]
+    fn constant_sums_zero_when_absent() {
+        let (ca, cb) = constant_sums::<f64>(None, 3, 2, 2);
+        assert!(ca.iter().all(|&v| v == 0.0));
+        assert_eq!(ca.len(), 6);
+        assert_eq!(cb.len(), 4);
+    }
+
+    #[test]
+    fn constant_sums_match_direct() {
+        let c = grid();
+        let (ca, cb) = constant_sums(Some(&c), 3, 2, 2);
+        assert_eq!(&ca[0..3], &[10.0, 12.0, 14.0]);
+        assert_eq!(&cb[2..4], &[303.0, 333.0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn row_layer_panics_when_not_maintained() {
+        let cs = ChecksumState::<f64>::compute(&grid(), false);
+        let _ = cs.row_layer(0);
+    }
+}

@@ -1,0 +1,506 @@
+//! The online ABFT protector (§3): verify and correct after every sweep.
+
+use crate::checksum::{
+    compute_col_layer_into, compute_row_into, compute_row_layer_into, ChecksumState,
+};
+use crate::config::{AbftConfig, MultiErrorPolicy};
+use crate::correct::{correct_layer, CorrectionEvent};
+use crate::detect::{classify_layer, compare_vectors, pair_by_delta, LayerDiagnosis};
+use crate::interpolate::Interpolator;
+use crate::phantom::StripSet;
+use crate::report::ProtectorStats;
+use abft_grid::{GhostCells, NoGhosts};
+use abft_num::Real;
+use abft_stencil::{StencilSim, SweepHook};
+
+/// What one protected step observed and did.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StepOutcome<T> {
+    /// Iteration the step advanced to (the paper's `t+1`).
+    pub iteration: usize,
+    /// Layers whose column checksums mismatched.
+    pub detections: usize,
+    /// Domain points corrected via Eq. 10.
+    pub corrections: Vec<CorrectionEvent<T>>,
+    /// Layers whose checksum state was refreshed (Fig. 5b scenario).
+    pub checksum_refreshes: usize,
+    /// Layers the configured policy could not correct.
+    pub uncorrectable: usize,
+}
+
+impl<T: Real> StepOutcome<T> {
+    fn new(iteration: usize) -> Self {
+        Self {
+            iteration,
+            detections: 0,
+            corrections: Vec::new(),
+            checksum_refreshes: 0,
+            uncorrectable: 0,
+        }
+    }
+
+    /// No mismatch was observed.
+    pub fn is_clean(&self) -> bool {
+        self.detections == 0
+    }
+}
+
+/// Online ABFT protector: drives a [`StencilSim`] one sweep at a time,
+/// fusing the column-checksum computation into the sweep, interpolating
+/// the expected checksums from the previous iteration (Theorem 1),
+/// comparing (Theorem 2) and correcting single corrupted points in place
+/// (Eq. 10).
+///
+/// Per §3.2 only the column vector `b` is maintained every iteration; the
+/// row side is materialised on demand from the still-live time-`t` buffer
+/// when a mismatch occurs (set [`AbftConfig::maintain_row`] to keep both).
+#[derive(Debug, Clone)]
+pub struct OnlineAbft<T> {
+    cfg: AbftConfig<T>,
+    interp: Interpolator<T>,
+    nx: usize,
+    ny: usize,
+    nz: usize,
+    /// Trusted column checksums of the current iteration (`b(t)`).
+    col_t: Vec<T>,
+    /// Trusted row checksums, when maintained (`a(t)`).
+    row_t: Option<Vec<T>>,
+    // Scratch buffers (allocated once).
+    col_comp: Vec<T>,
+    col_interp: Vec<T>,
+    row_comp: Vec<T>,
+    row_interp: Vec<T>,
+    row_t_scratch: Vec<T>,
+    stats: ProtectorStats,
+}
+
+impl<T: Real> OnlineAbft<T> {
+    /// Create a protector for a simulation, computing the initial checksum
+    /// state from its current grid ("we assume that the initial data … and
+    /// the initial checksum [are] correct", Theorem 2 proof).
+    pub fn new(sim: &StencilSim<T>, cfg: AbftConfig<T>) -> Self {
+        let (nx, ny, nz) = sim.dims();
+        let interp = Interpolator::new(sim.stencil(), sim.bounds(), sim.constant(), (nx, ny, nz));
+        let init = ChecksumState::compute(sim.current(), cfg.maintain_row);
+        Self {
+            cfg,
+            interp,
+            nx,
+            ny,
+            nz,
+            col_t: init.col,
+            row_t: init.row,
+            col_comp: vec![T::ZERO; nz * ny],
+            col_interp: vec![T::ZERO; nz * ny],
+            row_comp: vec![T::ZERO; nz * nx],
+            row_interp: vec![T::ZERO; nz * nx],
+            row_t_scratch: vec![T::ZERO; nz * nx],
+            stats: ProtectorStats::default(),
+        }
+    }
+
+    /// Cumulative statistics.
+    pub fn stats(&self) -> ProtectorStats {
+        self.stats
+    }
+
+    /// Trusted column checksums of the current iteration.
+    pub fn col_checksums(&self) -> &[T] {
+        &self.col_t
+    }
+
+    /// Corrupt one entry of the **stored** checksum state — the
+    /// fault-injection surface for the paper's Fig. 5b scenario ("error
+    /// strikes a checksum vector"). The next [`OnlineAbft::step`] must
+    /// diagnose this as a checksum corruption (mismatch on one side only)
+    /// and repair the state from data without touching the domain.
+    pub fn inject_checksum_corruption(&mut self, z: usize, y: usize, delta: T) {
+        assert!(z < self.nz && y < self.ny, "checksum index out of range");
+        self.col_t[z * self.ny + y] += delta;
+    }
+
+    /// Advance the simulation one protected iteration.
+    pub fn step<H: SweepHook<T>>(&mut self, sim: &mut StencilSim<T>, hook: &H) -> StepOutcome<T> {
+        self.step_with_ghosts(sim, hook, &NoGhosts)
+    }
+
+    /// Advance one protected iteration with ghost-cell boundaries (used by
+    /// the distributed chunks: `ghosts` must present the **time-`t`** halo,
+    /// i.e. the same values the sweep reads).
+    pub fn step_with_ghosts<H: SweepHook<T>, G: GhostCells<T>>(
+        &mut self,
+        sim: &mut StencilSim<T>,
+        hook: &H,
+        ghosts: &G,
+    ) -> StepOutcome<T> {
+        let (nx, ny, nz) = (self.nx, self.ny, self.nz);
+        debug_assert_eq!(sim.dims(), (nx, ny, nz), "simulation/protector shape");
+
+        // 1. Sweep with fused checksum accumulation (§3.2, Fig. 2).
+        if self.cfg.maintain_row {
+            sim.step_full(
+                hook,
+                ghosts,
+                abft_stencil::ChecksumMode::RowCol {
+                    row: &mut self.row_comp,
+                    col: &mut self.col_comp,
+                },
+            );
+        } else {
+            sim.step_full(
+                hook,
+                ghosts,
+                abft_stencil::ChecksumMode::Col {
+                    col: &mut self.col_comp,
+                },
+            );
+        }
+        self.stats.steps += 1;
+        self.stats.verifications += 1;
+        let mut outcome = StepOutcome::new(sim.iteration());
+
+        // 2. Interpolate the expected column checksums from time t
+        //    (Theorem 1). The previous buffer *is* the time-t grid, so
+        //    boundary corrections read it directly.
+        let source = StripSet::Grid(sim.previous());
+        self.interp
+            .interpolate_col(&self.col_t, &source, ghosts, &mut self.col_interp);
+
+        // 3. Detect (Theorem 2): compare per layer.
+        let mut flagged = Vec::new();
+        for z in 0..nz {
+            let mms = compare_vectors(
+                &self.col_interp[z * ny..(z + 1) * ny],
+                &self.col_comp[z * ny..(z + 1) * ny],
+                self.cfg.epsilon,
+                self.cfg.abs_floor,
+            );
+            if !mms.is_empty() {
+                flagged.push((z, mms));
+            }
+        }
+
+        if !flagged.is_empty() {
+            // 4. Materialise the row side (only now — §3.4: "it is only
+            //    necessary to perform the detection on one of the two
+            //    checksums […] only then interpolate the other").
+            if !self.cfg.maintain_row {
+                compute_row_into(sim.previous(), &mut self.row_t_scratch);
+                compute_row_into(sim.current(), &mut self.row_comp);
+            }
+            let row_t: &[T] = match &self.row_t {
+                Some(r) => r,
+                None => &self.row_t_scratch,
+            };
+            self.interp
+                .interpolate_row(row_t, &source, ghosts, &mut self.row_interp);
+
+            for (z, col_mms) in flagged {
+                self.stats.detections += 1;
+                outcome.detections += 1;
+                let row_mms = compare_vectors(
+                    &self.row_interp[z * nx..(z + 1) * nx],
+                    &self.row_comp[z * nx..(z + 1) * nx],
+                    self.cfg.epsilon,
+                    self.cfg.abs_floor,
+                );
+                let diag = classify_layer(row_mms, col_mms);
+                self.handle_layer(sim, z, diag, &mut outcome);
+            }
+        }
+
+        // 5. Commit: the (possibly repaired) computed checksums become the
+        //    trusted state for the next iteration.
+        std::mem::swap(&mut self.col_t, &mut self.col_comp);
+        if self.cfg.maintain_row {
+            if let Some(rt) = &mut self.row_t {
+                std::mem::swap(rt, &mut self.row_comp);
+            }
+        }
+        outcome
+    }
+
+    fn handle_layer(
+        &mut self,
+        sim: &mut StencilSim<T>,
+        z: usize,
+        diag: LayerDiagnosis<T>,
+        outcome: &mut StepOutcome<T>,
+    ) {
+        let (nx, ny) = (self.nx, self.ny);
+        match diag {
+            LayerDiagnosis::Clean => {}
+            LayerDiagnosis::SingleError { x, y, .. } => {
+                if self.cfg.policy == MultiErrorPolicy::RefreshOnly {
+                    self.refresh_layer(sim, z);
+                    outcome.checksum_refreshes += 1;
+                    return;
+                }
+                let ev = correct_layer(
+                    &mut sim.current_mut().layer_mut(z),
+                    &mut self.row_comp[z * nx..(z + 1) * nx],
+                    &mut self.col_comp[z * ny..(z + 1) * ny],
+                    &self.row_interp[z * nx..(z + 1) * nx],
+                    &self.col_interp[z * ny..(z + 1) * ny],
+                    x,
+                    y,
+                    z,
+                );
+                self.stats.corrections += 1;
+                outcome.corrections.push(ev);
+            }
+            LayerDiagnosis::ChecksumCorruption { .. } => {
+                // Fig. 5b: the domain is consistent, one of the checksum
+                // vectors is not — recompute from data and move on.
+                self.refresh_layer(sim, z);
+                self.stats.checksum_refreshes += 1;
+                outcome.checksum_refreshes += 1;
+            }
+            LayerDiagnosis::MultiError { rows, cols } => match self.cfg.policy {
+                MultiErrorPolicy::DeltaMatch => {
+                    let pairs = pair_by_delta(&rows, &cols, T::from_f64(0.05));
+                    let expected = rows.len().max(cols.len());
+                    for (r, c) in &pairs {
+                        let ev = correct_layer(
+                            &mut sim.current_mut().layer_mut(z),
+                            &mut self.row_comp[z * nx..(z + 1) * nx],
+                            &mut self.col_comp[z * ny..(z + 1) * ny],
+                            &self.row_interp[z * nx..(z + 1) * nx],
+                            &self.col_interp[z * ny..(z + 1) * ny],
+                            r.index,
+                            c.index,
+                            z,
+                        );
+                        self.stats.corrections += 1;
+                        outcome.corrections.push(ev);
+                    }
+                    if pairs.len() < expected {
+                        self.stats.uncorrectable += 1;
+                        outcome.uncorrectable += 1;
+                        self.refresh_layer(sim, z);
+                    }
+                }
+                MultiErrorPolicy::Strict | MultiErrorPolicy::RefreshOnly => {
+                    // Report, and adopt the data as-is so detection state
+                    // stays consistent for subsequent iterations.
+                    self.stats.uncorrectable += 1;
+                    outcome.uncorrectable += 1;
+                    self.refresh_layer(sim, z);
+                }
+            },
+        }
+    }
+
+    /// Recompute one layer's checksum state directly from the swept data.
+    fn refresh_layer(&mut self, sim: &StencilSim<T>, z: usize) {
+        let (nx, ny) = (self.nx, self.ny);
+        compute_col_layer_into(sim.current(), z, &mut self.col_comp[z * ny..(z + 1) * ny]);
+        compute_row_layer_into(sim.current(), z, &mut self.row_comp[z * nx..(z + 1) * nx]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abft_grid::{BoundarySpec, Grid3D};
+    use abft_stencil::{Exec, NoHook, Stencil3D};
+
+    fn make_sim() -> StencilSim<f64> {
+        let g = Grid3D::from_fn(12, 10, 3, |x, y, z| {
+            80.0 + ((x * 7 + y * 13 + z * 3) % 11) as f64 * 0.3
+        });
+        StencilSim::new(
+            g,
+            Stencil3D::seven_point(0.4, 0.12, 0.08, 0.1),
+            BoundarySpec::clamp(),
+        )
+        .with_exec(Exec::Serial)
+    }
+
+    #[test]
+    fn error_free_run_is_clean() {
+        let mut sim = make_sim();
+        let mut abft = OnlineAbft::new(&sim, AbftConfig::<f64>::paper_defaults());
+        for _ in 0..20 {
+            let out = abft.step(&mut sim, &NoHook);
+            assert!(out.is_clean(), "false positive: {out:?}");
+        }
+        assert_eq!(abft.stats().detections, 0);
+        assert_eq!(abft.stats().steps, 20);
+    }
+
+    #[test]
+    fn protected_equals_unprotected_when_error_free() {
+        let mut plain = make_sim();
+        let mut protected = make_sim();
+        let mut abft = OnlineAbft::new(&protected, AbftConfig::<f64>::paper_defaults());
+        for _ in 0..10 {
+            plain.step();
+            abft.step(&mut protected, &NoHook);
+        }
+        // Bitwise identical: protection must not perturb the data.
+        assert_eq!(plain.current(), protected.current());
+    }
+
+    #[test]
+    fn detects_and_corrects_injected_point() {
+        let mut sim = make_sim();
+        let mut reference = make_sim();
+        let mut abft = OnlineAbft::new(&sim, AbftConfig::<f64>::paper_defaults());
+
+        // 3 clean steps.
+        for _ in 0..3 {
+            abft.step(&mut sim, &NoHook);
+            reference.step();
+        }
+        // Inject +50 at (5, 4, 1) during the 4th sweep.
+        let hook = |x: usize, y: usize, z: usize, v: f64| {
+            if (x, y, z) == (5, 4, 1) {
+                v + 50.0
+            } else {
+                v
+            }
+        };
+        let out = abft.step(&mut sim, &hook);
+        reference.step();
+        assert_eq!(out.detections, 1);
+        assert_eq!(out.corrections.len(), 1);
+        let ev = out.corrections[0];
+        assert_eq!((ev.x, ev.y, ev.z), (5, 4, 1));
+        assert!((ev.old - ev.new - 50.0).abs() < 1e-9);
+        // Domain restored to the reference trajectory (exact recovery).
+        assert!(sim.current().max_abs_diff(reference.current()) < 1e-9);
+
+        // Subsequent steps stay clean.
+        for _ in 0..5 {
+            let out = abft.step(&mut sim, &NoHook);
+            reference.step();
+            assert!(out.is_clean());
+        }
+        assert!(sim.current().max_abs_diff(reference.current()) < 1e-9);
+    }
+
+    #[test]
+    fn small_injection_below_threshold_is_missed() {
+        // Mirrors the paper's Fig. 10 finding: corruptions below ε are
+        // undetectable by design.
+        let mut sim = make_sim();
+        let mut abft = OnlineAbft::new(&sim, AbftConfig::<f64>::paper_defaults());
+        let hook = |x: usize, y: usize, z: usize, v: f64| {
+            if (x, y, z) == (5, 4, 1) {
+                v + 1e-13
+            } else {
+                v
+            }
+        };
+        let out = abft.step(&mut sim, &hook);
+        assert!(out.is_clean());
+    }
+
+    #[test]
+    fn maintain_row_mode_corrects_too() {
+        let mut sim = make_sim();
+        let cfg = AbftConfig::<f64>::paper_defaults().with_maintain_row(true);
+        let mut abft = OnlineAbft::new(&sim, cfg);
+        abft.step(&mut sim, &NoHook);
+        let hook = |x: usize, y: usize, z: usize, v: f64| {
+            if (x, y, z) == (2, 7, 2) {
+                v * 4.0
+            } else {
+                v
+            }
+        };
+        let out = abft.step(&mut sim, &hook);
+        assert_eq!(out.corrections.len(), 1);
+        assert_eq!(
+            (
+                out.corrections[0].x,
+                out.corrections[0].y,
+                out.corrections[0].z
+            ),
+            (2, 7, 2)
+        );
+    }
+
+    #[test]
+    fn corrupted_checksum_state_is_diagnosed_and_refreshed_fig5b() {
+        let mut sim = make_sim();
+        let mut reference = make_sim();
+        let mut abft = OnlineAbft::new(&sim, AbftConfig::<f64>::paper_defaults());
+        abft.step(&mut sim, &NoHook);
+        reference.step();
+
+        // Fig. 5b: the fault strikes a checksum vector, not the domain.
+        // In 3-D the stored vector of layer 1 feeds the interpolation of
+        // layers 0..=2 (the k-offsets of the 7-point kernel), so all three
+        // flag the corruption — and all three diagnose it as
+        // checksum-only, leaving the domain untouched.
+        abft.inject_checksum_corruption(1, 4, 250.0);
+        let out = abft.step(&mut sim, &NoHook);
+        reference.step();
+        assert_eq!(out.detections, 3);
+        assert!(out.corrections.is_empty(), "domain must not be touched");
+        assert_eq!(out.checksum_refreshes, 3);
+        // The domain never deviated from the reference…
+        assert_eq!(sim.current(), reference.current());
+        // …and the repaired state raises no follow-up alarms.
+        for _ in 0..4 {
+            let out = abft.step(&mut sim, &NoHook);
+            reference.step();
+            assert!(out.is_clean());
+        }
+        assert_eq!(sim.current(), reference.current());
+    }
+
+    #[test]
+    fn two_errors_in_one_layer_strict_reports_uncorrectable() {
+        let mut sim = make_sim();
+        let mut abft = OnlineAbft::new(&sim, AbftConfig::<f64>::paper_defaults());
+        let hook = |x: usize, y: usize, z: usize, v: f64| match (x, y, z) {
+            (2, 3, 1) => v + 40.0,
+            (8, 6, 1) => v - 25.0,
+            _ => v,
+        };
+        let out = abft.step(&mut sim, &hook);
+        assert_eq!(out.detections, 1);
+        assert_eq!(out.uncorrectable, 1);
+        assert!(out.corrections.is_empty());
+        // Next step must be clean again (state refreshed from data).
+        let out = abft.step(&mut sim, &NoHook);
+        assert!(out.is_clean());
+    }
+
+    #[test]
+    fn two_errors_delta_match_corrects_both() {
+        let mut sim = make_sim();
+        let mut reference = make_sim();
+        let cfg = AbftConfig::<f64>::paper_defaults().with_policy(MultiErrorPolicy::DeltaMatch);
+        let mut abft = OnlineAbft::new(&sim, cfg);
+        let hook = |x: usize, y: usize, z: usize, v: f64| match (x, y, z) {
+            (2, 3, 1) => v + 40.0,
+            (8, 6, 1) => v - 25.0,
+            _ => v,
+        };
+        let out = abft.step(&mut sim, &hook);
+        reference.step();
+        assert_eq!(out.corrections.len(), 2);
+        assert!(sim.current().max_abs_diff(reference.current()) < 1e-8);
+    }
+
+    #[test]
+    fn errors_in_different_layers_corrected_independently() {
+        let mut sim = make_sim();
+        let mut reference = make_sim();
+        let mut abft = OnlineAbft::new(&sim, AbftConfig::<f64>::paper_defaults());
+        let hook = |x: usize, y: usize, z: usize, v: f64| match (x, y, z) {
+            (2, 3, 0) => v + 40.0,
+            (8, 6, 2) => v - 25.0,
+            _ => v,
+        };
+        let out = abft.step(&mut sim, &hook);
+        reference.step();
+        assert_eq!(out.detections, 2);
+        assert_eq!(out.corrections.len(), 2);
+        assert!(sim.current().max_abs_diff(reference.current()) < 1e-8);
+    }
+}

@@ -1,0 +1,60 @@
+//! Cumulative protector statistics.
+
+/// Counters accumulated by a protector over the lifetime of a run; the
+/// experiment harness reports them alongside timings and error norms.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProtectorStats {
+    /// Sweeps driven through the protector.
+    pub steps: usize,
+    /// Verifications performed (every step online; every Δ offline).
+    pub verifications: usize,
+    /// Layers in which a checksum mismatch was detected.
+    pub detections: usize,
+    /// Domain points corrected in place (online only).
+    pub corrections: usize,
+    /// Checksum-state refreshes (Fig. 5b scenario).
+    pub checksum_refreshes: usize,
+    /// Layer diagnoses that the configured policy could not correct.
+    pub uncorrectable: usize,
+    /// Rollbacks to a checkpoint (offline only).
+    pub rollbacks: usize,
+    /// Sweeps re-executed during rollback recovery (offline only).
+    pub recomputed_steps: usize,
+}
+
+impl ProtectorStats {
+    /// Fold another stats block into this one.
+    pub fn merge(&mut self, other: &ProtectorStats) {
+        self.steps += other.steps;
+        self.verifications += other.verifications;
+        self.detections += other.detections;
+        self.corrections += other.corrections;
+        self.checksum_refreshes += other.checksum_refreshes;
+        self.uncorrectable += other.uncorrectable;
+        self.rollbacks += other.rollbacks;
+        self.recomputed_steps += other.recomputed_steps;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_adds_fields() {
+        let mut a = ProtectorStats {
+            steps: 1,
+            detections: 2,
+            ..Default::default()
+        };
+        let b = ProtectorStats {
+            steps: 10,
+            corrections: 5,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.steps, 11);
+        assert_eq!(a.detections, 2);
+        assert_eq!(a.corrections, 5);
+    }
+}

@@ -1,0 +1,87 @@
+//! Analytic detectability model.
+//!
+//! Detection compares checksum vectors with a relative threshold ε
+//! (§3.4), so the smallest detectable *absolute* corruption on a layer is
+//! `ε · |b_y| ≈ ε · n · mean(|u|)`, where `n` is the length of the summed
+//! axis. A bit-flip at position `p` of an IEEE-754 value of magnitude `v`
+//! changes it by roughly `2^(p − mantissa_bits) · v` (for fraction bits).
+//! Combining the two predicts which bit positions are detectable — the
+//! boundary the paper's Fig. 10 observes empirically at bits 12/13 for
+//! 64-wide HotSpot tiles.
+
+use abft_num::Real;
+
+/// Smallest absolute corruption the checksum comparison can notice on a
+/// layer whose summed axis has `n` entries of typical magnitude
+/// `value_scale`.
+pub fn detection_floor(epsilon: f64, n: usize, value_scale: f64) -> f64 {
+    epsilon * n as f64 * value_scale.abs()
+}
+
+/// Approximate magnitude change caused by flipping bit `p` of a value of
+/// magnitude `value_scale` (fraction bits only; exponent/sign flips are
+/// far larger and always exceed any realistic floor).
+pub fn flip_magnitude<T: Real>(p: u32, value_scale: f64) -> f64 {
+    assert!(p < T::BITS);
+    let mant = T::MANTISSA_BITS;
+    if p >= mant {
+        // Exponent or sign: at least doubles/halves the value.
+        value_scale.abs()
+    } else {
+        value_scale.abs() * 2f64.powi(p as i32 - mant as i32)
+    }
+}
+
+/// The lowest fraction-bit position whose flip is predicted detectable
+/// for values of magnitude `value_scale` on a layer with summed-axis
+/// length `n`; `None` if even exponent flips stay below the floor
+/// (degenerate scales).
+pub fn first_detectable_bit<T: Real>(epsilon: f64, n: usize, value_scale: f64) -> Option<u32> {
+    let floor = detection_floor(epsilon, n, value_scale);
+    (0..T::BITS).find(|&p| flip_magnitude::<T>(p, value_scale) > floor)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn floor_scales_linearly() {
+        assert_eq!(detection_floor(1e-5, 64, 80.0), 1e-5 * 64.0 * 80.0);
+        assert_eq!(
+            detection_floor(1e-5, 512, 80.0),
+            8.0 * detection_floor(1e-5, 64, 80.0)
+        );
+    }
+
+    #[test]
+    fn fraction_flip_magnitude_doubles_per_bit() {
+        let m12 = flip_magnitude::<f32>(12, 80.0);
+        let m13 = flip_magnitude::<f32>(13, 80.0);
+        assert!((m13 / m12 - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn predicts_the_papers_bit13_boundary() {
+        // HotSpot 64×64×8 tile: values ≈ 80, ny = 64, ε = 1e-5.
+        // The paper (Fig. 10) and our fig10 harness both find bits 0..=12
+        // undetectable and bit 13 the first detected position.
+        let bit = first_detectable_bit::<f32>(1e-5, 64, 80.0).unwrap();
+        assert_eq!(bit, 13);
+    }
+
+    #[test]
+    fn larger_tiles_raise_the_boundary() {
+        // 512-wide sums raise the floor by 8x => three more lost bits.
+        let small = first_detectable_bit::<f32>(1e-5, 64, 80.0).unwrap();
+        let large = first_detectable_bit::<f32>(1e-5, 512, 80.0).unwrap();
+        assert_eq!(large, small + 3);
+    }
+
+    #[test]
+    fn exponent_flips_always_detectable_at_scale() {
+        let floor = detection_floor(1e-5, 64, 80.0);
+        assert!(flip_magnitude::<f32>(30, 80.0) > floor);
+        assert!(flip_magnitude::<f32>(23, 80.0) > floor);
+    }
+}

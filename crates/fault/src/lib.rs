@@ -1,0 +1,26 @@
+//! Fault injection: the paper's SDC model (§5.1) and the campaign driver
+//! behind the evaluation figures.
+//!
+//! > "we simulate SDCs by injecting a single bit-flip in the memory used
+//! > by the application during the execution. The bit-flip is injected
+//! > during a random stencil iteration, in [a] random point in the
+//! > computational domain, and at a random bit position […] during the
+//! > stencil sweep operation, after the stencil point targeted for data
+//! > corruption has been updated and before it is stored into the domain."
+//!
+//! [`BitFlip`] describes one such fault; [`FlipHook`] delivers it through
+//! the sweep's [`abft_stencil::SweepHook`] interface; [`Campaign`] runs
+//! repetitions of a scenario under the three methods of the paper
+//! (`No-ABFT`, `Online`, `Offline`) and records wall time, the Eq. 11
+//! error norm against an error-free single-threaded reference, and the
+//! protector statistics.
+
+mod analysis;
+mod campaign;
+mod hook;
+mod model;
+
+pub use analysis::{detection_floor, first_detectable_bit, flip_magnitude};
+pub use campaign::{Campaign, Method, RunRecord};
+pub use hook::{FlipHook, MultiFlipHook};
+pub use model::{random_flips, random_flips_at_bit, BitFlip, Fault};

@@ -1,0 +1,168 @@
+//! Copies of the near-boundary lines of a layer.
+//!
+//! The α/β correction terms of Theorem 1 only involve grid points within
+//! `max |offset|` of the domain boundary (see the case analysis in the
+//! paper's proof). Capturing those lines is `O(k·(nx+ny))` per layer —
+//! negligible next to the sweep — and makes the corrections computable
+//! *after* the time-`t` grid has been overwritten, which the offline
+//! (periodic) detector needs.
+
+use crate::LayerRef;
+use abft_num::Real;
+
+/// Near-boundary lines of one layer at one time step.
+///
+/// * `y_lo[m]` — the contiguous line at `y = m` (length `nx`),
+/// * `y_hi[m]` — the line at `y = ny-1-m`,
+/// * `x_lo[m]` — the column at `x = m` (length `ny`),
+/// * `x_hi[m]` — the column at `x = nx-1-m`,
+///
+/// for `m` in `0..width` of the respective axis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BoundaryStrips<T> {
+    y_lo: Vec<Vec<T>>,
+    y_hi: Vec<Vec<T>>,
+    x_lo: Vec<Vec<T>>,
+    x_hi: Vec<Vec<T>>,
+}
+
+impl<T: Real> BoundaryStrips<T> {
+    /// Capture strips of width `wx` along `x` and `wy` along `y` from a
+    /// layer. Widths may be zero (nothing captured on that axis) and are
+    /// silently truncated to the axis length.
+    pub fn capture(layer: LayerRef<'_, T>, wx: usize, wy: usize) -> Self {
+        let wx = wx.min(layer.nx());
+        let wy = wy.min(layer.ny());
+        let y_lo = (0..wy).map(|m| layer.line_y(m).to_vec()).collect();
+        let y_hi = (0..wy)
+            .map(|m| layer.line_y(layer.ny() - 1 - m).to_vec())
+            .collect();
+        let x_lo = (0..wx).map(|m| layer.column_x(m)).collect();
+        let x_hi = (0..wx)
+            .map(|m| layer.column_x(layer.nx() - 1 - m))
+            .collect();
+        Self {
+            y_lo,
+            y_hi,
+            x_lo,
+            x_hi,
+        }
+    }
+
+    /// An empty capture (used for the zero-correction fast path).
+    pub fn empty() -> Self {
+        Self {
+            y_lo: Vec::new(),
+            y_hi: Vec::new(),
+            x_lo: Vec::new(),
+            x_hi: Vec::new(),
+        }
+    }
+
+    /// Captured width along `x`.
+    pub fn width_x(&self) -> usize {
+        self.x_lo.len()
+    }
+
+    /// Captured width along `y`.
+    pub fn width_y(&self) -> usize {
+        self.y_lo.len()
+    }
+
+    /// Value at `(x, y=m)` — `m`-th line from the low-`y` edge.
+    #[inline]
+    pub fn at_y_lo(&self, m: usize, x: usize) -> T {
+        self.y_lo[m][x]
+    }
+
+    /// Value at `(x, y=ny-1-m)` — `m`-th line from the high-`y` edge.
+    #[inline]
+    pub fn at_y_hi(&self, m: usize, x: usize) -> T {
+        self.y_hi[m][x]
+    }
+
+    /// Value at `(x=m, y)` — `m`-th column from the low-`x` edge.
+    #[inline]
+    pub fn at_x_lo(&self, m: usize, y: usize) -> T {
+        self.x_lo[m][y]
+    }
+
+    /// Value at `(x=nx-1-m, y)` — `m`-th column from the high-`x` edge.
+    #[inline]
+    pub fn at_x_hi(&self, m: usize, y: usize) -> T {
+        self.x_hi[m][y]
+    }
+
+    /// Heap footprint in bytes.
+    pub fn bytes(&self) -> usize {
+        let count: usize = self
+            .y_lo
+            .iter()
+            .chain(&self.y_hi)
+            .chain(&self.x_lo)
+            .chain(&self.x_hi)
+            .map(Vec::len)
+            .sum();
+        count * std::mem::size_of::<T>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layer_4x3() -> Vec<f64> {
+        // u[x,y] = x + 10y on a 4×3 layer
+        let mut v = Vec::new();
+        for y in 0..3 {
+            for x in 0..4 {
+                v.push((x + 10 * y) as f64);
+            }
+        }
+        v
+    }
+
+    #[test]
+    fn capture_lines_and_columns() {
+        let data = layer_4x3();
+        let layer = LayerRef::from_slice(&data, 4, 3);
+        let s = BoundaryStrips::capture(layer, 2, 1);
+        assert_eq!(s.width_x(), 2);
+        assert_eq!(s.width_y(), 1);
+
+        // y_lo[0] is the line y = 0
+        assert_eq!(s.at_y_lo(0, 3), 3.0);
+        // y_hi[0] is the line y = 2
+        assert_eq!(s.at_y_hi(0, 0), 20.0);
+        // x_lo[1] is the column x = 1
+        assert_eq!(s.at_x_lo(1, 2), 21.0);
+        // x_hi[0] is the column x = 3
+        assert_eq!(s.at_x_hi(0, 1), 13.0);
+    }
+
+    #[test]
+    fn width_truncated_to_axis() {
+        let data = layer_4x3();
+        let layer = LayerRef::from_slice(&data, 4, 3);
+        let s = BoundaryStrips::capture(layer, 100, 100);
+        assert_eq!(s.width_x(), 4);
+        assert_eq!(s.width_y(), 3);
+    }
+
+    #[test]
+    fn empty_capture() {
+        let s = BoundaryStrips::<f32>::empty();
+        assert_eq!(s.width_x(), 0);
+        assert_eq!(s.width_y(), 0);
+        assert_eq!(s.bytes(), 0);
+    }
+
+    #[test]
+    fn bytes_accounting() {
+        let data = layer_4x3();
+        let layer = LayerRef::from_slice(&data, 4, 3);
+        let s = BoundaryStrips::capture(layer, 1, 1);
+        // 2 lines of nx=4 + 2 columns of ny=3 = 14 f64s
+        assert_eq!(s.bytes(), 14 * 8);
+    }
+}

@@ -1,0 +1,135 @@
+//! HotSpot3D command-line runner — the protected counterpart of the
+//! Rodinia `3D` binary.
+//!
+//! ```text
+//! hotspot3d [--tile 64|512|SIZE] [--layers N] [--iters N] [--seed S]
+//!           [--method none|online|offline] [--period N] [--serial]
+//! ```
+//!
+//! Prints per-phase timing, protection statistics and a temperature
+//! summary of the final die state.
+
+use abft_core::{AbftConfig, OfflineAbft, OnlineAbft};
+use abft_hotspot::{build_sim, HotspotParams};
+use abft_stencil::{Exec, NoHook};
+
+struct Args {
+    tile: usize,
+    layers: usize,
+    iters: usize,
+    seed: u64,
+    method: String,
+    period: usize,
+    serial: bool,
+}
+
+fn parse_args() -> Args {
+    let mut a = Args {
+        tile: 64,
+        layers: 8,
+        iters: 128,
+        seed: 42,
+        method: "online".to_string(),
+        period: 16,
+        serial: false,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--tile" => {
+                i += 1;
+                a.tile = argv[i].parse().expect("--tile SIZE");
+            }
+            "--layers" => {
+                i += 1;
+                a.layers = argv[i].parse().expect("--layers N");
+            }
+            "--iters" => {
+                i += 1;
+                a.iters = argv[i].parse().expect("--iters N");
+            }
+            "--seed" => {
+                i += 1;
+                a.seed = argv[i].parse().expect("--seed S");
+            }
+            "--method" => {
+                i += 1;
+                a.method = argv[i].clone();
+            }
+            "--period" => {
+                i += 1;
+                a.period = argv[i].parse().expect("--period N");
+            }
+            "--serial" => a.serial = true,
+            other => panic!("unknown flag {other}"),
+        }
+        i += 1;
+    }
+    a
+}
+
+fn main() {
+    let args = parse_args();
+    let params = HotspotParams::new(args.tile, args.tile, args.layers);
+    let exec = if args.serial {
+        Exec::Serial
+    } else {
+        Exec::Parallel
+    };
+    let coeff = params.coefficients();
+    println!(
+        "HotSpot3D {}x{}x{} | dt = {:.3e} s/step | {} iterations | method {}",
+        args.tile, args.tile, args.layers, coeff.dt, args.iters, args.method
+    );
+
+    let mut sim = build_sim::<f32>(&params, args.seed, exec);
+    let t0 = std::time::Instant::now();
+    let stats = match args.method.as_str() {
+        "none" => {
+            for _ in 0..args.iters {
+                sim.step();
+            }
+            None
+        }
+        "online" => {
+            let mut abft = OnlineAbft::new(&sim, AbftConfig::<f32>::paper_defaults());
+            for _ in 0..args.iters {
+                abft.step(&mut sim, &NoHook);
+            }
+            Some(abft.stats())
+        }
+        "offline" => {
+            let cfg = AbftConfig::<f32>::paper_defaults().with_period(args.period);
+            let mut abft = OfflineAbft::new(&sim, cfg);
+            for _ in 0..args.iters {
+                abft.step(&mut sim, &NoHook);
+            }
+            abft.finalize(&mut sim);
+            Some(abft.stats())
+        }
+        other => panic!("unknown method {other}; use none|online|offline"),
+    };
+    let secs = t0.elapsed().as_secs_f64();
+
+    let (mut tmin, mut tmax, mut tsum) = (f32::MAX, f32::MIN, 0.0f64);
+    for &v in sim.current().as_slice() {
+        tmin = tmin.min(v);
+        tmax = tmax.max(v);
+        tsum += v as f64;
+    }
+    println!(
+        "done in {secs:.3} s ({:.1} Mcells/s)",
+        (sim.current().len() * args.iters) as f64 / secs / 1e6
+    );
+    println!(
+        "temperature: min {tmin:.3}  mean {:.3}  max {tmax:.3}",
+        tsum / sim.current().len() as f64
+    );
+    if let Some(s) = stats {
+        println!(
+            "protection: {} verifications, {} detections, {} corrections, {} rollbacks",
+            s.verifications, s.detections, s.corrections, s.rollbacks
+        );
+    }
+}

@@ -1,0 +1,186 @@
+//! Chip parameters and stencil-coefficient derivation, following the
+//! Rodinia HotSpot3D reference implementation.
+
+use abft_num::Real;
+use abft_stencil::Stencil3D;
+
+/// Physical and numerical parameters of the simulated chip. Defaults are
+/// the Rodinia constants.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HotspotParams {
+    /// Grid cells along `x` (chip height direction).
+    pub nx: usize,
+    /// Grid cells along `y` (chip width direction).
+    pub ny: usize,
+    /// Layers along `z` (through-silicon direction).
+    pub nz: usize,
+    /// Chip height in metres (Rodinia: 0.016).
+    pub chip_height: f64,
+    /// Chip width in metres (Rodinia: 0.016).
+    pub chip_width: f64,
+    /// Die thickness in metres (Rodinia: 0.0005).
+    pub t_chip: f64,
+    /// Silicon thermal conductivity W/(m·K) (Rodinia: 100).
+    pub k_si: f64,
+    /// Silicon specific heat J/(m³·K) (Rodinia: 1.75e6).
+    pub spec_heat_si: f64,
+    /// Capacitance fitting factor (Rodinia: 0.5).
+    pub factor_chip: f64,
+    /// Maximum power density W/m² (Rodinia: 3e6).
+    pub max_pd: f64,
+    /// Target per-step temperature precision (Rodinia: 0.001).
+    pub precision: f64,
+    /// Ambient temperature (Rodinia: 80.0).
+    pub amb_temp: f64,
+}
+
+impl HotspotParams {
+    /// Rodinia defaults for an `nx × ny × nz` die.
+    pub fn new(nx: usize, ny: usize, nz: usize) -> Self {
+        Self {
+            nx,
+            ny,
+            nz,
+            chip_height: 0.016,
+            chip_width: 0.016,
+            t_chip: 0.0005,
+            k_si: 100.0,
+            spec_heat_si: 1.75e6,
+            factor_chip: 0.5,
+            max_pd: 3.0e6,
+            precision: 0.001,
+            amb_temp: 80.0,
+        }
+    }
+
+    /// Derive the update coefficients exactly as the Rodinia kernel does.
+    pub fn coefficients(&self) -> HotspotCoefficients {
+        let dx = self.chip_height / self.nx as f64;
+        let dy = self.chip_width / self.ny as f64;
+        let dz = self.t_chip / self.nz as f64;
+
+        let cap = self.factor_chip * self.spec_heat_si * self.t_chip * dx * dy;
+        let rx = dy / (2.0 * self.k_si * self.t_chip * dx);
+        let ry = dx / (2.0 * self.k_si * self.t_chip * dy);
+        let rz = dz / (self.k_si * dx * dy);
+
+        let max_slope = self.max_pd / (self.factor_chip * self.t_chip * self.spec_heat_si);
+        let dt = self.precision / max_slope;
+        let step_div_cap = dt / cap;
+
+        let ce = step_div_cap / rx;
+        let cn = step_div_cap / ry;
+        let ct = step_div_cap / rz;
+        // The extra `ct` models the heat sink towards ambient at the top
+        // of the die (paired with the `ct·amb` constant term).
+        let cc = 1.0 - (2.0 * ce + 2.0 * cn + 3.0 * ct);
+
+        HotspotCoefficients {
+            dt,
+            step_div_cap,
+            ce,
+            cw: ce,
+            cn,
+            cs: cn,
+            ct,
+            cb: ct,
+            cc,
+        }
+    }
+
+    /// The HotSpot3D update as a 7-point [`Stencil3D`].
+    ///
+    /// The kernel is axis-symmetric with extent 1 and clamped boundaries,
+    /// so the ABFT interpolation runs on its zero-correction fast path
+    /// (paper Eqs. 8–9) — exactly the configuration the paper evaluates.
+    pub fn stencil<T: Real>(&self) -> Stencil3D<T> {
+        let c = self.coefficients();
+        Stencil3D::seven_point(
+            T::from_f64(c.cc),
+            T::from_f64(c.ce),
+            T::from_f64(c.cn),
+            T::from_f64(c.ct),
+        )
+    }
+
+    /// `(nx, ny, nz)`.
+    pub fn dims(&self) -> (usize, usize, usize) {
+        (self.nx, self.ny, self.nz)
+    }
+}
+
+/// Derived update coefficients (Rodinia naming).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HotspotCoefficients {
+    /// Time step (s).
+    pub dt: f64,
+    /// `dt / Cap` — multiplies the power density.
+    pub step_div_cap: f64,
+    pub ce: f64,
+    pub cw: f64,
+    pub cn: f64,
+    pub cs: f64,
+    pub ct: f64,
+    pub cb: f64,
+    /// Center coefficient `1 − (2ce + 2cn + 3ct)`.
+    pub cc: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rodinia_constants_by_default() {
+        let p = HotspotParams::new(64, 64, 8);
+        assert_eq!(p.amb_temp, 80.0);
+        assert_eq!(p.max_pd, 3.0e6);
+        assert_eq!(p.t_chip, 0.0005);
+    }
+
+    #[test]
+    fn coefficient_derivation_matches_hand_computation() {
+        let p = HotspotParams::new(512, 512, 8);
+        let c = p.coefficients();
+        // dt = PRECISION / (MAX_PD / (FACTOR_CHIP*T_CHIP*SPEC_HEAT))
+        let expected_dt = 0.001 * (0.5 * 0.0005 * 1.75e6) / 3.0e6;
+        assert!((c.dt - expected_dt).abs() < 1e-18);
+        // symmetric pairs
+        assert_eq!(c.ce, c.cw);
+        assert_eq!(c.cn, c.cs);
+        assert_eq!(c.ct, c.cb);
+        // center balances: cc + 2ce + 2cn + 3ct == 1
+        assert!((c.cc + 2.0 * c.ce + 2.0 * c.cn + 3.0 * c.ct - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn coefficients_are_stable_weights() {
+        // For the paper's tiles the update must be a convex-ish combination
+        // (all neighbour weights positive, |cc| < 1) or the scheme diverges.
+        for (nx, ny, nz) in [(64, 64, 8), (512, 512, 8)] {
+            let c = HotspotParams::new(nx, ny, nz).coefficients();
+            assert!(c.ce > 0.0 && c.cn > 0.0 && c.ct > 0.0);
+            assert!(c.cc.abs() < 1.0, "cc = {} for {nx}x{ny}x{nz}", c.cc);
+        }
+    }
+
+    #[test]
+    fn stencil_is_fast_path_compatible() {
+        let p = HotspotParams::new(64, 64, 8);
+        let s = p.stencil::<f32>();
+        assert_eq!(s.len(), 7);
+        assert!(s.symmetric_x() && s.symmetric_y() && s.symmetric_z());
+        assert_eq!(s.extent_x(), 1);
+        assert!(!abft_core::needs_strips_x(&s, &abft_grid::Boundary::Clamp));
+    }
+
+    #[test]
+    fn weight_sum_below_one_models_heat_sink() {
+        // Σw = 1 − ct: the missing ct flows to ambient via the constant
+        // term, so a uniform field at amb stays at amb (see scenario tests).
+        let p = HotspotParams::new(64, 64, 8);
+        let c = p.coefficients();
+        let s = p.stencil::<f64>();
+        assert!((s.weight_sum() - (1.0 - c.ct)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,111 @@
+//! Synthetic power maps and initial temperature fields.
+//!
+//! Substitute for Rodinia's binary `power_512x8` / `temp_512x8` inputs:
+//! seeded, reproducible fields with the same magnitudes (normalised power
+//! in `[0, 1]`, temperatures around the 80-degree ambient).
+
+use crate::HotspotParams;
+use abft_grid::Grid3D;
+use abft_num::Real;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// A normalised power-density map: uniform background plus a few Gaussian
+/// hot spots (functional-unit blobs), clamped to `[0, 1]`.
+///
+/// Deterministic in `(dims, seed)`.
+pub fn synthetic_power<T: Real>(nx: usize, ny: usize, nz: usize, seed: u64) -> Grid3D<T> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let background: f64 = rng.random_range(0.05..0.15);
+    let n_blobs = rng.random_range(3..=6);
+    struct Blob {
+        cx: f64,
+        cy: f64,
+        amp: f64,
+        sigma: f64,
+    }
+    let blobs: Vec<Blob> = (0..n_blobs)
+        .map(|_| Blob {
+            cx: rng.random_range(0.1..0.9) * nx as f64,
+            cy: rng.random_range(0.1..0.9) * ny as f64,
+            amp: rng.random_range(0.3..0.9),
+            sigma: rng.random_range(0.05..0.2) * nx.max(ny) as f64,
+        })
+        .collect();
+    // Power dissipates mostly in the active (bottom) layers; scale down
+    // with height like a die stack would.
+    let layer_scale: Vec<f64> = (0..nz)
+        .map(|z| 1.0 - 0.5 * z as f64 / nz.max(1) as f64)
+        .collect();
+
+    Grid3D::from_fn(nx, ny, nz, |x, y, z| {
+        let mut p = background;
+        for b in &blobs {
+            let dx = x as f64 - b.cx;
+            let dy = y as f64 - b.cy;
+            p += b.amp * (-(dx * dx + dy * dy) / (2.0 * b.sigma * b.sigma)).exp();
+        }
+        T::from_f64((p * layer_scale[z]).clamp(0.0, 1.0))
+    })
+}
+
+/// Initial temperature: ambient plus a mild power-correlated elevation
+/// (chips are never run from a cold start in the Rodinia traces either).
+/// The bump is kept well below the steady-state temperature rise so that
+/// a powered die always heats up from this state.
+pub fn initial_temperature<T: Real>(params: &HotspotParams, power: &Grid3D<T>) -> Grid3D<T> {
+    assert_eq!(power.dims(), params.dims(), "power-map dimension mismatch");
+    let amb = params.amb_temp;
+    let (nx, ny, nz) = params.dims();
+    Grid3D::from_fn(nx, ny, nz, |x, y, z| {
+        let p = power.at(x, y, z).to_f64();
+        T::from_f64(amb + 0.5 * p)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn power_is_deterministic_per_seed() {
+        let a = synthetic_power::<f32>(32, 32, 4, 7);
+        let b = synthetic_power::<f32>(32, 32, 4, 7);
+        assert_eq!(a, b);
+        let c = synthetic_power::<f32>(32, 32, 4, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn power_in_normalised_range() {
+        let p = synthetic_power::<f64>(48, 40, 4, 3);
+        for &v in p.as_slice() {
+            assert!((0.0..=1.0).contains(&v), "power {v} out of range");
+        }
+    }
+
+    #[test]
+    fn power_has_hot_spots_above_background() {
+        let p = synthetic_power::<f64>(64, 64, 2, 5);
+        let max = p.as_slice().iter().cloned().fold(0.0f64, f64::max);
+        let min = p.as_slice().iter().cloned().fold(1.0f64, f64::min);
+        assert!(max > min + 0.2, "field too flat: {min}..{max}");
+    }
+
+    #[test]
+    fn deeper_layers_dissipate_less() {
+        let p = synthetic_power::<f64>(32, 32, 8, 11);
+        let sum = |z: usize| -> f64 { p.layer(z).as_slice().iter().sum() };
+        assert!(sum(0) > sum(7));
+    }
+
+    #[test]
+    fn initial_temperature_near_ambient() {
+        let params = HotspotParams::new(16, 16, 2);
+        let power = synthetic_power::<f64>(16, 16, 2, 1);
+        let t = initial_temperature(&params, &power);
+        for &v in t.as_slice() {
+            assert!(v >= 80.0 && v <= 90.0, "temperature {v} implausible");
+        }
+    }
+}

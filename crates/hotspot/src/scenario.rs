@@ -1,0 +1,166 @@
+//! Ready-made experiment scenarios (the paper's Table 1) and the sim
+//! builder wiring power map → constant term → [`StencilSim`].
+
+use crate::{initial_temperature, synthetic_power, HotspotParams};
+use abft_grid::{BoundarySpec, Grid3D};
+use abft_num::Real;
+use abft_stencil::{Exec, StencilSim};
+
+/// One experimental configuration, mirroring a column of the paper's
+/// Table 1.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Scenario {
+    pub name: &'static str,
+    pub dims: (usize, usize, usize),
+    /// Stencil iterations per run.
+    pub iters: usize,
+    /// Experiment repetitions the paper used at this size.
+    pub paper_reps: usize,
+    /// Detection threshold ε.
+    pub epsilon: f64,
+    /// Offline detection period Δ.
+    pub period: usize,
+}
+
+impl Scenario {
+    /// Table 1, first column: 64×64×8 tiles, 128 iterations,
+    /// 1 000 repetitions, ε = 1e-5, Δ = 16.
+    pub fn tile_small() -> Self {
+        Self {
+            name: "64x64x8",
+            dims: (64, 64, 8),
+            iters: 128,
+            paper_reps: 1000,
+            epsilon: 1e-5,
+            period: 16,
+        }
+    }
+
+    /// Table 1, second column: 512×512×8 tiles, 256 iterations,
+    /// 100 repetitions, ε = 1e-5, Δ = 16.
+    pub fn tile_large() -> Self {
+        Self {
+            name: "512x512x8",
+            dims: (512, 512, 8),
+            iters: 256,
+            paper_reps: 100,
+            epsilon: 1e-5,
+            period: 16,
+        }
+    }
+
+    /// A reduced tile for fast tests and smoke runs (not in the paper).
+    pub fn tile_tiny() -> Self {
+        Self {
+            name: "16x16x4",
+            dims: (16, 16, 4),
+            iters: 32,
+            paper_reps: 10,
+            epsilon: 1e-5,
+            period: 8,
+        }
+    }
+
+    /// HotSpot parameters for this tile.
+    pub fn params(&self) -> HotspotParams {
+        let (nx, ny, nz) = self.dims;
+        HotspotParams::new(nx, ny, nz)
+    }
+}
+
+/// Build a ready-to-run HotSpot3D simulation: synthetic power map,
+/// ambient-based initial temperatures, the 7-point Rodinia kernel with
+/// clamped boundaries, and the constant term
+/// `dt/Cap · power + ct · T_amb` (the Rodinia source+sink term).
+pub fn build_sim<T: Real>(params: &HotspotParams, seed: u64, exec: Exec) -> StencilSim<T> {
+    let (nx, ny, nz) = params.dims();
+    let power = synthetic_power::<T>(nx, ny, nz, seed);
+    let temp0 = initial_temperature(params, &power);
+    let c = params.coefficients();
+    let constant = Grid3D::from_fn(nx, ny, nz, |x, y, z| {
+        T::from_f64(c.step_div_cap * power.at(x, y, z).to_f64() + c.ct * params.amb_temp)
+    });
+    StencilSim::new(temp0, params.stencil::<T>(), BoundarySpec::clamp())
+        .with_constant(constant)
+        .with_exec(exec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_scenarios() {
+        let s = Scenario::tile_small();
+        assert_eq!(s.dims, (64, 64, 8));
+        assert_eq!(s.iters, 128);
+        assert_eq!(s.paper_reps, 1000);
+        let l = Scenario::tile_large();
+        assert_eq!(l.dims, (512, 512, 8));
+        assert_eq!(l.iters, 256);
+        assert_eq!(l.paper_reps, 100);
+        assert_eq!(s.epsilon, 1e-5);
+        assert_eq!(s.period, 16);
+    }
+
+    #[test]
+    fn simulation_heats_up_and_stays_bounded() {
+        let params = HotspotParams::new(24, 24, 4);
+        let mut sim = build_sim::<f64>(&params, 42, Exec::Serial);
+        let t0: f64 = sim.current().as_slice().iter().sum::<f64>() / sim.current().len() as f64;
+        for _ in 0..200 {
+            sim.step();
+        }
+        let t1: f64 = sim.current().as_slice().iter().sum::<f64>() / sim.current().len() as f64;
+        assert!(t1 > t0, "powered die must heat up: {t0} -> {t1}");
+        // Physically plausible operating range (no numerical blow-up).
+        for &v in sim.current().as_slice() {
+            assert!(v > 79.0 && v < 400.0, "temperature {v} out of range");
+        }
+    }
+
+    #[test]
+    fn ambient_die_without_power_stays_ambient() {
+        // With zero power the constant term is ct·amb and Σw = 1−ct: a
+        // uniform field at amb is a fixed point of the update.
+        let params = HotspotParams::new(12, 12, 3);
+        let c = params.coefficients();
+        let temp0 = Grid3D::filled(12, 12, 3, params.amb_temp);
+        let constant = Grid3D::filled(12, 12, 3, c.ct * params.amb_temp);
+        let mut sim = StencilSim::new(temp0, params.stencil::<f64>(), BoundarySpec::clamp())
+            .with_constant(constant)
+            .with_exec(Exec::Serial);
+        for _ in 0..50 {
+            sim.step();
+        }
+        for &v in sim.current().as_slice() {
+            assert!((v - 80.0).abs() < 1e-9, "drifted to {v}");
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let params = HotspotParams::new(16, 16, 2);
+        let mut a = build_sim::<f32>(&params, 9, Exec::Serial);
+        let mut b = build_sim::<f32>(&params, 9, Exec::Serial);
+        for _ in 0..10 {
+            a.step();
+            b.step();
+        }
+        assert_eq!(a.current(), b.current());
+    }
+
+    #[test]
+    fn f32_runs_match_f64_closely() {
+        let params = HotspotParams::new(16, 16, 2);
+        let mut a = build_sim::<f32>(&params, 3, Exec::Serial);
+        let mut b = build_sim::<f64>(&params, 3, Exec::Serial);
+        for _ in 0..20 {
+            a.step();
+            b.step();
+        }
+        for (x, y) in a.current().as_slice().iter().zip(b.current().as_slice()) {
+            assert!((x.to_f64() - y).abs() < 1e-3);
+        }
+    }
+}

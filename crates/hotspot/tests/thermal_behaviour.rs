@@ -1,0 +1,125 @@
+//! Physical-behaviour integration tests of the HotSpot3D port: the
+//! thermal model must behave like a chip, not just like a stencil.
+
+use abft_grid::Grid3D;
+use abft_hotspot::{build_sim, synthetic_power, HotspotParams, Scenario};
+use abft_stencil::Exec;
+
+#[test]
+fn temperatures_approach_a_steady_state() {
+    let params = HotspotParams::new(32, 32, 4);
+    let mut sim = build_sim::<f64>(&params, 5, Exec::Serial);
+    let mean = |g: &Grid3D<f64>| g.as_slice().iter().sum::<f64>() / g.len() as f64;
+    let mut prev = mean(sim.current());
+    let mut deltas = Vec::new();
+    for _ in 0..6 {
+        for _ in 0..100 {
+            sim.step();
+        }
+        let cur = mean(sim.current());
+        deltas.push((cur - prev).abs());
+        prev = cur;
+    }
+    // Convergence: the per-block mean movement must shrink monotonically
+    // (the thermal time constant of this die is long, so we assert the
+    // direction of travel rather than an arbitrary decay factor).
+    for w in deltas.windows(2) {
+        assert!(w[1] < w[0], "no approach to steady state: {deltas:?}");
+    }
+}
+
+#[test]
+fn hottest_region_sits_on_the_power_blobs() {
+    let params = HotspotParams::new(48, 48, 4);
+    let power = synthetic_power::<f64>(48, 48, 4, 21);
+    let mut sim = build_sim::<f64>(&params, 21, Exec::Serial);
+    for _ in 0..400 {
+        sim.step();
+    }
+    // Find the hottest and the most powered cell of the bottom layer.
+    let (mut hot_xy, mut hot_v) = ((0usize, 0usize), f64::MIN);
+    let (mut pow_xy, mut pow_v) = ((0usize, 0usize), f64::MIN);
+    for y in 0..48 {
+        for x in 0..48 {
+            let t = sim.current().at(x, y, 0);
+            if t > hot_v {
+                hot_v = t;
+                hot_xy = (x, y);
+            }
+            let p = power.at(x, y, 0);
+            if p > pow_v {
+                pow_v = p;
+                pow_xy = (x, y);
+            }
+        }
+    }
+    let dist = ((hot_xy.0 as f64 - pow_xy.0 as f64).powi(2)
+        + (hot_xy.1 as f64 - pow_xy.1 as f64).powi(2))
+    .sqrt();
+    assert!(
+        dist < 12.0,
+        "hottest point {hot_xy:?} far from power peak {pow_xy:?}"
+    );
+}
+
+#[test]
+fn vertical_gradient_points_to_the_heat_source() {
+    // Power concentrates in the low layers; after a while the bottom of
+    // the die must be warmer than the top (which also sinks to ambient).
+    let params = HotspotParams::new(32, 32, 8);
+    let mut sim = build_sim::<f64>(&params, 9, Exec::Serial);
+    for _ in 0..300 {
+        sim.step();
+    }
+    let layer_mean =
+        |z: usize| sim.current().layer(z).as_slice().iter().sum::<f64>() / (32.0 * 32.0);
+    assert!(
+        layer_mean(0) > layer_mean(7),
+        "bottom {} not warmer than top {}",
+        layer_mean(0),
+        layer_mean(7)
+    );
+}
+
+#[test]
+fn doubling_power_raises_the_temperature_rise_proportionally() {
+    // The update is linear in the power term: ΔT(2P) ≈ 2·ΔT(P).
+    let params = HotspotParams::new(24, 24, 2);
+    let power = synthetic_power::<f64>(24, 24, 2, 3);
+    let c = params.coefficients();
+    let run = |scale: f64| {
+        let temp0 = Grid3D::filled(24, 24, 2, params.amb_temp);
+        let constant = Grid3D::from_fn(24, 24, 2, |x, y, z| {
+            c.step_div_cap * scale * power.at(x, y, z) + c.ct * params.amb_temp
+        });
+        let mut sim = abft_stencil::StencilSim::new(
+            temp0,
+            params.stencil::<f64>(),
+            abft_grid::BoundarySpec::clamp(),
+        )
+        .with_constant(constant)
+        .with_exec(Exec::Serial);
+        for _ in 0..150 {
+            sim.step();
+        }
+        sim.current().as_slice().iter().sum::<f64>() / (24.0 * 24.0 * 2.0) - params.amb_temp
+    };
+    let rise1 = run(1.0);
+    let rise2 = run(2.0);
+    assert!(rise1 > 0.0);
+    assert!(
+        (rise2 / rise1 - 2.0).abs() < 1e-6,
+        "nonlinear power response: {rise1} vs {rise2}"
+    );
+}
+
+#[test]
+fn scenario_presets_build_and_step() {
+    for sc in [Scenario::tile_tiny(), Scenario::tile_small()] {
+        let params = sc.params();
+        let mut sim = build_sim::<f32>(&params, 1, Exec::Serial);
+        sim.step();
+        assert_eq!(sim.iteration(), 1);
+        assert_eq!(sim.dims(), sc.dims);
+    }
+}

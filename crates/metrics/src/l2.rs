@@ -1,0 +1,71 @@
+//! The paper's accuracy metric (Eq. 11): the l2 norm of the difference
+//! between computed results and an error-free reference run.
+
+use abft_grid::Grid3D;
+use abft_num::Real;
+
+/// `sqrt( Σ_i (ref_i − comp_i)² )` over two slices of equal length.
+///
+/// Accumulates in `f64` regardless of the storage type, as any careful C
+/// implementation would (the paper's HotSpot3D accuracy check does the
+/// same), so that the metric itself does not drown in rounding error.
+pub fn l2_error_slices<T: Real>(reference: &[T], computed: &[T]) -> f64 {
+    assert_eq!(reference.len(), computed.len(), "l2: slice length mismatch");
+    reference
+        .iter()
+        .zip(computed)
+        .map(|(&r, &c)| {
+            let d = r.to_f64() - c.to_f64();
+            d * d
+        })
+        .sum::<f64>()
+        .sqrt()
+}
+
+/// Eq. 11 over two grids of identical dimensions.
+pub fn l2_error<T: Real>(reference: &Grid3D<T>, computed: &Grid3D<T>) -> f64 {
+    assert_eq!(reference.dims(), computed.dims(), "l2: dimension mismatch");
+    l2_error_slices(reference.as_slice(), computed.as_slice())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_for_identical() {
+        let g = Grid3D::from_fn(4, 4, 2, |x, y, z| (x + y + z) as f64);
+        assert_eq!(l2_error(&g, &g), 0.0);
+    }
+
+    #[test]
+    fn single_point_difference() {
+        let a = Grid3D::filled(3, 3, 1, 1.0f64);
+        let mut b = a.clone();
+        b.set(1, 1, 0, 4.0);
+        assert_eq!(l2_error(&a, &b), 3.0);
+    }
+
+    #[test]
+    fn pythagorean_accumulation() {
+        let a = [0.0f64, 0.0];
+        let b = [3.0f64, 4.0];
+        assert_eq!(l2_error_slices(&a, &b), 5.0);
+    }
+
+    #[test]
+    fn f32_inputs_accumulate_in_f64() {
+        let a = vec![1.0f32; 1_000_000];
+        let mut b = a.clone();
+        b[0] = 2.0;
+        let e = l2_error_slices(&a, &b);
+        assert!((e - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn infinite_corruption_reported() {
+        let a = [1.0f32];
+        let b = [f32::INFINITY];
+        assert!(l2_error_slices(&a, &b).is_infinite());
+    }
+}

@@ -1,0 +1,55 @@
+//! Wall-clock timing.
+
+use std::time::{Duration, Instant};
+
+/// A simple wall-clock timer for experiment phases.
+#[derive(Debug, Clone, Copy)]
+pub struct Timer {
+    start: Instant,
+}
+
+impl Timer {
+    /// Start timing now.
+    pub fn start() -> Self {
+        Self {
+            start: Instant::now(),
+        }
+    }
+
+    /// Elapsed time since start.
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// Elapsed seconds as `f64` (the unit of the paper's Figs. 8 and 11).
+    pub fn seconds(&self) -> f64 {
+        self.elapsed().as_secs_f64()
+    }
+
+    /// Time a closure, returning its result and the elapsed seconds.
+    pub fn time<R>(f: impl FnOnce() -> R) -> (R, f64) {
+        let t = Timer::start();
+        let r = f();
+        (r, t.seconds())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_nonnegative_time() {
+        let t = Timer::start();
+        let s = t.seconds();
+        assert!(s >= 0.0);
+        assert!(t.seconds() >= s);
+    }
+
+    #[test]
+    fn time_closure_returns_result() {
+        let (v, s) = Timer::time(|| 40 + 2);
+        assert_eq!(v, 42);
+        assert!(s >= 0.0);
+    }
+}

@@ -1,0 +1,84 @@
+//! Property-based tests of the statistics substrate.
+
+use abft_metrics::{l2_error_slices, BoxStats, Quantiles, Summary, Welford};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn welford_matches_naive_two_pass(xs in proptest::collection::vec(-1e3f64..1e3, 1..200)) {
+        let mut w = Welford::new();
+        for &x in &xs {
+            w.push(x);
+        }
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        prop_assert!((w.mean() - mean).abs() < 1e-6 * (1.0 + mean.abs()));
+        if xs.len() > 1 {
+            let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0);
+            prop_assert!((w.variance() - var).abs() < 1e-5 * (1.0 + var.abs()));
+        }
+    }
+
+    #[test]
+    fn quantiles_are_monotone(
+        xs in proptest::collection::vec(-1e3f64..1e3, 1..100),
+        q1 in 0.0f64..1.0,
+        q2 in 0.0f64..1.0,
+    ) {
+        let (qa, qb) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        let q = Quantiles::new(xs);
+        prop_assert!(q.quantile(qa) <= q.quantile(qb));
+        prop_assert!(q.min() <= q.median() && q.median() <= q.max());
+    }
+
+    #[test]
+    fn quantiles_bounded_by_sample(xs in proptest::collection::vec(-50f64..50.0, 1..100), p in 0.0f64..1.0) {
+        let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let q = Quantiles::new(xs);
+        let v = q.quantile(p);
+        prop_assert!(v >= lo - 1e-12 && v <= hi + 1e-12);
+    }
+
+    #[test]
+    fn box_stats_are_ordered(xs in proptest::collection::vec(-1e2f64..1e2, 2..200)) {
+        let b = BoxStats::from_sample(xs);
+        prop_assert!(b.min <= b.whisker_lo);
+        prop_assert!(b.whisker_lo <= b.q1);
+        prop_assert!(b.q1 <= b.median);
+        prop_assert!(b.median <= b.q3);
+        prop_assert!(b.q3 <= b.whisker_hi);
+        prop_assert!(b.whisker_hi <= b.max);
+    }
+
+    #[test]
+    fn summary_consistent_with_parts(xs in proptest::collection::vec(-1e2f64..1e2, 1..100)) {
+        let s = Summary::from_sample(&xs);
+        prop_assert_eq!(s.count as usize, xs.len());
+        prop_assert!(s.min <= s.median && s.median <= s.max);
+        prop_assert!(s.mean >= s.min - 1e-12 && s.mean <= s.max + 1e-12);
+    }
+
+    #[test]
+    fn l2_is_a_metric_ish(
+        pairs in proptest::collection::vec((-10f64..10.0, -10f64..10.0), 1..50),
+    ) {
+        let xs: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+        let ys: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+        // symmetry
+        prop_assert_eq!(l2_error_slices(&xs, &ys), l2_error_slices(&ys, &xs));
+        // identity
+        prop_assert_eq!(l2_error_slices(&xs, &xs), 0.0);
+        // non-negativity
+        prop_assert!(l2_error_slices(&xs, &ys) >= 0.0);
+    }
+
+    #[test]
+    fn l2_scales_linearly(xs in proptest::collection::vec(-10f64..10.0, 1..50), a in 0.0f64..5.0) {
+        let zeros = vec![0.0; xs.len()];
+        let scaled: Vec<f64> = xs.iter().map(|x| a * x).collect();
+        let l = l2_error_slices(&zeros, &xs);
+        let ls = l2_error_slices(&zeros, &scaled);
+        prop_assert!((ls - a * l).abs() < 1e-9 * (1.0 + ls.abs()));
+    }
+}

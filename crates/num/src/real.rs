@@ -1,0 +1,162 @@
+//! The [`Real`] trait: the minimal floating-point interface used by the
+//! ABFT stack.
+
+use std::fmt::{Debug, Display, LowerExp};
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// An IEEE-754 binary floating-point scalar (`f32` or `f64`).
+///
+/// All grid values, stencil weights and checksums in the workspace are
+/// generic over this trait. Besides ordinary arithmetic it exposes the bit
+/// layout of the type, which the fault-injection substrate uses to flip
+/// individual bits exactly like the paper's campaign (§5.1: a random bit
+/// position in the 32-bit float).
+pub trait Real:
+    Copy
+    + Debug
+    + Display
+    + LowerExp
+    + PartialOrd
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+    + AddAssign
+    + SubAssign
+    + MulAssign
+    + DivAssign
+    + Sum
+    + Send
+    + Sync
+    + 'static
+{
+    /// Additive identity.
+    const ZERO: Self;
+    /// Multiplicative identity.
+    const ONE: Self;
+    /// Total number of bits in the representation (32 or 64).
+    const BITS: u32;
+    /// Number of explicit mantissa (fraction) bits (23 or 52).
+    const MANTISSA_BITS: u32;
+    /// Machine epsilon of the type.
+    const EPS: Self;
+    /// Smallest positive normal value.
+    const MIN_POSITIVE: Self;
+
+    /// Lossy conversion from `f64` (rounds for `f32`).
+    fn from_f64(v: f64) -> Self;
+    /// Widening conversion to `f64` (exact for both types).
+    fn to_f64(self) -> f64;
+    /// Conversion from a small non-negative integer (exact while the value
+    /// fits in the mantissa).
+    fn from_usize(v: usize) -> Self {
+        Self::from_f64(v as f64)
+    }
+
+    /// Raw bits, zero-extended to 64 for a uniform interface.
+    fn to_bits_u64(self) -> u64;
+    /// Reconstruct from raw bits (only the low [`Real::BITS`] bits are used).
+    fn from_bits_u64(bits: u64) -> Self;
+
+    /// Flip bit `pos` (0 = least-significant mantissa bit, `BITS-1` = sign).
+    ///
+    /// # Panics
+    /// Panics if `pos >= Self::BITS`.
+    fn flip_bit(self, pos: u32) -> Self {
+        assert!(
+            pos < Self::BITS,
+            "bit position {pos} out of range for a {}-bit float",
+            Self::BITS
+        );
+        Self::from_bits_u64(self.to_bits_u64() ^ (1u64 << pos))
+    }
+
+    /// `|self|`. Named with an `_r` suffix to avoid colliding with the
+    /// inherent method on `f32`/`f64`.
+    fn abs_r(self) -> Self;
+    /// `sqrt(self)`.
+    fn sqrt_r(self) -> Self;
+    /// Fused multiply-add `self * a + b`.
+    fn mul_add_r(self, a: Self, b: Self) -> Self;
+    /// Larger of the two values (NaN-propagating behaviour unspecified).
+    fn max_r(self, other: Self) -> Self;
+    /// Smaller of the two values.
+    fn min_r(self, other: Self) -> Self;
+    /// True when the value is neither NaN nor infinite.
+    fn is_finite_r(self) -> bool;
+    /// True when the value is NaN.
+    fn is_nan_r(self) -> bool;
+}
+
+macro_rules! impl_real {
+    ($t:ty, $bits:expr, $mant:expr) => {
+        impl Real for $t {
+            const ZERO: Self = 0.0;
+            const ONE: Self = 1.0;
+            const BITS: u32 = $bits;
+            const MANTISSA_BITS: u32 = $mant;
+            const EPS: Self = <$t>::EPSILON;
+            const MIN_POSITIVE: Self = <$t>::MIN_POSITIVE;
+
+            #[inline(always)]
+            fn from_f64(v: f64) -> Self {
+                v as $t
+            }
+
+            #[inline(always)]
+            fn to_f64(self) -> f64 {
+                self as f64
+            }
+
+            #[inline(always)]
+            fn to_bits_u64(self) -> u64 {
+                self.to_bits() as u64
+            }
+
+            #[inline(always)]
+            fn from_bits_u64(bits: u64) -> Self {
+                <$t>::from_bits(bits as _)
+            }
+
+            #[inline(always)]
+            fn abs_r(self) -> Self {
+                self.abs()
+            }
+
+            #[inline(always)]
+            fn sqrt_r(self) -> Self {
+                self.sqrt()
+            }
+
+            #[inline(always)]
+            fn mul_add_r(self, a: Self, b: Self) -> Self {
+                self.mul_add(a, b)
+            }
+
+            #[inline(always)]
+            fn max_r(self, other: Self) -> Self {
+                self.max(other)
+            }
+
+            #[inline(always)]
+            fn min_r(self, other: Self) -> Self {
+                self.min(other)
+            }
+
+            #[inline(always)]
+            fn is_finite_r(self) -> bool {
+                self.is_finite()
+            }
+
+            #[inline(always)]
+            fn is_nan_r(self) -> bool {
+                self.is_nan()
+            }
+        }
+    };
+}
+
+impl_real!(f32, 32, 23);
+impl_real!(f64, 64, 52);

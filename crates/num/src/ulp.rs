@@ -1,0 +1,86 @@
+//! Floating-point comparison helpers.
+
+use crate::Real;
+
+/// Relative error `|value / reference - 1|`, the detection metric of the
+/// paper (§3.4, Fig. 4).
+///
+/// The division form is exactly what the paper's listing computes. When the
+/// reference is (near) zero the division is meaningless, so we fall back to
+/// the absolute difference scaled by the smallest normal value, which yields
+/// a huge number for any non-trivial deviation (an error is flagged) and 0
+/// when both values are zero.
+#[inline]
+pub fn relative_error<T: Real>(value: T, reference: T) -> T {
+    if reference.abs_r() <= T::MIN_POSITIVE {
+        if (value - reference).abs_r() <= T::MIN_POSITIVE {
+            T::ZERO
+        } else {
+            (value - reference).abs_r() / T::MIN_POSITIVE
+        }
+    } else {
+        (value / reference - T::ONE).abs_r()
+    }
+}
+
+/// Number of representable values strictly between `a` and `b` plus one;
+/// 0 when bitwise equal. Useful in tests asserting "off by at most n ulps".
+pub fn ulp_distance<T: Real>(a: T, b: T) -> u64 {
+    // Map the float ordering onto the integer line (sign-magnitude to
+    // two's-complement trick), then take the absolute difference.
+    fn key<T: Real>(x: T) -> i64 {
+        let bits = x.to_bits_u64();
+        let sign_bit = 1u64 << (T::BITS - 1);
+        let v = if bits & sign_bit != 0 {
+            // negative: flip all bits (of the active width)
+            let mask = if T::BITS == 64 {
+                u64::MAX
+            } else {
+                (1u64 << T::BITS) - 1
+            };
+            !bits & mask
+        } else {
+            bits | sign_bit
+        };
+        v as i64
+    }
+    let (ka, kb) = (key(a), key(b));
+    ka.abs_diff(kb)
+}
+
+/// Maximum absolute value of a slice; 0 for an empty slice.
+pub fn max_abs<T: Real>(xs: &[T]) -> T {
+    xs.iter().fold(T::ZERO, |m, &x| m.max_r(x.abs_r()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ulp_distance_zero_for_equal() {
+        assert_eq!(ulp_distance(1.0f64, 1.0f64), 0);
+    }
+
+    #[test]
+    fn ulp_distance_adjacent() {
+        let a = 1.0f64;
+        let b = f64::from_bits(a.to_bits() + 1);
+        assert_eq!(ulp_distance(a, b), 1);
+    }
+
+    #[test]
+    fn ulp_distance_across_zero() {
+        let a = 0.0f32;
+        let b = -0.0f32;
+        // +0.0 and -0.0 are one apart in this ordering.
+        assert!(ulp_distance(a, b) <= 1);
+    }
+
+    #[test]
+    fn ulp_distance_symmetric() {
+        let a = 3.5f32;
+        let b = 3.6f32;
+        assert_eq!(ulp_distance(a, b), ulp_distance(b, a));
+    }
+}

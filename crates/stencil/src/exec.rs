@@ -1,0 +1,23 @@
+//! Execution strategy selection.
+
+/// How a sweep is executed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Exec {
+    /// Single thread, layer by layer. Used for reference runs (the paper's
+    /// accuracy baseline is a single-threaded execution, §5.1).
+    Serial,
+    /// One rayon task per `z`-layer — the analogue of the paper's
+    /// "each thread handles one of the 2-D layers of the 3-D domain".
+    #[default]
+    Parallel,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_parallel() {
+        assert_eq!(Exec::default(), Exec::Parallel);
+    }
+}

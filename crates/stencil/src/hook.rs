@@ -1,0 +1,64 @@
+//! Per-point sweep hooks.
+
+use abft_num::Real;
+
+/// Observes/transforms every freshly computed point value before it is
+/// stored — the paper's fault-injection site (§5.1: "the injection is
+/// performed during the stencil sweep operation, after the stencil point
+/// targeted for data corruption has been updated and before it is stored
+/// into the domain").
+///
+/// The unprotected fast path uses [`NoHook`], whose `transform` is the
+/// identity and vanishes after monomorphisation, so hook support costs
+/// nothing unless a real hook is installed.
+pub trait SweepHook<T: Real>: Sync {
+    /// Whether the hook can ever change a value. [`NoHook`] sets this to
+    /// `false`, letting the sweep skip the hook pass entirely when no
+    /// checksums are requested either.
+    const ACTIVE: bool = true;
+
+    /// Transform the value computed for point `(x, y, z)`.
+    fn transform(&self, x: usize, y: usize, z: usize, value: T) -> T;
+}
+
+/// The identity hook.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoHook;
+
+impl<T: Real> SweepHook<T> for NoHook {
+    const ACTIVE: bool = false;
+
+    #[inline(always)]
+    fn transform(&self, _x: usize, _y: usize, _z: usize, value: T) -> T {
+        value
+    }
+}
+
+/// Closures over `(x, y, z, value)` can serve as hooks in tests.
+impl<T: Real, F> SweepHook<T> for F
+where
+    F: Fn(usize, usize, usize, T) -> T + Sync,
+{
+    #[inline(always)]
+    fn transform(&self, x: usize, y: usize, z: usize, value: T) -> T {
+        self(x, y, z, value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_hook_is_identity() {
+        let h = NoHook;
+        assert_eq!(SweepHook::<f64>::transform(&h, 1, 2, 3, 4.5), 4.5);
+    }
+
+    #[test]
+    fn closure_hook() {
+        let h = |x: usize, _y: usize, _z: usize, v: f64| if x == 1 { -v } else { v };
+        assert_eq!(h.transform(1, 0, 0, 2.0), -2.0);
+        assert_eq!(h.transform(0, 0, 0, 2.0), 2.0);
+    }
+}

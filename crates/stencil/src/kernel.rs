@@ -1,0 +1,321 @@
+//! Stencil kernel descriptions (the set `S` of the paper, §3.1).
+
+use abft_num::Real;
+
+/// One 2-D stencil tap: relative offset `(di, dj)` with weight `w`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Tap2<T> {
+    pub di: isize,
+    pub dj: isize,
+    pub w: T,
+}
+
+/// One 3-D stencil tap: relative offset `(di, dj, dk)` with weight `w`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Tap3<T> {
+    pub di: isize,
+    pub dj: isize,
+    pub dk: isize,
+    pub w: T,
+}
+
+/// A 2-D stencil: an arbitrary set of weighted taps.
+///
+/// The paper's example (§3.1): the 4-point average
+/// `S = {(0,-1,.25), (-1,0,.25), (1,0,.25), (0,1,.25)}`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Stencil2D<T> {
+    taps: Vec<Tap2<T>>,
+}
+
+impl<T: Real> Stencil2D<T> {
+    /// Build from explicit taps. Duplicate offsets are allowed (their
+    /// weights simply both apply), empty tap sets are not.
+    pub fn new(taps: Vec<Tap2<T>>) -> Self {
+        assert!(!taps.is_empty(), "a stencil needs at least one tap");
+        Self { taps }
+    }
+
+    /// `(offset, offset, weight)` convenience constructor.
+    pub fn from_tuples(taps: &[(isize, isize, T)]) -> Self {
+        Self::new(taps.iter().map(|&(di, dj, w)| Tap2 { di, dj, w }).collect())
+    }
+
+    /// The 4-point neighbour average from the paper's §3.1.
+    pub fn four_point_average() -> Self {
+        let q = T::from_f64(0.25);
+        Self::from_tuples(&[(0, -1, q), (-1, 0, q), (1, 0, q), (0, 1, q)])
+    }
+
+    /// Classic 5-point kernel: `wc·center + we·(E+W) + wn·(N+S)`.
+    pub fn five_point(wc: T, we: T, wn: T) -> Self {
+        Self::from_tuples(&[(0, 0, wc), (-1, 0, we), (1, 0, we), (0, -1, wn), (0, 1, wn)])
+    }
+
+    /// 2-D Jacobi heat kernel with diffusion number `alpha`
+    /// (`u + alpha·(E+W+N+S-4u)`).
+    pub fn jacobi_heat(alpha: T) -> Self {
+        let four = T::from_f64(4.0);
+        Self::from_tuples(&[
+            (0, 0, T::ONE - four * alpha),
+            (-1, 0, alpha),
+            (1, 0, alpha),
+            (0, -1, alpha),
+            (0, 1, alpha),
+        ])
+    }
+
+    /// 9-point box kernel with the given center and neighbour weights.
+    pub fn nine_point(wc: T, wn: T) -> Self {
+        let mut taps = Vec::with_capacity(9);
+        for dj in -1..=1isize {
+            for di in -1..=1isize {
+                let w = if di == 0 && dj == 0 { wc } else { wn };
+                taps.push(Tap2 { di, dj, w });
+            }
+        }
+        Self::new(taps)
+    }
+
+    pub fn taps(&self) -> &[Tap2<T>] {
+        &self.taps
+    }
+
+    /// Number of taps (`k = |S|`).
+    pub fn len(&self) -> usize {
+        self.taps.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Promote to a 3-D stencil with `dk = 0` on every tap.
+    pub fn into_3d(self) -> Stencil3D<T> {
+        Stencil3D::new(
+            self.taps
+                .into_iter()
+                .map(|t| Tap3 {
+                    di: t.di,
+                    dj: t.dj,
+                    dk: 0,
+                    w: t.w,
+                })
+                .collect(),
+        )
+    }
+}
+
+/// A 3-D stencil: an arbitrary set of weighted taps.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Stencil3D<T> {
+    taps: Vec<Tap3<T>>,
+    ext_x: usize,
+    ext_y: usize,
+    ext_z: usize,
+}
+
+impl<T: Real> Stencil3D<T> {
+    /// Build from explicit taps.
+    pub fn new(taps: Vec<Tap3<T>>) -> Self {
+        assert!(!taps.is_empty(), "a stencil needs at least one tap");
+        let ext =
+            |f: fn(&Tap3<T>) -> isize| taps.iter().map(|t| f(t).unsigned_abs()).max().unwrap_or(0);
+        let (ext_x, ext_y, ext_z) = (ext(|t| t.di), ext(|t| t.dj), ext(|t| t.dk));
+        Self {
+            taps,
+            ext_x,
+            ext_y,
+            ext_z,
+        }
+    }
+
+    /// `(offset, offset, offset, weight)` convenience constructor.
+    pub fn from_tuples(taps: &[(isize, isize, isize, T)]) -> Self {
+        Self::new(
+            taps.iter()
+                .map(|&(di, dj, dk, w)| Tap3 { di, dj, dk, w })
+                .collect(),
+        )
+    }
+
+    /// Classic 7-point kernel:
+    /// `wc·center + wx·(E+W) + wy·(N+S) + wz·(T+B)`.
+    pub fn seven_point(wc: T, wx: T, wy: T, wz: T) -> Self {
+        Self::from_tuples(&[
+            (0, 0, 0, wc),
+            (-1, 0, 0, wx),
+            (1, 0, 0, wx),
+            (0, -1, 0, wy),
+            (0, 1, 0, wy),
+            (0, 0, -1, wz),
+            (0, 0, 1, wz),
+        ])
+    }
+
+    /// 27-point box kernel with the given center and neighbour weights.
+    pub fn twenty_seven_point(wc: T, wn: T) -> Self {
+        let mut taps = Vec::with_capacity(27);
+        for dk in -1..=1isize {
+            for dj in -1..=1isize {
+                for di in -1..=1isize {
+                    let w = if di == 0 && dj == 0 && dk == 0 {
+                        wc
+                    } else {
+                        wn
+                    };
+                    taps.push(Tap3 { di, dj, dk, w });
+                }
+            }
+        }
+        Self::new(taps)
+    }
+
+    pub fn taps(&self) -> &[Tap3<T>] {
+        &self.taps
+    }
+
+    /// Number of taps (`k = |S|`).
+    pub fn len(&self) -> usize {
+        self.taps.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Maximum `|di|` over the taps.
+    pub fn extent_x(&self) -> usize {
+        self.ext_x
+    }
+
+    /// Maximum `|dj|` over the taps.
+    pub fn extent_y(&self) -> usize {
+        self.ext_y
+    }
+
+    /// Maximum `|dk|` over the taps.
+    pub fn extent_z(&self) -> usize {
+        self.ext_z
+    }
+
+    /// Sum of all tap weights (the amplification factor of a constant
+    /// field; 1 for conservative kernels).
+    pub fn weight_sum(&self) -> T {
+        self.taps.iter().map(|t| t.w).sum()
+    }
+
+    /// True when for every tap `(i,j,k,w)` the mirrored tap `(-i,j,k,w)` is
+    /// present with the same total weight — the condition under which the
+    /// clamped-boundary corrections of width-1 stencils cancel (paper §3.3,
+    /// Eqs. 8–9). Checked by pairing weight sums per mirrored offset class.
+    pub fn symmetric_x(&self) -> bool {
+        self.symmetric_axis(|t| (t.di, t.dj, t.dk))
+    }
+
+    /// As [`Stencil3D::symmetric_x`] for the `y` axis.
+    pub fn symmetric_y(&self) -> bool {
+        self.symmetric_axis(|t| (t.dj, t.di, t.dk))
+    }
+
+    /// As [`Stencil3D::symmetric_x`] for the `z` axis.
+    pub fn symmetric_z(&self) -> bool {
+        self.symmetric_axis(|t| (t.dk, t.di, t.dj))
+    }
+
+    fn symmetric_axis(&self, key: impl Fn(&Tap3<T>) -> (isize, isize, isize)) -> bool {
+        // For every (m, o1, o2) class, weight sum at +m must equal that at -m.
+        let classes: Vec<(isize, isize, isize)> = self.taps.iter().map(&key).collect();
+        for &(m, o1, o2) in &classes {
+            if m == 0 {
+                continue;
+            }
+            let m = m.abs();
+            let sum_at = |mm: isize| -> T {
+                self.taps
+                    .iter()
+                    .filter(|t| key(t) == (mm, o1, o2))
+                    .map(|t| t.w)
+                    .sum()
+            };
+            let (p, n) = (sum_at(m), sum_at(-m));
+            if (p - n).abs_r() > T::EPS * (p.abs_r() + n.abs_r() + T::ONE) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_point_average_matches_paper() {
+        let s = Stencil2D::<f64>::four_point_average();
+        assert_eq!(s.len(), 4);
+        let total: f64 = s.taps().iter().map(|t| t.w).sum();
+        assert_eq!(total, 1.0);
+        assert!(!s.taps().iter().any(|t| t.di == 0 && t.dj == 0));
+    }
+
+    #[test]
+    fn promotion_to_3d() {
+        let s = Stencil2D::<f64>::five_point(0.6, 0.1, 0.1).into_3d();
+        assert_eq!(s.len(), 5);
+        assert!(s.taps().iter().all(|t| t.dk == 0));
+        assert_eq!(s.extent_z(), 0);
+        assert_eq!(s.extent_x(), 1);
+    }
+
+    #[test]
+    fn extents() {
+        let s = Stencil3D::from_tuples(&[(2, 0, 0, 1.0f64), (0, -3, 1, 0.5)]);
+        assert_eq!(s.extent_x(), 2);
+        assert_eq!(s.extent_y(), 3);
+        assert_eq!(s.extent_z(), 1);
+    }
+
+    #[test]
+    fn seven_point_symmetry() {
+        let s = Stencil3D::seven_point(0.4f64, 0.1, 0.1, 0.1);
+        assert!(s.symmetric_x());
+        assert!(s.symmetric_y());
+        assert!(s.symmetric_z());
+    }
+
+    #[test]
+    fn asymmetric_detection() {
+        // upwind kernel: west tap only
+        let s = Stencil3D::from_tuples(&[(0, 0, 0, 0.5f64), (-1, 0, 0, 0.5)]);
+        assert!(!s.symmetric_x());
+        assert!(s.symmetric_y());
+    }
+
+    #[test]
+    fn symmetric_by_weight_sum_not_tap_count() {
+        // two half-weight taps at +1 mirror one full tap at -1
+        let s = Stencil3D::from_tuples(&[(1, 0, 0, 0.25f64), (1, 0, 0, 0.25), (-1, 0, 0, 0.5)]);
+        assert!(s.symmetric_x());
+    }
+
+    #[test]
+    fn jacobi_heat_is_conservative() {
+        let s = Stencil2D::<f64>::jacobi_heat(0.2).into_3d();
+        assert!((s.weight_sum() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn twenty_seven_point_count() {
+        let s = Stencil3D::twenty_seven_point(0.5f32, 0.5 / 26.0);
+        assert_eq!(s.len(), 27);
+        assert!(s.symmetric_x() && s.symmetric_y() && s.symmetric_z());
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_stencil_rejected() {
+        let _ = Stencil3D::<f64>::new(vec![]);
+    }
+}

@@ -1,0 +1,36 @@
+//! Stencil descriptions and sweep executors.
+//!
+//! This crate models the paper's arbitrary stencil sweep (Eq. 1):
+//!
+//! ```text
+//! u(t+1)[x,y,z] = C[x,y,z] + Σ_{(i,j,k,w) ∈ S} w · u(t)[x+i, y+j, z+k]
+//! ```
+//!
+//! with per-tap weights, an optional per-cell constant term and per-axis
+//! boundary conditions. Executors come in serial and rayon-parallel
+//! (one task per `z`-layer, the paper's OpenMP parallelisation) variants,
+//! each optionally fusing the column-checksum accumulation into the sweep —
+//! the "single addition operation added to the kernel" of §3.2 (Fig. 2) —
+//! and optionally threading a [`SweepHook`] through every point update,
+//! which is how the fault-injection campaign corrupts values "after the
+//! stencil point has been updated and before it is stored" (§5.1).
+//!
+//! Out-of-range reads are resolved **per axis with x → y → z precedence**:
+//! the first axis whose boundary yields a concrete value (zero, constant,
+//! ghost) short-circuits the read. Index-mapping boundaries (clamp,
+//! periodic, reflect) fold the coordinate back in range and resolution
+//! continues with the next axis. The checksum-interpolation machinery in
+//! `abft-core` models exactly this ordering.
+
+mod exec;
+mod hook;
+mod kernel;
+mod library;
+mod sim;
+mod sweep;
+
+pub use exec::Exec;
+pub use hook::{NoHook, SweepHook};
+pub use kernel::{Stencil2D, Stencil3D, Tap2, Tap3};
+pub use sim::StencilSim;
+pub use sweep::{read_resolved, sweep, ChecksumMode};

@@ -1,0 +1,205 @@
+//! A library of classic stencil kernels from the domains the paper's
+//! introduction motivates (PDE solvers, image processing, CFD).
+//!
+//! All kernels are Jacobi-style (read iteration `t`, write `t+1`), the
+//! update structure of Eq. 1. Gauss–Seidel-style in-place updates are a
+//! different execution model and out of scope (the paper's Eq. 1 is
+//! explicitly Jacobi-structured).
+
+use crate::{Stencil2D, Stencil3D};
+use abft_num::Real;
+
+impl<T: Real> Stencil2D<T> {
+    /// Discrete 5-point Laplacian `∇²u` (not a time-stepper by itself;
+    /// weights sum to 0).
+    pub fn laplacian_5pt() -> Self {
+        let four = T::from_f64(4.0);
+        Self::from_tuples(&[
+            (0, 0, -four),
+            (-1, 0, T::ONE),
+            (1, 0, T::ONE),
+            (0, -1, T::ONE),
+            (0, 1, T::ONE),
+        ])
+    }
+
+    /// 3×3 Gaussian blur (`1/16 · [1 2 1; 2 4 2; 1 2 1]`), the classic
+    /// image-smoothing kernel.
+    pub fn gaussian_blur_3x3() -> Self {
+        let s = T::from_f64(1.0 / 16.0);
+        let mut taps = Vec::with_capacity(9);
+        for dj in -1..=1isize {
+            for di in -1..=1isize {
+                let w = match (di.abs(), dj.abs()) {
+                    (0, 0) => T::from_f64(4.0),
+                    (1, 1) => T::ONE,
+                    _ => T::from_f64(2.0),
+                };
+                taps.push((di, dj, w * s));
+            }
+        }
+        Self::from_tuples(&taps)
+    }
+
+    /// 3×3 box blur (uniform average).
+    pub fn box_blur_3x3() -> Self {
+        let w = T::from_f64(1.0 / 9.0);
+        let mut taps = Vec::with_capacity(9);
+        for dj in -1..=1isize {
+            for di in -1..=1isize {
+                taps.push((di, dj, w));
+            }
+        }
+        Self::from_tuples(&taps)
+    }
+
+    /// 3×3 sharpening kernel (`5` center, `−1` cross; weights sum to 1).
+    pub fn sharpen_3x3() -> Self {
+        let five = T::from_f64(5.0);
+        let neg = -T::ONE;
+        Self::from_tuples(&[
+            (0, 0, five),
+            (-1, 0, neg),
+            (1, 0, neg),
+            (0, -1, neg),
+            (0, 1, neg),
+        ])
+    }
+
+    /// First-order upwind advection of a field moving with velocity
+    /// `(cx, cy)`, `0 ≤ |c| < 1` (CFL): an intentionally **asymmetric**
+    /// kernel — under clamped boundaries it exercises the general
+    /// correction path of the checksum interpolation.
+    pub fn advection_upwind(cx: T, cy: T) -> Self {
+        let cxa = cx.abs_r();
+        let cya = cy.abs_r();
+        let mut taps = vec![(0isize, 0isize, T::ONE - cxa - cya)];
+        if cx > T::ZERO {
+            taps.push((-1, 0, cxa));
+        } else if cx < T::ZERO {
+            taps.push((1, 0, cxa));
+        }
+        if cy > T::ZERO {
+            taps.push((0, -1, cya));
+        } else if cy < T::ZERO {
+            taps.push((0, 1, cya));
+        }
+        Self::from_tuples(&taps)
+    }
+
+    /// Explicit 2-D heat step with **anisotropic** diffusion numbers
+    /// (`αx ≠ αy` allowed).
+    pub fn heat_anisotropic(alpha_x: T, alpha_y: T) -> Self {
+        let two = T::from_f64(2.0);
+        Self::from_tuples(&[
+            (0, 0, T::ONE - two * alpha_x - two * alpha_y),
+            (-1, 0, alpha_x),
+            (1, 0, alpha_x),
+            (0, -1, alpha_y),
+            (0, 1, alpha_y),
+        ])
+    }
+}
+
+impl<T: Real> Stencil3D<T> {
+    /// Explicit 3-D heat step `u + α·(Σ neighbours − 6u)`.
+    pub fn diffusion_7pt(alpha: T) -> Self {
+        let six = T::from_f64(6.0);
+        Stencil3D::seven_point(T::ONE - six * alpha, alpha, alpha, alpha)
+    }
+
+    /// Discrete 7-point Laplacian (weights sum to 0).
+    pub fn laplacian_7pt() -> Self {
+        let six = T::from_f64(6.0);
+        Stencil3D::seven_point(-six, T::ONE, T::ONE, T::ONE)
+    }
+
+    /// 13-point fourth-order Laplacian-based diffusion step: width-2
+    /// offsets (`−1/12, 16/12` pattern per axis), exercising extent-2
+    /// boundary corrections.
+    pub fn diffusion_13pt_4th_order(alpha: T) -> Self {
+        let c1 = T::from_f64(16.0 / 12.0);
+        let c2 = T::from_f64(-1.0 / 12.0);
+        let center_lap = T::from_f64(-30.0 / 12.0);
+        let three = T::from_f64(3.0);
+        let mut taps = vec![(0isize, 0isize, 0isize, T::ONE + three * alpha * center_lap)];
+        for (i, j, k) in [(1isize, 0isize, 0isize), (0, 1, 0), (0, 0, 1)] {
+            for sign in [-1isize, 1] {
+                taps.push((sign * i, sign * j, sign * k, alpha * c1));
+                taps.push((2 * sign * i, 2 * sign * j, 2 * sign * k, alpha * c2));
+            }
+        }
+        Stencil3D::from_tuples(&taps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn laplacian_annihilates_constants() {
+        let s = Stencil2D::<f64>::laplacian_5pt();
+        assert!(s.taps().iter().map(|t| t.w).sum::<f64>().abs() < 1e-12);
+    }
+
+    #[test]
+    fn blurs_are_averaging() {
+        for s in [
+            Stencil2D::<f64>::gaussian_blur_3x3(),
+            Stencil2D::<f64>::box_blur_3x3(),
+        ] {
+            let total: f64 = s.taps().iter().map(|t| t.w).sum();
+            assert!((total - 1.0).abs() < 1e-12);
+            assert!(s.taps().iter().all(|t| t.w > 0.0));
+            assert_eq!(s.len(), 9);
+        }
+    }
+
+    #[test]
+    fn sharpen_preserves_mean() {
+        let s = Stencil2D::<f64>::sharpen_3x3();
+        let total: f64 = s.taps().iter().map(|t| t.w).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn upwind_is_asymmetric_and_conservative() {
+        let s = Stencil2D::<f64>::advection_upwind(0.3, -0.2).into_3d();
+        let total: f64 = s.taps().iter().map(|t| t.w).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        assert!(!s.symmetric_x());
+        assert!(!s.symmetric_y());
+    }
+
+    #[test]
+    fn upwind_zero_velocity_is_identity() {
+        let s = Stencil2D::<f64>::advection_upwind(0.0, 0.0);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.taps()[0].w, 1.0);
+    }
+
+    #[test]
+    fn anisotropic_heat_weights() {
+        let s = Stencil2D::<f64>::heat_anisotropic(0.1, 0.2).into_3d();
+        assert!((s.weight_sum() - 1.0).abs() < 1e-12);
+        assert!(s.symmetric_x() && s.symmetric_y());
+    }
+
+    #[test]
+    fn diffusion_7pt_symmetric_width_1() {
+        let s = Stencil3D::<f64>::diffusion_7pt(0.05);
+        assert!((s.weight_sum() - 1.0).abs() < 1e-12);
+        assert_eq!(s.extent_x(), 1);
+    }
+
+    #[test]
+    fn fourth_order_diffusion_is_width_2_and_conservative() {
+        let s = Stencil3D::<f64>::diffusion_13pt_4th_order(0.01);
+        assert_eq!(s.len(), 13);
+        assert_eq!(s.extent_x(), 2);
+        assert_eq!(s.extent_z(), 2);
+        assert!((s.weight_sum() - 1.0).abs() < 1e-12);
+        assert!(s.symmetric_x() && s.symmetric_y() && s.symmetric_z());
+    }
+}

@@ -1,0 +1,249 @@
+//! A self-contained time-stepping simulation: stencil + boundary spec +
+//! optional constant field + double-buffered state.
+
+use crate::{sweep, ChecksumMode, Exec, NoHook, Stencil3D, SweepHook};
+use abft_grid::{BoundarySpec, DoubleBuffer, GhostCells, Grid3D, NoGhosts};
+use abft_num::Real;
+
+/// An unprotected stencil simulation (the paper's "No-ABFT" baseline) and
+/// the substrate the protectors in `abft-core` drive.
+///
+/// ```
+/// use abft_grid::{BoundarySpec, Grid3D};
+/// use abft_stencil::{Exec, Stencil2D, StencilSim};
+///
+/// let initial = Grid3D::from_fn(16, 16, 1, |x, y, _| (x + y) as f64);
+/// let stencil = Stencil2D::jacobi_heat(0.2).into_3d();
+/// let mut sim = StencilSim::new(initial, stencil, BoundarySpec::clamp())
+///     .with_exec(Exec::Serial);
+/// sim.step();
+/// assert_eq!(sim.iteration(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct StencilSim<T> {
+    stencil: Stencil3D<T>,
+    bounds: BoundarySpec<T>,
+    constant: Option<Grid3D<T>>,
+    buf: DoubleBuffer<T>,
+    exec: Exec,
+    iteration: usize,
+}
+
+impl<T: Real> StencilSim<T> {
+    /// Create a simulation from an initial state.
+    pub fn new(initial: Grid3D<T>, stencil: Stencil3D<T>, bounds: BoundarySpec<T>) -> Self {
+        let (nx, ny, nz) = initial.dims();
+        assert!(
+            stencil.extent_x() < nx && stencil.extent_y() < ny && stencil.extent_z() < nz,
+            "stencil extent must be smaller than the domain on every axis"
+        );
+        Self {
+            stencil,
+            bounds,
+            constant: None,
+            buf: DoubleBuffer::new(initial),
+            exec: Exec::default(),
+            iteration: 0,
+        }
+    }
+
+    /// Attach a per-cell constant term `C[x,y,z]` (Eq. 1).
+    pub fn with_constant(mut self, c: Grid3D<T>) -> Self {
+        assert_eq!(
+            c.dims(),
+            self.buf.dims(),
+            "constant-field dimension mismatch"
+        );
+        self.constant = Some(c);
+        self
+    }
+
+    /// Select the execution strategy (default: [`Exec::Parallel`]).
+    pub fn with_exec(mut self, exec: Exec) -> Self {
+        self.exec = exec;
+        self
+    }
+
+    pub fn stencil(&self) -> &Stencil3D<T> {
+        &self.stencil
+    }
+
+    pub fn bounds(&self) -> &BoundarySpec<T> {
+        &self.bounds
+    }
+
+    pub fn constant(&self) -> Option<&Grid3D<T>> {
+        self.constant.as_ref()
+    }
+
+    pub fn exec(&self) -> Exec {
+        self.exec
+    }
+
+    /// Completed iteration count (the `t` of the paper).
+    pub fn iteration(&self) -> usize {
+        self.iteration
+    }
+
+    /// The current (time-`t`) grid.
+    pub fn current(&self) -> &Grid3D<T> {
+        self.buf.current()
+    }
+
+    /// Mutable access to the current grid (error correction writes here).
+    pub fn current_mut(&mut self) -> &mut Grid3D<T> {
+        self.buf.current_mut()
+    }
+
+    /// The previous (time `t-1`) grid — valid right after a step.
+    pub fn previous(&self) -> &Grid3D<T> {
+        self.buf.previous()
+    }
+
+    /// `(nx, ny, nz)`.
+    pub fn dims(&self) -> (usize, usize, usize) {
+        self.buf.dims()
+    }
+
+    /// Advance one iteration (no hook, no checksums).
+    pub fn step(&mut self) {
+        self.step_full(&NoHook, &NoGhosts, ChecksumMode::None);
+    }
+
+    /// Advance one iteration with a hook (fault injection).
+    pub fn step_hooked<H: SweepHook<T>>(&mut self, hook: &H) {
+        self.step_full(hook, &NoGhosts, ChecksumMode::None);
+    }
+
+    /// Advance one iteration, producing the fused column checksums
+    /// (`col` is flat `[z][y]`, length `nz·ny`).
+    pub fn step_with_col<H: SweepHook<T>>(&mut self, hook: &H, col: &mut [T]) {
+        self.step_full(hook, &NoGhosts, ChecksumMode::Col { col });
+    }
+
+    /// Advance one iteration, producing both checksum vectors.
+    pub fn step_with_rowcol<H: SweepHook<T>>(&mut self, hook: &H, row: &mut [T], col: &mut [T]) {
+        self.step_full(hook, &NoGhosts, ChecksumMode::RowCol { row, col });
+    }
+
+    /// Fully general step: hook, ghost source and checksum mode.
+    pub fn step_full<H: SweepHook<T>, G: GhostCells<T>>(
+        &mut self,
+        hook: &H,
+        ghosts: &G,
+        mode: ChecksumMode<'_, T>,
+    ) {
+        let (src, dst) = self.buf.split();
+        sweep(
+            src,
+            dst,
+            &self.stencil,
+            &self.bounds,
+            self.constant.as_ref(),
+            ghosts,
+            hook,
+            mode,
+            self.exec,
+        );
+        self.buf.swap();
+        self.iteration += 1;
+    }
+
+    /// Restore the simulation to a checkpointed state.
+    pub fn restore(&mut self, state: &Grid3D<T>, iteration: usize) {
+        self.buf.restore_current(state);
+        self.iteration = iteration;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Stencil2D;
+
+    fn sim_2d(n: usize) -> StencilSim<f64> {
+        let g = Grid3D::from_fn(n, n, 1, |x, y, _| ((x * 3 + y * 5) % 7) as f64);
+        StencilSim::new(
+            g,
+            Stencil2D::jacobi_heat(0.15).into_3d(),
+            BoundarySpec::clamp(),
+        )
+        .with_exec(Exec::Serial)
+    }
+
+    #[test]
+    fn stepping_advances_iteration() {
+        let mut sim = sim_2d(8);
+        assert_eq!(sim.iteration(), 0);
+        sim.step();
+        sim.step();
+        assert_eq!(sim.iteration(), 2);
+    }
+
+    #[test]
+    fn previous_holds_last_state() {
+        let mut sim = sim_2d(8);
+        let before = sim.current().clone();
+        sim.step();
+        assert_eq!(sim.previous(), &before);
+        assert_ne!(sim.current(), &before);
+    }
+
+    #[test]
+    fn conservative_kernel_preserves_mean_with_periodic_bounds() {
+        let g = Grid3D::from_fn(8, 8, 1, |x, y, _| ((x * 3 + y * 5) % 7) as f64);
+        let mut sim = StencilSim::new(
+            g,
+            Stencil2D::jacobi_heat(0.2).into_3d(),
+            BoundarySpec::periodic(),
+        )
+        .with_exec(Exec::Serial);
+        let total_before: f64 = sim.current().as_slice().iter().sum();
+        for _ in 0..10 {
+            sim.step();
+        }
+        let total_after: f64 = sim.current().as_slice().iter().sum();
+        assert!((total_before - total_after).abs() < 1e-9);
+    }
+
+    #[test]
+    fn restore_rewinds_state_and_iteration() {
+        let mut sim = sim_2d(8);
+        sim.step();
+        let snap = sim.current().clone();
+        let snap_iter = sim.iteration();
+        sim.step();
+        sim.step();
+        sim.restore(&snap, snap_iter);
+        assert_eq!(sim.current(), &snap);
+        assert_eq!(sim.iteration(), 1);
+    }
+
+    #[test]
+    fn constant_field_accumulates() {
+        let g = Grid3D::zeros(4, 4, 1);
+        let c = Grid3D::filled(4, 4, 1, 2.0f64);
+        let mut sim = StencilSim::new(
+            g,
+            Stencil3D::from_tuples(&[(0, 0, 0, 1.0f64)]),
+            BoundarySpec::clamp(),
+        )
+        .with_constant(c)
+        .with_exec(Exec::Serial);
+        sim.step();
+        sim.step();
+        sim.step();
+        assert_eq!(sim.current().at(1, 1, 0), 6.0);
+    }
+
+    #[test]
+    fn fused_checksums_via_sim() {
+        let mut sim = sim_2d(6);
+        let mut col = vec![0.0f64; 6];
+        sim.step_with_col(&NoHook, &mut col);
+        for y in 0..6 {
+            let direct = sim.current().layer(0).sum_along_x(y);
+            assert!((direct - col[y]).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,589 @@
+//! The stencil sweep executor (Eq. 1 of the paper), serial and parallel,
+//! with optional fused checksum accumulation and per-point hooks.
+
+use crate::{Exec, Stencil3D, SweepHook};
+use abft_grid::{AxisHit, BoundarySpec, GhostCells, Grid3D};
+use abft_num::Real;
+use rayon::prelude::*;
+
+/// Which checksum vectors the sweep should produce as a by-product.
+///
+/// Buffers are flat per-layer arrays: `col` is `[z][y]` of length `nz·ny`
+/// (the paper's `b`, Eq. 3), `row` is `[z][x]` of length `nz·nx` (the
+/// paper's `a`, Eq. 2). Following §3.2 the protectors normally request only
+/// `Col`; `RowCol` exists for the maintain-both ablation.
+pub enum ChecksumMode<'a, T> {
+    /// Plain sweep, no checksums.
+    None,
+    /// Accumulate the column checksum vectors `b` (the paper's default).
+    Col { col: &'a mut [T] },
+    /// Accumulate both row (`a`) and column (`b`) checksum vectors.
+    RowCol { row: &'a mut [T], col: &'a mut [T] },
+}
+
+/// Resolve a (possibly out-of-range) read of `src` at signed coordinates,
+/// honouring the per-axis boundary conditions with x → y → z precedence.
+///
+/// This is the *reference semantics* of every boundary read in the
+/// workspace: the sweep's slow path calls it directly and the checksum
+/// interpolation in `abft-core` models it analytically.
+#[inline]
+pub fn read_resolved<T: Real, G: GhostCells<T>>(
+    src: &Grid3D<T>,
+    xq: isize,
+    yq: isize,
+    zq: isize,
+    bounds: &BoundarySpec<T>,
+    ghosts: &G,
+) -> T {
+    let (nx, ny, nz) = src.dims();
+    let xr = match bounds.x.resolve(xq, nx) {
+        AxisHit::In(i) => i,
+        AxisHit::Value(v) => return v,
+        AxisHit::Ghost(g) => return ghosts.ghost(g, yq, zq),
+    };
+    let yr = match bounds.y.resolve(yq, ny) {
+        AxisHit::In(i) => i,
+        AxisHit::Value(v) => return v,
+        AxisHit::Ghost(g) => return ghosts.ghost(xr as isize, g, zq),
+    };
+    let zr = match bounds.z.resolve(zq, nz) {
+        AxisHit::In(i) => i,
+        AxisHit::Value(v) => return v,
+        AxisHit::Ghost(g) => return ghosts.ghost(xr as isize, yr as isize, g),
+    };
+    src.at(xr, yr, zr)
+}
+
+/// One full stencil sweep: `dst = stencil(src) [+ constant]`, optionally
+/// producing checksum vectors and passing every value through `hook`.
+///
+/// `src` and `dst` must have identical dimensions and be distinct grids
+/// (the double-buffer discipline). `constant`, when present, must match the
+/// dimensions too.
+///
+/// # Panics
+/// Panics on dimension mismatches or if a stencil extent is not smaller
+/// than the corresponding axis length.
+#[allow(clippy::too_many_arguments)]
+pub fn sweep<T: Real, H: SweepHook<T>, G: GhostCells<T>>(
+    src: &Grid3D<T>,
+    dst: &mut Grid3D<T>,
+    stencil: &Stencil3D<T>,
+    bounds: &BoundarySpec<T>,
+    constant: Option<&Grid3D<T>>,
+    ghosts: &G,
+    hook: &H,
+    mode: ChecksumMode<'_, T>,
+    exec: Exec,
+) {
+    let (nx, ny, nz) = src.dims();
+    assert_eq!(src.dims(), dst.dims(), "src/dst dimension mismatch");
+    if let Some(c) = constant {
+        assert_eq!(c.dims(), src.dims(), "constant-field dimension mismatch");
+    }
+    assert!(
+        stencil.extent_x() < nx && stencil.extent_y() < ny && stencil.extent_z() < nz,
+        "stencil extent must be smaller than the domain on every axis"
+    );
+
+    let ll = nx * ny;
+    let (row_all, col_all): (Option<&mut [T]>, Option<&mut [T]>) = match mode {
+        ChecksumMode::None => (None, None),
+        ChecksumMode::Col { col } => (None, Some(col)),
+        ChecksumMode::RowCol { row, col } => (Some(row), Some(col)),
+    };
+    if let Some(r) = &row_all {
+        assert_eq!(r.len(), nz * nx, "row checksum buffer must be nz*nx");
+    }
+    if let Some(c) = &col_all {
+        assert_eq!(c.len(), nz * ny, "col checksum buffer must be nz*ny");
+    }
+
+    // Distribute the optional checksum buffers into per-layer chunks.
+    let mut rows: Vec<Option<&mut [T]>> = match row_all {
+        Some(r) => r.chunks_exact_mut(nx).map(Some).collect(),
+        None => (0..nz).map(|_| None).collect(),
+    };
+    let mut cols: Vec<Option<&mut [T]>> = match col_all {
+        Some(c) => c.chunks_exact_mut(ny).map(Some).collect(),
+        None => (0..nz).map(|_| None).collect(),
+    };
+
+    let work: Vec<LayerTask<'_, T>> = dst
+        .as_mut_slice()
+        .chunks_exact_mut(ll)
+        .zip(rows.drain(..))
+        .zip(cols.drain(..))
+        .enumerate()
+        .map(|(z, ((dst_layer, row), col))| LayerTask {
+            z,
+            dst_layer,
+            row,
+            col,
+        })
+        .collect();
+
+    match exec {
+        Exec::Serial => {
+            for task in work {
+                sweep_layer(src, task, stencil, bounds, constant, ghosts, hook);
+            }
+        }
+        Exec::Parallel => {
+            work.into_par_iter().for_each(|task| {
+                sweep_layer(src, task, stencil, bounds, constant, ghosts, hook);
+            });
+        }
+    }
+}
+
+struct LayerTask<'a, T> {
+    z: usize,
+    dst_layer: &'a mut [T],
+    row: Option<&'a mut [T]>,
+    col: Option<&'a mut [T]>,
+}
+
+/// Sweep a single `z`-layer. Phase 1 computes raw values (vectorised
+/// tap-by-tap accumulation over the interior, resolved reads on the
+/// boundary ring); phase 2 applies the hook and accumulates checksums.
+fn sweep_layer<T: Real, H: SweepHook<T>, G: GhostCells<T>>(
+    src: &Grid3D<T>,
+    task: LayerTask<'_, T>,
+    stencil: &Stencil3D<T>,
+    bounds: &BoundarySpec<T>,
+    constant: Option<&Grid3D<T>>,
+    ghosts: &G,
+    hook: &H,
+) {
+    let (nx, ny, nz) = src.dims();
+    let z = task.z;
+    let dst = task.dst_layer;
+    let s = src.as_slice();
+    let layer_base = z * nx * ny;
+
+    let (ex, ey, ez) = (stencil.extent_x(), stencil.extent_y(), stencil.extent_z());
+    let z_interior = z >= ez && z + ez < nz;
+    // Interior x-run bounds (may be an empty run on small domains).
+    let xl = ex;
+    let xh = nx.saturating_sub(ex).max(xl);
+
+    // Precompute linear offsets for the interior fast path.
+    let offsets: Vec<isize> = stencil
+        .taps()
+        .iter()
+        .map(|t| t.di + t.dj * nx as isize + t.dk * (nx * ny) as isize)
+        .collect();
+
+    if let Some(row) = &task.row {
+        debug_assert_eq!(row.len(), nx);
+    }
+    let mut row = task.row;
+    // Checksums are accumulated in f64 regardless of the data type: a
+    // sequential f32 sum over a 512-wide line drifts by up to ~n/2 ulps,
+    // which would eat into the paper's ε = 1e-5 detection margin on large
+    // tiles (§3.4 notes the approximation error grows with domain size).
+    // One widening add per point is far cheaper than a false positive.
+    let mut row_acc: Vec<f64> = if row.is_some() {
+        vec![0.0; nx]
+    } else {
+        Vec::new()
+    };
+    let mut col = task.col;
+
+    for y in 0..ny {
+        let line_base = layer_base + y * nx;
+        let out = &mut dst[y * nx..(y + 1) * nx];
+        let y_interior = y >= ey && y + ey < ny;
+
+        if z_interior && y_interior && xh > xl {
+            // Boundary prefix/suffix via resolved reads.
+            for x in (0..xl).chain(xh..nx) {
+                out[x] = point_resolved(src, x, y, z, stencil, bounds, constant, ghosts);
+            }
+            // Interior run: initialise with the constant term, then
+            // accumulate tap by tap over contiguous x-runs.
+            let run = &mut out[xl..xh];
+            match constant {
+                Some(c) => run.copy_from_slice(&c.as_slice()[line_base + xl..line_base + xh]),
+                None => run.fill(T::ZERO),
+            }
+            let start = (line_base + xl) as isize;
+            for (tap, &off) in stencil.taps().iter().zip(&offsets) {
+                let w = tap.w;
+                let src_run = &s[(start + off) as usize..][..run.len()];
+                for (o, &v) in run.iter_mut().zip(src_run) {
+                    *o += w * v;
+                }
+            }
+        } else {
+            for (x, o) in out.iter_mut().enumerate() {
+                *o = point_resolved(src, x, y, z, stencil, bounds, constant, ghosts);
+            }
+        }
+
+        // Phase 2: hook + checksum accumulation over the cache-hot line.
+        let need_row = row.is_some();
+        let need_col = col.is_some();
+        if H::ACTIVE || need_row || need_col {
+            let mut line_sum = 0.0f64;
+            for (x, o) in out.iter_mut().enumerate() {
+                let v = if H::ACTIVE {
+                    let t = hook.transform(x, y, z, *o);
+                    *o = t;
+                    t
+                } else {
+                    *o
+                };
+                line_sum += v.to_f64();
+                if need_row {
+                    row_acc[x] += v.to_f64();
+                }
+            }
+            if let Some(c) = col.as_deref_mut() {
+                c[y] = T::from_f64(line_sum);
+            }
+        }
+    }
+    if let Some(r) = row.as_deref_mut() {
+        for (o, &a) in r.iter_mut().zip(&row_acc) {
+            *o = T::from_f64(a);
+        }
+    }
+}
+
+/// Compute one point with fully resolved (boundary-aware) reads.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+fn point_resolved<T: Real, G: GhostCells<T>>(
+    src: &Grid3D<T>,
+    x: usize,
+    y: usize,
+    z: usize,
+    stencil: &Stencil3D<T>,
+    bounds: &BoundarySpec<T>,
+    constant: Option<&Grid3D<T>>,
+    ghosts: &G,
+) -> T {
+    let mut v = match constant {
+        Some(c) => c.at(x, y, z),
+        None => T::ZERO,
+    };
+    for t in stencil.taps() {
+        let u = read_resolved(
+            src,
+            x as isize + t.di,
+            y as isize + t.dj,
+            z as isize + t.dk,
+            bounds,
+            ghosts,
+        );
+        v += t.w * u;
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NoHook;
+    use abft_grid::{Boundary, NoGhosts};
+
+    /// Naive reference sweep: resolved reads everywhere.
+    fn reference_sweep<T: Real>(
+        src: &Grid3D<T>,
+        stencil: &Stencil3D<T>,
+        bounds: &BoundarySpec<T>,
+        constant: Option<&Grid3D<T>>,
+    ) -> Grid3D<T> {
+        let (nx, ny, nz) = src.dims();
+        Grid3D::from_fn(nx, ny, nz, |x, y, z| {
+            point_resolved(src, x, y, z, stencil, bounds, constant, &NoGhosts)
+        })
+    }
+
+    fn sample_grid(nx: usize, ny: usize, nz: usize) -> Grid3D<f64> {
+        Grid3D::from_fn(nx, ny, nz, |x, y, z| {
+            ((x * 31 + y * 17 + z * 7) % 23) as f64 * 0.5 - 3.0
+        })
+    }
+
+    fn check_against_reference(bounds: BoundarySpec<f64>) {
+        let src = sample_grid(9, 7, 4);
+        let stencil = Stencil3D::from_tuples(&[
+            (0, 0, 0, 0.4f64),
+            (-1, 0, 0, 0.1),
+            (1, 0, 0, 0.15),
+            (0, -2, 0, 0.05),
+            (0, 1, 0, 0.1),
+            (2, 0, 0, 0.1),
+            (0, 0, -1, 0.05),
+            (0, 0, 1, 0.05),
+        ]);
+        let expect = reference_sweep(&src, &stencil, &bounds, None);
+        for exec in [Exec::Serial, Exec::Parallel] {
+            let mut dst = Grid3D::zeros(9, 7, 4);
+            sweep(
+                &src,
+                &mut dst,
+                &stencil,
+                &bounds,
+                None,
+                &NoGhosts,
+                &NoHook,
+                ChecksumMode::None,
+                exec,
+            );
+            assert!(
+                dst.max_abs_diff(&expect) < 1e-12,
+                "mismatch for {bounds:?} / {exec:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn fast_path_matches_reference_clamp() {
+        check_against_reference(BoundarySpec::clamp());
+    }
+
+    #[test]
+    fn fast_path_matches_reference_periodic() {
+        check_against_reference(BoundarySpec::periodic());
+    }
+
+    #[test]
+    fn fast_path_matches_reference_zero() {
+        check_against_reference(BoundarySpec::zero());
+    }
+
+    #[test]
+    fn fast_path_matches_reference_mixed() {
+        check_against_reference(BoundarySpec {
+            x: Boundary::Reflect,
+            y: Boundary::Constant(2.5),
+            z: Boundary::Clamp,
+        });
+    }
+
+    #[test]
+    fn constant_term_applied() {
+        let src = sample_grid(5, 5, 2);
+        let c = Grid3D::filled(5, 5, 2, 10.0f64);
+        let stencil = Stencil3D::from_tuples(&[(0, 0, 0, 1.0f64)]);
+        let mut dst = Grid3D::zeros(5, 5, 2);
+        sweep(
+            &src,
+            &mut dst,
+            &stencil,
+            &BoundarySpec::clamp(),
+            Some(&c),
+            &NoGhosts,
+            &NoHook,
+            ChecksumMode::None,
+            Exec::Serial,
+        );
+        assert_eq!(dst.at(2, 2, 1), src.at(2, 2, 1) + 10.0);
+        assert_eq!(dst.at(0, 0, 0), src.at(0, 0, 0) + 10.0);
+    }
+
+    #[test]
+    fn fused_column_checksums_match_direct_sums() {
+        let src = sample_grid(8, 6, 3);
+        let stencil = Stencil3D::seven_point(0.4f64, 0.1, 0.1, 0.1);
+        let mut dst = Grid3D::zeros(8, 6, 3);
+        let mut col = vec![0.0f64; 3 * 6];
+        sweep(
+            &src,
+            &mut dst,
+            &stencil,
+            &BoundarySpec::clamp(),
+            None,
+            &NoGhosts,
+            &NoHook,
+            ChecksumMode::Col { col: &mut col },
+            Exec::Parallel,
+        );
+        for z in 0..3 {
+            for y in 0..6 {
+                let direct = dst.layer(z).sum_along_x(y);
+                let fused = col[z * 6 + y];
+                assert!((direct - fused).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn fused_row_and_column_checksums() {
+        let src = sample_grid(8, 6, 2);
+        let stencil = Stencil3D::seven_point(0.4f64, 0.1, 0.1, 0.1);
+        let mut dst = Grid3D::zeros(8, 6, 2);
+        let mut row = vec![0.0f64; 2 * 8];
+        let mut col = vec![0.0f64; 2 * 6];
+        sweep(
+            &src,
+            &mut dst,
+            &stencil,
+            &BoundarySpec::clamp(),
+            None,
+            &NoGhosts,
+            &NoHook,
+            ChecksumMode::RowCol {
+                row: &mut row,
+                col: &mut col,
+            },
+            Exec::Serial,
+        );
+        for z in 0..2 {
+            for x in 0..8 {
+                let direct = dst.layer(z).sum_along_y(x);
+                assert!((direct - row[z * 8 + x]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn hook_fires_at_exactly_one_point_and_checksums_see_it() {
+        let src = sample_grid(6, 5, 2);
+        let stencil = Stencil3D::seven_point(0.4f64, 0.1, 0.1, 0.1);
+
+        // Clean run.
+        let mut clean = Grid3D::zeros(6, 5, 2);
+        sweep(
+            &src,
+            &mut clean,
+            &stencil,
+            &BoundarySpec::clamp(),
+            None,
+            &NoGhosts,
+            &NoHook,
+            ChecksumMode::None,
+            Exec::Serial,
+        );
+
+        // Corrupting hook at (3, 2, 1): add 100.
+        let hook = |x: usize, y: usize, z: usize, v: f64| {
+            if (x, y, z) == (3, 2, 1) {
+                v + 100.0
+            } else {
+                v
+            }
+        };
+        let mut dirty = Grid3D::zeros(6, 5, 2);
+        let mut col = vec![0.0f64; 2 * 5];
+        sweep(
+            &src,
+            &mut dirty,
+            &stencil,
+            &BoundarySpec::clamp(),
+            None,
+            &NoGhosts,
+            &hook,
+            ChecksumMode::Col { col: &mut col },
+            Exec::Serial,
+        );
+        assert_eq!(dirty.at(3, 2, 1) - clean.at(3, 2, 1), 100.0);
+        assert_eq!(dirty.at(0, 0, 0), clean.at(0, 0, 0));
+        // The fused checksum must reflect the corrupted stored value.
+        let direct = dirty.layer(1).sum_along_x(2);
+        assert!((direct - col[1 * 5 + 2]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn serial_and_parallel_agree_bitwise() {
+        let src = sample_grid(16, 11, 4);
+        let stencil = Stencil3D::twenty_seven_point(0.5f64, 0.5 / 26.0);
+        let run = |exec| {
+            let mut dst = Grid3D::zeros(16, 11, 4);
+            sweep(
+                &src,
+                &mut dst,
+                &stencil,
+                &BoundarySpec::periodic(),
+                None,
+                &NoGhosts,
+                &NoHook,
+                ChecksumMode::None,
+                exec,
+            );
+            dst
+        };
+        // Identical per-point operation order => bitwise equality.
+        assert_eq!(run(Exec::Serial), run(Exec::Parallel));
+    }
+
+    #[test]
+    fn ghost_boundary_reads_from_source() {
+        struct FixedGhost;
+        impl GhostCells<f64> for FixedGhost {
+            fn ghost(&self, _x: isize, y: isize, _z: isize) -> f64 {
+                if y < 0 {
+                    -7.0
+                } else {
+                    7.0
+                }
+            }
+        }
+        let src = Grid3D::filled(4, 3, 1, 1.0f64);
+        let stencil = Stencil3D::from_tuples(&[(0, -1, 0, 1.0f64), (0, 1, 0, 1.0)]);
+        let bounds = BoundarySpec {
+            x: Boundary::Clamp,
+            y: Boundary::Ghost,
+            z: Boundary::Clamp,
+        };
+        let mut dst = Grid3D::zeros(4, 3, 1);
+        sweep(
+            &src,
+            &mut dst,
+            &stencil,
+            &bounds,
+            None,
+            &FixedGhost,
+            &NoHook,
+            ChecksumMode::None,
+            Exec::Serial,
+        );
+        // y = 0: north neighbour is ghost(-1) = -7, south is in-domain 1.
+        assert_eq!(dst.at(2, 0, 0), -6.0);
+        // y = 1: both neighbours in-domain.
+        assert_eq!(dst.at(2, 1, 0), 2.0);
+        // y = 2: south neighbour is ghost(3) = 7.
+        assert_eq!(dst.at(2, 2, 0), 8.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn dimension_mismatch_panics() {
+        let src = Grid3D::<f64>::zeros(4, 4, 1);
+        let mut dst = Grid3D::<f64>::zeros(4, 5, 1);
+        sweep(
+            &src,
+            &mut dst,
+            &Stencil3D::from_tuples(&[(0, 0, 0, 1.0f64)]),
+            &BoundarySpec::clamp(),
+            None,
+            &NoGhosts,
+            &NoHook,
+            ChecksumMode::None,
+            Exec::Serial,
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn oversized_stencil_rejected() {
+        let src = Grid3D::<f64>::zeros(3, 3, 1);
+        let mut dst = src.clone();
+        sweep(
+            &src,
+            &mut dst,
+            &Stencil3D::from_tuples(&[(3, 0, 0, 1.0f64)]),
+            &BoundarySpec::clamp(),
+            None,
+            &NoGhosts,
+            &NoHook,
+            ChecksumMode::None,
+            Exec::Serial,
+        );
+    }
+}

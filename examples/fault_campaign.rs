@@ -1,0 +1,54 @@
+//! A miniature fault-injection campaign: many random bit-flips against
+//! the three methods, summarised the way the paper's Fig. 9 reports —
+//! mean / median / max arithmetic error.
+//!
+//! Run with: `cargo run --release --example fault_campaign -- [reps]`
+
+use stencil_abft::fault::{random_flips, BitFlip, Campaign, Method};
+use stencil_abft::hotspot::{build_sim, Scenario};
+use stencil_abft::metrics::Summary;
+use stencil_abft::prelude::*;
+
+fn main() {
+    let reps: usize = std::env::args()
+        .nth(1)
+        .map(|s| s.parse().expect("reps must be a number"))
+        .unwrap_or(20);
+
+    let scenario = Scenario::tile_tiny();
+    let params = scenario.params();
+    let factory = move || build_sim::<f32>(&params, 11, Exec::Serial);
+    let campaign = Campaign::new(factory, scenario.iters);
+    let cfg = AbftConfig::<f32>::paper_defaults().with_period(scenario.period);
+
+    let flips = random_flips(123, reps, scenario.iters, scenario.dims, 32);
+    let plan: Vec<Option<BitFlip>> = flips.into_iter().map(Some).collect();
+
+    println!(
+        "{} random bit-flips on HotSpot3D {} ({} iterations)\n",
+        reps, scenario.name, scenario.iters
+    );
+    println!(
+        "{:<15} {:>12} {:>12} {:>12} {:>10}",
+        "method", "mean l2", "median l2", "max l2", "detected"
+    );
+    for method in Method::all() {
+        let records = campaign.run_many(method, cfg, &plan);
+        let l2s: Vec<f64> = records.iter().map(|r| r.l2).collect();
+        let s = Summary::from_sample(&l2s);
+        let detected = records.iter().filter(|r| r.detected()).count();
+        println!(
+            "{:<15} {:>12.3e} {:>12.3e} {:>12.3e} {:>7}/{}",
+            method.label(),
+            s.mean,
+            s.median,
+            s.max,
+            detected,
+            reps
+        );
+    }
+    println!(
+        "\nexpected shape (paper Fig. 9): No-ABFT max explodes for exponent/sign flips;\n\
+         Online keeps the median small; Offline erases every detected error."
+    );
+}

@@ -1,0 +1,86 @@
+//! 2-D heat diffusion under **every** boundary condition, protected by
+//! online ABFT — demonstrating that the checksum interpolation (Theorem 1
+//! with the α/β corrections) stays exact on clamp, periodic, zero,
+//! constant and reflect boundaries, for a non-symmetric kernel.
+//!
+//! Run with: `cargo run --release --example heat_diffusion_2d`
+
+use stencil_abft::prelude::*;
+
+fn run_case(name: &str, bounds: BoundarySpec<f64>) {
+    // An advection-tinged (asymmetric!) diffusion kernel: the west and
+    // east weights differ, so the clamp case exercises the general
+    // correction path, not the paper's fast path.
+    let stencil = Stencil2D::from_tuples(&[
+        (0, 0, 0.58f64),
+        (-1, 0, 0.14), // upwind bias
+        (1, 0, 0.08),
+        (0, -1, 0.1),
+        (0, 1, 0.1),
+    ])
+    .into_3d();
+
+    let initial = Grid3D::from_fn(96, 96, 1, |x, y, _| {
+        let dx = x as f64 - 48.0;
+        let dy = y as f64 - 48.0;
+        20.0 + 80.0 * (-(dx * dx + dy * dy) / 200.0).exp()
+    });
+
+    let mut sim = StencilSim::new(initial, stencil, bounds);
+    let mut abft = OnlineAbft::new(&sim, AbftConfig::<f64>::paper_defaults());
+
+    // One corruption halfway through.
+    let flip = BitFlip {
+        iteration: 60,
+        x: 30,
+        y: 70,
+        z: 0,
+        bit: 52,
+    };
+    let hook = FlipHook::<f64>::new(flip);
+
+    for t in 0..120 {
+        if t == flip.iteration {
+            abft.step(&mut sim, &hook);
+        } else {
+            abft.step(&mut sim, &NoHook);
+        }
+    }
+
+    let s = abft.stats();
+    let peak = sim
+        .current()
+        .as_slice()
+        .iter()
+        .cloned()
+        .fold(f64::MIN, f64::max);
+    println!(
+        "{name:<22} detections {} corrections {} false-positives {}  peak temp {peak:7.3}",
+        s.detections,
+        s.corrections,
+        s.detections.saturating_sub(1),
+    );
+    assert_eq!(s.detections, 1, "{name}: exactly the injected fault");
+    assert_eq!(s.corrections, 1, "{name}: corrected in place");
+}
+
+fn main() {
+    println!("asymmetric 5-point kernel, 96x96, 120 iterations, one injected flip\n");
+    run_case("clamp", BoundarySpec::clamp());
+    run_case("periodic", BoundarySpec::periodic());
+    run_case("zero (empty)", BoundarySpec::zero());
+    run_case(
+        "constant(20.0)",
+        BoundarySpec::uniform(Boundary::Constant(20.0)),
+    );
+    run_case("reflect (mirror)", BoundarySpec::uniform(Boundary::Reflect));
+    run_case(
+        "mixed per-axis",
+        BoundarySpec {
+            x: Boundary::Reflect,
+            y: Boundary::Constant(20.0),
+            z: Boundary::Clamp,
+        },
+    );
+    println!("\nall boundary conditions: detected and corrected with zero false positives");
+}

@@ -1,0 +1,137 @@
+//! Integration tests of the distributed-memory substrate against the
+//! serial reference, with and without per-rank protection, on the
+//! HotSpot3D workload.
+
+use proptest::prelude::*;
+use stencil_abft::dist::{run_distributed, DistConfig};
+use stencil_abft::hotspot::HotspotParams;
+use stencil_abft::prelude::*;
+
+fn hotspot_pieces(nx: usize, ny: usize, nz: usize) -> (Grid3D<f64>, Stencil3D<f64>, Grid3D<f64>) {
+    let params = HotspotParams::new(nx, ny, nz);
+    let power = stencil_abft::hotspot::synthetic_power::<f64>(nx, ny, nz, 17);
+    let temp0 = stencil_abft::hotspot::initial_temperature(&params, &power);
+    let c = params.coefficients();
+    let constant = Grid3D::from_fn(nx, ny, nz, |x, y, z| {
+        c.step_div_cap * power.at(x, y, z) + c.ct * params.amb_temp
+    });
+    (temp0, params.stencil::<f64>(), constant)
+}
+
+fn serial_run(
+    initial: &Grid3D<f64>,
+    stencil: &Stencil3D<f64>,
+    constant: &Grid3D<f64>,
+    iters: usize,
+) -> Grid3D<f64> {
+    let mut sim = StencilSim::new(initial.clone(), stencil.clone(), BoundarySpec::clamp())
+        .with_constant(constant.clone())
+        .with_exec(Exec::Serial);
+    for _ in 0..iters {
+        sim.step();
+    }
+    sim.current().clone()
+}
+
+#[test]
+fn hotspot_distributed_matches_serial_bitwise() {
+    let (initial, stencil, constant) = hotspot_pieces(16, 24, 4);
+    let expect = serial_run(&initial, &stencil, &constant, 20);
+    for ranks in [1usize, 2, 4, 6] {
+        let cfg = DistConfig::<f64>::new(ranks, 20);
+        let rep = run_distributed(
+            &initial,
+            &stencil,
+            &BoundarySpec::clamp(),
+            Some(&constant),
+            &cfg,
+        );
+        assert_eq!(rep.global, expect, "{ranks} ranks diverged");
+    }
+}
+
+#[test]
+fn hotspot_distributed_protected_is_clean_and_exact() {
+    let (initial, stencil, constant) = hotspot_pieces(16, 24, 4);
+    let expect = serial_run(&initial, &stencil, &constant, 20);
+    let cfg = DistConfig::new(3, 20).with_abft(AbftConfig::<f64>::paper_defaults());
+    let rep = run_distributed(
+        &initial,
+        &stencil,
+        &BoundarySpec::clamp(),
+        Some(&constant),
+        &cfg,
+    );
+    assert_eq!(rep.global, expect);
+    assert_eq!(rep.total_stats().detections, 0);
+}
+
+#[test]
+fn faults_in_multiple_ranks_are_corrected_independently() {
+    let (initial, stencil, constant) = hotspot_pieces(16, 30, 4);
+    let expect = serial_run(&initial, &stencil, &constant, 24);
+    let cfg = DistConfig::new(3, 24)
+        .with_abft(AbftConfig::<f64>::paper_defaults())
+        .with_flip(
+            0,
+            BitFlip {
+                iteration: 5,
+                x: 3,
+                y: 4,
+                z: 1,
+                bit: 52,
+            },
+        )
+        .with_flip(
+            2,
+            BitFlip {
+                iteration: 13,
+                x: 10,
+                y: 2,
+                z: 3,
+                bit: 51,
+            },
+        );
+    let rep = run_distributed(
+        &initial,
+        &stencil,
+        &BoundarySpec::clamp(),
+        Some(&constant),
+        &cfg,
+    );
+    let total = rep.total_stats();
+    assert_eq!(total.detections, 2);
+    assert_eq!(total.corrections, 2);
+    assert_eq!(rep.ranks[0].stats.corrections, 1);
+    assert_eq!(rep.ranks[2].stats.corrections, 1);
+    let l2 = l2_error(&expect, &rep.global);
+    assert!(l2 < 1e-8, "l2 after dual correction: {l2}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn distributed_equivalence_over_rank_counts(
+        ranks in 1usize..=6,
+        iters in 1usize..=12,
+        boundary in prop_oneof![
+            Just(Boundary::Clamp),
+            Just(Boundary::Periodic),
+            Just(Boundary::Zero),
+            Just(Boundary::Reflect),
+        ],
+    ) {
+        let (initial, stencil, constant) = hotspot_pieces(10, 18, 3);
+        let bounds = BoundarySpec { x: Boundary::Clamp, y: boundary, z: Boundary::Clamp };
+        let mut sim = StencilSim::new(initial.clone(), stencil.clone(), bounds)
+            .with_constant(constant.clone())
+            .with_exec(Exec::Serial);
+        for _ in 0..iters {
+            sim.step();
+        }
+        let cfg = DistConfig::<f64>::new(ranks, iters);
+        let rep = run_distributed(&initial, &stencil, &bounds, Some(&constant), &cfg);
+        prop_assert_eq!(&rep.global, sim.current());
+    }
+}

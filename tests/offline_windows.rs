@@ -1,0 +1,148 @@
+//! Integration tests of the offline protector's windowing, rollback and
+//! finalization semantics across periods and multiple faults.
+
+use stencil_abft::core::{AbftConfig, OfflineAbft};
+use stencil_abft::fault::{BitFlip, FlipHook};
+use stencil_abft::grid::{Boundary, BoundarySpec, Grid3D};
+use stencil_abft::stencil::{Exec, NoHook, Stencil3D, StencilSim};
+
+fn make_sim(bounds: BoundarySpec<f64>) -> StencilSim<f64> {
+    let g = Grid3D::from_fn(14, 12, 3, |x, y, z| {
+        70.0 + ((x * 5 + y * 3 + z * 11) % 17) as f64 * 0.4
+    });
+    StencilSim::new(g, Stencil3D::seven_point(0.4, 0.12, 0.08, 0.1), bounds).with_exec(Exec::Serial)
+}
+
+fn reference_after(iters: usize, bounds: BoundarySpec<f64>) -> Grid3D<f64> {
+    let mut sim = make_sim(bounds);
+    for _ in 0..iters {
+        sim.step();
+    }
+    sim.current().clone()
+}
+
+#[test]
+fn two_faults_in_different_windows_both_rolled_back() {
+    let bounds = BoundarySpec::clamp();
+    let mut sim = make_sim(bounds);
+    let cfg = AbftConfig::<f64>::paper_defaults().with_period(8);
+    let mut abft = OfflineAbft::new(&sim, cfg);
+
+    let f1 = FlipHook::<f64>::new(BitFlip {
+        iteration: 3,
+        x: 5,
+        y: 5,
+        z: 1,
+        bit: 52,
+    });
+    let f2 = FlipHook::<f64>::new(BitFlip {
+        iteration: 19,
+        x: 9,
+        y: 2,
+        z: 2,
+        bit: 53,
+    });
+
+    for t in 0..24 {
+        match t {
+            3 => abft.step(&mut sim, &f1),
+            19 => abft.step(&mut sim, &f2),
+            _ => abft.step(&mut sim, &NoHook),
+        };
+    }
+    let stats = abft.stats();
+    assert_eq!(stats.rollbacks, 2);
+    assert_eq!(stats.recomputed_steps, 16);
+    assert_eq!(sim.current(), &reference_after(24, bounds));
+}
+
+#[test]
+fn fault_in_same_window_as_verification_boundary() {
+    // Fault on the very last iteration of a window: still caught by that
+    // window's verification.
+    let bounds = BoundarySpec::clamp();
+    let mut sim = make_sim(bounds);
+    let cfg = AbftConfig::<f64>::paper_defaults().with_period(4);
+    let mut abft = OfflineAbft::new(&sim, cfg);
+    let hook = FlipHook::<f64>::new(BitFlip {
+        iteration: 3,
+        x: 2,
+        y: 7,
+        z: 0,
+        bit: 54,
+    });
+    let mut detected_at = None;
+    for t in 0..8 {
+        let out = if t == 3 {
+            abft.step(&mut sim, &hook)
+        } else {
+            abft.step(&mut sim, &NoHook)
+        };
+        if out.detected {
+            detected_at = Some(t);
+        }
+    }
+    assert_eq!(detected_at, Some(3), "caught at the window boundary");
+    assert_eq!(sim.current(), &reference_after(8, bounds));
+}
+
+#[test]
+fn finalize_catches_tail_faults_beyond_the_last_window() {
+    let bounds = BoundarySpec::clamp();
+    let mut sim = make_sim(bounds);
+    let cfg = AbftConfig::<f64>::paper_defaults().with_period(10);
+    let mut abft = OfflineAbft::new(&sim, cfg);
+    let hook = FlipHook::<f64>::new(BitFlip {
+        iteration: 13, // after the first (and only full) window
+        x: 4,
+        y: 4,
+        z: 1,
+        bit: 55,
+    });
+    for t in 0..15 {
+        if t == 13 {
+            abft.step(&mut sim, &hook);
+        } else {
+            abft.step(&mut sim, &NoHook);
+        }
+    }
+    // Without finalize the tail corruption would persist.
+    let out = abft.finalize(&mut sim);
+    assert!(out.verified && out.detected);
+    assert_eq!(out.recomputed_steps, 5);
+    assert_eq!(sim.current(), &reference_after(15, bounds));
+}
+
+#[test]
+fn offline_with_general_boundaries_and_faults() {
+    // Zero boundaries force the strip-history path through rollback.
+    let bounds = BoundarySpec::uniform(Boundary::Zero);
+    let mut sim = make_sim(bounds);
+    let cfg = AbftConfig::<f64>::paper_defaults().with_period(6);
+    let mut abft = OfflineAbft::new(&sim, cfg);
+    let hook = FlipHook::<f64>::new(BitFlip {
+        iteration: 8,
+        x: 6,
+        y: 6,
+        z: 1,
+        bit: 52,
+    });
+    for t in 0..18 {
+        if t == 8 {
+            abft.step(&mut sim, &hook);
+        } else {
+            abft.step(&mut sim, &NoHook);
+        }
+    }
+    assert_eq!(abft.stats().rollbacks, 1);
+    assert_eq!(sim.current(), &reference_after(18, bounds));
+}
+
+#[test]
+fn checkpoint_footprint_is_one_domain_copy() {
+    let sim = make_sim(BoundarySpec::clamp());
+    let abft = OfflineAbft::new(&sim, AbftConfig::<f64>::paper_defaults());
+    let domain_bytes = 14 * 12 * 3 * 8;
+    let checksum_bytes = 3 * 12 * 8;
+    assert_eq!(abft.checkpoint_bytes(), domain_bytes + checksum_bytes);
+}
