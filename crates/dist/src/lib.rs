@@ -1,0 +1,757 @@
+//! Distributed-memory stencil execution with per-rank ABFT — the
+//! deployment the paper argues for in §3.2:
+//!
+//! > "the checksum computation, interpolation, detection, and correction
+//! > [are performed] within each thread or process",
+//!
+//! i.e. the scheme is *intrinsically parallel*: protection is local to a
+//! rank's subdomain and adds no communication beyond the halo exchange the
+//! stencil needs anyway.
+//!
+//! This crate simulates an MPI-style deployment inside one process:
+//!
+//! * the global domain is decomposed into `ranks` contiguous **y-slabs**
+//!   ([`decompose`]);
+//! * each rank owns a [`StencilSim`] over its slab with the `y` axis set to
+//!   [`Boundary::Ghost`]; out-of-slab reads are served by a [`HaloGhost`]
+//!   source holding the neighbour rows snapshotted at time `t` — exactly
+//!   the values an MPI halo exchange would have delivered;
+//! * every iteration first performs the halo exchange for all ranks, then
+//!   steps all ranks concurrently (one OS thread per rank);
+//! * a rank with protection enabled drives its sweep through
+//!   [`OnlineAbft::step_with_ghosts`], so checksum interpolation sees the
+//!   same halo values as the sweep and single-point corruptions are
+//!   detected and corrected *locally*;
+//! * [`DistReport::global`] gathers the slabs back into one grid.
+//!
+//! The result is **bitwise identical** to a serial [`StencilSim`] run of
+//! the global domain: the per-point operation order of the sweep does not
+//! depend on the decomposition, and halo reads reproduce the exact values
+//! the serial sweep reads (see `tests/distributed_equivalence.rs` at the
+//! workspace root).
+//!
+//! Global boundary conditions at the outer domain edges are honoured by
+//! resolving the rank-local out-of-range coordinate against the **global**
+//! `y` boundary: clamp/reflect fold back into edge-rank rows, periodic
+//! wraps around the rank ring (the first rank receives a halo from the
+//! last), and zero/constant short-circuit to the boundary value.
+
+use abft_core::{AbftConfig, OnlineAbft, ProtectorStats};
+use abft_fault::{BitFlip, MultiFlipHook};
+use abft_grid::{AxisHit, Boundary, BoundarySpec, GhostCells, Grid3D};
+use abft_num::Real;
+use abft_stencil::{ChecksumMode, Exec, NoHook, Stencil3D, StencilSim};
+
+/// Configuration of one distributed run.
+#[derive(Debug, Clone)]
+pub struct DistConfig<T> {
+    /// Number of simulated ranks (y-slabs).
+    pub ranks: usize,
+    /// Stencil iterations to run.
+    pub iters: usize,
+    /// Halo width override in rows. The effective width is
+    /// `max(halo, stencil.extent_y())`; `None` uses the stencil extent.
+    pub halo: Option<usize>,
+    /// Per-rank online ABFT configuration; `None` runs unprotected.
+    pub abft: Option<AbftConfig<T>>,
+    /// Faults to inject: `(rank, flip)` with the flip's coordinates local
+    /// to that rank's slab.
+    pub flips: Vec<(usize, BitFlip)>,
+}
+
+impl<T: Real> DistConfig<T> {
+    /// An unprotected run over `ranks` slabs for `iters` iterations.
+    pub fn new(ranks: usize, iters: usize) -> Self {
+        assert!(ranks > 0, "need at least one rank");
+        Self {
+            ranks,
+            iters,
+            halo: None,
+            abft: None,
+            flips: Vec::new(),
+        }
+    }
+
+    /// Enable per-rank online ABFT protection.
+    pub fn with_abft(mut self, cfg: AbftConfig<T>) -> Self {
+        self.abft = Some(cfg);
+        self
+    }
+
+    /// Widen the halo beyond the stencil's y-extent (extra rows are
+    /// exchanged but unused; useful for overlap experiments).
+    pub fn with_halo(mut self, rows: usize) -> Self {
+        self.halo = Some(rows);
+        self
+    }
+
+    /// Inject one bit-flip in `rank`'s slab (local coordinates).
+    pub fn with_flip(mut self, rank: usize, flip: BitFlip) -> Self {
+        assert!(rank < self.ranks, "flip rank {rank} out of range");
+        self.flips.push((rank, flip));
+        self
+    }
+}
+
+/// What one rank owned and observed.
+#[derive(Debug, Clone)]
+pub struct RankReport {
+    /// Rank index, `0..ranks` top to bottom.
+    pub rank: usize,
+    /// First global `y` row of the slab.
+    pub y0: usize,
+    /// Slab height in rows.
+    pub y_len: usize,
+    /// Protector counters (all zero for unprotected runs).
+    pub stats: ProtectorStats,
+}
+
+/// Result of a distributed run.
+#[derive(Debug, Clone)]
+pub struct DistReport<T> {
+    /// The gathered global grid after the final iteration.
+    pub global: Grid3D<T>,
+    /// Per-rank reports, indexed by rank.
+    pub ranks: Vec<RankReport>,
+}
+
+impl<T: Real> DistReport<T> {
+    /// Protector counters summed over all ranks.
+    pub fn total_stats(&self) -> ProtectorStats {
+        let mut total = ProtectorStats::default();
+        for r in &self.ranks {
+            total.merge(&r.stats);
+        }
+        total
+    }
+}
+
+/// A balanced contiguous 1-D partition of `n` rows over `ranks` slabs.
+///
+/// ```
+/// use abft_dist::Partition;
+/// let p = Partition::new(10, 3);
+/// assert_eq!(p.ranks(), 3);
+/// assert_eq!((p.start(1), p.size(1)), (4, 3));
+/// assert_eq!(p.owner(9), (2, 2)); // (rank, slab-local row)
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partition {
+    slabs: Vec<(usize, usize)>,
+}
+
+impl Partition {
+    /// Partition `n` rows over `ranks` slabs (see [`decompose`]).
+    pub fn new(n: usize, ranks: usize) -> Self {
+        Self {
+            slabs: decompose(n, ranks),
+        }
+    }
+
+    /// Number of slabs.
+    pub fn ranks(&self) -> usize {
+        self.slabs.len()
+    }
+
+    /// First global row of `rank`'s slab.
+    pub fn start(&self, rank: usize) -> usize {
+        self.slabs[rank].0
+    }
+
+    /// Height of `rank`'s slab in rows.
+    pub fn size(&self, rank: usize) -> usize {
+        self.slabs[rank].1
+    }
+
+    /// `(start, len)` slices, in rank order.
+    pub fn slabs(&self) -> &[(usize, usize)] {
+        &self.slabs
+    }
+
+    /// Which rank owns global row `y`, and the row's slab-local index.
+    pub fn owner(&self, y: usize) -> (usize, usize) {
+        owner_of(&self.slabs, y)
+    }
+}
+
+/// Balanced contiguous 1-D decomposition of `n` rows over `ranks` slabs:
+/// the first `n % ranks` slabs get one extra row. Returns `(start, len)`
+/// per rank.
+///
+/// # Panics
+/// Panics when there are more ranks than rows.
+pub fn decompose(n: usize, ranks: usize) -> Vec<(usize, usize)> {
+    assert!(ranks > 0, "need at least one rank");
+    assert!(
+        ranks <= n,
+        "cannot decompose {n} rows over {ranks} ranks (at most one rank per row)"
+    );
+    let base = n / ranks;
+    let extra = n % ranks;
+    let mut out = Vec::with_capacity(ranks);
+    let mut start = 0;
+    for r in 0..ranks {
+        let len = base + usize::from(r < extra);
+        out.push((start, len));
+        start += len;
+    }
+    debug_assert_eq!(start, n);
+    out
+}
+
+/// Time-`t` halo rows for one rank, plus the geometry needed to resolve a
+/// rank-local out-of-range read against the **global** `y` boundary.
+///
+/// This is the [`GhostCells`] source handed to the sweep *and* to the
+/// checksum interpolation, so both see identical neighbour data — the
+/// precondition of [`OnlineAbft::step_with_ghosts`].
+#[derive(Debug, Clone)]
+pub struct HaloGhost<T> {
+    /// `(global_row, plane)` pairs; each plane is `[z][x]`, length nz·nx.
+    rows: Vec<(usize, Vec<T>)>,
+    bounds: BoundarySpec<T>,
+    y0: usize,
+    nx: usize,
+    ny_global: usize,
+    nz: usize,
+}
+
+impl<T: Real> GhostCells<T> for HaloGhost<T> {
+    #[inline]
+    fn ghost(&self, x: isize, y: isize, z: isize) -> T {
+        // The sweep resolves axes in x → y → z order and short-circuits on
+        // the first value-like hit, so by the time the `y` ghost fires, `x`
+        // is an in-range index while `z` is still raw. Finishing the
+        // resolution here (global y first, then z) reproduces the serial
+        // sweep's read exactly.
+        let g = self.y0 as isize + y;
+        let row = match self.bounds.y.resolve(g, self.ny_global) {
+            AxisHit::In(r) => r,
+            AxisHit::Value(v) => return v,
+            AxisHit::Ghost(_) => unreachable!("global ghost y-boundary rejected up front"),
+        };
+        let zr = match self.bounds.z.resolve(z, self.nz) {
+            AxisHit::In(i) => i,
+            AxisHit::Value(v) => return v,
+            AxisHit::Ghost(_) => unreachable!("global ghost z-boundary rejected up front"),
+        };
+        let plane = self
+            .rows
+            .iter()
+            .find(|(r, _)| *r == row)
+            .map(|(_, p)| p)
+            .unwrap_or_else(|| panic!("halo row {row} was not exchanged"));
+        plane[zr * self.nx + x as usize]
+    }
+}
+
+/// One simulated rank: its slab simulation, optional protector and
+/// pending faults.
+struct Rank<T> {
+    sim: StencilSim<T>,
+    abft: Option<OnlineAbft<T>>,
+    y0: usize,
+    y_len: usize,
+    flips: Vec<BitFlip>,
+    /// Global row indices this rank needs in its halo every iteration.
+    needed_rows: Vec<usize>,
+}
+
+/// Run the distributed simulation and gather the result.
+///
+/// Decomposes `initial` into `cfg.ranks` y-slabs, steps them `cfg.iters`
+/// times with a per-iteration halo exchange, protecting each rank with
+/// online ABFT when configured, and gathers the slabs back into a global
+/// grid. The unprotected (and clean protected) result is bitwise equal to
+/// a serial [`StencilSim`] run with the same inputs.
+///
+/// # Panics
+/// Panics when the decomposition leaves a slab no taller than the
+/// stencil's y-extent, or when `bounds` uses [`Boundary::Ghost`] (the
+/// outer-domain boundary must be self-contained).
+pub fn run_distributed<T: Real>(
+    initial: &Grid3D<T>,
+    stencil: &Stencil3D<T>,
+    bounds: &BoundarySpec<T>,
+    constant: Option<&Grid3D<T>>,
+    cfg: &DistConfig<T>,
+) -> DistReport<T> {
+    let (nx, ny, nz) = initial.dims();
+    assert!(
+        !matches!(bounds.x, Boundary::Ghost)
+            && !matches!(bounds.y, Boundary::Ghost)
+            && !matches!(bounds.z, Boundary::Ghost),
+        "global boundaries must be self-contained (no Ghost axis)"
+    );
+    if let Some(c) = constant {
+        assert_eq!(c.dims(), initial.dims(), "constant-field dimension mismatch");
+    }
+    let halo = cfg.halo.unwrap_or(0).max(stencil.extent_y());
+    let slabs = decompose(ny, cfg.ranks);
+    for &(_, len) in &slabs {
+        assert!(
+            len > stencil.extent_y(),
+            "slab of {len} rows is not taller than the stencil y-extent {}; use fewer ranks",
+            stencil.extent_y()
+        );
+    }
+    // Flip coordinates are slab-local; a flip outside its rank's slab
+    // would never fire and silently corrupt the experiment's bookkeeping.
+    for (rank, flip) in &cfg.flips {
+        let (_, y_len) = slabs[*rank];
+        assert!(
+            flip.x < nx && flip.y < y_len && flip.z < nz,
+            "flip ({}, {}, {}) outside rank {rank}'s {nx}x{y_len}x{nz} slab",
+            flip.x,
+            flip.y,
+            flip.z
+        );
+        assert!(
+            flip.bit < T::BITS,
+            "flip bit {} out of range for a {}-bit float",
+            flip.bit,
+            T::BITS
+        );
+        assert!(
+            flip.iteration < cfg.iters,
+            "flip iteration {} never runs ({} iterations configured)",
+            flip.iteration,
+            cfg.iters
+        );
+    }
+
+    // Rank-local boundary spec: x/z as global, y served by the halo.
+    let local_bounds = BoundarySpec {
+        x: bounds.x,
+        y: Boundary::Ghost,
+        z: bounds.z,
+    };
+
+    let mut ranks: Vec<Rank<T>> = slabs
+        .iter()
+        .enumerate()
+        .map(|(r, &(y0, y_len))| {
+            let slab = Grid3D::from_fn(nx, y_len, nz, |x, y, z| initial.at(x, y0 + y, z));
+            let mut sim = StencilSim::new(slab, stencil.clone(), local_bounds)
+                .with_exec(Exec::Serial);
+            if let Some(c) = constant {
+                let local_c = Grid3D::from_fn(nx, y_len, nz, |x, y, z| c.at(x, y0 + y, z));
+                sim = sim.with_constant(local_c);
+            }
+            let abft = cfg.abft.map(|acfg| OnlineAbft::new(&sim, acfg));
+            let needed_rows = needed_halo_rows(y0, y_len, halo, ny, &bounds.y);
+            Rank {
+                sim,
+                abft,
+                y0,
+                y_len,
+                flips: cfg
+                    .flips
+                    .iter()
+                    .filter(|(fr, _)| *fr == r)
+                    .map(|(_, f)| *f)
+                    .collect(),
+                needed_rows,
+            }
+        })
+        .collect();
+
+    for t in 0..cfg.iters {
+        // --- Halo exchange: snapshot every requested time-t row. -------
+        // In an MPI deployment this is the send/recv pair; here the rows
+        // are copied out of the owning rank's current buffer.
+        let ghosts: Vec<HaloGhost<T>> = ranks
+            .iter()
+            .map(|rank| HaloGhost {
+                rows: rank
+                    .needed_rows
+                    .iter()
+                    .map(|&row| (row, snapshot_row(&ranks, &slabs, row, nx, nz)))
+                    .collect(),
+                bounds: *bounds,
+                y0: rank.y0,
+                nx,
+                ny_global: ny,
+                nz,
+            })
+            .collect();
+
+        // --- Step all ranks concurrently (one thread per rank). --------
+        std::thread::scope(|scope| {
+            for (rank, ghost) in ranks.iter_mut().zip(ghosts) {
+                scope.spawn(move || step_rank(rank, t, &ghost));
+            }
+        });
+    }
+
+    // --- Gather the slabs back into the global grid (one pass per slab,
+    //     contiguous x-line copies). ------------------------------------
+    let mut global = Grid3D::zeros(nx, ny, nz);
+    for rank in &ranks {
+        let local = rank.sim.current();
+        for z in 0..nz {
+            for ly in 0..rank.y_len {
+                let src = &local.as_slice()[z * nx * rank.y_len + ly * nx..][..nx];
+                let base = global.idx(0, rank.y0 + ly, z);
+                global.as_mut_slice()[base..base + nx].copy_from_slice(src);
+            }
+        }
+    }
+
+    DistReport {
+        global,
+        ranks: ranks
+            .iter()
+            .enumerate()
+            .map(|(i, r)| RankReport {
+                rank: i,
+                y0: r.y0,
+                y_len: r.y_len,
+                stats: r.abft.as_ref().map(|a| a.stats()).unwrap_or_default(),
+            })
+            .collect(),
+    }
+}
+
+/// Advance one rank by one iteration, injecting any flips scheduled for
+/// iteration `t` and protecting the sweep when ABFT is enabled.
+fn step_rank<T: Real>(rank: &mut Rank<T>, t: usize, ghost: &HaloGhost<T>) {
+    let flips_now: Vec<BitFlip> = rank
+        .flips
+        .iter()
+        .filter(|f| f.iteration == t)
+        .copied()
+        .collect();
+    match (&mut rank.abft, flips_now.is_empty()) {
+        (Some(abft), true) => {
+            abft.step_with_ghosts(&mut rank.sim, &NoHook, ghost);
+        }
+        (Some(abft), false) => {
+            let hook = MultiFlipHook::new(flips_now);
+            abft.step_with_ghosts(&mut rank.sim, &hook, ghost);
+        }
+        (None, true) => {
+            rank.sim.step_full(&NoHook, ghost, ChecksumMode::None);
+        }
+        (None, false) => {
+            let hook = MultiFlipHook::new(flips_now);
+            rank.sim.step_full(&hook, ghost, ChecksumMode::None);
+        }
+    }
+}
+
+/// The set of global rows rank `(y0, y_len)` needs to satisfy every
+/// possible out-of-slab read: local rows `-halo..0` and
+/// `y_len..y_len+halo`, resolved through the global `y` boundary.
+/// Value-like boundaries contribute no rows; clamp/reflect at the outer
+/// edges fold into in-domain rows; periodic wraps around the ring.
+fn needed_halo_rows<T: Real>(
+    y0: usize,
+    y_len: usize,
+    halo: usize,
+    ny: usize,
+    by: &Boundary<T>,
+) -> Vec<usize> {
+    let mut rows = Vec::new();
+    let local_range = (-(halo as isize)..0).chain(y_len as isize..(y_len + halo) as isize);
+    for ly in local_range {
+        if let AxisHit::In(row) = by.resolve(y0 as isize + ly, ny) {
+            if !rows.contains(&row) {
+                rows.push(row);
+            }
+        }
+    }
+    rows
+}
+
+/// Which rank owns global row `y`, and the row's slab-local index.
+fn owner_of(slabs: &[(usize, usize)], y: usize) -> (usize, usize) {
+    for (r, &(y0, len)) in slabs.iter().enumerate() {
+        if (y0..y0 + len).contains(&y) {
+            return (r, y - y0);
+        }
+    }
+    panic!("row {y} owned by no rank");
+}
+
+/// Copy global row `row` (an `[z][x]` plane) out of its owner's current
+/// time-`t` buffer.
+fn snapshot_row<T: Real>(
+    ranks: &[Rank<T>],
+    slabs: &[(usize, usize)],
+    row: usize,
+    nx: usize,
+    nz: usize,
+) -> Vec<T> {
+    let (r, local_y) = owner_of(slabs, row);
+    let grid = ranks[r].sim.current();
+    let mut plane = Vec::with_capacity(nz * nx);
+    for z in 0..nz {
+        for x in 0..nx {
+            plane.push(grid.at(x, local_y, z));
+        }
+    }
+    plane
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wavy(nx: usize, ny: usize, nz: usize) -> Grid3D<f64> {
+        Grid3D::from_fn(nx, ny, nz, |x, y, z| {
+            ((x * 13 + y * 31 + z * 7) % 23) as f64 * 0.75 - 4.0
+        })
+    }
+
+    fn serial(
+        initial: &Grid3D<f64>,
+        stencil: &Stencil3D<f64>,
+        bounds: &BoundarySpec<f64>,
+        iters: usize,
+    ) -> Grid3D<f64> {
+        let mut sim = StencilSim::new(initial.clone(), stencil.clone(), *bounds)
+            .with_exec(Exec::Serial);
+        for _ in 0..iters {
+            sim.step();
+        }
+        sim.current().clone()
+    }
+
+    #[test]
+    fn decompose_is_balanced_and_covers() {
+        assert_eq!(decompose(10, 1), vec![(0, 10)]);
+        assert_eq!(decompose(10, 3), vec![(0, 4), (4, 3), (7, 3)]);
+        assert_eq!(decompose(12, 4), vec![(0, 3), (3, 3), (6, 3), (9, 3)]);
+        let slabs = decompose(17, 5);
+        assert_eq!(slabs.iter().map(|s| s.1).sum::<usize>(), 17);
+        assert!(slabs.windows(2).all(|w| w[0].0 + w[0].1 == w[1].0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn decompose_rejects_more_ranks_than_rows() {
+        let _ = decompose(3, 4);
+    }
+
+    /// The satellite halo-correctness check: a y-asymmetric stencil makes
+    /// every halo row matter, and clamp vs. periodic exercise both global
+    /// edge-resolution paths (fold-back into the edge rank vs. wrap around
+    /// the rank ring).
+    #[test]
+    fn halo_exchange_is_exact_at_rank_boundaries_clamp_vs_periodic() {
+        let initial = wavy(7, 12, 3);
+        // Asymmetric in y so that up/down halos carry different weights.
+        let stencil = Stencil3D::from_tuples(&[
+            (0, 0, 0, 0.45f64),
+            (0, -1, 0, 0.3),
+            (0, 1, 0, 0.1),
+            (1, 0, 0, 0.05),
+            (0, 0, 1, 0.1),
+        ]);
+        for boundary in [Boundary::Clamp, Boundary::Periodic] {
+            let bounds = BoundarySpec::uniform(boundary);
+            let expect = serial(&initial, &stencil, &bounds, 9);
+            for ranks in [2usize, 3, 4] {
+                let rep = run_distributed(
+                    &initial,
+                    &stencil,
+                    &bounds,
+                    None,
+                    &DistConfig::<f64>::new(ranks, 9),
+                );
+                assert_eq!(
+                    rep.global, expect,
+                    "{ranks} ranks diverged under {boundary:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zero_and_reflect_edges_match_serial() {
+        let initial = wavy(6, 10, 2);
+        let stencil = Stencil3D::from_tuples(&[
+            (0, 0, 0, 0.5f64),
+            (0, -1, 0, 0.2),
+            (0, 1, 0, 0.2),
+            (-1, 0, 0, 0.1),
+        ]);
+        for boundary in [Boundary::Zero, Boundary::Reflect, Boundary::Constant(2.5)] {
+            let bounds = BoundarySpec {
+                x: Boundary::Clamp,
+                y: boundary,
+                z: Boundary::Clamp,
+            };
+            let expect = serial(&initial, &stencil, &bounds, 6);
+            let rep = run_distributed(
+                &initial,
+                &stencil,
+                &bounds,
+                None,
+                &DistConfig::<f64>::new(3, 6),
+            );
+            assert_eq!(rep.global, expect, "diverged under y = {boundary:?}");
+        }
+    }
+
+    #[test]
+    fn single_rank_degenerates_to_serial() {
+        let initial = wavy(8, 9, 2);
+        let stencil = Stencil3D::seven_point(0.4f64, 0.1, 0.1, 0.1);
+        let bounds = BoundarySpec::clamp();
+        let expect = serial(&initial, &stencil, &bounds, 12);
+        let rep = run_distributed(
+            &initial,
+            &stencil,
+            &bounds,
+            None,
+            &DistConfig::<f64>::new(1, 12),
+        );
+        assert_eq!(rep.global, expect);
+        assert_eq!(rep.ranks.len(), 1);
+        assert_eq!(rep.ranks[0].y_len, 9);
+    }
+
+    #[test]
+    fn wide_halo_rows_are_exchanged_for_wide_stencils() {
+        // y-extent 2 ⇒ two halo rows per side.
+        let initial = wavy(6, 12, 2);
+        let stencil = Stencil3D::from_tuples(&[
+            (0, 0, 0, 0.4f64),
+            (0, -2, 0, 0.2),
+            (0, 2, 0, 0.2),
+            (0, 1, 0, 0.1),
+        ]);
+        let bounds = BoundarySpec::clamp();
+        let expect = serial(&initial, &stencil, &bounds, 5);
+        let rep = run_distributed(
+            &initial,
+            &stencil,
+            &bounds,
+            None,
+            &DistConfig::<f64>::new(3, 5),
+        );
+        assert_eq!(rep.global, expect);
+    }
+
+    #[test]
+    fn needed_rows_clamp_interior_and_edges() {
+        let by = Boundary::<f64>::Clamp;
+        // Interior rank: plain neighbour rows.
+        assert_eq!(needed_halo_rows(4, 4, 1, 12, &by), vec![3, 8]);
+        // Top edge rank: y = -1 clamps to row 0 (its own row, snapshotted).
+        assert_eq!(needed_halo_rows(0, 4, 1, 12, &by), vec![0, 4]);
+        // Bottom edge rank: y = 12 clamps to row 11.
+        assert_eq!(needed_halo_rows(8, 4, 1, 12, &by), vec![7, 11]);
+    }
+
+    #[test]
+    fn needed_rows_periodic_wrap_and_value_boundaries() {
+        let per = Boundary::<f64>::Periodic;
+        // Top rank wraps to the last row, bottom rank to the first.
+        assert_eq!(needed_halo_rows(0, 4, 1, 12, &per), vec![11, 4]);
+        assert_eq!(needed_halo_rows(8, 4, 1, 12, &per), vec![7, 0]);
+        // Zero boundary needs no rows at the outer edges.
+        let zero = Boundary::<f64>::Zero;
+        assert_eq!(needed_halo_rows(0, 4, 1, 12, &zero), vec![4]);
+    }
+
+    #[test]
+    fn protected_clean_run_matches_serial_with_zero_detections() {
+        let initial = Grid3D::from_fn(8, 12, 2, |x, y, z| {
+            80.0 + ((x * 3 + y * 5 + z) % 9) as f64 * 0.4
+        });
+        let stencil = Stencil3D::seven_point(0.4f64, 0.12, 0.08, 0.1);
+        let bounds = BoundarySpec::clamp();
+        let expect = serial(&initial, &stencil, &bounds, 15);
+        let cfg = DistConfig::new(3, 15).with_abft(AbftConfig::<f64>::paper_defaults());
+        let rep = run_distributed(&initial, &stencil, &bounds, None, &cfg);
+        assert_eq!(rep.global, expect);
+        assert_eq!(rep.total_stats().detections, 0);
+        assert_eq!(rep.total_stats().steps, 45); // 3 ranks × 15 iterations
+    }
+
+    #[test]
+    fn flip_near_a_rank_boundary_is_corrected_locally() {
+        let initial = Grid3D::from_fn(8, 12, 2, |x, y, z| {
+            80.0 + ((x * 3 + y * 5 + z) % 9) as f64 * 0.4
+        });
+        let stencil = Stencil3D::seven_point(0.4f64, 0.12, 0.08, 0.1);
+        let bounds = BoundarySpec::clamp();
+        let expect = serial(&initial, &stencil, &bounds, 10);
+        // Rank 1 owns rows 4..8; corrupt its first row (a halo row for
+        // rank 0) right before an exchange.
+        let flip = BitFlip {
+            iteration: 4,
+            x: 3,
+            y: 0,
+            z: 1,
+            bit: 51,
+        };
+        let cfg = DistConfig::new(3, 10)
+            .with_abft(AbftConfig::<f64>::paper_defaults())
+            .with_flip(1, flip);
+        let rep = run_distributed(&initial, &stencil, &bounds, None, &cfg);
+        let total = rep.total_stats();
+        assert_eq!(total.detections, 1);
+        assert_eq!(total.corrections, 1);
+        assert_eq!(rep.ranks[1].stats.corrections, 1);
+        assert_eq!(rep.ranks[0].stats.corrections, 0);
+        // The correction lands before the next halo exchange, so the
+        // neighbour never sees the corruption.
+        assert!(rep.global.max_abs_diff(&expect) < 1e-9);
+    }
+
+    #[test]
+    fn report_geometry_is_faithful() {
+        let initial = wavy(5, 11, 1);
+        let stencil = Stencil3D::from_tuples(&[(0, 0, 0, 0.6f64), (0, 1, 0, 0.4)]);
+        let rep = run_distributed(
+            &initial,
+            &stencil,
+            &BoundarySpec::clamp(),
+            None,
+            &DistConfig::<f64>::new(4, 2),
+        );
+        let geom: Vec<(usize, usize, usize)> =
+            rep.ranks.iter().map(|r| (r.rank, r.y0, r.y_len)).collect();
+        assert_eq!(geom, vec![(0, 0, 3), (1, 3, 3), (2, 6, 3), (3, 9, 2)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside rank 1's")]
+    fn out_of_slab_flip_rejected_instead_of_silently_ignored() {
+        let initial = wavy(6, 12, 2);
+        let stencil = Stencil3D::seven_point(0.4f64, 0.1, 0.1, 0.1);
+        // 12 rows over 4 ranks ⇒ 3-row slabs; local y = 3 can never fire.
+        let cfg = DistConfig::new(4, 5)
+            .with_abft(AbftConfig::<f64>::paper_defaults())
+            .with_flip(
+                1,
+                BitFlip {
+                    iteration: 2,
+                    x: 1,
+                    y: 3,
+                    z: 0,
+                    bit: 50,
+                },
+            );
+        let _ = run_distributed(&initial, &stencil, &BoundarySpec::clamp(), None, &cfg);
+    }
+
+    #[test]
+    #[should_panic]
+    fn slab_shorter_than_stencil_extent_rejected() {
+        let initial = wavy(5, 8, 1);
+        let stencil = Stencil3D::from_tuples(&[(0, -2, 0, 0.5f64), (0, 2, 0, 0.5)]);
+        // 8 rows over 4 ranks ⇒ 2-row slabs, but the stencil needs > 2.
+        let _ = run_distributed(
+            &initial,
+            &stencil,
+            &BoundarySpec::clamp(),
+            None,
+            &DistConfig::<f64>::new(4, 1),
+        );
+    }
+}

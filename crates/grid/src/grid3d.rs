@@ -195,7 +195,7 @@ mod tests {
         // idx = x + y*nx + z*nx*ny
         assert_eq!(g.idx(1, 1, 1), 1 + 3 + 6);
         assert_eq!(g.at(1, 1, 1), 111.0);
-        assert_eq!(g.as_slice()[1 + 1 * 3 + 1 * 6], 111.0);
+        assert_eq!(g.as_slice()[1 + 3 + 6], 111.0);
     }
 
     #[test]

@@ -105,7 +105,7 @@ mod tests {
         let power = synthetic_power::<f64>(16, 16, 2, 1);
         let t = initial_temperature(&params, &power);
         for &v in t.as_slice() {
-            assert!(v >= 80.0 && v <= 90.0, "temperature {v} implausible");
+            assert!((80.0..=90.0).contains(&v), "temperature {v} implausible");
         }
     }
 }

@@ -179,7 +179,7 @@ fn sweep_layer<T: Real, H: SweepHook<T>, G: GhostCells<T>>(
     if let Some(row) = &task.row {
         debug_assert_eq!(row.len(), nx);
     }
-    let mut row = task.row;
+    let row = task.row;
     // Checksums are accumulated in f64 regardless of the data type: a
     // sequential f32 sum over a 512-wide line drifts by up to ~n/2 ulps,
     // which would eat into the paper's ε = 1e-5 detection margin on large
@@ -246,7 +246,7 @@ fn sweep_layer<T: Real, H: SweepHook<T>, G: GhostCells<T>>(
             }
         }
     }
-    if let Some(r) = row.as_deref_mut() {
+    if let Some(r) = row {
         for (o, &a) in r.iter_mut().zip(&row_acc) {
             *o = T::from_f64(a);
         }
@@ -486,7 +486,7 @@ mod tests {
         assert_eq!(dirty.at(0, 0, 0), clean.at(0, 0, 0));
         // The fused checksum must reflect the corrupted stored value.
         let direct = dirty.layer(1).sum_along_x(2);
-        assert!((direct - col[1 * 5 + 2]).abs() < 1e-12);
+        assert!((direct - col[5 + 2]).abs() < 1e-12);
     }
 
     #[test]

@@ -1,7 +1,8 @@
 //! Distributed-memory run: the global domain is decomposed over ranks
-//! (threads standing in for MPI processes), halos flow over channels, and
-//! each rank protects its own chunk with online ABFT — the "intrinsically
-//! parallel" deployment the paper argues for in §3.2.
+//! (threads standing in for MPI processes), time-`t` halo rows are
+//! exchanged by snapshot before every sweep, and each rank protects its
+//! own chunk with online ABFT — the "intrinsically parallel" deployment
+//! the paper argues for in §3.2.
 //!
 //! Run with: `cargo run --release --example distributed_halo -- [ranks]`
 

@@ -1,0 +1,309 @@
+//! Vendored, API-compatible subset of the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the benchmarking surface its `benches/` use: benchmark groups,
+//! `bench_function` / `bench_with_input`, `BenchmarkId`, `Throughput` and
+//! the `criterion_group!` / `criterion_main!` macros.
+//!
+//! Methodology (deliberately simple, no statistics machinery): each
+//! benchmark is warmed up briefly, then timed over `sample_size` samples
+//! whose iteration count targets ~25 ms of wall clock per sample. The
+//! reported numbers are the minimum, mean and max per-iteration times.
+//! Passing `--bench` on the command line (as `cargo bench` does) is
+//! accepted and ignored; any other free argument acts as a substring
+//! filter on benchmark names, mirroring criterion's CLI.
+
+use std::time::{Duration, Instant};
+
+/// Throughput annotation; recorded and echoed, not otherwise interpreted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// A benchmark identifier: `function_id/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_id: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: format!("{function_id}/{parameter}"),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Per-sample timing loop handle.
+pub struct Bencher {
+    /// Total time and iterations measured for the current benchmark.
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Time the closure. The routine picks an iteration count targeting
+    /// ~25 ms per sample, then records `sample_size` samples.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up and calibration: find iters/sample.
+        let mut iters = 1u64;
+        let per_iter = loop {
+            let t = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(f());
+            }
+            let elapsed = t.elapsed();
+            if elapsed > Duration::from_millis(5) || iters >= 1 << 20 {
+                break elapsed / iters as u32;
+            }
+            iters *= 4;
+        };
+        let target = Duration::from_millis(25);
+        let iters_per_sample = (target.as_nanos() / per_iter.as_nanos().max(1))
+            .clamp(1, 1 << 24) as u64;
+
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..iters_per_sample {
+                std::hint::black_box(f());
+            }
+            self.samples.push(t.elapsed() / iters_per_sample as u32);
+        }
+    }
+
+    fn report(&self, name: &str) {
+        if self.samples.is_empty() {
+            println!("{name:<50} (no samples)");
+            return;
+        }
+        let min = self.samples.iter().min().unwrap();
+        let max = self.samples.iter().max().unwrap();
+        let mean = self.samples.iter().sum::<Duration>() / self.samples.len() as u32;
+        println!(
+            "{name:<50} time: [{} {} {}]",
+            fmt_duration(*min),
+            fmt_duration(mean),
+            fmt_duration(*max)
+        );
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        self.run(full, f);
+        self
+    }
+
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id);
+        self.run(full, |b| f(b, input));
+        self
+    }
+
+    fn run<F: FnMut(&mut Bencher)>(&self, name: String, mut f: F) {
+        if !self.criterion.matches(&name) {
+            return;
+        }
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        f(&mut b);
+        b.report(&name);
+        if let Some(t) = self.throughput {
+            if let Some(mean) = b
+                .samples
+                .iter()
+                .sum::<Duration>()
+                .checked_div(b.samples.len().max(1) as u32)
+            {
+                let (count, unit) = match t {
+                    Throughput::Elements(n) => (n, "elem"),
+                    Throughput::Bytes(n) => (n, "B"),
+                };
+                if count > 0 && mean.as_nanos() > 0 {
+                    let rate = count as f64 / mean.as_secs_f64();
+                    println!("{:<50} thrpt: {rate:.1} {unit}/s", "");
+                }
+            }
+        }
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark harness entry point.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Criterion {
+    /// Parse criterion-ish CLI arguments: `--bench` (ignored), `--flag`
+    /// style options (ignored), and a free-form name filter.
+    pub fn from_args() -> Self {
+        let mut filter = None;
+        for arg in std::env::args().skip(1) {
+            if arg.starts_with('-') {
+                continue;
+            }
+            filter = Some(arg);
+        }
+        Self { filter }
+    }
+
+    fn matches(&self, name: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| name.contains(f))
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== group: {name}");
+        BenchmarkGroup {
+            criterion: self,
+            name,
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = id.to_string();
+        if self.matches(&name) {
+            let mut b = Bencher {
+                samples: Vec::new(),
+                sample_size: 10,
+            };
+            f(&mut b);
+            b.report(&name);
+        }
+        self
+    }
+
+    pub fn final_summary(&self) {}
+}
+
+/// Re-export for compatibility: criterion 0.5 still offers its own
+/// `black_box`; the std one is what it forwards to on recent toolchains.
+pub use std::hint::black_box;
+
+/// Declare a benchmark group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declare the benchmark `main` running one or more groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_runs_and_reports() {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: 3,
+        };
+        let mut n = 0u64;
+        b.iter(|| {
+            n = n.wrapping_add(1);
+            n
+        });
+        assert_eq!(b.samples.len(), 3);
+        b.report("smoke");
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 64).to_string(), "f/64");
+        assert_eq!(BenchmarkId::from_parameter(8).to_string(), "8");
+    }
+
+    #[test]
+    fn group_api_compiles_and_runs() {
+        let mut c = Criterion {
+            filter: Some("no-such-benchmark".into()),
+        };
+        let mut g = c.benchmark_group("g");
+        g.sample_size(2)
+            .throughput(Throughput::Elements(4))
+            .bench_function("skipped", |b| b.iter(|| 1 + 1));
+        g.finish();
+    }
+}

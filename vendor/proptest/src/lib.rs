@@ -1,0 +1,580 @@
+//! Vendored, API-compatible subset of the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the property-testing surface it uses:
+//!
+//! * the [`proptest!`] macro (with optional `#![proptest_config(..)]`),
+//! * [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assume!`] /
+//!   [`prop_oneof!`],
+//! * [`strategy::Strategy`] with `prop_map`, implemented for ranges,
+//!   tuples, [`prelude::Just`] and [`prelude::any`],
+//! * [`collection::vec`].
+//!
+//! Semantics: each test runs `cases` deterministic pseudo-random cases
+//! (seeded from the test's module path and name). There is **no
+//! shrinking** — a failing case panics with the ordinary assertion
+//! message. That trades minimal counterexamples for zero dependencies,
+//! which is the right trade for a hermetic CI environment.
+
+pub mod test_runner {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Runner configuration (only the `cases` knob is honoured).
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of pseudo-random cases each test executes.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            Self { cases: 256 }
+        }
+    }
+
+    /// Why a single test case did not pass: either the inputs were
+    /// rejected by `prop_assume!` (the case is skipped) or an assertion
+    /// failed (the test fails).
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        Reject(String),
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        pub fn fail(reason: impl Into<String>) -> Self {
+            Self::Fail(reason.into())
+        }
+
+        pub fn reject(reason: impl Into<String>) -> Self {
+            Self::Reject(reason.into())
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                Self::Reject(r) => write!(f, "input rejected: {r}"),
+                Self::Fail(r) => write!(f, "{r}"),
+            }
+        }
+    }
+
+    /// Result type of one generated test case.
+    pub type TestCaseResult = Result<(), TestCaseError>;
+
+    /// Deterministic per-test RNG.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        inner: StdRng,
+    }
+
+    impl TestRng {
+        /// Seeded from the fully qualified test name (stable across runs)
+        /// unless `PROPTEST_SEED` overrides it.
+        pub fn for_test(name: &str) -> Self {
+            let seed = match std::env::var("PROPTEST_SEED") {
+                Ok(s) => s.parse().unwrap_or_else(|_| fnv1a(s.as_bytes())),
+                Err(_) => fnv1a(name.as_bytes()),
+            };
+            Self {
+                inner: StdRng::seed_from_u64(seed),
+            }
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.inner.next_u64()
+        }
+
+        pub fn rng(&mut self) -> &mut StdRng {
+            &mut self.inner
+        }
+    }
+
+    fn fnv1a(bytes: &[u8]) -> u64 {
+        let mut h = 0xcbf29ce484222325u64;
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        h
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use rand::RngExt;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A generator of values of one type.
+    ///
+    /// Unlike real proptest there is no value tree / shrinking: a strategy
+    /// simply produces a value from the deterministic test RNG.
+    pub trait Strategy {
+        type Value;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transform generated values.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Number of `prop_oneof!` leaf alternatives below this strategy —
+        /// an implementation detail keeping nested unions uniform.
+        #[doc(hidden)]
+        fn arm_count(&self) -> u32 {
+            1
+        }
+    }
+
+    /// Strategy yielding one fixed value.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// `prop_map` adapter.
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Binary union combinator behind `prop_oneof!`: picks the left arm
+    /// with probability proportional to its leaf count, keeping an
+    /// arbitrarily nested chain uniform over its leaves. Requiring
+    /// `B::Value = A::Value` (rather than boxing trait objects) lets type
+    /// inference flow between the arms, so `Just(Enum::VariantOfGeneric)`
+    /// arms pick up their type parameters from sibling arms.
+    #[derive(Debug, Clone)]
+    pub struct Or<A, B> {
+        a: A,
+        b: B,
+    }
+
+    impl<A, B> Or<A, B> {
+        pub fn new(a: A, b: B) -> Self {
+            Self { a, b }
+        }
+    }
+
+    impl<A: Strategy, B: Strategy<Value = A::Value>> Strategy for Or<A, B> {
+        type Value = A::Value;
+
+        fn generate(&self, rng: &mut TestRng) -> A::Value {
+            let (wa, wb) = (self.a.arm_count(), self.b.arm_count());
+            if rng.rng().random_range(0..wa + wb) < wa {
+                self.a.generate(rng)
+            } else {
+                self.b.generate(rng)
+            }
+        }
+
+        fn arm_count(&self) -> u32 {
+            self.a.arm_count() + self.b.arm_count()
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),* $(,)?) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.rng().random_range(self.clone())
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.rng().random_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F);
+    impl_tuple_strategy!(A, B, C, D, E, F, G);
+    impl_tuple_strategy!(A, B, C, D, E, F, G, H);
+    impl_tuple_strategy!(A, B, C, D, E, F, G, H, I);
+    impl_tuple_strategy!(A, B, C, D, E, F, G, H, I, J);
+
+    /// Types with a canonical "any value" strategy.
+    pub trait Arbitrary: Sized {
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),* $(,)?) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f32 {
+        fn arbitrary(rng: &mut TestRng) -> f32 {
+            // Finite, roughly unit-scale values: property tests want
+            // well-behaved inputs unless they opt into edge cases.
+            rng.rng().random_range(-1.0f32..=1.0)
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> f64 {
+            rng.rng().random_range(-1.0f64..=1.0)
+        }
+    }
+
+    /// Strategy produced by [`any`].
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct ArbitraryStrategy<T>(std::marker::PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for ArbitraryStrategy<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The canonical strategy for a type (`any::<u64>()`).
+    pub fn any<T: Arbitrary>() -> ArbitraryStrategy<T> {
+        ArbitraryStrategy(std::marker::PhantomData)
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::RngExt;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Element-count specification for [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_inclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self {
+                lo: n,
+                hi_inclusive: n,
+            }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            Self {
+                lo: r.start,
+                hi_inclusive: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty size range");
+            Self {
+                lo: *r.start(),
+                hi_inclusive: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a sampled length.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng
+                .rng()
+                .random_range(self.size.lo..=self.size.hi_inclusive);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// `proptest::collection::vec(element, size)`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+}
+
+/// Define property tests. Supports an optional leading
+/// `#![proptest_config(..)]` and any number of `#[test] fn name(pat in
+/// strategy, ..) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!(@cfg ($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!(
+            @cfg (<$crate::test_runner::ProptestConfig as ::std::default::Default>::default())
+            $($rest)*
+        );
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_impl {
+    (@cfg ($cfg:expr)) => {};
+    (@cfg ($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut rng = $crate::test_runner::TestRng::for_test(
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            // Strategies are built once and reused for every case; a tuple
+            // of strategies is itself a strategy for the tuple of values.
+            let strategies = ($($strat,)+);
+            for __case in 0..config.cases {
+                let ($($pat,)+) =
+                    $crate::strategy::Strategy::generate(&strategies, &mut rng);
+                // The case body runs in a closure returning
+                // `Result<(), TestCaseError>`, matching real proptest:
+                // `prop_assert!` fails the case with `Err`, `prop_assume!`
+                // rejects (skips) it, and bodies may `return Err(..)`
+                // themselves.
+                let mut __run = || -> ::std::result::Result<
+                    (),
+                    $crate::test_runner::TestCaseError,
+                > {
+                    $body;
+                    ::std::result::Result::Ok(())
+                };
+                match __run() {
+                    ::std::result::Result::Ok(()) => {}
+                    ::std::result::Result::Err(
+                        $crate::test_runner::TestCaseError::Reject(_),
+                    ) => {}
+                    ::std::result::Result::Err(
+                        $crate::test_runner::TestCaseError::Fail(msg),
+                    ) => {
+                        panic!("proptest case {__case} failed: {msg}");
+                    }
+                }
+            }
+        }
+        $crate::__proptest_impl!(@cfg ($cfg) $($rest)*);
+    };
+}
+
+/// Assert inside a proptest case; fails the case with
+/// `Err(TestCaseError::Fail(..))` like real proptest.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)));
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Assert equality inside a proptest case.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *a == *b,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($a), stringify!($b), a, b
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(*a == *b, $($fmt)*);
+    }};
+}
+
+/// Assert inequality inside a proptest case.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *a != *b,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($a), stringify!($b), a
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(*a != *b, $($fmt)*);
+    }};
+}
+
+/// Skip the current case when an assumption does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::reject(stringify!($cond)),
+            );
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::reject(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($strat:expr $(,)?) => {
+        $strat
+    };
+    ($strat:expr, $($rest:expr),+ $(,)?) => {
+        $crate::strategy::Or::new($strat, $crate::prop_oneof!($($rest),+))
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(
+            a in 3usize..10,
+            b in -2isize..=2,
+            f in 0.25f64..0.75,
+        ) {
+            prop_assert!((3..10).contains(&a));
+            prop_assert!((-2..=2).contains(&b));
+            prop_assert!((0.25..0.75).contains(&f));
+        }
+
+        #[test]
+        fn tuples_and_vec(
+            dims in (2usize..5, 2usize..5, 1usize..3),
+            taps in crate::collection::vec((-1isize..=1, 0.0f64..1.0), 2..=6),
+        ) {
+            prop_assert!(dims.0 < 5 && dims.2 < 3);
+            prop_assert!((2..=6).contains(&taps.len()));
+            for (o, w) in taps {
+                prop_assert!((-1..=1).contains(&o));
+                prop_assert!((0.0..1.0).contains(&w));
+            }
+        }
+
+        #[test]
+        fn oneof_and_map(
+            v in prop_oneof![Just(1u32), Just(2), (10u32..20).prop_map(|x| x * 10)],
+            any_bool in any::<bool>(),
+            _seed in any::<u64>(),
+        ) {
+            prop_assert!(v == 1 || v == 2 || (100..200).contains(&v));
+            prop_assert_eq!(any_bool as u8 | 1, 1 | any_bool as u8);
+        }
+
+        #[test]
+        fn assume_skips(n in 0usize..10) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        use crate::strategy::Strategy;
+        let s = 0u64..u64::MAX;
+        let mut r1 = crate::test_runner::TestRng::for_test("x");
+        let mut r2 = crate::test_runner::TestRng::for_test("x");
+        assert_eq!(s.generate(&mut r1), s.generate(&mut r2));
+    }
+}

@@ -1,0 +1,187 @@
+//! Vendored, API-compatible subset of the `rayon` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the slice of rayon it uses: `Vec::into_par_iter().for_each(..)`
+//! and the [`ThreadPoolBuilder`] global-thread-count knob. Parallelism is
+//! genuine — work is split over `std::thread::scope` threads — but there is
+//! no work-stealing pool: each `for_each` call spawns its worker threads.
+//! For this workspace's usage (one task per `z`-layer of a stencil sweep,
+//! dozens of items each doing O(nx·ny) work) the spawn cost is noise.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+static GLOBAL_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Number of worker threads `for_each` fans out to.
+fn effective_threads() -> usize {
+    let configured = GLOBAL_THREADS.load(Ordering::Relaxed);
+    if configured > 0 {
+        configured
+    } else {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    }
+}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder` for the global pool.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+/// Error building the global pool (this shim never fails; the type exists
+/// for signature compatibility).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "global thread pool already initialised")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+impl ThreadPoolBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// `0` means "use the machine's available parallelism".
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Install the configured thread count globally. Unlike real rayon this
+    /// may be called repeatedly; the last call wins.
+    pub fn build_global(self) -> Result<(), ThreadPoolBuildError> {
+        GLOBAL_THREADS.store(self.num_threads, Ordering::Relaxed);
+        Ok(())
+    }
+}
+
+/// Parallel-iterator entry point: types convertible into a parallel
+/// iterator.
+pub trait IntoParallelIterator {
+    type Item: Send;
+    type Iter: ParallelIterator<Item = Self::Item>;
+
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+/// The minimal parallel-iterator interface the workspace uses.
+pub trait ParallelIterator: Sized {
+    type Item: Send;
+
+    /// Consume the iterator, applying `f` to every item across threads.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync + Send;
+}
+
+/// Parallel iterator over an owned `Vec`.
+pub struct VecParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = VecParIter<T>;
+
+    fn into_par_iter(self) -> VecParIter<T> {
+        VecParIter { items: self }
+    }
+}
+
+impl<T: Send> ParallelIterator for VecParIter<T> {
+    type Item = T;
+
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(T) + Sync + Send,
+    {
+        let threads = effective_threads().min(self.items.len().max(1));
+        if threads <= 1 {
+            for item in self.items {
+                f(item);
+            }
+            return;
+        }
+        // Deal items round-robin into one bucket per worker; scoped threads
+        // borrow `f` so no 'static bound is needed.
+        let mut buckets: Vec<Vec<T>> = (0..threads).map(|_| Vec::new()).collect();
+        for (i, item) in self.items.into_iter().enumerate() {
+            buckets[i % threads].push(item);
+        }
+        let f = &f;
+        std::thread::scope(|scope| {
+            for bucket in buckets {
+                scope.spawn(move || {
+                    for item in bucket {
+                        f(item);
+                    }
+                });
+            }
+        });
+    }
+}
+
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParallelIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn for_each_visits_every_item_once() {
+        let hits = AtomicUsize::new(0);
+        let sum = AtomicUsize::new(0);
+        (0..100usize)
+            .collect::<Vec<_>>()
+            .into_par_iter()
+            .for_each(|i| {
+                hits.fetch_add(1, Ordering::Relaxed);
+                sum.fetch_add(i, Ordering::Relaxed);
+            });
+        assert_eq!(hits.load(Ordering::Relaxed), 100);
+        assert_eq!(sum.load(Ordering::Relaxed), 4950);
+    }
+
+    #[test]
+    fn mutable_borrows_via_items() {
+        let mut data = vec![0u64; 64];
+        let tasks: Vec<(usize, &mut u64)> = data.iter_mut().enumerate().collect();
+        tasks.into_par_iter().for_each(|(i, slot)| {
+            *slot = (i * i) as u64;
+        });
+        assert_eq!(data[9], 81);
+        assert_eq!(data[63], 3969);
+    }
+
+    #[test]
+    fn empty_and_single() {
+        Vec::<usize>::new().into_par_iter().for_each(|_| panic!());
+        let hit = AtomicUsize::new(0);
+        vec![7usize].into_par_iter().for_each(|v| {
+            hit.store(v, Ordering::Relaxed);
+        });
+        assert_eq!(hit.load(Ordering::Relaxed), 7);
+    }
+
+    #[test]
+    fn build_global_is_idempotent() {
+        assert!(crate::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build_global()
+            .is_ok());
+        assert!(crate::ThreadPoolBuilder::new()
+            .num_threads(8)
+            .build_global()
+            .is_ok());
+    }
+}
