@@ -26,7 +26,7 @@ fn main() {
     } else {
         (64, 256, 8)
     };
-    let iters = 64;
+    let iters = cli.iters.unwrap_or(64);
     let reps = cli.reps.div_ceil(5).max(3);
 
     let params = HotspotParams::new(nx, ny, nz);
@@ -53,6 +53,7 @@ fn main() {
         "ranks", "plain (s)", "abft (s)", "ovh (%)", "l2 vs serial"
     );
     let mut table = Table::new(vec!["ranks", "plain_s", "abft_s", "overhead_pct", "l2"]);
+    let mut points: Vec<(usize, f64, f64, f64)> = Vec::new();
 
     for ranks in [1usize, 2, 4, 8] {
         let mut plain = Welford::new();
@@ -61,12 +62,14 @@ fn main() {
         for _ in 0..reps {
             let cfg = DistConfig::<f32>::new(ranks, iters);
             let t = Timer::start();
-            let _ = run_distributed(&temp0, &stencil, &bounds, Some(&constant), &cfg);
+            let _ = run_distributed(&temp0, &stencil, &bounds, Some(&constant), &cfg)
+                .expect("valid dist config");
             plain.push(t.seconds());
 
             let cfg = DistConfig::new(ranks, iters).with_abft(AbftConfig::<f32>::paper_defaults());
             let t = Timer::start();
-            let rep = run_distributed(&temp0, &stencil, &bounds, Some(&constant), &cfg);
+            let rep = run_distributed(&temp0, &stencil, &bounds, Some(&constant), &cfg)
+                .expect("valid dist config");
             prot.push(t.seconds());
             l2 = l2_error(serial.current(), &rep.global);
             assert_eq!(
@@ -91,9 +94,36 @@ fn main() {
             format!("{ovh:.2}"),
             format!("{l2:.3e}"),
         ]);
+        points.push((ranks, plain.mean(), prot.mean(), ovh));
     }
 
     let path = format!("{}/exp_dist_scaling.csv", cli.out);
     write_csv(&table, &path).expect("write CSV");
     println!("\n[csv] {path}");
+
+    if let Some(json_path) = &cli.json {
+        let rows: Vec<String> = points
+            .iter()
+            .map(|&(ranks, plain_s, abft_s, ovh)| {
+                format!(
+                    "    {{\"ranks\": {ranks}, \"plain_iters_per_s\": {:.3}, \
+                     \"abft_iters_per_s\": {:.3}, \"overhead_pct\": {ovh:.2}}}",
+                    iters as f64 / plain_s,
+                    iters as f64 / abft_s,
+                )
+            })
+            .collect();
+        let json = format!(
+            "{{\n  \"experiment\": \"exp_dist_scaling\",\n  \"grid\": [{nx}, {ny}, {nz}],\n  \
+             \"iters\": {iters},\n  \"points\": [\n{}\n  ]\n}}\n",
+            rows.join(",\n")
+        );
+        if let Some(dir) = std::path::Path::new(json_path).parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir).expect("create JSON output dir");
+            }
+        }
+        std::fs::write(json_path, json).expect("write JSON");
+        println!("[json] {json_path}");
+    }
 }

@@ -14,8 +14,13 @@ use abft_stencil::{Exec, StencilSim};
 /// Common command-line options for the experiment binaries.
 ///
 /// Supported flags: `--reps N`, `--seed S`, `--threads N`, `--large`
-/// (include the 512×512×8 tile), `--small-only` is the default, and
-/// `--out DIR` (CSV output directory, default `results/`).
+/// (include the 512×512×8 tile), `--small-only` is the default,
+/// `--out DIR` (CSV output directory, default `results/`), `--iters N`
+/// (override an experiment's iteration count) and `--json PATH` (machine
+/// readable results, used by CI's bench-smoke artifact). `--iters` and
+/// `--json` are honoured by the distributed experiments
+/// (`exp_dist_scaling`, `exp_halo_overlap`); the figure-replication
+/// binaries pin the paper's iteration counts and ignore them.
 #[derive(Debug, Clone)]
 pub struct Cli {
     pub reps: usize,
@@ -23,6 +28,8 @@ pub struct Cli {
     pub threads: usize,
     pub large: bool,
     pub out: String,
+    pub iters: Option<usize>,
+    pub json: Option<String>,
 }
 
 impl Default for Cli {
@@ -33,6 +40,8 @@ impl Default for Cli {
             threads: 8,
             large: false,
             out: "results".to_string(),
+            iters: None,
+            json: None,
         }
     }
 }
@@ -63,8 +72,17 @@ impl Cli {
                     i += 1;
                     cli.out = args[i].clone();
                 }
+                "--iters" => {
+                    i += 1;
+                    cli.iters = Some(args[i].parse().expect("--iters N"));
+                }
+                "--json" => {
+                    i += 1;
+                    cli.json = Some(args[i].clone());
+                }
                 other => panic!(
-                    "unknown flag {other}; supported: --reps N --seed S --threads N --large --out DIR"
+                    "unknown flag {other}; supported: --reps N --seed S --threads N --large --out DIR \
+                     --iters N --json PATH (dist experiments only)"
                 ),
             }
             i += 1;

@@ -11,7 +11,9 @@ use crate::phantom::StripSet;
 use crate::report::ProtectorStats;
 use abft_grid::{GhostCells, NoGhosts};
 use abft_num::Real;
-use abft_stencil::{StencilSim, SweepHook};
+use abft_stencil::{SplitStepTimes, StencilSim, SweepHook};
+use std::ops::Range;
+use std::time::Instant;
 
 /// What one protected step observed and did.
 #[derive(Debug, Clone, PartialEq)]
@@ -77,7 +79,7 @@ pub struct OnlineAbft<T> {
 impl<T: Real> OnlineAbft<T> {
     /// Create a protector for a simulation, computing the initial checksum
     /// state from its current grid ("we assume that the initial data … and
-    /// the initial checksum [are] correct", Theorem 2 proof).
+    /// the initial checksum \[are\] correct", Theorem 2 proof).
     pub fn new(sim: &StencilSim<T>, cfg: AbftConfig<T>) -> Self {
         let (nx, ny, nz) = sim.dims();
         let interp = Interpolator::new(sim.stencil(), sim.bounds(), sim.constant(), (nx, ny, nz));
@@ -133,8 +135,11 @@ impl<T: Real> OnlineAbft<T> {
         hook: &H,
         ghosts: &G,
     ) -> StepOutcome<T> {
-        let (nx, ny, nz) = (self.nx, self.ny, self.nz);
-        debug_assert_eq!(sim.dims(), (nx, ny, nz), "simulation/protector shape");
+        debug_assert_eq!(
+            sim.dims(),
+            (self.nx, self.ny, self.nz),
+            "simulation/protector shape"
+        );
 
         // 1. Sweep with fused checksum accumulation (§3.2, Fig. 2).
         if self.cfg.maintain_row {
@@ -155,6 +160,69 @@ impl<T: Real> OnlineAbft<T> {
                 },
             );
         }
+        self.verify_after_sweep(sim, ghosts)
+    }
+
+    /// Advance one protected iteration with an **overlapped** halo
+    /// exchange: interior rows are swept while `wait` (the halo receive)
+    /// is still outstanding, edge rows once it returns, and verification
+    /// runs on the completed step — so detection/correction still lands
+    /// before the rank's next halo post, exactly as in the barriered path.
+    ///
+    /// With [`AbftConfig::maintain_row`](crate::AbftConfig) enabled the
+    /// row checksums need a whole-domain sweep, so this forgoes the
+    /// overlap (waits up front) while keeping the same signature.
+    pub fn step_overlapped<H, G, W>(
+        &mut self,
+        sim: &mut StencilSim<T>,
+        hook: &H,
+        interior: Range<usize>,
+        wait: W,
+    ) -> (StepOutcome<T>, SplitStepTimes)
+    where
+        H: SweepHook<T>,
+        G: GhostCells<T>,
+        W: FnOnce() -> G,
+    {
+        debug_assert_eq!(
+            sim.dims(),
+            (self.nx, self.ny, self.nz),
+            "simulation/protector shape"
+        );
+        if self.cfg.maintain_row {
+            let t0 = Instant::now();
+            let ghosts = wait();
+            let wait_s = t0.elapsed().as_secs_f64();
+            let t1 = Instant::now();
+            let outcome = self.step_with_ghosts(sim, hook, &ghosts);
+            let edge_s = t1.elapsed().as_secs_f64();
+            return (
+                outcome,
+                SplitStepTimes {
+                    wait_s,
+                    edge_s,
+                    ..SplitStepTimes::default()
+                },
+            );
+        }
+        let (ghosts, mut times) =
+            sim.step_overlapped(hook, interior, wait, Some(&mut self.col_comp));
+        let t = Instant::now();
+        let outcome = self.verify_after_sweep(sim, &ghosts);
+        times.verify_s = t.elapsed().as_secs_f64();
+        (outcome, times)
+    }
+
+    /// Steps 2–5 of the protected iteration: interpolate the expected
+    /// checksums, detect, correct/refresh, and commit the trusted state.
+    /// The sweep must already have filled `self.col_comp` (and
+    /// `self.row_comp` when row checksums are maintained).
+    fn verify_after_sweep<G: GhostCells<T>>(
+        &mut self,
+        sim: &mut StencilSim<T>,
+        ghosts: &G,
+    ) -> StepOutcome<T> {
+        let (nx, ny, nz) = (self.nx, self.ny, self.nz);
         self.stats.steps += 1;
         self.stats.verifications += 1;
         let mut outcome = StepOutcome::new(sim.iteration());
@@ -378,6 +446,46 @@ mod tests {
             assert!(out.is_clean());
         }
         assert!(sim.current().max_abs_diff(reference.current()) < 1e-9);
+    }
+
+    #[test]
+    fn overlapped_step_matches_barriered_step_bitwise() {
+        let mut barriered = make_sim();
+        let mut overlapped = make_sim();
+        let mut abft_b = OnlineAbft::new(&barriered, AbftConfig::<f64>::paper_defaults());
+        let mut abft_o = OnlineAbft::new(&overlapped, AbftConfig::<f64>::paper_defaults());
+        for _ in 0..12 {
+            let out_b = abft_b.step(&mut barriered, &NoHook);
+            let (out_o, _) = abft_o.step_overlapped(&mut overlapped, &NoHook, 1..9, || NoGhosts);
+            assert_eq!(out_b.is_clean(), out_o.is_clean());
+        }
+        assert_eq!(barriered.current(), overlapped.current());
+        assert_eq!(abft_b.col_checksums(), abft_o.col_checksums());
+    }
+
+    #[test]
+    fn overlapped_step_corrects_injected_point_in_edge_and_interior() {
+        for (x, y, z) in [(5, 4, 1), (5, 0, 1), (5, 9, 2)] {
+            let mut sim = make_sim();
+            let mut reference = make_sim();
+            let mut abft = OnlineAbft::new(&sim, AbftConfig::<f64>::paper_defaults());
+            for _ in 0..3 {
+                abft.step_overlapped(&mut sim, &NoHook, 1..9, || NoGhosts);
+                reference.step();
+            }
+            let hook = move |hx: usize, hy: usize, hz: usize, v: f64| {
+                if (hx, hy, hz) == (x, y, z) {
+                    v + 50.0
+                } else {
+                    v
+                }
+            };
+            let (out, _) = abft.step_overlapped(&mut sim, &hook, 1..9, || NoGhosts);
+            reference.step();
+            assert_eq!(out.detections, 1, "flip at ({x},{y},{z}) missed");
+            assert_eq!(out.corrections.len(), 1);
+            assert!(sim.current().max_abs_diff(reference.current()) < 1e-9);
+        }
     }
 
     #[test]

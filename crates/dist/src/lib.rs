@@ -14,21 +14,32 @@
 //!   ([`decompose`]);
 //! * each rank owns a [`StencilSim`] over its slab with the `y` axis set to
 //!   [`Boundary::Ghost`]; out-of-slab reads are served by a [`HaloGhost`]
-//!   source holding the neighbour rows snapshotted at time `t` — exactly
-//!   the values an MPI halo exchange would have delivered;
-//! * every iteration first performs the halo exchange for all ranks, then
-//!   steps all ranks concurrently (one OS thread per rank);
+//!   source holding neighbour rows captured at time `t` — exactly the
+//!   values an MPI halo exchange would have delivered;
+//! * ranks execute in one of two [`HaloMode`]s. The default
+//!   [`HaloMode::Pipelined`] spawns each rank **once for the whole run**:
+//!   every iteration the rank posts its boundary rows to per-neighbour
+//!   channels, sweeps its interior while the halos are in flight, then
+//!   applies the received ghosts to its edge rows — there is no global
+//!   barrier; ordering is enforced purely by the bounded (depth-2,
+//!   double-buffered) channels. [`HaloMode::Snapshot`] is the legacy
+//!   barriered path — a global snapshot exchange followed by one thread
+//!   spawn per rank per iteration — kept as the overhead baseline for
+//!   `exp_halo_overlap`;
 //! * a rank with protection enabled drives its sweep through
-//!   [`OnlineAbft::step_with_ghosts`], so checksum interpolation sees the
-//!   same halo values as the sweep and single-point corruptions are
-//!   detected and corrected *locally*;
+//!   [`OnlineAbft::step_with_ghosts`] (snapshot) or
+//!   [`OnlineAbft::step_overlapped`] (pipelined), so checksum
+//!   interpolation sees the same halo values as the sweep and single-point
+//!   corruptions are detected and corrected *locally*, inside the rank's
+//!   iteration, before the next halo post;
 //! * [`DistReport::global`] gathers the slabs back into one grid.
 //!
-//! The result is **bitwise identical** to a serial [`StencilSim`] run of
+//! Both modes are **bitwise identical** to a serial [`StencilSim`] run of
 //! the global domain: the per-point operation order of the sweep does not
-//! depend on the decomposition, and halo reads reproduce the exact values
-//! the serial sweep reads (see `tests/distributed_equivalence.rs` at the
-//! workspace root).
+//! depend on the decomposition or on the interior/edge split, and halo
+//! reads reproduce the exact values the serial sweep reads (see
+//! `tests/distributed_equivalence.rs` at the workspace root and
+//! `tests/pipeline_equivalence.rs` in this crate).
 //!
 //! Global boundary conditions at the outer domain edges are honoured by
 //! resolving the rank-local out-of-range coordinate against the **global**
@@ -37,10 +48,115 @@
 //! last), and zero/constant short-circuit to the boundary value.
 
 use abft_core::{AbftConfig, OnlineAbft, ProtectorStats};
-use abft_fault::{BitFlip, MultiFlipHook};
+use abft_fault::BitFlip;
 use abft_grid::{AxisHit, Boundary, BoundarySpec, GhostCells, Grid3D};
 use abft_num::Real;
-use abft_stencil::{ChecksumMode, Exec, NoHook, Stencil3D, StencilSim};
+use abft_stencil::{Exec, Stencil3D, StencilSim};
+use std::time::Instant;
+
+mod pipeline;
+mod worker;
+
+/// How halo rows travel between ranks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum HaloMode {
+    /// Persistent per-rank workers and a double-buffered channel pipeline:
+    /// each rank is spawned once, posts its boundary rows at iteration
+    /// start, computes its interior while halos are in flight, then
+    /// applies received ghosts to the edge rows. No global barrier.
+    #[default]
+    Pipelined,
+    /// Legacy barriered exchange: the driver snapshots every requested
+    /// halo row, then spawns one thread per rank per iteration. Kept as
+    /// the baseline the pipeline is benchmarked against.
+    Snapshot,
+}
+
+/// A rejected distributed-run configuration.
+///
+/// Returned by [`run_distributed`] instead of panicking, so fault-campaign
+/// drivers can record rejected injections rather than dying mid-campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DistError {
+    /// `ranks == 0`.
+    NoRanks,
+    /// More ranks than domain rows (at most one rank per row).
+    TooManyRanks { rows: usize, ranks: usize },
+    /// A slab is not taller than the stencil's y-extent.
+    SlabTooShort {
+        rank: usize,
+        rows: usize,
+        extent: usize,
+    },
+    /// The outer-domain boundary spec uses [`Boundary::Ghost`].
+    GhostBoundary,
+    /// The constant field's dimensions differ from the domain's.
+    ConstantShape {
+        expected: (usize, usize, usize),
+        got: (usize, usize, usize),
+    },
+    /// A flip names a rank that does not exist.
+    FlipRank { rank: usize, ranks: usize },
+    /// A flip's slab-local coordinates fall outside its rank's slab (it
+    /// would never fire and silently corrupt the experiment bookkeeping).
+    FlipOutOfSlab {
+        rank: usize,
+        flip: (usize, usize, usize),
+        slab: (usize, usize, usize),
+    },
+    /// A flip's bit index exceeds the float width.
+    FlipBit { bit: u32, bits: u32 },
+    /// A flip is scheduled for an iteration that never runs.
+    FlipIteration { iteration: usize, iters: usize },
+}
+
+impl std::fmt::Display for DistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::NoRanks => write!(f, "need at least one rank"),
+            Self::TooManyRanks { rows, ranks } => write!(
+                f,
+                "cannot decompose {rows} rows over {ranks} ranks (at most one rank per row)"
+            ),
+            Self::SlabTooShort {
+                rank,
+                rows,
+                extent,
+            } => write!(
+                f,
+                "rank {rank}'s slab of {rows} rows is not taller than the stencil y-extent {extent}; use fewer ranks"
+            ),
+            Self::GhostBoundary => write!(
+                f,
+                "global boundaries must be self-contained (no Ghost axis)"
+            ),
+            Self::ConstantShape { expected, got } => write!(
+                f,
+                "constant field is {got:?} but the domain is {expected:?}"
+            ),
+            Self::FlipRank { rank, ranks } => {
+                write!(f, "flip rank {rank} out of range ({ranks} ranks)")
+            }
+            Self::FlipOutOfSlab { rank, flip, slab } => {
+                let (x, y, z) = flip;
+                let (nx, ny, nz) = slab;
+                write!(
+                    f,
+                    "flip ({x}, {y}, {z}) outside rank {rank}'s {nx}x{ny}x{nz} slab"
+                )
+            }
+            Self::FlipBit { bit, bits } => {
+                write!(f, "flip bit {bit} out of range for a {bits}-bit float")
+            }
+            Self::FlipIteration { iteration, iters } => write!(
+                f,
+                "flip iteration {iteration} never runs ({iters} iterations configured)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DistError {}
 
 /// Configuration of one distributed run.
 #[derive(Debug, Clone)]
@@ -57,18 +173,21 @@ pub struct DistConfig<T> {
     /// Faults to inject: `(rank, flip)` with the flip's coordinates local
     /// to that rank's slab.
     pub flips: Vec<(usize, BitFlip)>,
+    /// Halo exchange strategy (default: [`HaloMode::Pipelined`]).
+    pub mode: HaloMode,
 }
 
 impl<T: Real> DistConfig<T> {
-    /// An unprotected run over `ranks` slabs for `iters` iterations.
+    /// An unprotected pipelined run over `ranks` slabs for `iters`
+    /// iterations.
     pub fn new(ranks: usize, iters: usize) -> Self {
-        assert!(ranks > 0, "need at least one rank");
         Self {
             ranks,
             iters,
             halo: None,
             abft: None,
             flips: Vec::new(),
+            mode: HaloMode::default(),
         }
     }
 
@@ -85,11 +204,71 @@ impl<T: Real> DistConfig<T> {
         self
     }
 
-    /// Inject one bit-flip in `rank`'s slab (local coordinates).
+    /// Select the halo exchange strategy.
+    pub fn with_mode(mut self, mode: HaloMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Inject one bit-flip in `rank`'s slab (local coordinates). Validity
+    /// is checked by [`run_distributed`], which rejects out-of-slab flips
+    /// with a [`DistError`].
     pub fn with_flip(mut self, rank: usize, flip: BitFlip) -> Self {
-        assert!(rank < self.ranks, "flip rank {rank} out of range");
         self.flips.push((rank, flip));
         self
+    }
+}
+
+/// Per-rank wall-clock breakdown of one distributed run, in seconds,
+/// accumulated over all iterations.
+///
+/// In [`HaloMode::Pipelined`] every field is measured inside the rank's
+/// persistent worker: `post_s` covers packing and (possibly
+/// backpressured) channel sends, `interior_s` the sweep that overlaps the
+/// exchange, `wait_s` the time blocked in `recv` for neighbour rows (the
+/// un-hidden halo latency), `edge_s` the ghost-dependent edge rows and
+/// `verify_s` the ABFT interpolate/detect/correct tail.
+///
+/// In [`HaloMode::Snapshot`] the driver's serial exchange is attributed
+/// evenly to every rank's `post_s` and the whole barriered step lands in
+/// `edge_s`; `interior_s` and `wait_s` stay zero (nothing overlaps).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PhaseTimings {
+    /// Packing + posting boundary rows (sends, incl. backpressure).
+    pub post_s: f64,
+    /// Interior sweep performed while halos were in flight.
+    pub interior_s: f64,
+    /// Blocked waiting for neighbour halo rows.
+    pub wait_s: f64,
+    /// Edge-row sweep after the halo landed (whole step in snapshot mode).
+    pub edge_s: f64,
+    /// ABFT verification (interpolation, detection, correction).
+    pub verify_s: f64,
+}
+
+impl PhaseTimings {
+    /// Sum of all phases.
+    pub fn total_s(&self) -> f64 {
+        self.post_s + self.interior_s + self.wait_s + self.edge_s + self.verify_s
+    }
+
+    /// Fold one overlapped step's breakdown into the per-run totals.
+    pub(crate) fn add_step(&mut self, step: &abft_stencil::SplitStepTimes) {
+        self.interior_s += step.interior_s;
+        self.wait_s += step.wait_s;
+        self.edge_s += step.edge_s;
+        self.verify_s += step.verify_s;
+    }
+
+    /// Fraction of this rank's busy time spent blocked on halos — the
+    /// paper-relevant "communication not hidden by computation" metric.
+    pub fn halo_wait_fraction(&self) -> f64 {
+        let total = self.total_s();
+        if total > 0.0 {
+            self.wait_s / total
+        } else {
+            0.0
+        }
     }
 }
 
@@ -104,6 +283,8 @@ pub struct RankReport {
     pub y_len: usize,
     /// Protector counters (all zero for unprotected runs).
     pub stats: ProtectorStats,
+    /// Where this rank's wall-clock time went.
+    pub timing: PhaseTimings,
 }
 
 /// Result of a distributed run.
@@ -113,6 +294,9 @@ pub struct DistReport<T> {
     pub global: Grid3D<T>,
     /// Per-rank reports, indexed by rank.
     pub ranks: Vec<RankReport>,
+    /// Wall-clock seconds of the iteration loop (setup and gather
+    /// excluded), as seen by the driver.
+    pub wall_s: f64,
 }
 
 impl<T: Real> DistReport<T> {
@@ -123,6 +307,15 @@ impl<T: Real> DistReport<T> {
             total.merge(&r.stats);
         }
         total
+    }
+
+    /// The largest per-rank halo-wait fraction (the rank most exposed to
+    /// communication latency).
+    pub fn max_halo_wait_fraction(&self) -> f64 {
+        self.ranks
+            .iter()
+            .map(|r| r.timing.halo_wait_fraction())
+            .fold(0.0, f64::max)
     }
 }
 
@@ -216,6 +409,26 @@ pub struct HaloGhost<T> {
     nz: usize,
 }
 
+impl<T: Real> HaloGhost<T> {
+    pub(crate) fn new(
+        rows: Vec<(usize, Vec<T>)>,
+        bounds: BoundarySpec<T>,
+        y0: usize,
+        nx: usize,
+        ny_global: usize,
+        nz: usize,
+    ) -> Self {
+        Self {
+            rows,
+            bounds,
+            y0,
+            nx,
+            ny_global,
+            nz,
+        }
+    }
+}
+
 impl<T: Real> GhostCells<T> for HaloGhost<T> {
     #[inline]
     fn ghost(&self, x: isize, y: isize, z: isize) -> T {
@@ -245,80 +458,129 @@ impl<T: Real> GhostCells<T> for HaloGhost<T> {
     }
 }
 
-/// One simulated rank: its slab simulation, optional protector and
-/// pending faults.
-struct Rank<T> {
-    sim: StencilSim<T>,
-    abft: Option<OnlineAbft<T>>,
-    y0: usize,
-    y_len: usize,
-    flips: Vec<BitFlip>,
+/// One simulated rank: its slab simulation, optional protector, pending
+/// faults and accumulated phase timings.
+pub(crate) struct Rank<T> {
+    pub(crate) sim: StencilSim<T>,
+    pub(crate) abft: Option<OnlineAbft<T>>,
+    pub(crate) y0: usize,
+    pub(crate) y_len: usize,
+    pub(crate) flips: Vec<BitFlip>,
     /// Global row indices this rank needs in its halo every iteration.
-    needed_rows: Vec<usize>,
+    pub(crate) needed_rows: Vec<usize>,
+    pub(crate) timing: PhaseTimings,
+}
+
+impl<T: Real> Rank<T> {
+    /// The flips scheduled to fire during iteration `t`.
+    pub(crate) fn flips_at(&self, t: usize) -> Vec<BitFlip> {
+        self.flips
+            .iter()
+            .filter(|f| f.iteration == t)
+            .copied()
+            .collect()
+    }
+}
+
+/// Check a distributed configuration against the domain, returning the
+/// slab decomposition on success.
+fn validate<T: Real>(
+    initial: &Grid3D<T>,
+    stencil: &Stencil3D<T>,
+    bounds: &BoundarySpec<T>,
+    constant: Option<&Grid3D<T>>,
+    cfg: &DistConfig<T>,
+) -> Result<Vec<(usize, usize)>, DistError> {
+    let (nx, ny, nz) = initial.dims();
+    if matches!(bounds.x, Boundary::Ghost)
+        || matches!(bounds.y, Boundary::Ghost)
+        || matches!(bounds.z, Boundary::Ghost)
+    {
+        return Err(DistError::GhostBoundary);
+    }
+    if let Some(c) = constant {
+        if c.dims() != initial.dims() {
+            return Err(DistError::ConstantShape {
+                expected: initial.dims(),
+                got: c.dims(),
+            });
+        }
+    }
+    if cfg.ranks == 0 {
+        return Err(DistError::NoRanks);
+    }
+    if cfg.ranks > ny {
+        return Err(DistError::TooManyRanks {
+            rows: ny,
+            ranks: cfg.ranks,
+        });
+    }
+    let slabs = decompose(ny, cfg.ranks);
+    for (rank, &(_, len)) in slabs.iter().enumerate() {
+        if len <= stencil.extent_y() {
+            return Err(DistError::SlabTooShort {
+                rank,
+                rows: len,
+                extent: stencil.extent_y(),
+            });
+        }
+    }
+    for (rank, flip) in &cfg.flips {
+        if *rank >= cfg.ranks {
+            return Err(DistError::FlipRank {
+                rank: *rank,
+                ranks: cfg.ranks,
+            });
+        }
+        let (_, y_len) = slabs[*rank];
+        if flip.x >= nx || flip.y >= y_len || flip.z >= nz {
+            return Err(DistError::FlipOutOfSlab {
+                rank: *rank,
+                flip: (flip.x, flip.y, flip.z),
+                slab: (nx, y_len, nz),
+            });
+        }
+        if flip.bit >= T::BITS {
+            return Err(DistError::FlipBit {
+                bit: flip.bit,
+                bits: T::BITS,
+            });
+        }
+        if flip.iteration >= cfg.iters {
+            return Err(DistError::FlipIteration {
+                iteration: flip.iteration,
+                iters: cfg.iters,
+            });
+        }
+    }
+    Ok(slabs)
 }
 
 /// Run the distributed simulation and gather the result.
 ///
 /// Decomposes `initial` into `cfg.ranks` y-slabs, steps them `cfg.iters`
-/// times with a per-iteration halo exchange, protecting each rank with
-/// online ABFT when configured, and gathers the slabs back into a global
-/// grid. The unprotected (and clean protected) result is bitwise equal to
-/// a serial [`StencilSim`] run with the same inputs.
+/// times exchanging halos per [`DistConfig::mode`], protecting each rank
+/// with online ABFT when configured, and gathers the slabs back into a
+/// global grid. The unprotected (and clean protected) result is bitwise
+/// equal to a serial [`StencilSim`] run with the same inputs, in either
+/// mode.
 ///
-/// # Panics
-/// Panics when the decomposition leaves a slab no taller than the
-/// stencil's y-extent, or when `bounds` uses [`Boundary::Ghost`] (the
-/// outer-domain boundary must be self-contained).
+/// # Errors
+/// Returns a [`DistError`] when the decomposition leaves a slab no taller
+/// than the stencil's y-extent, when `bounds` uses [`Boundary::Ghost`]
+/// (the outer-domain boundary must be self-contained), or when a flip
+/// spec is invalid (bad rank, out-of-slab coordinates, bit width, or an
+/// iteration that never runs).
 pub fn run_distributed<T: Real>(
     initial: &Grid3D<T>,
     stencil: &Stencil3D<T>,
     bounds: &BoundarySpec<T>,
     constant: Option<&Grid3D<T>>,
     cfg: &DistConfig<T>,
-) -> DistReport<T> {
+) -> Result<DistReport<T>, DistError> {
     let (nx, ny, nz) = initial.dims();
-    assert!(
-        !matches!(bounds.x, Boundary::Ghost)
-            && !matches!(bounds.y, Boundary::Ghost)
-            && !matches!(bounds.z, Boundary::Ghost),
-        "global boundaries must be self-contained (no Ghost axis)"
-    );
-    if let Some(c) = constant {
-        assert_eq!(c.dims(), initial.dims(), "constant-field dimension mismatch");
-    }
+    let slabs = validate(initial, stencil, bounds, constant, cfg)?;
     let halo = cfg.halo.unwrap_or(0).max(stencil.extent_y());
-    let slabs = decompose(ny, cfg.ranks);
-    for &(_, len) in &slabs {
-        assert!(
-            len > stencil.extent_y(),
-            "slab of {len} rows is not taller than the stencil y-extent {}; use fewer ranks",
-            stencil.extent_y()
-        );
-    }
-    // Flip coordinates are slab-local; a flip outside its rank's slab
-    // would never fire and silently corrupt the experiment's bookkeeping.
-    for (rank, flip) in &cfg.flips {
-        let (_, y_len) = slabs[*rank];
-        assert!(
-            flip.x < nx && flip.y < y_len && flip.z < nz,
-            "flip ({}, {}, {}) outside rank {rank}'s {nx}x{y_len}x{nz} slab",
-            flip.x,
-            flip.y,
-            flip.z
-        );
-        assert!(
-            flip.bit < T::BITS,
-            "flip bit {} out of range for a {}-bit float",
-            flip.bit,
-            T::BITS
-        );
-        assert!(
-            flip.iteration < cfg.iters,
-            "flip iteration {} never runs ({} iterations configured)",
-            flip.iteration,
-            cfg.iters
-        );
-    }
 
     // Rank-local boundary spec: x/z as global, y served by the halo.
     let local_bounds = BoundarySpec {
@@ -332,8 +594,8 @@ pub fn run_distributed<T: Real>(
         .enumerate()
         .map(|(r, &(y0, y_len))| {
             let slab = Grid3D::from_fn(nx, y_len, nz, |x, y, z| initial.at(x, y0 + y, z));
-            let mut sim = StencilSim::new(slab, stencil.clone(), local_bounds)
-                .with_exec(Exec::Serial);
+            let mut sim =
+                StencilSim::new(slab, stencil.clone(), local_bounds).with_exec(Exec::Serial);
             if let Some(c) = constant {
                 let local_c = Grid3D::from_fn(nx, y_len, nz, |x, y, z| c.at(x, y0 + y, z));
                 sim = sim.with_constant(local_c);
@@ -352,37 +614,21 @@ pub fn run_distributed<T: Real>(
                     .map(|(_, f)| *f)
                     .collect(),
                 needed_rows,
+                timing: PhaseTimings::default(),
             }
         })
         .collect();
 
-    for t in 0..cfg.iters {
-        // --- Halo exchange: snapshot every requested time-t row. -------
-        // In an MPI deployment this is the send/recv pair; here the rows
-        // are copied out of the owning rank's current buffer.
-        let ghosts: Vec<HaloGhost<T>> = ranks
-            .iter()
-            .map(|rank| HaloGhost {
-                rows: rank
-                    .needed_rows
-                    .iter()
-                    .map(|&row| (row, snapshot_row(&ranks, &slabs, row, nx, nz)))
-                    .collect(),
-                bounds: *bounds,
-                y0: rank.y0,
-                nx,
-                ny_global: ny,
-                nz,
-            })
-            .collect();
-
-        // --- Step all ranks concurrently (one thread per rank). --------
-        std::thread::scope(|scope| {
-            for (rank, ghost) in ranks.iter_mut().zip(ghosts) {
-                scope.spawn(move || step_rank(rank, t, &ghost));
-            }
-        });
+    let wall = Instant::now();
+    match cfg.mode {
+        HaloMode::Pipelined => {
+            pipeline::run_pipelined(&mut ranks, &slabs, bounds, (nx, ny, nz), cfg.iters);
+        }
+        HaloMode::Snapshot => {
+            run_snapshot(&mut ranks, &slabs, bounds, (nx, ny, nz), cfg.iters);
+        }
     }
+    let wall_s = wall.elapsed().as_secs_f64();
 
     // --- Gather the slabs back into the global grid (one pass per slab,
     //     contiguous x-line copies). ------------------------------------
@@ -398,7 +644,7 @@ pub fn run_distributed<T: Real>(
         }
     }
 
-    DistReport {
+    Ok(DistReport {
         global,
         ranks: ranks
             .iter()
@@ -408,34 +654,58 @@ pub fn run_distributed<T: Real>(
                 y0: r.y0,
                 y_len: r.y_len,
                 stats: r.abft.as_ref().map(|a| a.stats()).unwrap_or_default(),
+                timing: r.timing,
             })
             .collect(),
-    }
+        wall_s,
+    })
 }
 
-/// Advance one rank by one iteration, injecting any flips scheduled for
-/// iteration `t` and protecting the sweep when ABFT is enabled.
-fn step_rank<T: Real>(rank: &mut Rank<T>, t: usize, ghost: &HaloGhost<T>) {
-    let flips_now: Vec<BitFlip> = rank
-        .flips
-        .iter()
-        .filter(|f| f.iteration == t)
-        .copied()
-        .collect();
-    match (&mut rank.abft, flips_now.is_empty()) {
-        (Some(abft), true) => {
-            abft.step_with_ghosts(&mut rank.sim, &NoHook, ghost);
-        }
-        (Some(abft), false) => {
-            let hook = MultiFlipHook::new(flips_now);
-            abft.step_with_ghosts(&mut rank.sim, &hook, ghost);
-        }
-        (None, true) => {
-            rank.sim.step_full(&NoHook, ghost, ChecksumMode::None);
-        }
-        (None, false) => {
-            let hook = MultiFlipHook::new(flips_now);
-            rank.sim.step_full(&hook, ghost, ChecksumMode::None);
+/// The legacy barriered execution: snapshot all requested halo rows on the
+/// driver, then spawn one thread per rank per iteration.
+fn run_snapshot<T: Real>(
+    ranks: &mut [Rank<T>],
+    slabs: &[(usize, usize)],
+    bounds: &BoundarySpec<T>,
+    dims: (usize, usize, usize),
+    iters: usize,
+) {
+    let (nx, ny, nz) = dims;
+    for t in 0..iters {
+        // --- Halo exchange: snapshot every requested time-t row. -------
+        // In an MPI deployment this is the send/recv pair; here the rows
+        // are copied out of the owning rank's current buffer.
+        let t0 = Instant::now();
+        let ghosts: Vec<HaloGhost<T>> = ranks
+            .iter()
+            .map(|rank| {
+                HaloGhost::new(
+                    rank.needed_rows
+                        .iter()
+                        .map(|&row| (row, snapshot_row(ranks, slabs, row)))
+                        .collect(),
+                    *bounds,
+                    rank.y0,
+                    nx,
+                    ny,
+                    nz,
+                )
+            })
+            .collect();
+        let exchange_share = t0.elapsed().as_secs_f64() / ranks.len() as f64;
+
+        // --- Step all ranks concurrently (one thread per rank). --------
+        std::thread::scope(|scope| {
+            for (rank, ghost) in ranks.iter_mut().zip(ghosts) {
+                scope.spawn(move || {
+                    let t1 = Instant::now();
+                    worker::step_rank_barriered(rank, t, &ghost);
+                    rank.timing.edge_s += t1.elapsed().as_secs_f64();
+                });
+            }
+        });
+        for rank in ranks.iter_mut() {
+            rank.timing.post_s += exchange_share;
         }
     }
 }
@@ -465,7 +735,7 @@ fn needed_halo_rows<T: Real>(
 }
 
 /// Which rank owns global row `y`, and the row's slab-local index.
-fn owner_of(slabs: &[(usize, usize)], y: usize) -> (usize, usize) {
+pub(crate) fn owner_of(slabs: &[(usize, usize)], y: usize) -> (usize, usize) {
     for (r, &(y0, len)) in slabs.iter().enumerate() {
         if (y0..y0 + len).contains(&y) {
             return (r, y - y0);
@@ -476,22 +746,9 @@ fn owner_of(slabs: &[(usize, usize)], y: usize) -> (usize, usize) {
 
 /// Copy global row `row` (an `[z][x]` plane) out of its owner's current
 /// time-`t` buffer.
-fn snapshot_row<T: Real>(
-    ranks: &[Rank<T>],
-    slabs: &[(usize, usize)],
-    row: usize,
-    nx: usize,
-    nz: usize,
-) -> Vec<T> {
+fn snapshot_row<T: Real>(ranks: &[Rank<T>], slabs: &[(usize, usize)], row: usize) -> Vec<T> {
     let (r, local_y) = owner_of(slabs, row);
-    let grid = ranks[r].sim.current();
-    let mut plane = Vec::with_capacity(nz * nx);
-    for z in 0..nz {
-        for x in 0..nx {
-            plane.push(grid.at(x, local_y, z));
-        }
-    }
-    plane
+    worker::copy_plane(ranks[r].sim.current(), local_y)
 }
 
 #[cfg(test)]
@@ -510,12 +767,16 @@ mod tests {
         bounds: &BoundarySpec<f64>,
         iters: usize,
     ) -> Grid3D<f64> {
-        let mut sim = StencilSim::new(initial.clone(), stencil.clone(), *bounds)
-            .with_exec(Exec::Serial);
+        let mut sim =
+            StencilSim::new(initial.clone(), stencil.clone(), *bounds).with_exec(Exec::Serial);
         for _ in 0..iters {
             sim.step();
         }
         sim.current().clone()
+    }
+
+    fn both_modes() -> [HaloMode; 2] {
+        [HaloMode::Pipelined, HaloMode::Snapshot]
     }
 
     #[test]
@@ -534,10 +795,10 @@ mod tests {
         let _ = decompose(3, 4);
     }
 
-    /// The satellite halo-correctness check: a y-asymmetric stencil makes
-    /// every halo row matter, and clamp vs. periodic exercise both global
+    /// The halo-correctness check: a y-asymmetric stencil makes every halo
+    /// row matter, and clamp vs. periodic exercise both global
     /// edge-resolution paths (fold-back into the edge rank vs. wrap around
-    /// the rank ring).
+    /// the rank ring) — in both execution modes.
     #[test]
     fn halo_exchange_is_exact_at_rank_boundaries_clamp_vs_periodic() {
         let initial = wavy(7, 12, 3);
@@ -553,17 +814,20 @@ mod tests {
             let bounds = BoundarySpec::uniform(boundary);
             let expect = serial(&initial, &stencil, &bounds, 9);
             for ranks in [2usize, 3, 4] {
-                let rep = run_distributed(
-                    &initial,
-                    &stencil,
-                    &bounds,
-                    None,
-                    &DistConfig::<f64>::new(ranks, 9),
-                );
-                assert_eq!(
-                    rep.global, expect,
-                    "{ranks} ranks diverged under {boundary:?}"
-                );
+                for mode in both_modes() {
+                    let rep = run_distributed(
+                        &initial,
+                        &stencil,
+                        &bounds,
+                        None,
+                        &DistConfig::<f64>::new(ranks, 9).with_mode(mode),
+                    )
+                    .unwrap();
+                    assert_eq!(
+                        rep.global, expect,
+                        "{ranks} ranks diverged under {boundary:?} ({mode:?})"
+                    );
+                }
             }
         }
     }
@@ -584,14 +848,20 @@ mod tests {
                 z: Boundary::Clamp,
             };
             let expect = serial(&initial, &stencil, &bounds, 6);
-            let rep = run_distributed(
-                &initial,
-                &stencil,
-                &bounds,
-                None,
-                &DistConfig::<f64>::new(3, 6),
-            );
-            assert_eq!(rep.global, expect, "diverged under y = {boundary:?}");
+            for mode in both_modes() {
+                let rep = run_distributed(
+                    &initial,
+                    &stencil,
+                    &bounds,
+                    None,
+                    &DistConfig::<f64>::new(3, 6).with_mode(mode),
+                )
+                .unwrap();
+                assert_eq!(
+                    rep.global, expect,
+                    "diverged under y = {boundary:?} ({mode:?})"
+                );
+            }
         }
     }
 
@@ -601,16 +871,19 @@ mod tests {
         let stencil = Stencil3D::seven_point(0.4f64, 0.1, 0.1, 0.1);
         let bounds = BoundarySpec::clamp();
         let expect = serial(&initial, &stencil, &bounds, 12);
-        let rep = run_distributed(
-            &initial,
-            &stencil,
-            &bounds,
-            None,
-            &DistConfig::<f64>::new(1, 12),
-        );
-        assert_eq!(rep.global, expect);
-        assert_eq!(rep.ranks.len(), 1);
-        assert_eq!(rep.ranks[0].y_len, 9);
+        for mode in both_modes() {
+            let rep = run_distributed(
+                &initial,
+                &stencil,
+                &bounds,
+                None,
+                &DistConfig::<f64>::new(1, 12).with_mode(mode),
+            )
+            .unwrap();
+            assert_eq!(rep.global, expect);
+            assert_eq!(rep.ranks.len(), 1);
+            assert_eq!(rep.ranks[0].y_len, 9);
+        }
     }
 
     #[test]
@@ -625,14 +898,17 @@ mod tests {
         ]);
         let bounds = BoundarySpec::clamp();
         let expect = serial(&initial, &stencil, &bounds, 5);
-        let rep = run_distributed(
-            &initial,
-            &stencil,
-            &bounds,
-            None,
-            &DistConfig::<f64>::new(3, 5),
-        );
-        assert_eq!(rep.global, expect);
+        for mode in both_modes() {
+            let rep = run_distributed(
+                &initial,
+                &stencil,
+                &bounds,
+                None,
+                &DistConfig::<f64>::new(3, 5).with_mode(mode),
+            )
+            .unwrap();
+            assert_eq!(rep.global, expect, "{mode:?}");
+        }
     }
 
     #[test]
@@ -665,11 +941,15 @@ mod tests {
         let stencil = Stencil3D::seven_point(0.4f64, 0.12, 0.08, 0.1);
         let bounds = BoundarySpec::clamp();
         let expect = serial(&initial, &stencil, &bounds, 15);
-        let cfg = DistConfig::new(3, 15).with_abft(AbftConfig::<f64>::paper_defaults());
-        let rep = run_distributed(&initial, &stencil, &bounds, None, &cfg);
-        assert_eq!(rep.global, expect);
-        assert_eq!(rep.total_stats().detections, 0);
-        assert_eq!(rep.total_stats().steps, 45); // 3 ranks × 15 iterations
+        for mode in both_modes() {
+            let cfg = DistConfig::new(3, 15)
+                .with_abft(AbftConfig::<f64>::paper_defaults())
+                .with_mode(mode);
+            let rep = run_distributed(&initial, &stencil, &bounds, None, &cfg).unwrap();
+            assert_eq!(rep.global, expect, "{mode:?}");
+            assert_eq!(rep.total_stats().detections, 0);
+            assert_eq!(rep.total_stats().steps, 45); // 3 ranks × 15 iterations
+        }
     }
 
     #[test]
@@ -689,18 +969,21 @@ mod tests {
             z: 1,
             bit: 51,
         };
-        let cfg = DistConfig::new(3, 10)
-            .with_abft(AbftConfig::<f64>::paper_defaults())
-            .with_flip(1, flip);
-        let rep = run_distributed(&initial, &stencil, &bounds, None, &cfg);
-        let total = rep.total_stats();
-        assert_eq!(total.detections, 1);
-        assert_eq!(total.corrections, 1);
-        assert_eq!(rep.ranks[1].stats.corrections, 1);
-        assert_eq!(rep.ranks[0].stats.corrections, 0);
-        // The correction lands before the next halo exchange, so the
-        // neighbour never sees the corruption.
-        assert!(rep.global.max_abs_diff(&expect) < 1e-9);
+        for mode in both_modes() {
+            let cfg = DistConfig::new(3, 10)
+                .with_abft(AbftConfig::<f64>::paper_defaults())
+                .with_flip(1, flip)
+                .with_mode(mode);
+            let rep = run_distributed(&initial, &stencil, &bounds, None, &cfg).unwrap();
+            let total = rep.total_stats();
+            assert_eq!(total.detections, 1, "{mode:?}");
+            assert_eq!(total.corrections, 1, "{mode:?}");
+            assert_eq!(rep.ranks[1].stats.corrections, 1);
+            assert_eq!(rep.ranks[0].stats.corrections, 0);
+            // The correction lands before the next halo exchange, so the
+            // neighbour never sees the corruption.
+            assert!(rep.global.max_abs_diff(&expect) < 1e-9);
+        }
     }
 
     #[test]
@@ -713,15 +996,16 @@ mod tests {
             &BoundarySpec::clamp(),
             None,
             &DistConfig::<f64>::new(4, 2),
-        );
+        )
+        .unwrap();
         let geom: Vec<(usize, usize, usize)> =
             rep.ranks.iter().map(|r| (r.rank, r.y0, r.y_len)).collect();
         assert_eq!(geom, vec![(0, 0, 3), (1, 3, 3), (2, 6, 3), (3, 9, 2)]);
+        assert!(rep.wall_s >= 0.0);
     }
 
     #[test]
-    #[should_panic(expected = "outside rank 1's")]
-    fn out_of_slab_flip_rejected_instead_of_silently_ignored() {
+    fn out_of_slab_flip_rejected_with_structured_error() {
         let initial = wavy(6, 12, 2);
         let stencil = Stencil3D::seven_point(0.4f64, 0.1, 0.1, 0.1);
         // 12 rows over 4 ranks ⇒ 3-row slabs; local y = 3 can never fire.
@@ -737,21 +1021,132 @@ mod tests {
                     bit: 50,
                 },
             );
-        let _ = run_distributed(&initial, &stencil, &BoundarySpec::clamp(), None, &cfg);
+        let err =
+            run_distributed(&initial, &stencil, &BoundarySpec::clamp(), None, &cfg).unwrap_err();
+        assert_eq!(
+            err,
+            DistError::FlipOutOfSlab {
+                rank: 1,
+                flip: (1, 3, 0),
+                slab: (6, 3, 2),
+            }
+        );
+        assert!(err.to_string().contains("outside rank 1's"));
     }
 
     #[test]
-    #[should_panic]
+    fn invalid_flip_specs_each_get_their_own_error() {
+        let initial = wavy(6, 12, 2);
+        let stencil = Stencil3D::seven_point(0.4f64, 0.1, 0.1, 0.1);
+        let bounds = BoundarySpec::clamp();
+        let base = BitFlip {
+            iteration: 1,
+            x: 1,
+            y: 1,
+            z: 0,
+            bit: 10,
+        };
+        let cases: Vec<(DistConfig<f64>, DistError)> = vec![
+            (
+                DistConfig::new(3, 5).with_flip(7, base),
+                DistError::FlipRank { rank: 7, ranks: 3 },
+            ),
+            (
+                DistConfig::new(3, 5).with_flip(0, BitFlip { bit: 99, ..base }),
+                DistError::FlipBit { bit: 99, bits: 64 },
+            ),
+            (
+                DistConfig::new(3, 5).with_flip(
+                    0,
+                    BitFlip {
+                        iteration: 5,
+                        ..base
+                    },
+                ),
+                DistError::FlipIteration {
+                    iteration: 5,
+                    iters: 5,
+                },
+            ),
+        ];
+        for (cfg, want) in cases {
+            let err = run_distributed(&initial, &stencil, &bounds, None, &cfg).unwrap_err();
+            assert_eq!(err, want);
+        }
+    }
+
+    #[test]
     fn slab_shorter_than_stencil_extent_rejected() {
         let initial = wavy(5, 8, 1);
         let stencil = Stencil3D::from_tuples(&[(0, -2, 0, 0.5f64), (0, 2, 0, 0.5)]);
         // 8 rows over 4 ranks ⇒ 2-row slabs, but the stencil needs > 2.
-        let _ = run_distributed(
+        let err = run_distributed(
             &initial,
             &stencil,
             &BoundarySpec::clamp(),
             None,
             &DistConfig::<f64>::new(4, 1),
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            DistError::SlabTooShort {
+                rank: 0,
+                rows: 2,
+                extent: 2,
+            }
         );
+    }
+
+    #[test]
+    fn too_many_ranks_and_ghost_bounds_rejected() {
+        let initial = wavy(5, 6, 1);
+        let stencil = Stencil3D::from_tuples(&[(0, 0, 0, 1.0f64)]);
+        let err = run_distributed(
+            &initial,
+            &stencil,
+            &BoundarySpec::clamp(),
+            None,
+            &DistConfig::<f64>::new(9, 1),
+        )
+        .unwrap_err();
+        assert_eq!(err, DistError::TooManyRanks { rows: 6, ranks: 9 });
+
+        let ghost_bounds = BoundarySpec {
+            x: Boundary::Clamp,
+            y: Boundary::Ghost,
+            z: Boundary::Clamp,
+        };
+        let err = run_distributed(
+            &initial,
+            &stencil,
+            &ghost_bounds,
+            None,
+            &DistConfig::<f64>::new(2, 1),
+        )
+        .unwrap_err();
+        assert_eq!(err, DistError::GhostBoundary);
+    }
+
+    #[test]
+    fn pipelined_timings_are_populated() {
+        let initial = wavy(16, 24, 2);
+        let stencil = Stencil3D::seven_point(0.4f64, 0.1, 0.1, 0.1);
+        let rep = run_distributed(
+            &initial,
+            &stencil,
+            &BoundarySpec::clamp(),
+            None,
+            &DistConfig::<f64>::new(3, 8),
+        )
+        .unwrap();
+        for r in &rep.ranks {
+            let t = r.timing;
+            assert!(t.total_s() > 0.0, "rank {} reported no time", r.rank);
+            // Interior sweeps happened (slabs are taller than 2×extent).
+            assert!(t.interior_s > 0.0, "rank {} never overlapped", r.rank);
+            assert!((0.0..=1.0).contains(&t.halo_wait_fraction()));
+        }
+        assert!(rep.max_halo_wait_fraction() <= 1.0);
     }
 }

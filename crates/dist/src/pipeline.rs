@@ -1,0 +1,113 @@
+//! The persistent rank pipeline: channel topology construction and the
+//! run loop that spawns each rank **once** for the whole simulation.
+//!
+//! Topology: for every (producer, consumer) rank pair where the consumer's
+//! halo needs at least one row owned by the producer, a dedicated bounded
+//! channel carries one message per iteration — all the rows that producer
+//! owes that consumer, snapshotted at the producer's current time. The
+//! bound of **2** is the double-buffering discipline: a producer may run
+//! at most two iterations ahead of a consumer before its send blocks
+//! (backpressure), which caps skew and memory without any global barrier.
+//!
+//! Rows a rank needs from *itself* (clamp/reflect folding at the outer
+//! domain edges, or a single-rank periodic ring) never touch a channel;
+//! the worker snapshots them locally before sweeping.
+//!
+//! Progress argument (no deadlock): consider the rank at the minimum
+//! iteration `t`. Every channel holds only messages for iterations `>=
+//! t`, so its (capacity-2) sends cannot block — a full channel would mean
+//! its consumer lags more than two iterations behind, contradicting
+//! minimality — and its receives are satisfied because every producer at
+//! iteration `>= t` posted its `t`-message before doing anything blocking.
+//! Hence the minimum rank always advances.
+
+use crate::worker;
+use crate::{owner_of, Rank};
+use abft_grid::BoundarySpec;
+use abft_num::Real;
+use std::collections::BTreeMap;
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+
+/// Halo payload: `(global_row, plane)` pairs, each plane `[z][x]`.
+pub(crate) type HaloMsg<T> = Vec<(usize, Vec<T>)>;
+
+/// An outgoing halo channel: the sender plus the `(local_row, global_row)`
+/// pairs owed to that consumer every iteration.
+pub(crate) type SendPort<T> = (SyncSender<HaloMsg<T>>, Vec<(usize, usize)>);
+
+/// Double-buffering depth of each halo channel: a producer can run at
+/// most this many iterations ahead of a consumer before its send blocks.
+pub(crate) const CHANNEL_DEPTH: usize = 2;
+
+/// One rank's endpoints in the pipeline.
+pub(crate) struct Ports<T> {
+    /// Outgoing halo channels, one per consumer this rank owes rows to.
+    pub(crate) sends: Vec<SendPort<T>>,
+    /// Incoming halo channels, one per producer; exactly one message per
+    /// producer per iteration, in iteration order.
+    pub(crate) recvs: Vec<Receiver<HaloMsg<T>>>,
+    /// `(local_row, global_row)` pairs this rank serves to itself.
+    pub(crate) self_rows: Vec<(usize, usize)>,
+}
+
+impl<T> Ports<T> {
+    fn empty() -> Self {
+        Self {
+            sends: Vec::new(),
+            recvs: Vec::new(),
+            self_rows: Vec::new(),
+        }
+    }
+}
+
+/// Wire up the halo channels from each rank's needed-row set. Handles
+/// arbitrary producers (immediate neighbours, multi-rank-away rows for
+/// halos wider than a slab, periodic wrap-around, and self rows).
+pub(crate) fn build_topology<T: Real>(
+    ranks: &[Rank<T>],
+    slabs: &[(usize, usize)],
+) -> Vec<Ports<T>> {
+    let mut ports: Vec<Ports<T>> = (0..ranks.len()).map(|_| Ports::empty()).collect();
+    for (c, rank) in ranks.iter().enumerate() {
+        let mut by_owner: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+        for &row in &rank.needed_rows {
+            let (p, _) = owner_of(slabs, row);
+            by_owner.entry(p).or_default().push(row);
+        }
+        for (p, rows) in by_owner {
+            let localised: Vec<(usize, usize)> =
+                rows.iter().map(|&r| (r - slabs[p].0, r)).collect();
+            if p == c {
+                ports[c].self_rows = localised;
+            } else {
+                let (tx, rx) = sync_channel(CHANNEL_DEPTH);
+                ports[p].sends.push((tx, localised));
+                ports[c].recvs.push(rx);
+            }
+        }
+    }
+    ports
+}
+
+/// Spawn one persistent worker per rank and run the whole simulation.
+/// Workers communicate only through their ports; the driver just joins.
+pub(crate) fn run_pipelined<T: Real>(
+    ranks: &mut [Rank<T>],
+    slabs: &[(usize, usize)],
+    bounds: &BoundarySpec<T>,
+    dims: (usize, usize, usize),
+    iters: usize,
+) {
+    let ports = build_topology(ranks, slabs);
+    let bounds = *bounds;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = ranks
+            .iter_mut()
+            .zip(ports)
+            .map(|(rank, port)| scope.spawn(move || worker::run(rank, port, bounds, dims, iters)))
+            .collect();
+        for handle in handles {
+            handle.join().expect("rank worker panicked");
+        }
+    });
+}

@@ -1,0 +1,133 @@
+//! The per-rank worker: the body of one persistent pipeline thread, plus
+//! the barriered single-step used by the legacy snapshot mode.
+//!
+//! Pipelined iteration structure (one pass of [`run`]'s loop):
+//!
+//! 1. **post** — snapshot the boundary rows this rank owes its consumers
+//!    out of the current (time-`t`) buffer and send one message per
+//!    consumer channel; self-served rows are copied aside.
+//! 2. **interior** — sweep the rows whose stencil support stays in-slab.
+//!    This is the overlap window: neighbour sends/receives complete while
+//!    the bulk of the compute runs.
+//! 3. **wait** — block on each producer channel for its halo message and
+//!    assemble the [`HaloGhost`] for this iteration.
+//! 4. **edge** — sweep the remaining rows against the ghost and finish
+//!    the step (buffer swap).
+//! 5. **verify** — when protected, ABFT interpolation/detection runs on
+//!    the completed step; corrections land *before* the next post, so a
+//!    neighbour can never observe a known-corrupted row.
+
+use crate::pipeline::{HaloMsg, Ports};
+use crate::{HaloGhost, Rank};
+use abft_fault::MultiFlipHook;
+use abft_grid::{BoundarySpec, Grid3D};
+use abft_num::Real;
+use abft_stencil::{ChecksumMode, NoHook, SplitStepTimes};
+use std::time::Instant;
+
+/// Copy slab-local row `ly` (an `[z][x]` plane, length nz·nx) out of a
+/// rank's grid.
+pub(crate) fn copy_plane<T: Real>(grid: &Grid3D<T>, ly: usize) -> Vec<T> {
+    let (nx, ny, nz) = grid.dims();
+    let slice = grid.as_slice();
+    let mut plane = Vec::with_capacity(nz * nx);
+    for z in 0..nz {
+        let base = z * nx * ny + ly * nx;
+        plane.extend_from_slice(&slice[base..base + nx]);
+    }
+    plane
+}
+
+/// The persistent worker loop for one rank (pipelined mode).
+pub(crate) fn run<T: Real>(
+    rank: &mut Rank<T>,
+    ports: Ports<T>,
+    bounds: BoundarySpec<T>,
+    dims: (usize, usize, usize),
+    iters: usize,
+) {
+    let (nx, ny, nz) = dims;
+    let y0 = rank.y0;
+    let y_len = rank.y_len;
+    let ey = rank.sim.stencil().extent_y();
+    // Rows whose stencil support stays inside the slab (may be empty for
+    // slabs barely taller than the extent); the complement is the edge.
+    let interior = ey..y_len.saturating_sub(ey).max(ey);
+
+    for t in 0..iters {
+        // --- 1. post ---------------------------------------------------
+        let t0 = Instant::now();
+        let current = rank.sim.current();
+        for (tx, rows) in &ports.sends {
+            let msg: HaloMsg<T> = rows
+                .iter()
+                .map(|&(ly, row)| (row, copy_plane(current, ly)))
+                .collect();
+            tx.send(msg).expect("consumer rank hung up");
+        }
+        let self_planes: HaloMsg<T> = ports
+            .self_rows
+            .iter()
+            .map(|&(ly, row)| (row, copy_plane(current, ly)))
+            .collect();
+        rank.timing.post_s += t0.elapsed().as_secs_f64();
+
+        // --- 2–5. overlapped step -------------------------------------
+        let recvs = &ports.recvs;
+        let wait = move || {
+            let mut rows = self_planes;
+            for rx in recvs {
+                rows.extend(rx.recv().expect("producer rank hung up"));
+            }
+            HaloGhost::new(rows, bounds, y0, nx, ny, nz)
+        };
+
+        let flips_now = rank.flips_at(t);
+        let times: SplitStepTimes = match (&mut rank.abft, flips_now.is_empty()) {
+            (Some(abft), true) => {
+                abft.step_overlapped(&mut rank.sim, &NoHook, interior.clone(), wait)
+                    .1
+            }
+            (Some(abft), false) => {
+                let hook = MultiFlipHook::new(flips_now);
+                abft.step_overlapped(&mut rank.sim, &hook, interior.clone(), wait)
+                    .1
+            }
+            (None, true) => {
+                rank.sim
+                    .step_overlapped(&NoHook, interior.clone(), wait, None)
+                    .1
+            }
+            (None, false) => {
+                let hook = MultiFlipHook::new(flips_now);
+                rank.sim
+                    .step_overlapped(&hook, interior.clone(), wait, None)
+                    .1
+            }
+        };
+        rank.timing.add_step(&times);
+    }
+}
+
+/// Advance one rank by one iteration against a pre-built ghost (snapshot
+/// mode), injecting any flips scheduled for iteration `t` and protecting
+/// the sweep when ABFT is enabled.
+pub(crate) fn step_rank_barriered<T: Real>(rank: &mut Rank<T>, t: usize, ghost: &HaloGhost<T>) {
+    let flips_now = rank.flips_at(t);
+    match (&mut rank.abft, flips_now.is_empty()) {
+        (Some(abft), true) => {
+            abft.step_with_ghosts(&mut rank.sim, &NoHook, ghost);
+        }
+        (Some(abft), false) => {
+            let hook = MultiFlipHook::new(flips_now);
+            abft.step_with_ghosts(&mut rank.sim, &hook, ghost);
+        }
+        (None, true) => {
+            rank.sim.step_full(&NoHook, ghost, ChecksumMode::None);
+        }
+        (None, false) => {
+            let hook = MultiFlipHook::new(flips_now);
+            rank.sim.step_full(&hook, ghost, ChecksumMode::None);
+        }
+    }
+}

@@ -3,7 +3,7 @@
 //!
 //! > "we simulate SDCs by injecting a single bit-flip in the memory used
 //! > by the application during the execution. The bit-flip is injected
-//! > during a random stencil iteration, in [a] random point in the
+//! > during a random stencil iteration, in \[a\] random point in the
 //! > computational domain, and at a random bit position […] during the
 //! > stencil sweep operation, after the stencil point targeted for data
 //! > corruption has been updated and before it is stored into the domain."

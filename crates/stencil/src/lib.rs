@@ -32,5 +32,5 @@ mod sweep;
 pub use exec::Exec;
 pub use hook::{NoHook, SweepHook};
 pub use kernel::{Stencil2D, Stencil3D, Tap2, Tap3};
-pub use sim::StencilSim;
-pub use sweep::{read_resolved, sweep, ChecksumMode};
+pub use sim::{SplitStepTimes, StencilSim};
+pub use sweep::{read_resolved, sweep, sweep_rows, ChecksumMode};

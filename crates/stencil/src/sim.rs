@@ -1,9 +1,35 @@
 //! A self-contained time-stepping simulation: stencil + boundary spec +
 //! optional constant field + double-buffered state.
 
-use crate::{sweep, ChecksumMode, Exec, NoHook, Stencil3D, SweepHook};
+use crate::{sweep, sweep_rows, ChecksumMode, Exec, NoHook, Stencil3D, SweepHook};
 use abft_grid::{BoundarySpec, DoubleBuffer, GhostCells, Grid3D, NoGhosts};
 use abft_num::Real;
+use std::ops::Range;
+use std::time::Instant;
+
+/// Wall-clock breakdown of one overlapped (split) step, in seconds.
+///
+/// Produced by [`StencilSim::step_overlapped`]; `verify_s` stays zero for
+/// unprotected steps and is filled in by the protector when ABFT
+/// verification runs after the edge phase.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SplitStepTimes {
+    /// Interior rows swept while halos were in flight.
+    pub interior_s: f64,
+    /// Blocked waiting for the ghost source (halo receive).
+    pub wait_s: f64,
+    /// Edge rows swept after the halo landed.
+    pub edge_s: f64,
+    /// ABFT interpolation/detection/correction after the step.
+    pub verify_s: f64,
+}
+
+impl SplitStepTimes {
+    /// Sum of all phases.
+    pub fn total_s(&self) -> f64 {
+        self.interior_s + self.wait_s + self.edge_s + self.verify_s
+    }
+}
 
 /// An unprotected stencil simulation (the paper's "No-ABFT" baseline) and
 /// the substrate the protectors in `abft-core` drive.
@@ -149,6 +175,91 @@ impl<T: Real> StencilSim<T> {
         self.iteration += 1;
     }
 
+    /// Low-level half of a split step: sweep only the `y`-rows in `rows`
+    /// into the back buffer **without** completing the step. Call
+    /// [`StencilSim::finish_step`] once disjoint row ranges covering the
+    /// whole domain have been swept; the result is bitwise equal to one
+    /// [`StencilSim::step_full`]. `col`, when given, receives the fused
+    /// column checksums of the swept rows.
+    pub fn sweep_rows_partial<H: SweepHook<T>, G: GhostCells<T>>(
+        &mut self,
+        hook: &H,
+        ghosts: &G,
+        rows: Range<usize>,
+        col: Option<&mut [T]>,
+    ) {
+        let (src, dst) = self.buf.split();
+        let mode = match col {
+            Some(c) => ChecksumMode::Col { col: c },
+            None => ChecksumMode::None,
+        };
+        sweep_rows(
+            src,
+            dst,
+            &self.stencil,
+            &self.bounds,
+            self.constant.as_ref(),
+            ghosts,
+            hook,
+            mode,
+            self.exec,
+            rows,
+        );
+    }
+
+    /// Complete a split step: swap the buffers and advance the iteration
+    /// counter. Every row must have been swept via
+    /// [`StencilSim::sweep_rows_partial`] since the last step.
+    pub fn finish_step(&mut self) {
+        self.buf.swap();
+        self.iteration += 1;
+    }
+
+    /// One overlapped step: sweep the `interior` rows (which must not
+    /// depend on ghost cells), then call `wait` to obtain the ghost source
+    /// — the overlap window where a halo exchange completes — and finally
+    /// sweep the remaining edge rows against it. Bitwise equal to
+    /// [`StencilSim::step_full`] with the same ghost values.
+    ///
+    /// Returns the ghost source (protectors reuse it for checksum
+    /// interpolation) and the per-phase wall-clock breakdown.
+    pub fn step_overlapped<H, G, W>(
+        &mut self,
+        hook: &H,
+        interior: Range<usize>,
+        wait: W,
+        mut col: Option<&mut [T]>,
+    ) -> (G, SplitStepTimes)
+    where
+        H: SweepHook<T>,
+        G: GhostCells<T>,
+        W: FnOnce() -> G,
+    {
+        let ny = self.dims().1;
+        let interior = interior.start.min(ny)..interior.end.min(ny);
+        let interior = interior.start..interior.end.max(interior.start);
+
+        let t0 = Instant::now();
+        // Interior rows resolve every read in-slab; `NoGhosts` turns any
+        // stray ghost access into a panic rather than silent corruption.
+        self.sweep_rows_partial(hook, &NoGhosts, interior.clone(), col.as_deref_mut());
+        let t1 = Instant::now();
+        let ghosts = wait();
+        let t2 = Instant::now();
+        self.sweep_rows_partial(hook, &ghosts, 0..interior.start, col.as_deref_mut());
+        self.sweep_rows_partial(hook, &ghosts, interior.end..ny, col);
+        self.finish_step();
+        let t3 = Instant::now();
+
+        let times = SplitStepTimes {
+            interior_s: (t1 - t0).as_secs_f64(),
+            wait_s: (t2 - t1).as_secs_f64(),
+            edge_s: (t3 - t2).as_secs_f64(),
+            verify_s: 0.0,
+        };
+        (ghosts, times)
+    }
+
     /// Restore the simulation to a checkpointed state.
     pub fn restore(&mut self, state: &Grid3D<T>, iteration: usize) {
         self.buf.restore_current(state);
@@ -234,6 +345,36 @@ mod tests {
         sim.step();
         sim.step();
         assert_eq!(sim.current().at(1, 1, 0), 6.0);
+    }
+
+    #[test]
+    fn overlapped_step_is_bitwise_equal_to_full_step() {
+        let mut full = sim_2d(10);
+        let mut split = sim_2d(10);
+        for it in 0..7 {
+            full.step();
+            // Vary the interior window, including empty and full-domain.
+            let interior = match it % 3 {
+                0 => 1..9,
+                1 => 3..5,
+                _ => 0..10,
+            };
+            let (_, times) = split.step_overlapped(&NoHook, interior, || NoGhosts, None);
+            assert!(times.interior_s >= 0.0 && times.edge_s >= 0.0);
+        }
+        assert_eq!(full.current(), split.current());
+        assert_eq!(full.iteration(), split.iteration());
+    }
+
+    #[test]
+    fn overlapped_step_checksums_match_full_step() {
+        let mut full = sim_2d(8);
+        let mut split = sim_2d(8);
+        let mut col_full = vec![0.0f64; 8];
+        let mut col_split = vec![0.0f64; 8];
+        full.step_with_col(&NoHook, &mut col_full);
+        let (_, _) = split.step_overlapped(&NoHook, 2..6, || NoGhosts, Some(&mut col_split));
+        assert_eq!(col_full, col_split);
     }
 
     #[test]

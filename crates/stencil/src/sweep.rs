@@ -77,7 +77,55 @@ pub fn sweep<T: Real, H: SweepHook<T>, G: GhostCells<T>>(
     mode: ChecksumMode<'_, T>,
     exec: Exec,
 ) {
+    let ny = src.dims().1;
+    sweep_rows(
+        src,
+        dst,
+        stencil,
+        bounds,
+        constant,
+        ghosts,
+        hook,
+        mode,
+        exec,
+        0..ny,
+    );
+}
+
+/// Sweep only the `y`-rows in `rows` (every layer, every `x`): the
+/// building block of the overlapped halo pipeline, which computes interior
+/// rows while halos are in flight and edge rows once they have landed.
+///
+/// Per-point results are identical to a full [`sweep`] restricted to those
+/// rows — each point's tap order is row-independent — so a step assembled
+/// from disjoint row ranges covering `0..ny` is bitwise equal to one full
+/// sweep. [`ChecksumMode::Col`] entries are written only for swept rows;
+/// [`ChecksumMode::RowCol`] is rejected for partial ranges because row
+/// checksums accumulate across *all* rows of a layer.
+///
+/// # Panics
+/// Panics on the same conditions as [`sweep`], if `rows` exceeds the
+/// domain, or if `mode` is `RowCol` and `rows` is not the full `0..ny`.
+#[allow(clippy::too_many_arguments)]
+pub fn sweep_rows<T: Real, H: SweepHook<T>, G: GhostCells<T>>(
+    src: &Grid3D<T>,
+    dst: &mut Grid3D<T>,
+    stencil: &Stencil3D<T>,
+    bounds: &BoundarySpec<T>,
+    constant: Option<&Grid3D<T>>,
+    ghosts: &G,
+    hook: &H,
+    mode: ChecksumMode<'_, T>,
+    exec: Exec,
+    rows: std::ops::Range<usize>,
+) {
     let (nx, ny, nz) = src.dims();
+    let y_rows = rows.start..rows.end.max(rows.start);
+    assert!(y_rows.end <= ny, "row range {y_rows:?} exceeds ny = {ny}");
+    assert!(
+        !matches!(mode, ChecksumMode::RowCol { .. }) || y_rows == (0..ny),
+        "row checksums require a full sweep (got rows {y_rows:?} of 0..{ny})"
+    );
     assert_eq!(src.dims(), dst.dims(), "src/dst dimension mismatch");
     if let Some(c) = constant {
         assert_eq!(c.dims(), src.dims(), "constant-field dimension mismatch");
@@ -127,12 +175,31 @@ pub fn sweep<T: Real, H: SweepHook<T>, G: GhostCells<T>>(
     match exec {
         Exec::Serial => {
             for task in work {
-                sweep_layer(src, task, stencil, bounds, constant, ghosts, hook);
+                sweep_layer(
+                    src,
+                    task,
+                    stencil,
+                    bounds,
+                    constant,
+                    ghosts,
+                    hook,
+                    y_rows.clone(),
+                );
             }
         }
         Exec::Parallel => {
+            let y_rows = &y_rows;
             work.into_par_iter().for_each(|task| {
-                sweep_layer(src, task, stencil, bounds, constant, ghosts, hook);
+                sweep_layer(
+                    src,
+                    task,
+                    stencil,
+                    bounds,
+                    constant,
+                    ghosts,
+                    hook,
+                    y_rows.clone(),
+                );
             });
         }
     }
@@ -145,9 +212,11 @@ struct LayerTask<'a, T> {
     col: Option<&'a mut [T]>,
 }
 
-/// Sweep a single `z`-layer. Phase 1 computes raw values (vectorised
-/// tap-by-tap accumulation over the interior, resolved reads on the
-/// boundary ring); phase 2 applies the hook and accumulates checksums.
+/// Sweep the `y_rows` rows of a single `z`-layer. Phase 1 computes raw
+/// values (vectorised tap-by-tap accumulation over the interior, resolved
+/// reads on the boundary ring); phase 2 applies the hook and accumulates
+/// checksums.
+#[allow(clippy::too_many_arguments)]
 fn sweep_layer<T: Real, H: SweepHook<T>, G: GhostCells<T>>(
     src: &Grid3D<T>,
     task: LayerTask<'_, T>,
@@ -156,6 +225,7 @@ fn sweep_layer<T: Real, H: SweepHook<T>, G: GhostCells<T>>(
     constant: Option<&Grid3D<T>>,
     ghosts: &G,
     hook: &H,
+    y_rows: std::ops::Range<usize>,
 ) {
     let (nx, ny, nz) = src.dims();
     let z = task.z;
@@ -192,7 +262,7 @@ fn sweep_layer<T: Real, H: SweepHook<T>, G: GhostCells<T>>(
     };
     let mut col = task.col;
 
-    for y in 0..ny {
+    for y in y_rows {
         let line_base = layer_base + y * nx;
         let out = &mut dst[y * nx..(y + 1) * nx];
         let y_interior = y >= ey && y + ey < ny;

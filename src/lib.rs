@@ -18,7 +18,7 @@
 //! | [`fault`] | `abft-fault` | bit-flip injection and campaign driver (§5.1) |
 //! | [`metrics`] | `abft-metrics` | l2 error (Eq. 11), statistics, timers, tables |
 //! | [`hotspot`] | `abft-hotspot` | HotSpot3D (Rodinia) port — the paper's evaluation app |
-//! | [`dist`] | `abft-dist` | distributed-memory simulation with per-rank ABFT |
+//! | [`dist`] | `abft-dist` | distributed-memory simulation: pipelined halo exchange, per-rank ABFT |
 //!
 //! ## Quick start
 //!

@@ -3,7 +3,7 @@
 //! HotSpot3D workload.
 
 use proptest::prelude::*;
-use stencil_abft::dist::{run_distributed, DistConfig};
+use stencil_abft::dist::{run_distributed, DistConfig, HaloMode};
 use stencil_abft::hotspot::HotspotParams;
 use stencil_abft::prelude::*;
 
@@ -38,15 +38,18 @@ fn hotspot_distributed_matches_serial_bitwise() {
     let (initial, stencil, constant) = hotspot_pieces(16, 24, 4);
     let expect = serial_run(&initial, &stencil, &constant, 20);
     for ranks in [1usize, 2, 4, 6] {
-        let cfg = DistConfig::<f64>::new(ranks, 20);
-        let rep = run_distributed(
-            &initial,
-            &stencil,
-            &BoundarySpec::clamp(),
-            Some(&constant),
-            &cfg,
-        );
-        assert_eq!(rep.global, expect, "{ranks} ranks diverged");
+        for mode in [HaloMode::Pipelined, HaloMode::Snapshot] {
+            let cfg = DistConfig::<f64>::new(ranks, 20).with_mode(mode);
+            let rep = run_distributed(
+                &initial,
+                &stencil,
+                &BoundarySpec::clamp(),
+                Some(&constant),
+                &cfg,
+            )
+            .expect("valid config");
+            assert_eq!(rep.global, expect, "{ranks} ranks diverged ({mode:?})");
+        }
     }
 }
 
@@ -61,7 +64,8 @@ fn hotspot_distributed_protected_is_clean_and_exact() {
         &BoundarySpec::clamp(),
         Some(&constant),
         &cfg,
-    );
+    )
+    .expect("valid config");
     assert_eq!(rep.global, expect);
     assert_eq!(rep.total_stats().detections, 0);
 }
@@ -98,7 +102,8 @@ fn faults_in_multiple_ranks_are_corrected_independently() {
         &BoundarySpec::clamp(),
         Some(&constant),
         &cfg,
-    );
+    )
+    .expect("valid config");
     let total = rep.total_stats();
     assert_eq!(total.detections, 2);
     assert_eq!(total.corrections, 2);
@@ -121,6 +126,7 @@ proptest! {
             Just(Boundary::Zero),
             Just(Boundary::Reflect),
         ],
+        mode in prop_oneof![Just(HaloMode::Pipelined), Just(HaloMode::Snapshot)],
     ) {
         let (initial, stencil, constant) = hotspot_pieces(10, 18, 3);
         let bounds = BoundarySpec { x: Boundary::Clamp, y: boundary, z: Boundary::Clamp };
@@ -130,8 +136,9 @@ proptest! {
         for _ in 0..iters {
             sim.step();
         }
-        let cfg = DistConfig::<f64>::new(ranks, iters);
-        let rep = run_distributed(&initial, &stencil, &bounds, Some(&constant), &cfg);
+        let cfg = DistConfig::<f64>::new(ranks, iters).with_mode(mode);
+        let rep = run_distributed(&initial, &stencil, &bounds, Some(&constant), &cfg)
+            .expect("valid config");
         prop_assert_eq!(&rep.global, sim.current());
     }
 }

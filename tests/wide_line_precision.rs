@@ -76,7 +76,11 @@ fn faults_still_detected_on_wide_lines() {
     assert_eq!(out.detections, 1);
     assert_eq!(out.corrections.len(), 1);
     assert_eq!(
-        (out.corrections[0].x, out.corrections[0].y, out.corrections[0].z),
+        (
+            out.corrections[0].x,
+            out.corrections[0].y,
+            out.corrections[0].z
+        ),
         (300, 6, 1)
     );
 }

@@ -73,8 +73,8 @@ impl Bencher {
             iters *= 4;
         };
         let target = Duration::from_millis(25);
-        let iters_per_sample = (target.as_nanos() / per_iter.as_nanos().max(1))
-            .clamp(1, 1 << 24) as u64;
+        let iters_per_sample =
+            (target.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1 << 24) as u64;
 
         self.samples.clear();
         for _ in 0..self.sample_size {
@@ -145,12 +145,7 @@ impl BenchmarkGroup<'_> {
         self
     }
 
-    pub fn bench_with_input<I, F>(
-        &mut self,
-        id: BenchmarkId,
-        input: &I,
-        mut f: F,
-    ) -> &mut Self
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
     where
         F: FnMut(&mut Bencher, &I),
     {

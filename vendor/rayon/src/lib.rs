@@ -1,18 +1,30 @@
 //! Vendored, API-compatible subset of the `rayon` crate.
 //!
 //! The build environment has no access to crates.io, so the workspace
-//! vendors the slice of rayon it uses: `Vec::into_par_iter().for_each(..)`
-//! and the [`ThreadPoolBuilder`] global-thread-count knob. Parallelism is
-//! genuine — work is split over `std::thread::scope` threads — but there is
-//! no work-stealing pool: each `for_each` call spawns its worker threads.
-//! For this workspace's usage (one task per `z`-layer of a stencil sweep,
-//! dozens of items each doing O(nx·ny) work) the spawn cost is noise.
+//! vendors the slice of rayon it uses: `Vec::into_par_iter().for_each(..)`,
+//! the [`ThreadPoolBuilder`] global-thread-count knob and
+//! [`current_num_threads`]. Parallelism runs on a **persistent
+//! work-stealing pool**: the first parallel call lazily spawns the worker
+//! threads (honouring [`ThreadPoolBuilder::num_threads`]) and every later
+//! `for_each` reuses them, so sweep dispatch no longer pays per-call thread
+//! creation. Each worker owns a deque — it pops its own jobs LIFO and
+//! steals FIFO from siblings or from the external injector queue — and the
+//! submitting thread participates in executing its own items, so nested
+//! `for_each` calls from inside a worker make progress without blocking the
+//! pool (no deadlock by construction: every claimed item is executed by a
+//! running thread, never parked).
 
+use std::any::Any;
+use std::cell::{Cell, UnsafeCell};
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::Duration;
 
 static GLOBAL_THREADS: AtomicUsize = AtomicUsize::new(0);
 
-/// Number of worker threads `for_each` fans out to.
+/// Number of worker threads the pool is created with.
 fn effective_threads() -> usize {
     let configured = GLOBAL_THREADS.load(Ordering::Relaxed);
     if configured > 0 {
@@ -55,10 +67,267 @@ impl ThreadPoolBuilder {
     }
 
     /// Install the configured thread count globally. Unlike real rayon this
-    /// may be called repeatedly; the last call wins.
+    /// may be called repeatedly without error; the count is honoured by the
+    /// pool when it is (lazily) created, so only calls made before the
+    /// first parallel operation can change the worker count.
     pub fn build_global(self) -> Result<(), ThreadPoolBuildError> {
         GLOBAL_THREADS.store(self.num_threads, Ordering::Relaxed);
         Ok(())
+    }
+}
+
+/// Number of worker threads in the global pool (creates it on first call),
+/// mirroring `rayon::current_num_threads`.
+pub fn current_num_threads() -> usize {
+    pool::global().threads.max(1)
+}
+
+mod pool {
+    use super::*;
+
+    /// A unit of pool work: claims items from its parent task until none
+    /// remain. Implementations are lifetime-erased by `for_each`, so a
+    /// stale job popped after its task completed must only touch the
+    /// task's own (Arc-kept-alive) header, never the borrowed closure.
+    pub(crate) trait Task: Send + Sync {
+        fn run(&self);
+    }
+
+    pub(crate) type Job = Arc<dyn Task>;
+
+    struct Shared {
+        /// One deque per worker: owner pushes/pops the back, thieves (and
+        /// the injector drain) steal from the front.
+        queues: Vec<Mutex<VecDeque<Job>>>,
+        /// Submissions from threads outside the pool.
+        injector: Mutex<VecDeque<Job>>,
+        /// Parking lot for idle workers.
+        idle: Mutex<()>,
+        wake: Condvar,
+    }
+
+    pub(crate) struct Pool {
+        shared: Arc<Shared>,
+        pub(crate) threads: usize,
+    }
+
+    thread_local! {
+        /// Index of this thread inside the pool, if it is a worker.
+        static WORKER_INDEX: Cell<Option<usize>> = const { Cell::new(None) };
+    }
+
+    static POOL: OnceLock<Pool> = OnceLock::new();
+
+    pub(crate) fn global() -> &'static Pool {
+        POOL.get_or_init(|| Pool::new(effective_threads()))
+    }
+
+    impl Pool {
+        fn new(threads: usize) -> Self {
+            let shared = Arc::new(Shared {
+                queues: (0..threads).map(|_| Mutex::new(VecDeque::new())).collect(),
+                injector: Mutex::new(VecDeque::new()),
+                idle: Mutex::new(()),
+                wake: Condvar::new(),
+            });
+            for i in 0..threads {
+                let sh = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("abft-rayon-{i}"))
+                    .spawn(move || worker_loop(&sh, i))
+                    .expect("spawn pool worker");
+            }
+            Self { shared, threads }
+        }
+
+        /// Enqueue `copies` handles to one job. From a worker thread the
+        /// handles land on its own deque (stealable by siblings); from
+        /// outside they go through the injector.
+        pub(crate) fn submit(&self, job: &Job, copies: usize) {
+            let me = WORKER_INDEX.with(Cell::get);
+            {
+                let mut q = match me {
+                    Some(i) => self.shared.queues[i].lock().unwrap(),
+                    None => self.shared.injector.lock().unwrap(),
+                };
+                for _ in 0..copies {
+                    q.push_back(Arc::clone(job));
+                }
+            }
+            // Pair the notification with the idle lock so a worker that
+            // just saw empty queues cannot park past this wake-up.
+            let _g = self.shared.idle.lock().unwrap();
+            self.shared.wake.notify_all();
+        }
+
+        /// Grab one pending job, preferring our own deque, then the
+        /// injector, then stealing from siblings.
+        fn find_job(&self) -> Option<Job> {
+            let me = WORKER_INDEX.with(Cell::get);
+            if let Some(i) = me {
+                if let Some(job) = self.shared.queues[i].lock().unwrap().pop_back() {
+                    return Some(job);
+                }
+            }
+            if let Some(job) = self.shared.injector.lock().unwrap().pop_front() {
+                return Some(job);
+            }
+            let start = me.unwrap_or(0);
+            let n = self.shared.queues.len();
+            for off in 0..n {
+                let victim = (start + off) % n;
+                if Some(victim) == me {
+                    continue;
+                }
+                if let Some(job) = self.shared.queues[victim].lock().unwrap().pop_front() {
+                    return Some(job);
+                }
+            }
+            None
+        }
+    }
+
+    fn worker_loop(sh: &Arc<Shared>, index: usize) {
+        WORKER_INDEX.with(|w| w.set(Some(index)));
+        let pool = Pool {
+            shared: Arc::clone(sh),
+            threads: sh.queues.len(),
+        };
+        loop {
+            if let Some(job) = pool.find_job() {
+                job.run();
+                continue;
+            }
+            let guard = sh.idle.lock().unwrap();
+            // Re-check under the idle lock (submit notifies under it), with
+            // a timeout as a belt-and-braces backstop.
+            let empty = sh.injector.lock().unwrap().is_empty()
+                && sh.queues.iter().all(|q| q.lock().unwrap().is_empty());
+            if empty {
+                // The submit path notifies under this lock, so the wait
+                // cannot miss a wake-up; the long timeout is only a
+                // belt-and-braces backstop, not a polling interval.
+                let _ = sh.wake.wait_timeout(guard, Duration::from_secs(1));
+            }
+        }
+    }
+
+    /// Shared state of one `for_each` call. Items are claimed via an
+    /// atomic cursor, so each runs exactly once no matter how many job
+    /// handles were enqueued; `done` counts completed items so the caller
+    /// knows when every closure invocation has returned.
+    pub(crate) struct ForEachTask<T, F> {
+        items: Vec<UnsafeCell<Option<T>>>,
+        cursor: AtomicUsize,
+        done: AtomicUsize,
+        /// Borrowed closure on the caller's stack; only dereferenced while
+        /// the caller is still blocked in `for_each` (i.e. before `done`
+        /// reaches `items.len()`).
+        f: *const F,
+        panic: Mutex<Option<Box<dyn Any + Send>>>,
+        /// Signalled by the worker that completes the final item, so the
+        /// caller can sleep instead of spinning on stragglers.
+        done_lock: Mutex<()>,
+        done_cv: Condvar,
+    }
+
+    // Items are handed across threads (Send) and the closure is invoked
+    // concurrently (Sync); the UnsafeCell slots are made exclusive by the
+    // claim cursor.
+    unsafe impl<T: Send, F: Sync> Send for ForEachTask<T, F> {}
+    unsafe impl<T: Send, F: Sync> Sync for ForEachTask<T, F> {}
+
+    impl<T: Send, F: Fn(T) + Sync> ForEachTask<T, F> {
+        fn new(items: Vec<T>, f: &F) -> Self {
+            Self {
+                items: items
+                    .into_iter()
+                    .map(|i| UnsafeCell::new(Some(i)))
+                    .collect(),
+                cursor: AtomicUsize::new(0),
+                done: AtomicUsize::new(0),
+                f,
+                panic: Mutex::new(None),
+                done_lock: Mutex::new(()),
+                done_cv: Condvar::new(),
+            }
+        }
+
+        fn finished(&self) -> bool {
+            self.done.load(Ordering::Acquire) >= self.items.len()
+        }
+    }
+
+    impl<T: Send, F: Fn(T) + Sync> Task for ForEachTask<T, F> {
+        fn run(&self) {
+            loop {
+                let i = self.cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= self.items.len() {
+                    return;
+                }
+                // The cursor grants exclusive access to slot i.
+                let item =
+                    unsafe { (*self.items[i].get()).take() }.expect("pool item claimed twice");
+                let f = unsafe { &*self.f };
+                if let Err(p) = catch_unwind(AssertUnwindSafe(|| f(item))) {
+                    *self.panic.lock().unwrap() = Some(p);
+                }
+                if self.done.fetch_add(1, Ordering::Release) + 1 >= self.items.len() {
+                    let _g = self.done_lock.lock().unwrap();
+                    self.done_cv.notify_all();
+                }
+            }
+        }
+    }
+
+    /// Run `items` through `f` on the global pool, with the calling thread
+    /// participating. Blocks until every item has been processed; if any
+    /// closure invocation panicked, one of the payloads is re-raised here.
+    pub(crate) fn run_for_each<T: Send, F: Fn(T) + Sync>(items: Vec<T>, f: F) {
+        let n = items.len();
+        let pool = global();
+        if pool.threads <= 1 || n <= 1 {
+            for item in items {
+                f(item);
+            }
+            return;
+        }
+        let task = Arc::new(ForEachTask::new(items, &f));
+        let job: Job = {
+            let local: Arc<dyn Task + '_> = task.clone();
+            // Lifetime erasure: job handles may outlive this call (stale
+            // entries in a deque), but a post-completion `run` only reads
+            // the exhausted cursor inside the Arc-owned header and returns
+            // without touching `f` or any item.
+            unsafe { std::mem::transmute::<Arc<dyn Task + '_>, Arc<dyn Task + 'static>>(local) }
+        };
+        // The submitting thread participates as one of the runners, so
+        // enqueue at most threads - 1 job copies: total concurrent
+        // executors never exceed the configured thread count.
+        pool.submit(&job, (pool.threads - 1).min(n - 1).max(1));
+        // Claim and run items on this thread too.
+        job.run();
+        // Stragglers are items claimed by workers that are still inside
+        // `f`. Help with other pool jobs while waiting (keeps nested
+        // callers productive) and park on the task's condvar otherwise —
+        // no busy spin even when the straggling item runs for a while.
+        while !task.finished() {
+            if let Some(other) = pool.find_job() {
+                other.run();
+                continue;
+            }
+            let guard = task.done_lock.lock().unwrap();
+            if !task.finished() {
+                let _ = task
+                    .done_cv
+                    .wait_timeout(guard, Duration::from_millis(1))
+                    .unwrap();
+            }
+        }
+        let panicked = task.panic.lock().unwrap().take();
+        if let Some(p) = panicked {
+            resume_unwind(p);
+        }
     }
 }
 
@@ -102,29 +371,7 @@ impl<T: Send> ParallelIterator for VecParIter<T> {
     where
         F: Fn(T) + Sync + Send,
     {
-        let threads = effective_threads().min(self.items.len().max(1));
-        if threads <= 1 {
-            for item in self.items {
-                f(item);
-            }
-            return;
-        }
-        // Deal items round-robin into one bucket per worker; scoped threads
-        // borrow `f` so no 'static bound is needed.
-        let mut buckets: Vec<Vec<T>> = (0..threads).map(|_| Vec::new()).collect();
-        for (i, item) in self.items.into_iter().enumerate() {
-            buckets[i % threads].push(item);
-        }
-        let f = &f;
-        std::thread::scope(|scope| {
-            for bucket in buckets {
-                scope.spawn(move || {
-                    for item in bucket {
-                        f(item);
-                    }
-                });
-            }
-        });
+        pool::run_for_each(self.items, f);
     }
 }
 
@@ -183,5 +430,46 @@ mod tests {
             .num_threads(8)
             .build_global()
             .is_ok());
+    }
+
+    #[test]
+    fn panics_propagate_to_the_caller() {
+        let caught = std::panic::catch_unwind(|| {
+            (0..64usize)
+                .collect::<Vec<_>>()
+                .into_par_iter()
+                .for_each(|i| {
+                    if i == 33 {
+                        panic!("boom at {i}");
+                    }
+                });
+        });
+        assert!(caught.is_err(), "worker panic must surface in for_each");
+        // The pool must still be usable afterwards.
+        let hits = AtomicUsize::new(0);
+        (0..32usize)
+            .collect::<Vec<_>>()
+            .into_par_iter()
+            .for_each(|_| {
+                hits.fetch_add(1, Ordering::Relaxed);
+            });
+        assert_eq!(hits.load(Ordering::Relaxed), 32);
+    }
+
+    #[test]
+    fn nested_for_each_completes() {
+        let hits = AtomicUsize::new(0);
+        (0..8usize)
+            .collect::<Vec<_>>()
+            .into_par_iter()
+            .for_each(|_| {
+                (0..16usize)
+                    .collect::<Vec<_>>()
+                    .into_par_iter()
+                    .for_each(|_| {
+                        hits.fetch_add(1, Ordering::Relaxed);
+                    });
+            });
+        assert_eq!(hits.load(Ordering::Relaxed), 128);
     }
 }

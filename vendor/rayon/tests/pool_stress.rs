@@ -1,0 +1,133 @@
+//! Stress tests for the persistent work-stealing pool. This file runs as
+//! its own process, so `build_global` here is guaranteed to precede pool
+//! creation and the configured thread count is exactly what the pool gets.
+
+use rayon::prelude::*;
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, Once};
+use std::thread;
+use std::time::Duration;
+
+const CONFIGURED: usize = 3;
+
+/// Install the thread count before ANY test in this process touches the
+/// pool (tests share one process and run concurrently).
+fn init_pool() {
+    static INIT: Once = Once::new();
+    INIT.call_once(|| {
+        rayon::ThreadPoolBuilder::new()
+            .num_threads(CONFIGURED)
+            .build_global()
+            .unwrap();
+    });
+}
+
+fn worker_thread_names() -> HashSet<String> {
+    let names = Mutex::new(HashSet::new());
+    (0..256usize)
+        .collect::<Vec<_>>()
+        .into_par_iter()
+        .for_each(|_| {
+            if let Some(name) = thread::current().name() {
+                if name.starts_with("abft-rayon-") {
+                    names.lock().unwrap().insert(name.to_string());
+                }
+            }
+            // Encourage the scheduler to spread items over all workers.
+            thread::sleep(Duration::from_micros(200));
+        });
+    names.into_inner().unwrap()
+}
+
+#[test]
+fn pool_honours_configured_thread_count_and_persists() {
+    init_pool();
+    assert_eq!(rayon::current_num_threads(), CONFIGURED);
+
+    // Pool workers participated (items also run on the submitting
+    // thread, so worker participation proves the pool is live)…
+    let first = worker_thread_names();
+    let second = worker_thread_names();
+    assert!(
+        !first.is_empty() && !second.is_empty(),
+        "no pool workers ran any items: {first:?} / {second:?}"
+    );
+    // …and across both calls the distinct worker threads stay within the
+    // configured count — the same persistent threads are reused, never
+    // respawned per call.
+    let union: HashSet<&String> = first.union(&second).collect();
+    assert!(
+        union.len() <= CONFIGURED,
+        "saw {} distinct workers across calls, configured {CONFIGURED}: {union:?}",
+        union.len()
+    );
+}
+
+#[test]
+fn concurrent_for_each_from_many_threads_completes() {
+    init_pool();
+    // 8 OS threads each drive 50 parallel iterations through the shared
+    // pool at once; every item must run exactly once, with no deadlock.
+    let total = AtomicUsize::new(0);
+    thread::scope(|s| {
+        for t in 0..8usize {
+            let total = &total;
+            s.spawn(move || {
+                for round in 0..50usize {
+                    let hits = AtomicUsize::new(0);
+                    (0..40usize)
+                        .collect::<Vec<_>>()
+                        .into_par_iter()
+                        .for_each(|_| {
+                            hits.fetch_add(1, Ordering::Relaxed);
+                        });
+                    assert_eq!(hits.load(Ordering::Relaxed), 40, "thread {t} round {round}");
+                    total.fetch_add(40, Ordering::Relaxed);
+                }
+            });
+        }
+    });
+    assert_eq!(total.load(Ordering::Relaxed), 8 * 50 * 40);
+}
+
+#[test]
+fn nested_for_each_inside_workers_completes() {
+    init_pool();
+    // Outer items run on pool workers; each spawns an inner parallel loop,
+    // which must make progress even though all workers may be busy with
+    // outer items (the submitting thread claims its own work).
+    let hits = AtomicUsize::new(0);
+    (0..16usize)
+        .collect::<Vec<_>>()
+        .into_par_iter()
+        .for_each(|_| {
+            (0..32usize)
+                .collect::<Vec<_>>()
+                .into_par_iter()
+                .for_each(|_| {
+                    hits.fetch_add(1, Ordering::Relaxed);
+                });
+        });
+    assert_eq!(hits.load(Ordering::Relaxed), 16 * 32);
+
+    // Two levels deep, mixed with sequential work.
+    let deep = AtomicUsize::new(0);
+    (0..4usize)
+        .collect::<Vec<_>>()
+        .into_par_iter()
+        .for_each(|_| {
+            (0..4usize)
+                .collect::<Vec<_>>()
+                .into_par_iter()
+                .for_each(|_| {
+                    (0..8usize)
+                        .collect::<Vec<_>>()
+                        .into_par_iter()
+                        .for_each(|_| {
+                            deep.fetch_add(1, Ordering::Relaxed);
+                        });
+                });
+        });
+    assert_eq!(deep.load(Ordering::Relaxed), 4 * 4 * 8);
+}
