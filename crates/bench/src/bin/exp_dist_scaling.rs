@@ -18,11 +18,20 @@ use abft_hotspot::{initial_temperature, synthetic_power, HotspotParams};
 use abft_metrics::{l2_error, write_csv, Table, Timer, Welford};
 use abft_stencil::{Exec, StencilSim};
 
+struct Point {
+    grid: (usize, usize),
+    ranks: usize,
+    plain_s: f64,
+    abft_s: f64,
+    overhead_pct: f64,
+}
+
 fn main() {
     let cli = Cli::parse();
-    // The decomposition is along y: use a y-heavy tile.
+    // Default decomposition is y-slabs; `--grid RXxRY|auto` selects a 2-D
+    // rank grid (an explicit shape pins the sweep to its rank count).
     let (nx, ny, nz) = if cli.large {
-        (256, 512, 8)
+        (512, 512, 8)
     } else {
         (64, 256, 8)
     };
@@ -49,24 +58,35 @@ fn main() {
 
     eprintln!("[exp_dist_scaling] {nx}x{ny}x{nz}, {iters} iterations, {reps} reps per point");
     println!(
-        "{:<6} {:>14} {:>14} {:>10} {:>12}",
-        "ranks", "plain (s)", "abft (s)", "ovh (%)", "l2 vs serial"
+        "{:<6} {:>7} {:>14} {:>14} {:>10} {:>12}",
+        "ranks", "grid", "plain (s)", "abft (s)", "ovh (%)", "l2 vs serial"
     );
-    let mut table = Table::new(vec!["ranks", "plain_s", "abft_s", "overhead_pct", "l2"]);
-    let mut points: Vec<(usize, f64, f64, f64)> = Vec::new();
+    let mut table = Table::new(vec![
+        "ranks",
+        "grid",
+        "plain_s",
+        "abft_s",
+        "overhead_pct",
+        "l2",
+    ]);
+    let mut points: Vec<Point> = Vec::new();
 
-    for ranks in [1usize, 2, 4, 8] {
+    for ranks in cli.rank_counts() {
         let mut plain = Welford::new();
         let mut prot = Welford::new();
         let mut l2 = 0.0f64;
+        let mut grid = (1, ranks);
         for _ in 0..reps {
-            let cfg = DistConfig::<f32>::new(ranks, iters);
+            let cfg = DistConfig::<f32>::new(ranks, iters).with_grid_spec(cli.grid_spec());
             let t = Timer::start();
-            let _ = run_distributed(&temp0, &stencil, &bounds, Some(&constant), &cfg)
+            let rep = run_distributed(&temp0, &stencil, &bounds, Some(&constant), &cfg)
                 .expect("valid dist config");
             plain.push(t.seconds());
+            grid = rep.grid;
 
-            let cfg = DistConfig::new(ranks, iters).with_abft(AbftConfig::<f32>::paper_defaults());
+            let cfg = DistConfig::new(ranks, iters)
+                .with_grid_spec(cli.grid_spec())
+                .with_abft(AbftConfig::<f32>::paper_defaults());
             let t = Timer::start();
             let rep = run_distributed(&temp0, &stencil, &bounds, Some(&constant), &cfg)
                 .expect("valid dist config");
@@ -80,8 +100,9 @@ fn main() {
         }
         let ovh = 100.0 * (prot.mean() - plain.mean()) / plain.mean();
         println!(
-            "{:<6} {:>14.4} {:>14.4} {:>10.1} {:>12.3e}",
+            "{:<6} {:>7} {:>14.4} {:>14.4} {:>10.1} {:>12.3e}",
             ranks,
+            format!("{}x{}", grid.0, grid.1),
             plain.mean(),
             prot.mean(),
             ovh,
@@ -89,12 +110,19 @@ fn main() {
         );
         table.row(vec![
             ranks.to_string(),
+            format!("{}x{}", grid.0, grid.1),
             format!("{:.6}", plain.mean()),
             format!("{:.6}", prot.mean()),
             format!("{ovh:.2}"),
             format!("{l2:.3e}"),
         ]);
-        points.push((ranks, plain.mean(), prot.mean(), ovh));
+        points.push(Point {
+            grid,
+            ranks,
+            plain_s: plain.mean(),
+            abft_s: prot.mean(),
+            overhead_pct: ovh,
+        });
     }
 
     let path = format!("{}/exp_dist_scaling.csv", cli.out);
@@ -104,12 +132,17 @@ fn main() {
     if let Some(json_path) = &cli.json {
         let rows: Vec<String> = points
             .iter()
-            .map(|&(ranks, plain_s, abft_s, ovh)| {
+            .map(|p| {
                 format!(
-                    "    {{\"ranks\": {ranks}, \"plain_iters_per_s\": {:.3}, \
-                     \"abft_iters_per_s\": {:.3}, \"overhead_pct\": {ovh:.2}}}",
-                    iters as f64 / plain_s,
-                    iters as f64 / abft_s,
+                    "    {{\"ranks\": {}, \"grid\": [{}, {}], \
+                     \"plain_iters_per_s\": {:.3}, \
+                     \"abft_iters_per_s\": {:.3}, \"overhead_pct\": {:.2}}}",
+                    p.ranks,
+                    p.grid.0,
+                    p.grid.1,
+                    iters as f64 / p.plain_s,
+                    iters as f64 / p.abft_s,
+                    p.overhead_pct,
                 )
             })
             .collect();

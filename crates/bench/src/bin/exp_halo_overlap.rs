@@ -24,6 +24,7 @@ use abft_stencil::{Exec, StencilSim};
 
 struct Point {
     ranks: usize,
+    grid: (usize, usize),
     snapshot_s: f64,
     pipelined_s: f64,
     abft_s: f64,
@@ -33,8 +34,9 @@ struct Point {
 
 fn main() {
     let cli = Cli::parse();
-    // Decomposition is along y: use a y-heavy tile. `--large` selects the
-    // paper-scale 512×512 grid the CI acceptance gate runs on.
+    // Default decomposition is y-slabs (`--grid RXxRY|auto` selects a 2-D
+    // rank grid and pins the sweep to its rank count). `--large` selects
+    // the paper-scale 512×512 grid the CI acceptance gate runs on.
     let (nx, ny, nz) = if cli.large {
         (512, 512, 8)
     } else {
@@ -63,11 +65,12 @@ fn main() {
 
     eprintln!("[exp_halo_overlap] {nx}x{ny}x{nz}, {iters} iterations, {reps} reps per point");
     println!(
-        "{:<6} {:>14} {:>14} {:>9} {:>14} {:>10}",
-        "ranks", "snapshot (s)", "pipelined (s)", "speedup", "abft pipe (s)", "wait (%)"
+        "{:<6} {:>7} {:>14} {:>14} {:>9} {:>14} {:>10}",
+        "ranks", "grid", "snapshot (s)", "pipelined (s)", "speedup", "abft pipe (s)", "wait (%)"
     );
     let mut table = Table::new(vec![
         "ranks",
+        "grid",
         "snapshot_s",
         "pipelined_s",
         "speedup",
@@ -77,7 +80,7 @@ fn main() {
     ]);
     let mut points = Vec::new();
 
-    for ranks in [1usize, 2, 4, 8] {
+    for ranks in cli.rank_counts() {
         // Wall times use the min over reps: on a timeshared host the min
         // is the least-noisy estimator of the achievable per-iteration
         // cost, which is what the CI perf gate tracks.
@@ -86,17 +89,20 @@ fn main() {
         let mut abft_t = f64::INFINITY;
         let mut wait_mean = Welford::new();
         let mut wait_max = 0.0f64;
+        let mut grid = (1, ranks);
         for _ in 0..reps {
             let run = |cfg: DistConfig<f32>| -> DistReport<f32> {
                 run_distributed(&temp0, &stencil, &bounds, Some(&constant), &cfg)
                     .expect("valid dist config")
             };
+            let base = || DistConfig::<f32>::new(ranks, iters).with_grid_spec(cli.grid_spec());
 
-            let snap = run(DistConfig::new(ranks, iters).with_mode(HaloMode::Snapshot));
+            let snap = run(base().with_mode(HaloMode::Snapshot));
             snap_t = snap_t.min(snap.wall_s);
             assert_eq!(snap.global, *serial.current(), "snapshot diverged");
+            grid = snap.grid;
 
-            let pipe = run(DistConfig::new(ranks, iters).with_mode(HaloMode::Pipelined));
+            let pipe = run(base().with_mode(HaloMode::Pipelined));
             pipe_t = pipe_t.min(pipe.wall_s);
             assert_eq!(pipe.global, *serial.current(), "pipelined diverged");
             let mean_frac = pipe
@@ -108,7 +114,7 @@ fn main() {
             wait_mean.push(mean_frac);
             wait_max = wait_max.max(pipe.max_halo_wait_fraction());
 
-            let prot = run(DistConfig::new(ranks, iters)
+            let prot = run(base()
                 .with_abft(AbftConfig::<f32>::paper_defaults())
                 .with_mode(HaloMode::Pipelined));
             abft_t = abft_t.min(prot.wall_s);
@@ -121,6 +127,7 @@ fn main() {
 
         let point = Point {
             ranks,
+            grid,
             snapshot_s: snap_t,
             pipelined_s: pipe_t,
             abft_s: abft_t,
@@ -128,8 +135,9 @@ fn main() {
             wait_frac_max: wait_max,
         };
         println!(
-            "{:<6} {:>14.4} {:>14.4} {:>8.2}x {:>14.4} {:>10.1}",
+            "{:<6} {:>7} {:>14.4} {:>14.4} {:>8.2}x {:>14.4} {:>10.1}",
             point.ranks,
+            format!("{}x{}", point.grid.0, point.grid.1),
             point.snapshot_s,
             point.pipelined_s,
             point.snapshot_s / point.pipelined_s,
@@ -138,6 +146,7 @@ fn main() {
         );
         table.row(vec![
             point.ranks.to_string(),
+            format!("{}x{}", point.grid.0, point.grid.1),
             format!("{:.6}", point.snapshot_s),
             format!("{:.6}", point.pipelined_s),
             format!("{:.4}", point.snapshot_s / point.pipelined_s),
@@ -181,6 +190,7 @@ fn render_json(
             format!(
                 concat!(
                     "    {{\"ranks\": {}, ",
+                    "\"grid\": [{}, {}], ",
                     "\"snapshot_s_per_iter\": {:.6e}, ",
                     "\"pipelined_s_per_iter\": {:.6e}, ",
                     "\"speedup\": {:.4}, ",
@@ -191,6 +201,8 @@ fn render_json(
                     "\"halo_wait_fraction_max\": {:.4}}}"
                 ),
                 p.ranks,
+                p.grid.0,
+                p.grid.1,
                 p.snapshot_s / iters as f64,
                 p.pipelined_s / iters as f64,
                 p.snapshot_s / p.pipelined_s,

@@ -6,21 +6,50 @@
 //! `results/`.
 
 use abft_core::AbftConfig;
+use abft_dist::GridSpec;
 use abft_fault::{Campaign, Method, RunRecord};
 use abft_hotspot::{build_sim, Scenario};
 use abft_metrics::Summary;
 use abft_stencil::{Exec, StencilSim};
+
+/// Parsed `--grid` argument of the distributed experiments: an explicit
+/// `RXxRY` rank grid or `auto` (near-square factorisation per rank count).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GridArg {
+    /// `--grid auto`.
+    Auto,
+    /// `--grid RXxRY`.
+    Explicit(usize, usize),
+}
+
+impl GridArg {
+    /// Parse `"auto"` or `"RXxRY"` (case-insensitive separator).
+    pub fn parse(s: &str) -> Self {
+        if s.eq_ignore_ascii_case("auto") {
+            return Self::Auto;
+        }
+        let (rx, ry) = s
+            .split_once(['x', 'X'])
+            .unwrap_or_else(|| panic!("--grid expects RXxRY or auto, got {s:?}"));
+        Self::Explicit(
+            rx.parse().expect("--grid RXxRY: RX must be a number"),
+            ry.parse().expect("--grid RXxRY: RY must be a number"),
+        )
+    }
+}
 
 /// Common command-line options for the experiment binaries.
 ///
 /// Supported flags: `--reps N`, `--seed S`, `--threads N`, `--large`
 /// (include the 512×512×8 tile), `--small-only` is the default,
 /// `--out DIR` (CSV output directory, default `results/`), `--iters N`
-/// (override an experiment's iteration count) and `--json PATH` (machine
-/// readable results, used by CI's bench-smoke artifact). `--iters` and
-/// `--json` are honoured by the distributed experiments
-/// (`exp_dist_scaling`, `exp_halo_overlap`); the figure-replication
-/// binaries pin the paper's iteration counts and ignore them.
+/// (override an experiment's iteration count), `--json PATH` (machine
+/// readable results, used by CI's bench-smoke artifact) and
+/// `--grid RXxRY|auto` (rank-grid shape; an explicit shape pins the rank
+/// sweep to `RX·RY` ranks). `--iters`, `--json` and `--grid` are honoured
+/// by the distributed experiments (`exp_dist_scaling`,
+/// `exp_halo_overlap`); the figure-replication binaries pin the paper's
+/// parameters and ignore them.
 #[derive(Debug, Clone)]
 pub struct Cli {
     pub reps: usize,
@@ -30,6 +59,7 @@ pub struct Cli {
     pub out: String,
     pub iters: Option<usize>,
     pub json: Option<String>,
+    pub grid: Option<GridArg>,
 }
 
 impl Default for Cli {
@@ -42,6 +72,7 @@ impl Default for Cli {
             out: "results".to_string(),
             iters: None,
             json: None,
+            grid: None,
         }
     }
 }
@@ -80,9 +111,13 @@ impl Cli {
                     i += 1;
                     cli.json = Some(args[i].clone());
                 }
+                "--grid" => {
+                    i += 1;
+                    cli.grid = Some(GridArg::parse(&args[i]));
+                }
                 other => panic!(
                     "unknown flag {other}; supported: --reps N --seed S --threads N --large --out DIR \
-                     --iters N --json PATH (dist experiments only)"
+                     --iters N --json PATH --grid RXxRY|auto (dist experiments only)"
                 ),
             }
             i += 1;
@@ -107,6 +142,25 @@ impl Cli {
             v.push(Scenario::tile_large());
         }
         v
+    }
+
+    /// The [`GridSpec`] the distributed experiments should decompose over.
+    pub fn grid_spec(&self) -> GridSpec {
+        match self.grid {
+            None => GridSpec::Slabs,
+            Some(GridArg::Auto) => GridSpec::Auto,
+            Some(GridArg::Explicit(rx, ry)) => GridSpec::Explicit { rx, ry },
+        }
+    }
+
+    /// Rank counts the distributed experiments sweep. An explicit
+    /// `--grid RXxRY` pins the sweep to its own rank count; `auto` and
+    /// the slab default sweep the usual ladder.
+    pub fn rank_counts(&self) -> Vec<usize> {
+        match self.grid {
+            Some(GridArg::Explicit(rx, ry)) => vec![rx * ry],
+            _ => vec![1, 2, 4, 8],
+        }
     }
 }
 
@@ -175,6 +229,37 @@ mod tests {
         let c = Cli::default();
         assert_eq!(c.reps, 50);
         assert!(!c.large);
+        assert_eq!(c.grid, None);
+        assert_eq!(c.grid_spec(), abft_dist::GridSpec::Slabs);
+        assert_eq!(c.rank_counts(), vec![1, 2, 4, 8]);
+    }
+
+    #[test]
+    fn grid_arg_parsing_and_sweep_pinning() {
+        assert_eq!(GridArg::parse("2x2"), GridArg::Explicit(2, 2));
+        assert_eq!(GridArg::parse("4X1"), GridArg::Explicit(4, 1));
+        assert_eq!(GridArg::parse("auto"), GridArg::Auto);
+        let c = Cli {
+            grid: Some(GridArg::Explicit(2, 3)),
+            ..Cli::default()
+        };
+        assert_eq!(
+            c.grid_spec(),
+            abft_dist::GridSpec::Explicit { rx: 2, ry: 3 }
+        );
+        assert_eq!(c.rank_counts(), vec![6]);
+        let c = Cli {
+            grid: Some(GridArg::Auto),
+            ..c
+        };
+        assert_eq!(c.grid_spec(), abft_dist::GridSpec::Auto);
+        assert_eq!(c.rank_counts(), vec![1, 2, 4, 8]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn malformed_grid_arg_rejected() {
+        let _ = GridArg::parse("2by2");
     }
 
     #[test]

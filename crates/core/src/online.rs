@@ -1,7 +1,8 @@
 //! The online ABFT protector (§3): verify and correct after every sweep.
 
 use crate::checksum::{
-    compute_col_layer_into, compute_row_into, compute_row_layer_into, ChecksumState,
+    compute_col_into, compute_col_layer_into, compute_row_into, compute_row_layer_into,
+    ChecksumState,
 };
 use crate::config::{AbftConfig, MultiErrorPolicy};
 use crate::correct::{correct_layer, CorrectionEvent};
@@ -208,6 +209,43 @@ impl<T: Real> OnlineAbft<T> {
         let (ghosts, mut times) =
             sim.step_overlapped(hook, interior, wait, Some(&mut self.col_comp));
         let t = Instant::now();
+        let outcome = self.verify_after_sweep(sim, &ghosts);
+        times.verify_s = t.elapsed().as_secs_f64();
+        (outcome, times)
+    }
+
+    /// Advance one protected iteration with a **rectangular** overlapped
+    /// window — the 2-D-decomposition analogue of
+    /// [`OnlineAbft::step_overlapped`]. A full-width `interior_x`
+    /// delegates to the fused 1-D path; otherwise the column checksums
+    /// cannot be fused into the split sweep (a partial x-window never
+    /// completes a checksum line), so they are recomputed from the
+    /// finished step — the same `f64` line reduction the fused sweep
+    /// performs, hence bitwise-identical vectors — before verification
+    /// runs. Detection/correction still lands before the rank's next halo
+    /// post.
+    pub fn step_overlapped_region<H, G, W>(
+        &mut self,
+        sim: &mut StencilSim<T>,
+        hook: &H,
+        interior_x: Range<usize>,
+        interior_y: Range<usize>,
+        wait: W,
+    ) -> (StepOutcome<T>, SplitStepTimes)
+    where
+        H: SweepHook<T>,
+        G: GhostCells<T>,
+        W: FnOnce() -> G,
+    {
+        let nx = self.nx;
+        let ix = interior_x.start.min(nx)..interior_x.end.min(nx);
+        let ix = ix.start..ix.end.max(ix.start);
+        if self.cfg.maintain_row || ix == (0..nx) {
+            return self.step_overlapped(sim, hook, interior_y, wait);
+        }
+        let (ghosts, mut times) = sim.step_overlapped_region(hook, ix, interior_y, wait, None);
+        let t = Instant::now();
+        compute_col_into(sim.current(), &mut self.col_comp);
         let outcome = self.verify_after_sweep(sim, &ghosts);
         times.verify_s = t.elapsed().as_secs_f64();
         (outcome, times)

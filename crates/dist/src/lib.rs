@@ -10,66 +10,89 @@
 //!
 //! This crate simulates an MPI-style deployment inside one process:
 //!
-//! * the global domain is decomposed into `ranks` contiguous **y-slabs**
-//!   ([`decompose`]);
-//! * each rank owns a [`StencilSim`] over its slab with the `y` axis set to
-//!   [`Boundary::Ghost`]; out-of-slab reads are served by a [`HaloGhost`]
-//!   source holding neighbour rows captured at time `t` — exactly the
-//!   values an MPI halo exchange would have delivered;
+//! * the global domain is decomposed into an **x×y grid of tiles**
+//!   ([`Partition2`]): `1×R` y-slabs (the default, [`GridSpec::Slabs`]),
+//!   an explicit `RX×RY` grid ([`DistConfig::with_grid`]) or an
+//!   auto-factored near-square grid ([`GridSpec::Auto`]);
+//! * each rank owns a [`StencilSim`] over its tile with every decomposed
+//!   axis set to [`Boundary::Ghost`]; out-of-tile reads are served by a
+//!   [`HaloGhost`] source holding neighbour **cells** captured at time `t`
+//!   — row strips from y-neighbours, column strips from x-neighbours and
+//!   the corner patches diagonal neighbours owe — exactly the values an
+//!   MPI halo exchange would have delivered;
 //! * ranks execute in one of two [`HaloMode`]s. The default
 //!   [`HaloMode::Pipelined`] spawns each rank **once for the whole run**:
-//!   every iteration the rank posts its boundary rows to per-neighbour
-//!   channels, sweeps its interior while the halos are in flight, then
-//!   applies the received ghosts to its edge rows — there is no global
-//!   barrier; ordering is enforced purely by the bounded (depth-2,
-//!   double-buffered) channels. [`HaloMode::Snapshot`] is the legacy
-//!   barriered path — a global snapshot exchange followed by one thread
-//!   spawn per rank per iteration — kept as the overhead baseline for
-//!   `exp_halo_overlap`;
+//!   every iteration the rank posts the halo cells it owes each consumer
+//!   to per-neighbour channels, sweeps its ghost-free interior window
+//!   while the halos are in flight, then applies the received ghosts to
+//!   its edge frame — there is no global barrier; ordering is enforced
+//!   purely by the bounded (depth-2, double-buffered) channels.
+//!   [`HaloMode::Snapshot`] is the legacy barriered path — a global
+//!   snapshot exchange followed by one thread spawn per rank per
+//!   iteration — kept as the overhead baseline for `exp_halo_overlap`;
 //! * a rank with protection enabled drives its sweep through
 //!   [`OnlineAbft::step_with_ghosts`] (snapshot) or
-//!   [`OnlineAbft::step_overlapped`] (pipelined), so checksum
-//!   interpolation sees the same halo values as the sweep and single-point
-//!   corruptions are detected and corrected *locally*, inside the rank's
-//!   iteration, before the next halo post;
-//! * [`DistReport::global`] gathers the slabs back into one grid.
+//!   [`OnlineAbft::step_overlapped_region`] (pipelined), so checksum
+//!   interpolation sees the same halo values as the sweep — row *and*
+//!   column checksums now cross rank boundaries in both directions — and
+//!   single-point corruptions are detected and corrected *locally*,
+//!   inside the rank's iteration, before the next halo post;
+//! * [`DistReport::global`] gathers the tiles back into one grid.
 //!
 //! Both modes are **bitwise identical** to a serial [`StencilSim`] run of
-//! the global domain: the per-point operation order of the sweep does not
-//! depend on the decomposition or on the interior/edge split, and halo
-//! reads reproduce the exact values the serial sweep reads (see
-//! `tests/distributed_equivalence.rs` at the workspace root and
-//! `tests/pipeline_equivalence.rs` in this crate).
+//! the global domain for every grid shape: the per-point operation order
+//! of the sweep does not depend on the decomposition or on the
+//! interior/edge split, and halo reads reproduce the exact values the
+//! serial sweep reads (see `tests/distributed_equivalence.rs` at the
+//! workspace root, and `tests/{pipeline_equivalence,grid2d_equivalence}.rs`
+//! in this crate).
 //!
 //! Global boundary conditions at the outer domain edges are honoured by
 //! resolving the rank-local out-of-range coordinate against the **global**
-//! `y` boundary: clamp/reflect fold back into edge-rank rows, periodic
-//! wraps around the rank ring (the first rank receives a halo from the
-//! last), and zero/constant short-circuit to the boundary value.
+//! boundary of that axis: clamp/reflect fold back into edge-tile cells,
+//! periodic wraps around the tile torus (the first column of tiles
+//! receives halos from the last), and zero/constant short-circuit to the
+//! boundary value — including at tile corners, where both axes resolve.
 
 use abft_core::{AbftConfig, OnlineAbft, ProtectorStats};
 use abft_fault::BitFlip;
 use abft_grid::{AxisHit, Boundary, BoundarySpec, GhostCells, Grid3D};
 use abft_num::Real;
 use abft_stencil::{Exec, Stencil3D, StencilSim};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::Arc;
 use std::time::Instant;
 
 mod pipeline;
 mod worker;
 
-/// How halo rows travel between ranks.
+/// How halo cells travel between ranks.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum HaloMode {
     /// Persistent per-rank workers and a double-buffered channel pipeline:
-    /// each rank is spawned once, posts its boundary rows at iteration
-    /// start, computes its interior while halos are in flight, then
-    /// applies received ghosts to the edge rows. No global barrier.
+    /// each rank is spawned once, posts its owed halo cells at iteration
+    /// start, computes its ghost-free interior window while halos are in
+    /// flight, then applies received ghosts to the edge frame. No global
+    /// barrier.
     #[default]
     Pipelined,
     /// Legacy barriered exchange: the driver snapshots every requested
-    /// halo row, then spawns one thread per rank per iteration. Kept as
+    /// halo cell, then spawns one thread per rank per iteration. Kept as
     /// the baseline the pipeline is benchmarked against.
     Snapshot,
+}
+
+/// Shape of the rank grid the domain is decomposed over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum GridSpec {
+    /// `1 × ranks` y-slabs — the legacy decomposition and the default.
+    #[default]
+    Slabs,
+    /// Auto-factor the rank count into the `RX×RY` grid whose tiles have
+    /// the smallest perimeter (see [`auto_grid`]).
+    Auto,
+    /// An explicit `RX×RY` grid; `rx · ry` must equal the rank count.
+    Explicit { rx: usize, ry: usize },
 }
 
 /// A rejected distributed-run configuration.
@@ -80,12 +103,22 @@ pub enum HaloMode {
 pub enum DistError {
     /// `ranks == 0`.
     NoRanks,
-    /// More ranks than domain rows (at most one rank per row).
+    /// An explicit grid whose `rx · ry` differs from the rank count.
+    GridMismatch { rx: usize, ry: usize, ranks: usize },
+    /// More y-ranks than domain rows (at most one rank per row).
     TooManyRanks { rows: usize, ranks: usize },
-    /// A slab is not taller than the stencil's y-extent.
+    /// More x-ranks than domain columns (at most one rank per column).
+    TooManyRanksX { cols: usize, ranks: usize },
+    /// A tile is not taller than the stencil's y-extent.
     SlabTooShort {
         rank: usize,
         rows: usize,
+        extent: usize,
+    },
+    /// A tile is not wider than the stencil's x-extent.
+    TileTooNarrow {
+        rank: usize,
+        cols: usize,
         extent: usize,
     },
     /// The outer-domain boundary spec uses [`Boundary::Ghost`].
@@ -97,12 +130,13 @@ pub enum DistError {
     },
     /// A flip names a rank that does not exist.
     FlipRank { rank: usize, ranks: usize },
-    /// A flip's slab-local coordinates fall outside its rank's slab (it
-    /// would never fire and silently corrupt the experiment bookkeeping).
-    FlipOutOfSlab {
+    /// A flip's tile-local coordinates fall outside its rank's 2-D tile
+    /// (it would never fire and silently corrupt the experiment
+    /// bookkeeping).
+    FlipOutOfTile {
         rank: usize,
         flip: (usize, usize, usize),
-        slab: (usize, usize, usize),
+        tile: (usize, usize, usize),
     },
     /// A flip's bit index exceeds the float width.
     FlipBit { bit: u32, bits: u32 },
@@ -114,9 +148,18 @@ impl std::fmt::Display for DistError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             Self::NoRanks => write!(f, "need at least one rank"),
+            Self::GridMismatch { rx, ry, ranks } => write!(
+                f,
+                "grid {rx}x{ry} covers {} ranks but {ranks} were configured",
+                rx * ry
+            ),
             Self::TooManyRanks { rows, ranks } => write!(
                 f,
                 "cannot decompose {rows} rows over {ranks} ranks (at most one rank per row)"
+            ),
+            Self::TooManyRanksX { cols, ranks } => write!(
+                f,
+                "cannot decompose {cols} columns over {ranks} x-ranks (at most one rank per column)"
             ),
             Self::SlabTooShort {
                 rank,
@@ -124,7 +167,15 @@ impl std::fmt::Display for DistError {
                 extent,
             } => write!(
                 f,
-                "rank {rank}'s slab of {rows} rows is not taller than the stencil y-extent {extent}; use fewer ranks"
+                "rank {rank}'s tile of {rows} rows is not taller than the stencil y-extent {extent}; use fewer y-ranks"
+            ),
+            Self::TileTooNarrow {
+                rank,
+                cols,
+                extent,
+            } => write!(
+                f,
+                "rank {rank}'s tile of {cols} columns is not wider than the stencil x-extent {extent}; use fewer x-ranks"
             ),
             Self::GhostBoundary => write!(
                 f,
@@ -137,12 +188,12 @@ impl std::fmt::Display for DistError {
             Self::FlipRank { rank, ranks } => {
                 write!(f, "flip rank {rank} out of range ({ranks} ranks)")
             }
-            Self::FlipOutOfSlab { rank, flip, slab } => {
+            Self::FlipOutOfTile { rank, flip, tile } => {
                 let (x, y, z) = flip;
-                let (nx, ny, nz) = slab;
+                let (nx, ny, nz) = tile;
                 write!(
                     f,
-                    "flip ({x}, {y}, {z}) outside rank {rank}'s {nx}x{ny}x{nz} slab"
+                    "flip ({x}, {y}, {z}) outside rank {rank}'s {nx}x{ny}x{nz} tile"
                 )
             }
             Self::FlipBit { bit, bits } => {
@@ -161,24 +212,28 @@ impl std::error::Error for DistError {}
 /// Configuration of one distributed run.
 #[derive(Debug, Clone)]
 pub struct DistConfig<T> {
-    /// Number of simulated ranks (y-slabs).
+    /// Number of simulated ranks.
     pub ranks: usize,
     /// Stencil iterations to run.
     pub iters: usize,
-    /// Halo width override in rows. The effective width is
-    /// `max(halo, stencil.extent_y())`; `None` uses the stencil extent.
+    /// Halo width override, applied to every decomposed axis. The
+    /// effective width per axis is `max(halo, stencil extent)`; `None`
+    /// uses the stencil extents.
     pub halo: Option<usize>,
     /// Per-rank online ABFT configuration; `None` runs unprotected.
     pub abft: Option<AbftConfig<T>>,
     /// Faults to inject: `(rank, flip)` with the flip's coordinates local
-    /// to that rank's slab.
+    /// to that rank's tile.
     pub flips: Vec<(usize, BitFlip)>,
     /// Halo exchange strategy (default: [`HaloMode::Pipelined`]).
     pub mode: HaloMode,
+    /// Rank-grid shape (default: [`GridSpec::Slabs`], the legacy 1×R
+    /// y-slab decomposition).
+    pub grid: GridSpec,
 }
 
 impl<T: Real> DistConfig<T> {
-    /// An unprotected pipelined run over `ranks` slabs for `iters`
+    /// An unprotected pipelined run over `ranks` y-slabs for `iters`
     /// iterations.
     pub fn new(ranks: usize, iters: usize) -> Self {
         Self {
@@ -188,6 +243,7 @@ impl<T: Real> DistConfig<T> {
             abft: None,
             flips: Vec::new(),
             mode: HaloMode::default(),
+            grid: GridSpec::default(),
         }
     }
 
@@ -197,10 +253,10 @@ impl<T: Real> DistConfig<T> {
         self
     }
 
-    /// Widen the halo beyond the stencil's y-extent (extra rows are
+    /// Widen the halo beyond the stencil's extents (extra cells are
     /// exchanged but unused; useful for overlap experiments).
-    pub fn with_halo(mut self, rows: usize) -> Self {
-        self.halo = Some(rows);
+    pub fn with_halo(mut self, cells: usize) -> Self {
+        self.halo = Some(cells);
         self
     }
 
@@ -210,8 +266,27 @@ impl<T: Real> DistConfig<T> {
         self
     }
 
-    /// Inject one bit-flip in `rank`'s slab (local coordinates). Validity
-    /// is checked by [`run_distributed`], which rejects out-of-slab flips
+    /// Decompose over an explicit `rx × ry` rank grid (`rx · ry` must
+    /// equal `ranks`; checked by [`run_distributed`]).
+    pub fn with_grid(mut self, rx: usize, ry: usize) -> Self {
+        self.grid = GridSpec::Explicit { rx, ry };
+        self
+    }
+
+    /// Auto-factor the rank count into a near-square grid ([`auto_grid`]).
+    pub fn with_auto_grid(mut self) -> Self {
+        self.grid = GridSpec::Auto;
+        self
+    }
+
+    /// Set the rank-grid shape from a [`GridSpec`].
+    pub fn with_grid_spec(mut self, grid: GridSpec) -> Self {
+        self.grid = grid;
+        self
+    }
+
+    /// Inject one bit-flip in `rank`'s tile (local coordinates). Validity
+    /// is checked by [`run_distributed`], which rejects out-of-tile flips
     /// with a [`DistError`].
     pub fn with_flip(mut self, rank: usize, flip: BitFlip) -> Self {
         self.flips.push((rank, flip));
@@ -225,8 +300,8 @@ impl<T: Real> DistConfig<T> {
 /// In [`HaloMode::Pipelined`] every field is measured inside the rank's
 /// persistent worker: `post_s` covers packing and (possibly
 /// backpressured) channel sends, `interior_s` the sweep that overlaps the
-/// exchange, `wait_s` the time blocked in `recv` for neighbour rows (the
-/// un-hidden halo latency), `edge_s` the ghost-dependent edge rows and
+/// exchange, `wait_s` the time blocked in `recv` for neighbour cells (the
+/// un-hidden halo latency), `edge_s` the ghost-dependent edge frame and
 /// `verify_s` the ABFT interpolate/detect/correct tail.
 ///
 /// In [`HaloMode::Snapshot`] the driver's serial exchange is attributed
@@ -234,13 +309,14 @@ impl<T: Real> DistConfig<T> {
 /// `edge_s`; `interior_s` and `wait_s` stay zero (nothing overlaps).
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct PhaseTimings {
-    /// Packing + posting boundary rows (sends, incl. backpressure).
+    /// Packing + posting halo cells (sends, incl. backpressure).
     pub post_s: f64,
     /// Interior sweep performed while halos were in flight.
     pub interior_s: f64,
-    /// Blocked waiting for neighbour halo rows.
+    /// Blocked waiting for neighbour halo cells.
     pub wait_s: f64,
-    /// Edge-row sweep after the halo landed (whole step in snapshot mode).
+    /// Edge-frame sweep after the halo landed (whole step in snapshot
+    /// mode).
     pub edge_s: f64,
     /// ABFT verification (interpolation, detection, correction).
     pub verify_s: f64,
@@ -275,11 +351,15 @@ impl PhaseTimings {
 /// What one rank owned and observed.
 #[derive(Debug, Clone)]
 pub struct RankReport {
-    /// Rank index, `0..ranks` top to bottom.
+    /// Rank index, `0..ranks`, row-major over the grid (`ty · rx + tx`).
     pub rank: usize,
-    /// First global `y` row of the slab.
+    /// First global `x` column of the tile.
+    pub x0: usize,
+    /// Tile width in columns.
+    pub x_len: usize,
+    /// First global `y` row of the tile.
     pub y0: usize,
-    /// Slab height in rows.
+    /// Tile height in rows.
     pub y_len: usize,
     /// Protector counters (all zero for unprotected runs).
     pub stats: ProtectorStats,
@@ -294,6 +374,8 @@ pub struct DistReport<T> {
     pub global: Grid3D<T>,
     /// Per-rank reports, indexed by rank.
     pub ranks: Vec<RankReport>,
+    /// The resolved rank-grid shape `(rx, ry)`.
+    pub grid: (usize, usize),
     /// Wall-clock seconds of the iteration loop (setup and gather
     /// excluded), as seen by the driver.
     pub wall_s: f64,
@@ -363,7 +445,8 @@ impl Partition {
 
     /// Which rank owns global row `y`, and the row's slab-local index.
     pub fn owner(&self, y: usize) -> (usize, usize) {
-        owner_of(&self.slabs, y)
+        let r = axis_owner(&self.slabs, y);
+        (r, y - self.slabs[r].0)
     }
 }
 
@@ -392,37 +475,172 @@ pub fn decompose(n: usize, ranks: usize) -> Vec<(usize, usize)> {
     out
 }
 
-/// Time-`t` halo rows for one rank, plus the geometry needed to resolve a
-/// rank-local out-of-range read against the **global** `y` boundary.
+/// One rank's rectangle of the global x–y plane (all `z` layers).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Tile {
+    /// First global `x` column.
+    pub x0: usize,
+    /// Width in columns.
+    pub x_len: usize,
+    /// First global `y` row.
+    pub y0: usize,
+    /// Height in rows.
+    pub y_len: usize,
+}
+
+impl Tile {
+    /// Whether global cell `(x, y)` lies in this tile.
+    pub fn contains(&self, x: usize, y: usize) -> bool {
+        (self.x0..self.x0 + self.x_len).contains(&x) && (self.y0..self.y0 + self.y_len).contains(&y)
+    }
+}
+
+/// A balanced 2-D (x×y) tile decomposition of an `nx × ny` domain over an
+/// `rx × ry` rank grid: each axis is split with [`decompose`], and rank
+/// `ty · rx + tx` owns the tile at grid position `(tx, ty)`.
+///
+/// ```
+/// use abft_dist::Partition2;
+/// let p = Partition2::new(10, 9, 2, 3);
+/// assert_eq!(p.ranks(), 6);
+/// let t = p.tile(3); // grid position (1, 1)
+/// assert_eq!((t.x0, t.x_len, t.y0, t.y_len), (5, 5, 3, 3));
+/// assert_eq!(p.owner(7, 4), (3, 2, 1)); // (rank, tile-local x, y)
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partition2 {
+    cols: Vec<(usize, usize)>,
+    rows: Vec<(usize, usize)>,
+}
+
+impl Partition2 {
+    /// Partition an `nx × ny` domain over an `rx × ry` grid.
+    ///
+    /// # Panics
+    /// Panics when an axis has more ranks than cells (see [`decompose`]).
+    pub fn new(nx: usize, ny: usize, rx: usize, ry: usize) -> Self {
+        Self {
+            cols: decompose(nx, rx),
+            rows: decompose(ny, ry),
+        }
+    }
+
+    /// Ranks along x.
+    pub fn rx(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// Ranks along y.
+    pub fn ry(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Total rank count (`rx · ry`).
+    pub fn ranks(&self) -> usize {
+        self.cols.len() * self.rows.len()
+    }
+
+    /// The tile owned by `rank` (row-major: `rank = ty · rx + tx`).
+    pub fn tile(&self, rank: usize) -> Tile {
+        let (tx, ty) = (rank % self.rx(), rank / self.rx());
+        let (x0, x_len) = self.cols[tx];
+        let (y0, y_len) = self.rows[ty];
+        Tile {
+            x0,
+            x_len,
+            y0,
+            y_len,
+        }
+    }
+
+    /// Which rank owns global cell `(x, y)`, plus its tile-local
+    /// coordinates.
+    pub fn owner(&self, x: usize, y: usize) -> (usize, usize, usize) {
+        let tx = axis_owner(&self.cols, x);
+        let ty = axis_owner(&self.rows, y);
+        (
+            ty * self.rx() + tx,
+            x - self.cols[tx].0,
+            y - self.rows[ty].0,
+        )
+    }
+}
+
+fn axis_owner(parts: &[(usize, usize)], q: usize) -> usize {
+    for (i, &(start, len)) in parts.iter().enumerate() {
+        if (start..start + len).contains(&q) {
+            return i;
+        }
+    }
+    panic!("coordinate {q} owned by no rank");
+}
+
+/// Factor `ranks` into the `(rx, ry)` grid (with `rx · ry == ranks`,
+/// `rx ≤ nx`, `ry ≤ ny`) whose tiles have the smallest perimeter — i.e.
+/// the least halo surface per unit of computed volume. Ties and the
+/// no-valid-factorisation fallback resolve to the slab-most shape
+/// (smallest `rx`), matching the legacy default.
+pub fn auto_grid(ranks: usize, nx: usize, ny: usize) -> (usize, usize) {
+    let mut best = (1, ranks);
+    let mut best_cost = usize::MAX;
+    for rx in 1..=ranks {
+        if !ranks.is_multiple_of(rx) {
+            continue;
+        }
+        let ry = ranks / rx;
+        if rx > nx || ry > ny {
+            continue;
+        }
+        let cost = nx.div_ceil(rx) + ny.div_ceil(ry);
+        if cost < best_cost {
+            best = (rx, ry);
+            best_cost = cost;
+        }
+    }
+    best
+}
+
+/// Time-`t` halo cells for one rank, plus the geometry needed to resolve a
+/// tile-local out-of-range read against the **global** boundaries of both
+/// decomposed axes (including corner reads, where x *and* y are out of
+/// range at once).
 ///
 /// This is the [`GhostCells`] source handed to the sweep *and* to the
 /// checksum interpolation, so both see identical neighbour data — the
 /// precondition of [`OnlineAbft::step_with_ghosts`].
+///
+/// Cells are stored as one flat buffer of z-columns (`nz` values per
+/// cell) in the rank's canonical cell order; `index` maps a resolved
+/// global `(x, y)` to its cell slot.
 #[derive(Debug, Clone)]
 pub struct HaloGhost<T> {
-    /// `(global_row, plane)` pairs; each plane is `[z][x]`, length nz·nx.
-    rows: Vec<(usize, Vec<T>)>,
+    index: Arc<HashMap<(usize, usize), usize>>,
+    values: Vec<T>,
     bounds: BoundarySpec<T>,
+    x0: usize,
     y0: usize,
-    nx: usize,
+    nx_global: usize,
     ny_global: usize,
     nz: usize,
 }
 
 impl<T: Real> HaloGhost<T> {
     pub(crate) fn new(
-        rows: Vec<(usize, Vec<T>)>,
+        index: Arc<HashMap<(usize, usize), usize>>,
+        values: Vec<T>,
         bounds: BoundarySpec<T>,
-        y0: usize,
-        nx: usize,
-        ny_global: usize,
-        nz: usize,
+        tile: Tile,
+        dims: (usize, usize, usize),
     ) -> Self {
+        let (nx_global, ny_global, nz) = dims;
+        debug_assert_eq!(values.len(), index.len() * nz, "halo payload size");
         Self {
-            rows,
+            index,
+            values,
             bounds,
-            y0,
-            nx,
+            x0: tile.x0,
+            y0: tile.y0,
+            nx_global,
             ny_global,
             nz,
         }
@@ -433,41 +651,51 @@ impl<T: Real> GhostCells<T> for HaloGhost<T> {
     #[inline]
     fn ghost(&self, x: isize, y: isize, z: isize) -> T {
         // The sweep resolves axes in x → y → z order and short-circuits on
-        // the first value-like hit, so by the time the `y` ghost fires, `x`
-        // is an in-range index while `z` is still raw. Finishing the
-        // resolution here (global y first, then z) reproduces the serial
-        // sweep's read exactly.
-        let g = self.y0 as isize + y;
-        let row = match self.bounds.y.resolve(g, self.ny_global) {
-            AxisHit::In(r) => r,
+        // the first value-like hit, so the axes before the ghost hit are
+        // in-range tile-local indices while the rest are still raw.
+        // Shifting into global coordinates and finishing the resolution
+        // here (global x first, then y, then z) reproduces the serial
+        // sweep's read exactly — an already-resolved local index simply
+        // maps to an in-range global one.
+        let gx = match self.bounds.x.resolve(self.x0 as isize + x, self.nx_global) {
+            AxisHit::In(i) => i,
+            AxisHit::Value(v) => return v,
+            AxisHit::Ghost(_) => unreachable!("global ghost x-boundary rejected up front"),
+        };
+        let gy = match self.bounds.y.resolve(self.y0 as isize + y, self.ny_global) {
+            AxisHit::In(i) => i,
             AxisHit::Value(v) => return v,
             AxisHit::Ghost(_) => unreachable!("global ghost y-boundary rejected up front"),
         };
-        let zr = match self.bounds.z.resolve(z, self.nz) {
+        let gz = match self.bounds.z.resolve(z, self.nz) {
             AxisHit::In(i) => i,
             AxisHit::Value(v) => return v,
             AxisHit::Ghost(_) => unreachable!("global ghost z-boundary rejected up front"),
         };
-        let plane = self
-            .rows
-            .iter()
-            .find(|(r, _)| *r == row)
-            .map(|(_, p)| p)
-            .unwrap_or_else(|| panic!("halo row {row} was not exchanged"));
-        plane[zr * self.nx + x as usize]
+        let slot = *self
+            .index
+            .get(&(gx, gy))
+            .unwrap_or_else(|| panic!("halo cell ({gx}, {gy}) was not exchanged"));
+        self.values[slot * self.nz + gz]
     }
 }
 
-/// One simulated rank: its slab simulation, optional protector, pending
-/// faults and accumulated phase timings.
+/// One simulated rank: its tile simulation, optional protector, pending
+/// faults, halo-cell bookkeeping and accumulated phase timings.
 pub(crate) struct Rank<T> {
     pub(crate) sim: StencilSim<T>,
     pub(crate) abft: Option<OnlineAbft<T>>,
-    pub(crate) y0: usize,
-    pub(crate) y_len: usize,
+    pub(crate) tile: Tile,
     pub(crate) flips: Vec<BitFlip>,
-    /// Global row indices this rank needs in its halo every iteration.
-    pub(crate) needed_rows: Vec<usize>,
+    /// Global halo cells this rank needs every iteration, grouped by
+    /// producer: self-owned cells first (boundary folds the rank serves to
+    /// itself), then remote producers in ascending rank order, each group
+    /// sorted by `(x, y)`. Concatenating the groups' z-columns in this
+    /// order yields the per-iteration halo payload.
+    pub(crate) cell_groups: CellGroups,
+    /// Cell → slot in the flat halo payload (the order fixed by
+    /// `cell_groups`).
+    pub(crate) cell_index: Arc<CellIndex>,
     pub(crate) timing: PhaseTimings,
 }
 
@@ -482,15 +710,39 @@ impl<T: Real> Rank<T> {
     }
 }
 
+/// Resolve the grid spec against the rank count, without validating it
+/// against the domain.
+fn grid_shape<T: Real>(
+    cfg: &DistConfig<T>,
+    nx: usize,
+    ny: usize,
+) -> Result<(usize, usize), DistError> {
+    match cfg.grid {
+        GridSpec::Slabs => Ok((1, cfg.ranks)),
+        GridSpec::Auto => Ok(auto_grid(cfg.ranks, nx, ny)),
+        GridSpec::Explicit { rx, ry } => {
+            if rx * ry != cfg.ranks {
+                Err(DistError::GridMismatch {
+                    rx,
+                    ry,
+                    ranks: cfg.ranks,
+                })
+            } else {
+                Ok((rx, ry))
+            }
+        }
+    }
+}
+
 /// Check a distributed configuration against the domain, returning the
-/// slab decomposition on success.
+/// tile decomposition on success.
 fn validate<T: Real>(
     initial: &Grid3D<T>,
     stencil: &Stencil3D<T>,
     bounds: &BoundarySpec<T>,
     constant: Option<&Grid3D<T>>,
     cfg: &DistConfig<T>,
-) -> Result<Vec<(usize, usize)>, DistError> {
+) -> Result<Partition2, DistError> {
     let (nx, ny, nz) = initial.dims();
     if matches!(bounds.x, Boundary::Ghost)
         || matches!(bounds.y, Boundary::Ghost)
@@ -509,19 +761,34 @@ fn validate<T: Real>(
     if cfg.ranks == 0 {
         return Err(DistError::NoRanks);
     }
-    if cfg.ranks > ny {
+    let (rx, ry) = grid_shape(cfg, nx, ny)?;
+    if ry > ny {
         return Err(DistError::TooManyRanks {
             rows: ny,
-            ranks: cfg.ranks,
+            ranks: ry,
         });
     }
-    let slabs = decompose(ny, cfg.ranks);
-    for (rank, &(_, len)) in slabs.iter().enumerate() {
-        if len <= stencil.extent_y() {
+    if rx > nx {
+        return Err(DistError::TooManyRanksX {
+            cols: nx,
+            ranks: rx,
+        });
+    }
+    let part = Partition2::new(nx, ny, rx, ry);
+    for rank in 0..part.ranks() {
+        let tile = part.tile(rank);
+        if tile.y_len <= stencil.extent_y() {
             return Err(DistError::SlabTooShort {
                 rank,
-                rows: len,
+                rows: tile.y_len,
                 extent: stencil.extent_y(),
+            });
+        }
+        if rx > 1 && tile.x_len <= stencil.extent_x() {
+            return Err(DistError::TileTooNarrow {
+                rank,
+                cols: tile.x_len,
+                extent: stencil.extent_x(),
             });
         }
     }
@@ -532,12 +799,12 @@ fn validate<T: Real>(
                 ranks: cfg.ranks,
             });
         }
-        let (_, y_len) = slabs[*rank];
-        if flip.x >= nx || flip.y >= y_len || flip.z >= nz {
-            return Err(DistError::FlipOutOfSlab {
+        let tile = part.tile(*rank);
+        if flip.x >= tile.x_len || flip.y >= tile.y_len || flip.z >= nz {
+            return Err(DistError::FlipOutOfTile {
                 rank: *rank,
                 flip: (flip.x, flip.y, flip.z),
-                slab: (nx, y_len, nz),
+                tile: (tile.x_len, tile.y_len, nz),
             });
         }
         if flip.bit >= T::BITS {
@@ -553,23 +820,24 @@ fn validate<T: Real>(
             });
         }
     }
-    Ok(slabs)
+    Ok(part)
 }
 
 /// Run the distributed simulation and gather the result.
 ///
-/// Decomposes `initial` into `cfg.ranks` y-slabs, steps them `cfg.iters`
-/// times exchanging halos per [`DistConfig::mode`], protecting each rank
-/// with online ABFT when configured, and gathers the slabs back into a
-/// global grid. The unprotected (and clean protected) result is bitwise
-/// equal to a serial [`StencilSim`] run with the same inputs, in either
-/// mode.
+/// Decomposes `initial` into `cfg.ranks` tiles per [`DistConfig::grid`],
+/// steps them `cfg.iters` times exchanging halos per [`DistConfig::mode`],
+/// protecting each rank with online ABFT when configured, and gathers the
+/// tiles back into a global grid. The unprotected (and clean protected)
+/// result is bitwise equal to a serial [`StencilSim`] run with the same
+/// inputs, in either mode and for every grid shape.
 ///
 /// # Errors
-/// Returns a [`DistError`] when the decomposition leaves a slab no taller
-/// than the stencil's y-extent, when `bounds` uses [`Boundary::Ghost`]
+/// Returns a [`DistError`] when the decomposition leaves a tile no larger
+/// than the stencil's extent on a decomposed axis, when an explicit grid
+/// does not cover the rank count, when `bounds` uses [`Boundary::Ghost`]
 /// (the outer-domain boundary must be self-contained), or when a flip
-/// spec is invalid (bad rank, out-of-slab coordinates, bit width, or an
+/// spec is invalid (bad rank, out-of-tile coordinates, bit width, or an
 /// iteration that never runs).
 pub fn run_distributed<T: Real>(
     initial: &Grid3D<T>,
@@ -579,41 +847,53 @@ pub fn run_distributed<T: Real>(
     cfg: &DistConfig<T>,
 ) -> Result<DistReport<T>, DistError> {
     let (nx, ny, nz) = initial.dims();
-    let slabs = validate(initial, stencil, bounds, constant, cfg)?;
-    let halo = cfg.halo.unwrap_or(0).max(stencil.extent_y());
+    let part = validate(initial, stencil, bounds, constant, cfg)?;
+    let (rx, ry) = (part.rx(), part.ry());
+    let hy = cfg.halo.unwrap_or(0).max(stencil.extent_y());
+    let hx = if rx > 1 {
+        cfg.halo.unwrap_or(0).max(stencil.extent_x())
+    } else {
+        0
+    };
 
-    // Rank-local boundary spec: x/z as global, y served by the halo.
+    // Rank-local boundary spec: decomposed axes served by the halo, the
+    // rest as global. x stays global for slab grids so the 1-D path is
+    // untouched (no column exchange, fused checksums, identical perf).
     let local_bounds = BoundarySpec {
-        x: bounds.x,
+        x: if rx > 1 { Boundary::Ghost } else { bounds.x },
         y: Boundary::Ghost,
         z: bounds.z,
     };
 
-    let mut ranks: Vec<Rank<T>> = slabs
-        .iter()
-        .enumerate()
-        .map(|(r, &(y0, y_len))| {
-            let slab = Grid3D::from_fn(nx, y_len, nz, |x, y, z| initial.at(x, y0 + y, z));
+    let mut ranks: Vec<Rank<T>> = (0..part.ranks())
+        .map(|r| {
+            let tile = part.tile(r);
+            let slab = Grid3D::from_fn(tile.x_len, tile.y_len, nz, |x, y, z| {
+                initial.at(tile.x0 + x, tile.y0 + y, z)
+            });
             let mut sim =
                 StencilSim::new(slab, stencil.clone(), local_bounds).with_exec(Exec::Serial);
             if let Some(c) = constant {
-                let local_c = Grid3D::from_fn(nx, y_len, nz, |x, y, z| c.at(x, y0 + y, z));
+                let local_c = Grid3D::from_fn(tile.x_len, tile.y_len, nz, |x, y, z| {
+                    c.at(tile.x0 + x, tile.y0 + y, z)
+                });
                 sim = sim.with_constant(local_c);
             }
             let abft = cfg.abft.map(|acfg| OnlineAbft::new(&sim, acfg));
-            let needed_rows = needed_halo_rows(y0, y_len, halo, ny, &bounds.y);
+            let cells = needed_halo_cells(&tile, hx, hy, nx, ny, bounds);
+            let (cell_groups, cell_index) = group_cells(cells, &part, r);
             Rank {
                 sim,
                 abft,
-                y0,
-                y_len,
+                tile,
                 flips: cfg
                     .flips
                     .iter()
                     .filter(|(fr, _)| *fr == r)
                     .map(|(_, f)| *f)
                     .collect(),
-                needed_rows,
+                cell_groups,
+                cell_index: Arc::new(cell_index),
                 timing: PhaseTimings::default(),
             }
         })
@@ -622,24 +902,25 @@ pub fn run_distributed<T: Real>(
     let wall = Instant::now();
     match cfg.mode {
         HaloMode::Pipelined => {
-            pipeline::run_pipelined(&mut ranks, &slabs, bounds, (nx, ny, nz), cfg.iters);
+            pipeline::run_pipelined(&mut ranks, bounds, (nx, ny, nz), cfg.iters);
         }
         HaloMode::Snapshot => {
-            run_snapshot(&mut ranks, &slabs, bounds, (nx, ny, nz), cfg.iters);
+            run_snapshot(&mut ranks, bounds, (nx, ny, nz), cfg.iters);
         }
     }
     let wall_s = wall.elapsed().as_secs_f64();
 
-    // --- Gather the slabs back into the global grid (one pass per slab,
+    // --- Gather the tiles back into the global grid (one pass per tile,
     //     contiguous x-line copies). ------------------------------------
     let mut global = Grid3D::zeros(nx, ny, nz);
     for rank in &ranks {
         let local = rank.sim.current();
+        let t = rank.tile;
         for z in 0..nz {
-            for ly in 0..rank.y_len {
-                let src = &local.as_slice()[z * nx * rank.y_len + ly * nx..][..nx];
-                let base = global.idx(0, rank.y0 + ly, z);
-                global.as_mut_slice()[base..base + nx].copy_from_slice(src);
+            for ly in 0..t.y_len {
+                let src = &local.as_slice()[z * t.x_len * t.y_len + ly * t.x_len..][..t.x_len];
+                let base = global.idx(t.x0, t.y0 + ly, z);
+                global.as_mut_slice()[base..base + t.x_len].copy_from_slice(src);
             }
         }
     }
@@ -651,45 +932,50 @@ pub fn run_distributed<T: Real>(
             .enumerate()
             .map(|(i, r)| RankReport {
                 rank: i,
-                y0: r.y0,
-                y_len: r.y_len,
+                x0: r.tile.x0,
+                x_len: r.tile.x_len,
+                y0: r.tile.y0,
+                y_len: r.tile.y_len,
                 stats: r.abft.as_ref().map(|a| a.stats()).unwrap_or_default(),
                 timing: r.timing,
             })
             .collect(),
+        grid: (rx, ry),
         wall_s,
     })
 }
 
-/// The legacy barriered execution: snapshot all requested halo rows on the
-/// driver, then spawn one thread per rank per iteration.
+/// The legacy barriered execution: snapshot all requested halo cells on
+/// the driver, then spawn one thread per rank per iteration.
 fn run_snapshot<T: Real>(
     ranks: &mut [Rank<T>],
-    slabs: &[(usize, usize)],
     bounds: &BoundarySpec<T>,
     dims: (usize, usize, usize),
     iters: usize,
 ) {
-    let (nx, ny, nz) = dims;
     for t in 0..iters {
-        // --- Halo exchange: snapshot every requested time-t row. -------
-        // In an MPI deployment this is the send/recv pair; here the rows
-        // are copied out of the owning rank's current buffer.
+        // --- Halo exchange: snapshot every requested time-t cell. ------
+        // In an MPI deployment this is the send/recv pairs (row strips,
+        // column strips and corner patches); here the z-columns are copied
+        // out of the owning rank's current buffer.
         let t0 = Instant::now();
         let ghosts: Vec<HaloGhost<T>> = ranks
             .iter()
             .map(|rank| {
-                HaloGhost::new(
-                    rank.needed_rows
-                        .iter()
-                        .map(|&row| (row, snapshot_row(ranks, slabs, row)))
-                        .collect(),
-                    *bounds,
-                    rank.y0,
-                    nx,
-                    ny,
-                    nz,
-                )
+                let mut values = Vec::with_capacity(rank.cell_index.len() * dims.2);
+                for (owner, cells) in &rank.cell_groups {
+                    let owner_tile = ranks[*owner].tile;
+                    let grid = ranks[*owner].sim.current();
+                    for &(gx, gy) in cells {
+                        worker::push_column(
+                            grid,
+                            gx - owner_tile.x0,
+                            gy - owner_tile.y0,
+                            &mut values,
+                        );
+                    }
+                }
+                HaloGhost::new(rank.cell_index.clone(), values, *bounds, rank.tile, dims)
             })
             .collect();
         let exchange_share = t0.elapsed().as_secs_f64() / ranks.len() as f64;
@@ -710,45 +996,95 @@ fn run_snapshot<T: Real>(
     }
 }
 
-/// The set of global rows rank `(y0, y_len)` needs to satisfy every
-/// possible out-of-slab read: local rows `-halo..0` and
-/// `y_len..y_len+halo`, resolved through the global `y` boundary.
-/// Value-like boundaries contribute no rows; clamp/reflect at the outer
-/// edges fold into in-domain rows; periodic wraps around the ring.
-fn needed_halo_rows<T: Real>(
-    y0: usize,
-    y_len: usize,
+/// The in-domain cells one axis window `start-halo..start+len+halo`
+/// resolves to through the global boundary. Value-like boundaries
+/// contribute nothing; clamp/reflect at the outer edges fold into
+/// in-domain cells (possibly the tile's own), periodic wraps around the
+/// torus.
+fn resolved_window<T: Real>(
+    start: usize,
+    len: usize,
     halo: usize,
+    n: usize,
+    b: &Boundary<T>,
+) -> BTreeSet<usize> {
+    let mut set = BTreeSet::new();
+    let local_range = (-(halo as isize)..0).chain(len as isize..(len + halo) as isize);
+    for l in local_range {
+        if let AxisHit::In(i) = b.resolve(start as isize + l, n) {
+            set.insert(i);
+        }
+    }
+    set
+}
+
+/// The set of global cells a tile needs to satisfy every possible
+/// out-of-tile read: row strips (own columns × y-window), column strips
+/// (x-window × own rows) and the corner patches (x-window × y-window) —
+/// the full halo ring, resolved through the global boundaries. The ring
+/// always includes corners, so diagonal stencil taps and the checksum
+/// interpolation's cross-axis correction terms are served without any
+/// extra message kind.
+fn needed_halo_cells<T: Real>(
+    tile: &Tile,
+    hx: usize,
+    hy: usize,
+    nx: usize,
     ny: usize,
-    by: &Boundary<T>,
-) -> Vec<usize> {
-    let mut rows = Vec::new();
-    let local_range = (-(halo as isize)..0).chain(y_len as isize..(y_len + halo) as isize);
-    for ly in local_range {
-        if let AxisHit::In(row) = by.resolve(y0 as isize + ly, ny) {
-            if !rows.contains(&row) {
-                rows.push(row);
-            }
+    bounds: &BoundarySpec<T>,
+) -> BTreeSet<(usize, usize)> {
+    let wx = resolved_window(tile.x0, tile.x_len, hx, nx, &bounds.x);
+    let wy = resolved_window(tile.y0, tile.y_len, hy, ny, &bounds.y);
+    let mut cells = BTreeSet::new();
+    for &gy in &wy {
+        for gx in tile.x0..tile.x0 + tile.x_len {
+            cells.insert((gx, gy));
         }
     }
-    rows
-}
-
-/// Which rank owns global row `y`, and the row's slab-local index.
-pub(crate) fn owner_of(slabs: &[(usize, usize)], y: usize) -> (usize, usize) {
-    for (r, &(y0, len)) in slabs.iter().enumerate() {
-        if (y0..y0 + len).contains(&y) {
-            return (r, y - y0);
+    for &gx in &wx {
+        for gy in tile.y0..tile.y0 + tile.y_len {
+            cells.insert((gx, gy));
+        }
+        for &gy in &wy {
+            cells.insert((gx, gy));
         }
     }
-    panic!("row {y} owned by no rank");
+    cells
 }
 
-/// Copy global row `row` (an `[z][x]` plane) out of its owner's current
-/// time-`t` buffer.
-fn snapshot_row<T: Real>(ranks: &[Rank<T>], slabs: &[(usize, usize)], row: usize) -> Vec<T> {
-    let (r, local_y) = owner_of(slabs, row);
-    worker::copy_plane(ranks[r].sim.current(), local_y)
+/// A rank's halo cells grouped by producing rank, in the canonical
+/// payload order (self first, then ascending producers).
+type CellGroups = Vec<(usize, Vec<(usize, usize)>)>;
+/// Global `(x, y)` halo cell → slot in the flat per-iteration payload.
+type CellIndex = HashMap<(usize, usize), usize>;
+
+/// Group a rank's needed cells by producing rank in the canonical payload
+/// order — self-owned first, then ascending rank — and build the cell →
+/// payload-slot index both halo modes share.
+fn group_cells(
+    cells: BTreeSet<(usize, usize)>,
+    part: &Partition2,
+    me: usize,
+) -> (CellGroups, CellIndex) {
+    let mut by_owner: BTreeMap<usize, Vec<(usize, usize)>> = BTreeMap::new();
+    for (gx, gy) in cells {
+        let (owner, _, _) = part.owner(gx, gy);
+        by_owner.entry(owner).or_default().push((gx, gy));
+    }
+    let mut groups = Vec::with_capacity(by_owner.len());
+    if let Some(own) = by_owner.remove(&me) {
+        groups.push((me, own));
+    }
+    groups.extend(by_owner);
+    let mut index = HashMap::new();
+    let mut slot = 0;
+    for (_, group) in &groups {
+        for &cell in group {
+            index.insert(cell, slot);
+            slot += 1;
+        }
+    }
+    (groups, index)
 }
 
 #[cfg(test)]
@@ -793,6 +1129,41 @@ mod tests {
     #[should_panic]
     fn decompose_rejects_more_ranks_than_rows() {
         let _ = decompose(3, 4);
+    }
+
+    #[test]
+    fn partition2_tiles_cover_the_domain_once() {
+        let p = Partition2::new(13, 11, 3, 2);
+        assert_eq!((p.rx(), p.ry(), p.ranks()), (3, 2, 6));
+        let mut seen = vec![0u32; 13 * 11];
+        for r in 0..p.ranks() {
+            let t = p.tile(r);
+            for y in t.y0..t.y0 + t.y_len {
+                for x in t.x0..t.x0 + t.x_len {
+                    seen[y * 13 + x] += 1;
+                    let (owner, lx, ly) = p.owner(x, y);
+                    assert_eq!(owner, r);
+                    assert_eq!((lx, ly), (x - t.x0, y - t.y0));
+                    assert!(t.contains(x, y));
+                }
+            }
+        }
+        assert!(seen.iter().all(|&c| c == 1), "tiles overlap or leave gaps");
+    }
+
+    #[test]
+    fn auto_grid_minimises_tile_perimeter() {
+        // Square domain, square rank count → square grid.
+        assert_eq!(auto_grid(4, 512, 512), (2, 2));
+        assert_eq!(auto_grid(9, 99, 99), (3, 3));
+        // y-heavy domain → slab-like split along y.
+        assert_eq!(auto_grid(4, 64, 512), (1, 4));
+        // x-heavy domain → split along x.
+        assert_eq!(auto_grid(3, 9, 4), (3, 1));
+        // No valid factorisation (prime > both axes) falls back to slabs;
+        // validation rejects it downstream.
+        assert_eq!(auto_grid(7, 3, 3), (1, 7));
+        assert_eq!(auto_grid(1, 10, 10), (1, 1));
     }
 
     /// The halo-correctness check: a y-asymmetric stencil makes every halo
@@ -883,7 +1254,91 @@ mod tests {
             assert_eq!(rep.global, expect);
             assert_eq!(rep.ranks.len(), 1);
             assert_eq!(rep.ranks[0].y_len, 9);
+            assert_eq!(rep.ranks[0].x_len, 8);
+            assert_eq!(rep.grid, (1, 1));
         }
+    }
+
+    #[test]
+    fn grid_2x2_matches_serial_in_both_modes() {
+        let initial = wavy(10, 12, 2);
+        // Asymmetric in x *and* y so left/right and up/down column/row
+        // strips all carry distinct weights.
+        let stencil = Stencil3D::from_tuples(&[
+            (0, 0, 0, 0.4f64),
+            (-1, 0, 0, 0.2),
+            (1, 0, 0, 0.1),
+            (0, -1, 0, 0.15),
+            (0, 1, 0, 0.05),
+            (0, 0, 1, 0.1),
+        ]);
+        for boundary in [Boundary::Clamp, Boundary::Periodic] {
+            let bounds = BoundarySpec::uniform(boundary);
+            let expect = serial(&initial, &stencil, &bounds, 8);
+            for mode in both_modes() {
+                let rep = run_distributed(
+                    &initial,
+                    &stencil,
+                    &bounds,
+                    None,
+                    &DistConfig::<f64>::new(4, 8).with_grid(2, 2).with_mode(mode),
+                )
+                .unwrap();
+                assert_eq!(rep.grid, (2, 2));
+                assert_eq!(rep.global, expect, "2x2 diverged ({boundary:?}, {mode:?})");
+            }
+        }
+    }
+
+    #[test]
+    fn diagonal_taps_exercise_corner_halos() {
+        let initial = wavy(9, 11, 2);
+        // 9-point-style kernel: all four diagonal neighbours, asymmetric.
+        let stencil = Stencil3D::from_tuples(&[
+            (0, 0, 0, 0.3f64),
+            (-1, -1, 0, 0.15),
+            (1, -1, 0, 0.1),
+            (-1, 1, 0, 0.12),
+            (1, 1, 0, 0.08),
+            (-1, 0, 0, 0.1),
+            (0, 1, 0, 0.15),
+        ]);
+        for boundary in [Boundary::Clamp, Boundary::Periodic] {
+            let bounds = BoundarySpec::uniform(boundary);
+            let expect = serial(&initial, &stencil, &bounds, 7);
+            for mode in both_modes() {
+                let rep = run_distributed(
+                    &initial,
+                    &stencil,
+                    &bounds,
+                    None,
+                    &DistConfig::<f64>::new(4, 7).with_grid(2, 2).with_mode(mode),
+                )
+                .unwrap();
+                assert_eq!(
+                    rep.global, expect,
+                    "corner halo diverged ({boundary:?}, {mode:?})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn auto_grid_runs_match_serial() {
+        let initial = wavy(12, 12, 2);
+        let stencil = Stencil3D::seven_point(0.4f64, 0.1, 0.1, 0.1);
+        let bounds = BoundarySpec::clamp();
+        let expect = serial(&initial, &stencil, &bounds, 6);
+        let rep = run_distributed(
+            &initial,
+            &stencil,
+            &bounds,
+            None,
+            &DistConfig::<f64>::new(4, 6).with_auto_grid(),
+        )
+        .unwrap();
+        assert_eq!(rep.grid, (2, 2), "square domain should auto-factor 2x2");
+        assert_eq!(rep.global, expect);
     }
 
     #[test]
@@ -912,25 +1367,93 @@ mod tests {
     }
 
     #[test]
-    fn needed_rows_clamp_interior_and_edges() {
-        let by = Boundary::<f64>::Clamp;
-        // Interior rank: plain neighbour rows.
-        assert_eq!(needed_halo_rows(4, 4, 1, 12, &by), vec![3, 8]);
-        // Top edge rank: y = -1 clamps to row 0 (its own row, snapshotted).
-        assert_eq!(needed_halo_rows(0, 4, 1, 12, &by), vec![0, 4]);
-        // Bottom edge rank: y = 12 clamps to row 11.
-        assert_eq!(needed_halo_rows(8, 4, 1, 12, &by), vec![7, 11]);
+    fn needed_cells_slab_tile_are_full_rows() {
+        let by = BoundarySpec::<f64>::clamp();
+        // Interior slab of a 1×3 split over 6×12: needs global rows 3 and
+        // 8 across the full width, no columns.
+        let tile = Tile {
+            x0: 0,
+            x_len: 6,
+            y0: 4,
+            y_len: 4,
+        };
+        let cells = needed_halo_cells(&tile, 0, 1, 6, 12, &by);
+        let expect: BTreeSet<(usize, usize)> = (0..6).flat_map(|x| [(x, 3), (x, 8)]).collect();
+        assert_eq!(cells, expect);
+        // Top slab: y = -1 clamps onto its own row 0 (a self-served fold).
+        let top = Tile {
+            x0: 0,
+            x_len: 6,
+            y0: 0,
+            y_len: 4,
+        };
+        let cells = needed_halo_cells(&top, 0, 1, 6, 12, &by);
+        let expect: BTreeSet<(usize, usize)> = (0..6).flat_map(|x| [(x, 0), (x, 4)]).collect();
+        assert_eq!(cells, expect);
     }
 
     #[test]
-    fn needed_rows_periodic_wrap_and_value_boundaries() {
-        let per = Boundary::<f64>::Periodic;
-        // Top rank wraps to the last row, bottom rank to the first.
-        assert_eq!(needed_halo_rows(0, 4, 1, 12, &per), vec![11, 4]);
-        assert_eq!(needed_halo_rows(8, 4, 1, 12, &per), vec![7, 0]);
-        // Zero boundary needs no rows at the outer edges.
-        let zero = Boundary::<f64>::Zero;
-        assert_eq!(needed_halo_rows(0, 4, 1, 12, &zero), vec![4]);
+    fn needed_cells_2d_tile_include_corners() {
+        let by = BoundarySpec::<f64>::clamp();
+        // Interior tile of a 3×3 grid over 9×9: full ring incl. corners.
+        let tile = Tile {
+            x0: 3,
+            x_len: 3,
+            y0: 3,
+            y_len: 3,
+        };
+        let cells = needed_halo_cells(&tile, 1, 1, 9, 9, &by);
+        // Ring of width 1 around a 3×3 tile: 16 cells.
+        assert_eq!(cells.len(), 16);
+        for corner in [(2, 2), (6, 2), (2, 6), (6, 6)] {
+            assert!(cells.contains(&corner), "missing corner {corner:?}");
+        }
+        assert!(!cells.contains(&(4, 4)), "tile interior must not be needed");
+
+        // Domain-corner tile under clamp: out-of-domain reads fold onto
+        // its own edge cells — they must still be in the needed set (the
+        // rank serves them to itself).
+        let corner_tile = Tile {
+            x0: 0,
+            x_len: 3,
+            y0: 0,
+            y_len: 3,
+        };
+        let cells = needed_halo_cells(&corner_tile, 1, 1, 9, 9, &by);
+        assert!(cells.contains(&(0, 0)), "clamp fold onto own corner");
+        assert!(cells.contains(&(3, 3)), "outer corner neighbour");
+
+        // Periodic wraps to the opposite side of the torus.
+        let per = BoundarySpec::<f64>::periodic();
+        let cells = needed_halo_cells(&corner_tile, 1, 1, 9, 9, &per);
+        assert!(cells.contains(&(8, 8)), "periodic corner wrap");
+        assert!(cells.contains(&(8, 0)), "periodic column wrap");
+        assert!(cells.contains(&(0, 8)), "periodic row wrap");
+    }
+
+    #[test]
+    fn cell_groups_put_self_first_then_ascending_producers() {
+        let part = Partition2::new(6, 6, 2, 2);
+        // Rank 3 (bottom-right tile) under periodic bounds needs cells
+        // from every rank including itself? No fold onto itself here, so
+        // check rank 0's groups under clamp instead: it folds onto itself.
+        let bounds = BoundarySpec::<f64>::clamp();
+        let tile = part.tile(0);
+        let cells = needed_halo_cells(&tile, 1, 1, 6, 6, &bounds);
+        let (groups, index) = group_cells(cells, &part, 0);
+        assert_eq!(groups[0].0, 0, "self group must come first");
+        let owners: Vec<usize> = groups.iter().map(|(p, _)| *p).collect();
+        let mut sorted = owners.clone();
+        sorted.sort_unstable();
+        assert_eq!(owners[1..], sorted[1..], "producers ascending");
+        // The index enumerates the concatenated groups in order.
+        let mut expected_slot = 0;
+        for (_, group) in &groups {
+            for cell in group {
+                assert_eq!(index[cell], expected_slot);
+                expected_slot += 1;
+            }
+        }
     }
 
     #[test]
@@ -949,6 +1472,26 @@ mod tests {
             assert_eq!(rep.global, expect, "{mode:?}");
             assert_eq!(rep.total_stats().detections, 0);
             assert_eq!(rep.total_stats().steps, 45); // 3 ranks × 15 iterations
+        }
+    }
+
+    #[test]
+    fn protected_clean_2x2_run_matches_serial_with_zero_detections() {
+        let initial = Grid3D::from_fn(10, 12, 2, |x, y, z| {
+            80.0 + ((x * 3 + y * 5 + z) % 9) as f64 * 0.4
+        });
+        let stencil = Stencil3D::seven_point(0.4f64, 0.12, 0.08, 0.1);
+        let bounds = BoundarySpec::clamp();
+        let expect = serial(&initial, &stencil, &bounds, 12);
+        for mode in both_modes() {
+            let cfg = DistConfig::new(4, 12)
+                .with_abft(AbftConfig::<f64>::paper_defaults())
+                .with_grid(2, 2)
+                .with_mode(mode);
+            let rep = run_distributed(&initial, &stencil, &bounds, None, &cfg).unwrap();
+            assert_eq!(rep.global, expect, "{mode:?}");
+            assert_eq!(rep.total_stats().detections, 0);
+            assert_eq!(rep.total_stats().steps, 48); // 4 ranks × 12 iterations
         }
     }
 
@@ -1001,11 +1544,32 @@ mod tests {
         let geom: Vec<(usize, usize, usize)> =
             rep.ranks.iter().map(|r| (r.rank, r.y0, r.y_len)).collect();
         assert_eq!(geom, vec![(0, 0, 3), (1, 3, 3), (2, 6, 3), (3, 9, 2)]);
+        assert!(rep.ranks.iter().all(|r| r.x0 == 0 && r.x_len == 5));
+        assert_eq!(rep.grid, (1, 4));
         assert!(rep.wall_s >= 0.0);
+
+        let rep = run_distributed(
+            &initial,
+            &stencil,
+            &BoundarySpec::clamp(),
+            None,
+            &DistConfig::<f64>::new(4, 2).with_grid(2, 2),
+        )
+        .unwrap();
+        let geom: Vec<(usize, usize, usize, usize)> = rep
+            .ranks
+            .iter()
+            .map(|r| (r.x0, r.x_len, r.y0, r.y_len))
+            .collect();
+        assert_eq!(
+            geom,
+            vec![(0, 3, 0, 6), (3, 2, 0, 6), (0, 3, 6, 5), (3, 2, 6, 5)]
+        );
+        assert_eq!(rep.grid, (2, 2));
     }
 
     #[test]
-    fn out_of_slab_flip_rejected_with_structured_error() {
+    fn out_of_tile_flip_rejected_with_structured_error() {
         let initial = wavy(6, 12, 2);
         let stencil = Stencil3D::seven_point(0.4f64, 0.1, 0.1, 0.1);
         // 12 rows over 4 ranks ⇒ 3-row slabs; local y = 3 can never fire.
@@ -1025,13 +1589,42 @@ mod tests {
             run_distributed(&initial, &stencil, &BoundarySpec::clamp(), None, &cfg).unwrap_err();
         assert_eq!(
             err,
-            DistError::FlipOutOfSlab {
+            DistError::FlipOutOfTile {
                 rank: 1,
                 flip: (1, 3, 0),
-                slab: (6, 3, 2),
+                tile: (6, 3, 2),
             }
         );
-        assert!(err.to_string().contains("outside rank 1's"));
+        assert!(err.to_string().contains("outside rank 1's 6x3x2 tile"));
+    }
+
+    #[test]
+    fn out_of_tile_flip_rejected_in_x_on_2d_grids() {
+        let initial = wavy(10, 10, 2);
+        let stencil = Stencil3D::seven_point(0.4f64, 0.1, 0.1, 0.1);
+        // 2×2 grid over 10×10 ⇒ 5×5 tiles; local x = 7 fits the y-slab
+        // interpretation (x < 10) but not the tile — must be rejected.
+        let cfg = DistConfig::new(4, 5).with_grid(2, 2).with_flip(
+            2,
+            BitFlip {
+                iteration: 1,
+                x: 7,
+                y: 2,
+                z: 0,
+                bit: 40,
+            },
+        );
+        let err =
+            run_distributed(&initial, &stencil, &BoundarySpec::clamp(), None, &cfg).unwrap_err();
+        assert_eq!(
+            err,
+            DistError::FlipOutOfTile {
+                rank: 2,
+                flip: (7, 2, 0),
+                tile: (5, 5, 2),
+            }
+        );
+        assert!(err.to_string().contains("outside rank 2's 5x5x2 tile"));
     }
 
     #[test]
@@ -1073,6 +1666,67 @@ mod tests {
             let err = run_distributed(&initial, &stencil, &bounds, None, &cfg).unwrap_err();
             assert_eq!(err, want);
         }
+    }
+
+    #[test]
+    fn bad_grid_shapes_rejected_with_structured_errors() {
+        let initial = wavy(8, 12, 1);
+        let stencil = Stencil3D::from_tuples(&[(0, 0, 0, 1.0f64)]);
+        let bounds = BoundarySpec::clamp();
+        // rx·ry must cover the rank count.
+        let err = run_distributed(
+            &initial,
+            &stencil,
+            &bounds,
+            None,
+            &DistConfig::<f64>::new(4, 1).with_grid(3, 2),
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            DistError::GridMismatch {
+                rx: 3,
+                ry: 2,
+                ranks: 4
+            }
+        );
+        assert!(err.to_string().contains("grid 3x2 covers 6 ranks"));
+        // More x-ranks than columns.
+        let err = run_distributed(
+            &initial,
+            &stencil,
+            &bounds,
+            None,
+            &DistConfig::<f64>::new(9, 1).with_grid(9, 1),
+        )
+        .unwrap_err();
+        assert_eq!(err, DistError::TooManyRanksX { cols: 8, ranks: 9 });
+    }
+
+    #[test]
+    fn narrow_tile_rejected_for_wide_x_stencils() {
+        let initial = wavy(8, 8, 1);
+        let stencil = Stencil3D::from_tuples(&[(-2, 0, 0, 0.5f64), (2, 0, 0, 0.5)]);
+        // 8 columns over 4 x-ranks ⇒ 2-column tiles, but x-extent is 2.
+        let err = run_distributed(
+            &initial,
+            &stencil,
+            &BoundarySpec::clamp(),
+            None,
+            &DistConfig::<f64>::new(4, 1).with_grid(4, 1),
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            DistError::TileTooNarrow {
+                rank: 0,
+                cols: 2,
+                extent: 2,
+            }
+        );
+        assert!(err
+            .to_string()
+            .contains("not wider than the stencil x-extent"));
     }
 
     #[test]

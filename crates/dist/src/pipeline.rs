@@ -2,16 +2,28 @@
 //! run loop that spawns each rank **once** for the whole simulation.
 //!
 //! Topology: for every (producer, consumer) rank pair where the consumer's
-//! halo needs at least one row owned by the producer, a dedicated bounded
-//! channel carries one message per iteration — all the rows that producer
-//! owes that consumer, snapshotted at the producer's current time. The
-//! bound of **2** is the double-buffering discipline: a producer may run
-//! at most two iterations ahead of a consumer before its send blocks
+//! halo needs at least one cell owned by the producer, a dedicated bounded
+//! channel carries one message per iteration — the z-columns of all the
+//! cells that producer owes that consumer, snapshotted at the producer's
+//! current time. With a 2-D rank grid this covers row strips
+//! (y-neighbours), column strips (x-neighbours) *and* corner patches
+//! (diagonal neighbours) through the same construction: the topology is
+//! derived from needed-cell ownership, never from hard-coded ±1
+//! neighbours, so periodic wrap-around, halos wider than a tile
+//! (multi-rank-away producers) and unbalanced tiles all fall out for free.
+//! The bound of **2** is the double-buffering discipline: a producer may
+//! run at most two iterations ahead of a consumer before its send blocks
 //! (backpressure), which caps skew and memory without any global barrier.
 //!
-//! Rows a rank needs from *itself* (clamp/reflect folding at the outer
+//! Cells a rank needs from *itself* (clamp/reflect folding at the outer
 //! domain edges, or a single-rank periodic ring) never touch a channel;
 //! the worker snapshots them locally before sweeping.
+//!
+//! Messages carry no cell coordinates: both endpoints derive the same
+//! canonical cell order from the consumer's `cell_groups` (self first,
+//! then producers ascending, each group sorted by `(x, y)`), so a message
+//! is just the flat value payload and the consumer's prebuilt
+//! `cell_index` resolves lookups.
 //!
 //! Progress argument (no deadlock): consider the rank at the minimum
 //! iteration `t`. Every channel holds only messages for iterations `>=
@@ -22,17 +34,17 @@
 //! Hence the minimum rank always advances.
 
 use crate::worker;
-use crate::{owner_of, Rank};
+use crate::Rank;
 use abft_grid::BoundarySpec;
 use abft_num::Real;
-use std::collections::BTreeMap;
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 
-/// Halo payload: `(global_row, plane)` pairs, each plane `[z][x]`.
-pub(crate) type HaloMsg<T> = Vec<(usize, Vec<T>)>;
+/// Halo payload: the z-columns of the owed cells, flat, in the consumer's
+/// canonical cell order.
+pub(crate) type HaloMsg<T> = Vec<T>;
 
-/// An outgoing halo channel: the sender plus the `(local_row, global_row)`
-/// pairs owed to that consumer every iteration.
+/// An outgoing halo channel: the sender plus the producer-local `(lx, ly)`
+/// cells owed to that consumer every iteration.
 pub(crate) type SendPort<T> = (SyncSender<HaloMsg<T>>, Vec<(usize, usize)>);
 
 /// Double-buffering depth of each halo channel: a producer can run at
@@ -41,13 +53,14 @@ pub(crate) const CHANNEL_DEPTH: usize = 2;
 
 /// One rank's endpoints in the pipeline.
 pub(crate) struct Ports<T> {
-    /// Outgoing halo channels, one per consumer this rank owes rows to.
+    /// Outgoing halo channels, one per consumer this rank owes cells to.
     pub(crate) sends: Vec<SendPort<T>>,
-    /// Incoming halo channels, one per producer; exactly one message per
+    /// Incoming halo channels, one per producer in ascending rank order
+    /// (matching the consumer's payload layout); exactly one message per
     /// producer per iteration, in iteration order.
     pub(crate) recvs: Vec<Receiver<HaloMsg<T>>>,
-    /// `(local_row, global_row)` pairs this rank serves to itself.
-    pub(crate) self_rows: Vec<(usize, usize)>,
+    /// Tile-local `(lx, ly)` cells this rank serves to itself.
+    pub(crate) self_cells: Vec<(usize, usize)>,
 }
 
 impl<T> Ports<T> {
@@ -55,33 +68,26 @@ impl<T> Ports<T> {
         Self {
             sends: Vec::new(),
             recvs: Vec::new(),
-            self_rows: Vec::new(),
+            self_cells: Vec::new(),
         }
     }
 }
 
-/// Wire up the halo channels from each rank's needed-row set. Handles
-/// arbitrary producers (immediate neighbours, multi-rank-away rows for
-/// halos wider than a slab, periodic wrap-around, and self rows).
-pub(crate) fn build_topology<T: Real>(
-    ranks: &[Rank<T>],
-    slabs: &[(usize, usize)],
-) -> Vec<Ports<T>> {
+/// Wire up the halo channels from each rank's needed-cell groups.
+pub(crate) fn build_topology<T: Real>(ranks: &[Rank<T>]) -> Vec<Ports<T>> {
     let mut ports: Vec<Ports<T>> = (0..ranks.len()).map(|_| Ports::empty()).collect();
     for (c, rank) in ranks.iter().enumerate() {
-        let mut by_owner: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
-        for &row in &rank.needed_rows {
-            let (p, _) = owner_of(slabs, row);
-            by_owner.entry(p).or_default().push(row);
-        }
-        for (p, rows) in by_owner {
-            let localised: Vec<(usize, usize)> =
-                rows.iter().map(|&r| (r - slabs[p].0, r)).collect();
-            if p == c {
-                ports[c].self_rows = localised;
+        for (p, cells) in &rank.cell_groups {
+            let tile = ranks[*p].tile;
+            let localised: Vec<(usize, usize)> = cells
+                .iter()
+                .map(|&(gx, gy)| (gx - tile.x0, gy - tile.y0))
+                .collect();
+            if *p == c {
+                ports[c].self_cells = localised;
             } else {
                 let (tx, rx) = sync_channel(CHANNEL_DEPTH);
-                ports[p].sends.push((tx, localised));
+                ports[*p].sends.push((tx, localised));
                 ports[c].recvs.push(rx);
             }
         }
@@ -93,12 +99,11 @@ pub(crate) fn build_topology<T: Real>(
 /// Workers communicate only through their ports; the driver just joins.
 pub(crate) fn run_pipelined<T: Real>(
     ranks: &mut [Rank<T>],
-    slabs: &[(usize, usize)],
     bounds: &BoundarySpec<T>,
     dims: (usize, usize, usize),
     iters: usize,
 ) {
-    let ports = build_topology(ranks, slabs);
+    let ports = build_topology(ranks);
     let bounds = *bounds;
     std::thread::scope(|scope| {
         let handles: Vec<_> = ranks

@@ -3,39 +3,51 @@
 //!
 //! Pipelined iteration structure (one pass of [`run`]'s loop):
 //!
-//! 1. **post** — snapshot the boundary rows this rank owes its consumers
-//!    out of the current (time-`t`) buffer and send one message per
-//!    consumer channel; self-served rows are copied aside.
-//! 2. **interior** — sweep the rows whose stencil support stays in-slab.
-//!    This is the overlap window: neighbour sends/receives complete while
-//!    the bulk of the compute runs.
+//! 1. **post** — snapshot the halo cells this rank owes its consumers
+//!    (row strips, column strips, corner patches) out of the current
+//!    (time-`t`) buffer and send one message per consumer channel;
+//!    self-served cells are copied aside.
+//! 2. **interior** — sweep the rectangular window whose stencil support
+//!    stays in-tile (x- and y-edges both excluded on a 2-D grid). This is
+//!    the overlap window: neighbour sends/receives complete while the
+//!    bulk of the compute runs.
 //! 3. **wait** — block on each producer channel for its halo message and
 //!    assemble the [`HaloGhost`] for this iteration.
-//! 4. **edge** — sweep the remaining rows against the ghost and finish
-//!    the step (buffer swap).
+//! 4. **edge** — sweep the remaining edge frame against the ghost and
+//!    finish the step (buffer swap).
 //! 5. **verify** — when protected, ABFT interpolation/detection runs on
 //!    the completed step; corrections land *before* the next post, so a
-//!    neighbour can never observe a known-corrupted row.
+//!    neighbour can never observe a known-corrupted cell.
 
 use crate::pipeline::{HaloMsg, Ports};
 use crate::{HaloGhost, Rank};
 use abft_fault::MultiFlipHook;
-use abft_grid::{BoundarySpec, Grid3D};
+use abft_grid::{Boundary, BoundarySpec, Grid3D};
 use abft_num::Real;
 use abft_stencil::{ChecksumMode, NoHook, SplitStepTimes};
 use std::time::Instant;
 
-/// Copy slab-local row `ly` (an `[z][x]` plane, length nz·nx) out of a
-/// rank's grid.
-pub(crate) fn copy_plane<T: Real>(grid: &Grid3D<T>, ly: usize) -> Vec<T> {
+/// Append the z-column of tile-local cell `(lx, ly)` (length `nz`) to
+/// `out`.
+pub(crate) fn push_column<T: Real>(grid: &Grid3D<T>, lx: usize, ly: usize, out: &mut Vec<T>) {
     let (nx, ny, nz) = grid.dims();
-    let slice = grid.as_slice();
-    let mut plane = Vec::with_capacity(nz * nx);
+    let s = grid.as_slice();
+    let base = ly * nx + lx;
+    let ll = nx * ny;
     for z in 0..nz {
-        let base = z * nx * ny + ly * nx;
-        plane.extend_from_slice(&slice[base..base + nx]);
+        out.push(s[z * ll + base]);
     }
-    plane
+}
+
+/// Snapshot the z-columns of `cells` (tile-local coordinates) into one
+/// flat payload.
+pub(crate) fn pack_cells<T: Real>(grid: &Grid3D<T>, cells: &[(usize, usize)]) -> HaloMsg<T> {
+    let nz = grid.dims().2;
+    let mut out = Vec::with_capacity(cells.len() * nz);
+    for &(lx, ly) in cells {
+        push_column(grid, lx, ly, &mut out);
+    }
+    out
 }
 
 /// The persistent worker loop for one rank (pipelined mode).
@@ -46,62 +58,87 @@ pub(crate) fn run<T: Real>(
     dims: (usize, usize, usize),
     iters: usize,
 ) {
-    let (nx, ny, nz) = dims;
-    let y0 = rank.y0;
-    let y_len = rank.y_len;
+    let tile = rank.tile;
+    let ex = rank.sim.stencil().extent_x();
     let ey = rank.sim.stencil().extent_y();
-    // Rows whose stencil support stays inside the slab (may be empty for
-    // slabs barely taller than the extent); the complement is the edge.
-    let interior = ey..y_len.saturating_sub(ey).max(ey);
+    // The ghost-free overlap window: cells whose stencil support stays
+    // in-tile (may be empty for tiles barely larger than the extent); the
+    // complement is the edge frame. The x axis only narrows when it is
+    // actually decomposed (tile-local x boundary is Ghost).
+    let interior_x = if matches!(rank.sim.bounds().x, Boundary::Ghost) {
+        ex..tile.x_len.saturating_sub(ex).max(ex)
+    } else {
+        0..tile.x_len
+    };
+    let interior_y = ey..tile.y_len.saturating_sub(ey).max(ey);
+    let index = rank.cell_index.clone();
 
     for t in 0..iters {
         // --- 1. post ---------------------------------------------------
         let t0 = Instant::now();
         let current = rank.sim.current();
-        for (tx, rows) in &ports.sends {
-            let msg: HaloMsg<T> = rows
-                .iter()
-                .map(|&(ly, row)| (row, copy_plane(current, ly)))
-                .collect();
-            tx.send(msg).expect("consumer rank hung up");
+        for (tx, cells) in &ports.sends {
+            tx.send(pack_cells(current, cells))
+                .expect("consumer rank hung up");
         }
-        let self_planes: HaloMsg<T> = ports
-            .self_rows
-            .iter()
-            .map(|&(ly, row)| (row, copy_plane(current, ly)))
-            .collect();
+        let self_values = pack_cells(current, &ports.self_cells);
         rank.timing.post_s += t0.elapsed().as_secs_f64();
 
         // --- 2–5. overlapped step -------------------------------------
         let recvs = &ports.recvs;
+        let index = index.clone();
         let wait = move || {
-            let mut rows = self_planes;
+            let mut values = self_values;
             for rx in recvs {
-                rows.extend(rx.recv().expect("producer rank hung up"));
+                values.extend(rx.recv().expect("producer rank hung up"));
             }
-            HaloGhost::new(rows, bounds, y0, nx, ny, nz)
+            HaloGhost::new(index, values, bounds, tile, dims)
         };
 
         let flips_now = rank.flips_at(t);
         let times: SplitStepTimes = match (&mut rank.abft, flips_now.is_empty()) {
             (Some(abft), true) => {
-                abft.step_overlapped(&mut rank.sim, &NoHook, interior.clone(), wait)
-                    .1
+                abft.step_overlapped_region(
+                    &mut rank.sim,
+                    &NoHook,
+                    interior_x.clone(),
+                    interior_y.clone(),
+                    wait,
+                )
+                .1
             }
             (Some(abft), false) => {
                 let hook = MultiFlipHook::new(flips_now);
-                abft.step_overlapped(&mut rank.sim, &hook, interior.clone(), wait)
-                    .1
+                abft.step_overlapped_region(
+                    &mut rank.sim,
+                    &hook,
+                    interior_x.clone(),
+                    interior_y.clone(),
+                    wait,
+                )
+                .1
             }
             (None, true) => {
                 rank.sim
-                    .step_overlapped(&NoHook, interior.clone(), wait, None)
+                    .step_overlapped_region(
+                        &NoHook,
+                        interior_x.clone(),
+                        interior_y.clone(),
+                        wait,
+                        None,
+                    )
                     .1
             }
             (None, false) => {
                 let hook = MultiFlipHook::new(flips_now);
                 rank.sim
-                    .step_overlapped(&hook, interior.clone(), wait, None)
+                    .step_overlapped_region(
+                        &hook,
+                        interior_x.clone(),
+                        interior_y.clone(),
+                        wait,
+                        None,
+                    )
                     .1
             }
         };

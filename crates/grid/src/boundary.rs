@@ -125,12 +125,17 @@ impl<T: Real> BoundarySpec<T> {
 
 /// Source of ghost-cell values for axes declared [`Boundary::Ghost`].
 ///
-/// Exactly one coordinate is out of range per call (stencils never reach
-/// past a corner along two ghost axes at once in this workspace; the
-/// distributed substrate partitions along a single axis).
+/// Resolution precedence is x → y → z: the first `Ghost` axis hit fires
+/// the call, so axes *before* it carry already-resolved in-range indices
+/// while the firing axis and every axis *after* it keep their raw signed
+/// coordinates — which may themselves be out of range. With a 2-D (x×y)
+/// domain decomposition a corner read arrives with **both** x and y out
+/// of range; the source must finish resolving the trailing axes itself
+/// (against the global boundaries, for the distributed substrate).
 pub trait GhostCells<T>: Sync {
-    /// Value of the ghost cell at global-ish coordinates. In-range axes are
-    /// already resolved; the out-of-range axis keeps its signed coordinate.
+    /// Value of the ghost cell at global-ish coordinates. Axes preceding
+    /// the first ghost hit are already resolved; the rest keep their
+    /// signed coordinates.
     fn ghost(&self, x: isize, y: isize, z: isize) -> T;
 }
 

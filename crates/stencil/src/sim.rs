@@ -207,6 +207,35 @@ impl<T: Real> StencilSim<T> {
         );
     }
 
+    /// Low-level half of a split step over a rectangular `rows × xs`
+    /// window: sweep it into the back buffer **without** completing the
+    /// step (no checksums — a partial x-window cannot complete a column
+    /// checksum line). Call [`StencilSim::finish_step`] once disjoint
+    /// windows tiling the whole domain have been swept; the result is
+    /// bitwise equal to one [`StencilSim::step_full`].
+    pub fn sweep_region_partial<H: SweepHook<T>, G: GhostCells<T>>(
+        &mut self,
+        hook: &H,
+        ghosts: &G,
+        rows: Range<usize>,
+        xs: Range<usize>,
+    ) {
+        let (src, dst) = self.buf.split();
+        crate::sweep_region(
+            src,
+            dst,
+            &self.stencil,
+            &self.bounds,
+            self.constant.as_ref(),
+            ghosts,
+            hook,
+            ChecksumMode::None,
+            self.exec,
+            rows,
+            xs,
+        );
+    }
+
     /// Complete a split step: swap the buffers and advance the iteration
     /// counter. Every row must have been swept via
     /// [`StencilSim::sweep_rows_partial`] since the last step.
@@ -248,6 +277,68 @@ impl<T: Real> StencilSim<T> {
         let t2 = Instant::now();
         self.sweep_rows_partial(hook, &ghosts, 0..interior.start, col.as_deref_mut());
         self.sweep_rows_partial(hook, &ghosts, interior.end..ny, col);
+        self.finish_step();
+        let t3 = Instant::now();
+
+        let times = SplitStepTimes {
+            interior_s: (t1 - t0).as_secs_f64(),
+            wait_s: (t2 - t1).as_secs_f64(),
+            edge_s: (t3 - t2).as_secs_f64(),
+            verify_s: 0.0,
+        };
+        (ghosts, times)
+    }
+
+    /// One overlapped step with a rectangular interior window — the 2-D
+    /// generalisation of [`StencilSim::step_overlapped`] for x×y-decomposed
+    /// tiles, whose ghost-free interior excludes both x- and y-edge cells.
+    /// Sweeps `interior_y × interior_x` first (no ghost reads allowed),
+    /// calls `wait` for the ghost source, then sweeps the remaining edge
+    /// frame (top/bottom rows full-width, left/right columns of the middle
+    /// rows) against it. Bitwise equal to [`StencilSim::step_full`] with
+    /// the same ghost values.
+    ///
+    /// A full-width `interior_x` delegates to
+    /// [`StencilSim::step_overlapped`] (the fused-checksum 1-D path);
+    /// otherwise `col` must be `None` — a partial x-window cannot complete
+    /// a column checksum line, so protectors recompute the vectors from
+    /// the finished step instead.
+    pub fn step_overlapped_region<H, G, W>(
+        &mut self,
+        hook: &H,
+        interior_x: Range<usize>,
+        interior_y: Range<usize>,
+        wait: W,
+        col: Option<&mut [T]>,
+    ) -> (G, SplitStepTimes)
+    where
+        H: SweepHook<T>,
+        G: GhostCells<T>,
+        W: FnOnce() -> G,
+    {
+        let (nx, ny, _) = self.dims();
+        let ix = interior_x.start.min(nx)..interior_x.end.min(nx);
+        let ix = ix.start..ix.end.max(ix.start);
+        if ix == (0..nx) {
+            return self.step_overlapped(hook, interior_y, wait, col);
+        }
+        assert!(
+            col.is_none(),
+            "fused column checksums need a full-width interior window; \
+             compute them from the finished step instead"
+        );
+        let iy = interior_y.start.min(ny)..interior_y.end.min(ny);
+        let iy = iy.start..iy.end.max(iy.start);
+
+        let t0 = Instant::now();
+        self.sweep_region_partial(hook, &NoGhosts, iy.clone(), ix.clone());
+        let t1 = Instant::now();
+        let ghosts = wait();
+        let t2 = Instant::now();
+        self.sweep_region_partial(hook, &ghosts, 0..iy.start, 0..nx);
+        self.sweep_region_partial(hook, &ghosts, iy.end..ny, 0..nx);
+        self.sweep_region_partial(hook, &ghosts, iy.clone(), 0..ix.start);
+        self.sweep_region_partial(hook, &ghosts, iy.clone(), ix.end..nx);
         self.finish_step();
         let t3 = Instant::now();
 
@@ -360,6 +451,27 @@ mod tests {
                 _ => 0..10,
             };
             let (_, times) = split.step_overlapped(&NoHook, interior, || NoGhosts, None);
+            assert!(times.interior_s >= 0.0 && times.edge_s >= 0.0);
+        }
+        assert_eq!(full.current(), split.current());
+        assert_eq!(full.iteration(), split.iteration());
+    }
+
+    #[test]
+    fn overlapped_region_step_is_bitwise_equal_to_full_step() {
+        let mut full = sim_2d(12);
+        let mut split = sim_2d(12);
+        for it in 0..8 {
+            full.step();
+            // Vary the window: proper 2-D interiors, a full-width window
+            // (delegates to the 1-D fused path) and an empty interior.
+            let (ix, iy) = match it % 4 {
+                0 => (1..11, 1..11),
+                1 => (3..5, 2..9),
+                2 => (0..12, 4..8),
+                _ => (5..5, 0..12),
+            };
+            let (_, times) = split.step_overlapped_region(&NoHook, ix, iy, || NoGhosts, None);
             assert!(times.interior_s >= 0.0 && times.edge_s >= 0.0);
         }
         assert_eq!(full.current(), split.current());

@@ -119,9 +119,59 @@ pub fn sweep_rows<T: Real, H: SweepHook<T>, G: GhostCells<T>>(
     exec: Exec,
     rows: std::ops::Range<usize>,
 ) {
+    let nx = src.dims().0;
+    sweep_region(
+        src,
+        dst,
+        stencil,
+        bounds,
+        constant,
+        ghosts,
+        hook,
+        mode,
+        exec,
+        rows,
+        0..nx,
+    );
+}
+
+/// Sweep only the rectangular window `rows × xs` (every layer): the 2-D
+/// generalisation of [`sweep_rows`] used by x×y-decomposed ranks, whose
+/// overlap window excludes both the x- and y-edge cells of a tile.
+///
+/// Per-point results are identical to a full [`sweep`] restricted to the
+/// window, so a step assembled from disjoint windows tiling the whole
+/// domain is bitwise equal to one full sweep. [`ChecksumMode::Col`] is
+/// rejected unless `xs` covers `0..nx` (a column checksum entry sums a
+/// whole x-line); [`ChecksumMode::RowCol`] additionally requires full
+/// `rows`.
+///
+/// # Panics
+/// Panics on the same conditions as [`sweep`], if `rows`/`xs` exceed the
+/// domain, or on a checksum mode whose vectors the window cannot complete.
+#[allow(clippy::too_many_arguments)]
+pub fn sweep_region<T: Real, H: SweepHook<T>, G: GhostCells<T>>(
+    src: &Grid3D<T>,
+    dst: &mut Grid3D<T>,
+    stencil: &Stencil3D<T>,
+    bounds: &BoundarySpec<T>,
+    constant: Option<&Grid3D<T>>,
+    ghosts: &G,
+    hook: &H,
+    mode: ChecksumMode<'_, T>,
+    exec: Exec,
+    rows: std::ops::Range<usize>,
+    xs: std::ops::Range<usize>,
+) {
     let (nx, ny, nz) = src.dims();
     let y_rows = rows.start..rows.end.max(rows.start);
+    let xs = xs.start..xs.end.max(xs.start);
     assert!(y_rows.end <= ny, "row range {y_rows:?} exceeds ny = {ny}");
+    assert!(xs.end <= nx, "x range {xs:?} exceeds nx = {nx}");
+    assert!(
+        matches!(mode, ChecksumMode::None) || xs == (0..nx),
+        "column checksums require full x-lines (got xs {xs:?} of 0..{nx})"
+    );
     assert!(
         !matches!(mode, ChecksumMode::RowCol { .. }) || y_rows == (0..ny),
         "row checksums require a full sweep (got rows {y_rows:?} of 0..{ny})"
@@ -184,11 +234,13 @@ pub fn sweep_rows<T: Real, H: SweepHook<T>, G: GhostCells<T>>(
                     ghosts,
                     hook,
                     y_rows.clone(),
+                    xs.clone(),
                 );
             }
         }
         Exec::Parallel => {
             let y_rows = &y_rows;
+            let xs = &xs;
             work.into_par_iter().for_each(|task| {
                 sweep_layer(
                     src,
@@ -199,6 +251,7 @@ pub fn sweep_rows<T: Real, H: SweepHook<T>, G: GhostCells<T>>(
                     ghosts,
                     hook,
                     y_rows.clone(),
+                    xs.clone(),
                 );
             });
         }
@@ -212,10 +265,10 @@ struct LayerTask<'a, T> {
     col: Option<&'a mut [T]>,
 }
 
-/// Sweep the `y_rows` rows of a single `z`-layer. Phase 1 computes raw
-/// values (vectorised tap-by-tap accumulation over the interior, resolved
-/// reads on the boundary ring); phase 2 applies the hook and accumulates
-/// checksums.
+/// Sweep the `y_rows × xs` window of a single `z`-layer. Phase 1 computes
+/// raw values (vectorised tap-by-tap accumulation over the interior,
+/// resolved reads on the boundary ring); phase 2 applies the hook and
+/// accumulates checksums over the swept window.
 #[allow(clippy::too_many_arguments)]
 fn sweep_layer<T: Real, H: SweepHook<T>, G: GhostCells<T>>(
     src: &Grid3D<T>,
@@ -226,6 +279,7 @@ fn sweep_layer<T: Real, H: SweepHook<T>, G: GhostCells<T>>(
     ghosts: &G,
     hook: &H,
     y_rows: std::ops::Range<usize>,
+    xs: std::ops::Range<usize>,
 ) {
     let (nx, ny, nz) = src.dims();
     let z = task.z;
@@ -267,19 +321,22 @@ fn sweep_layer<T: Real, H: SweepHook<T>, G: GhostCells<T>>(
         let out = &mut dst[y * nx..(y + 1) * nx];
         let y_interior = y >= ey && y + ey < ny;
 
-        if z_interior && y_interior && xh > xl {
-            // Boundary prefix/suffix via resolved reads.
-            for x in (0..xl).chain(xh..nx) {
+        // Fast-path run bounds clipped to the swept x-window.
+        let rl = xl.max(xs.start);
+        let rh = xh.min(xs.end);
+        if z_interior && y_interior && rh > rl {
+            // Boundary prefix/suffix (within the window) via resolved reads.
+            for x in (xs.start..rl).chain(rh..xs.end) {
                 out[x] = point_resolved(src, x, y, z, stencil, bounds, constant, ghosts);
             }
             // Interior run: initialise with the constant term, then
             // accumulate tap by tap over contiguous x-runs.
-            let run = &mut out[xl..xh];
+            let run = &mut out[rl..rh];
             match constant {
-                Some(c) => run.copy_from_slice(&c.as_slice()[line_base + xl..line_base + xh]),
+                Some(c) => run.copy_from_slice(&c.as_slice()[line_base + rl..line_base + rh]),
                 None => run.fill(T::ZERO),
             }
-            let start = (line_base + xl) as isize;
+            let start = (line_base + rl) as isize;
             for (tap, &off) in stencil.taps().iter().zip(&offsets) {
                 let w = tap.w;
                 let src_run = &s[(start + off) as usize..][..run.len()];
@@ -288,17 +345,19 @@ fn sweep_layer<T: Real, H: SweepHook<T>, G: GhostCells<T>>(
                 }
             }
         } else {
-            for (x, o) in out.iter_mut().enumerate() {
-                *o = point_resolved(src, x, y, z, stencil, bounds, constant, ghosts);
+            for x in xs.clone() {
+                out[x] = point_resolved(src, x, y, z, stencil, bounds, constant, ghosts);
             }
         }
 
-        // Phase 2: hook + checksum accumulation over the cache-hot line.
+        // Phase 2: hook + checksum accumulation over the cache-hot window
+        // (checksum modes require a full x-line, enforced up front).
         let need_row = row.is_some();
         let need_col = col.is_some();
         if H::ACTIVE || need_row || need_col {
             let mut line_sum = 0.0f64;
-            for (x, o) in out.iter_mut().enumerate() {
+            for (x, o) in out[xs.clone()].iter_mut().enumerate() {
+                let x = x + xs.start;
                 let v = if H::ACTIVE {
                     let t = hook.transform(x, y, z, *o);
                     *o = t;
@@ -619,6 +678,72 @@ mod tests {
         assert_eq!(dst.at(2, 1, 0), 2.0);
         // y = 2: south neighbour is ghost(3) = 7.
         assert_eq!(dst.at(2, 2, 0), 8.0);
+    }
+
+    #[test]
+    fn region_sweeps_tile_to_a_full_sweep() {
+        let src = sample_grid(9, 7, 3);
+        let stencil = Stencil3D::from_tuples(&[
+            (0, 0, 0, 0.4f64),
+            (-1, 0, 0, 0.1),
+            (2, 0, 0, 0.15),
+            (0, -1, 0, 0.1),
+            (0, 1, 0, 0.1),
+            (1, 1, 0, 0.05),
+            (0, 0, 1, 0.1),
+        ]);
+        let bounds = BoundarySpec::periodic();
+        let mut full = Grid3D::zeros(9, 7, 3);
+        sweep(
+            &src,
+            &mut full,
+            &stencil,
+            &bounds,
+            None,
+            &NoGhosts,
+            &NoHook,
+            ChecksumMode::None,
+            Exec::Serial,
+        );
+        // Disjoint windows tiling the domain, swept in arbitrary order.
+        let mut tiled = Grid3D::zeros(9, 7, 3);
+        for (rows, xs) in [(3..7, 4..9), (0..3, 0..9), (3..7, 0..4)] {
+            sweep_region(
+                &src,
+                &mut tiled,
+                &stencil,
+                &bounds,
+                None,
+                &NoGhosts,
+                &NoHook,
+                ChecksumMode::None,
+                Exec::Serial,
+                rows,
+                xs,
+            );
+        }
+        assert_eq!(full, tiled);
+    }
+
+    #[test]
+    #[should_panic]
+    fn partial_x_window_rejects_column_checksums() {
+        let src = sample_grid(6, 5, 1);
+        let mut dst = Grid3D::zeros(6, 5, 1);
+        let mut col = vec![0.0f64; 5];
+        sweep_region(
+            &src,
+            &mut dst,
+            &Stencil3D::from_tuples(&[(0, 0, 0, 1.0f64)]),
+            &BoundarySpec::clamp(),
+            None,
+            &NoGhosts,
+            &NoHook,
+            ChecksumMode::Col { col: &mut col },
+            Exec::Serial,
+            0..5,
+            1..6,
+        );
     }
 
     #[test]

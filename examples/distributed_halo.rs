@@ -1,14 +1,40 @@
 //! Distributed-memory run: the global domain is decomposed over
 //! persistent ranks (threads standing in for MPI processes) that pipeline
-//! their time-`t` halo rows over bounded channels — posting boundaries,
-//! sweeping the interior while halos are in flight, then finishing edge
-//! rows — and each rank protects its own chunk with online ABFT: the
-//! "intrinsically parallel" deployment the paper argues for in §3.2.
+//! their time-`t` halo cells over bounded channels — posting boundaries,
+//! sweeping the ghost-free interior while halos are in flight, then
+//! finishing the edge frame — and each rank protects its own chunk with
+//! online ABFT: the "intrinsically parallel" deployment the paper argues
+//! for in §3.2.
+//!
+//! Two decompositions run back to back on the same workload:
+//!
+//! 1. the classic `1×ranks` **y-slab** split with a mid-run bit flip, and
+//! 2. a **2×2 rank grid** (column strips + corner patches in the halo)
+//!    with the flip aimed at a tile *corner* — the cell owed to three
+//!    neighbours at once, the hardest containment site.
 //!
 //! Run with: `cargo run --release --example distributed_halo -- [ranks]`
 
-use stencil_abft::dist::{run_distributed, DistConfig};
+use stencil_abft::dist::{run_distributed, DistConfig, DistReport};
 use stencil_abft::prelude::*;
+
+fn report_ranks(report: &DistReport<f64>) {
+    println!(
+        "{:<6} {:>12} {:>10} {:>12} {:>12} {:>12}",
+        "rank", "tile", "origin", "detections", "corrections", "halo-wait"
+    );
+    for r in &report.ranks {
+        println!(
+            "{:<6} {:>12} {:>10} {:>12} {:>12} {:>11.1}%",
+            r.rank,
+            format!("{}x{}", r.x_len, r.y_len),
+            format!("({},{})", r.x0, r.y0),
+            r.stats.detections,
+            r.stats.corrections,
+            100.0 * r.timing.halo_wait_fraction()
+        );
+    }
+}
 
 fn main() {
     let ranks: usize = std::env::args()
@@ -32,7 +58,7 @@ fn main() {
         serial.step();
     }
 
-    // Fault in rank 1's chunk, local coordinates.
+    // --- 1. y-slab decomposition, fault in rank 1's chunk. -------------
     let flip = BitFlip {
         iteration: 17,
         x: 20,
@@ -43,30 +69,14 @@ fn main() {
     let cfg = DistConfig::new(ranks, iters)
         .with_abft(AbftConfig::<f64>::paper_defaults())
         .with_flip(1.min(ranks - 1), flip);
-
     let report =
         run_distributed(&initial, &stencil, &bounds, None, &cfg).expect("valid dist config");
 
     println!(
-        "{} ranks x {} iterations, one bit-flip in rank {}\n",
-        ranks,
-        iters,
+        "== {ranks} y-slab ranks x {iters} iterations, one bit-flip in rank {} ==\n",
         1.min(ranks - 1)
     );
-    println!(
-        "{:<6} {:>10} {:>12} {:>12} {:>12}",
-        "rank", "lines", "detections", "corrections", "halo-wait"
-    );
-    for r in &report.ranks {
-        println!(
-            "{:<6} {:>10} {:>12} {:>12} {:>11.1}%",
-            r.rank,
-            r.y_len,
-            r.stats.detections,
-            r.stats.corrections,
-            100.0 * r.timing.halo_wait_fraction()
-        );
-    }
+    report_ranks(&report);
 
     let l2 = l2_error(serial.current(), &report.global);
     let total = report.total_stats();
@@ -77,5 +87,38 @@ fn main() {
     );
     assert_eq!(total.corrections, 1);
     assert!(l2 < 1e-8, "corrected distributed run must match serial");
-    println!("distributed + per-rank ABFT matches the serial reference");
+
+    // --- 2. 2×2 rank grid, fault at a tile corner. ---------------------
+    // Rank 3's tile origin is the domain centre; its local (0, 0) corner
+    // cell is owed to ranks 0 (diagonal), 1 (row strip) and 2 (column
+    // strip) at every halo exchange.
+    let corner_flip = BitFlip {
+        iteration: 23,
+        x: 0,
+        y: 0,
+        z: 1,
+        bit: 52,
+    };
+    let cfg = DistConfig::new(4, iters)
+        .with_grid(2, 2)
+        .with_abft(AbftConfig::<f64>::paper_defaults())
+        .with_flip(3, corner_flip);
+    let report =
+        run_distributed(&initial, &stencil, &bounds, None, &cfg).expect("valid dist config");
+
+    println!("\n== 2x2 rank grid x {iters} iterations, bit-flip at rank 3's tile corner ==\n");
+    report_ranks(&report);
+
+    let l2 = l2_error(serial.current(), &report.global);
+    let total = report.total_stats();
+    println!("\nglobal l2 vs serial run: {l2:.3e}");
+    println!(
+        "total: {} detections, {} corrections across ranks",
+        total.detections, total.corrections
+    );
+    assert_eq!(report.grid, (2, 2));
+    assert_eq!(total.corrections, 1);
+    assert_eq!(report.ranks[3].stats.corrections, 1);
+    assert!(l2 < 1e-8, "corrected 2-D run must match serial");
+    println!("\ndistributed + per-rank ABFT matches the serial reference in both decompositions");
 }

@@ -113,12 +113,38 @@ fn faults_in_multiple_ranks_are_corrected_independently() {
     assert!(l2 < 1e-8, "l2 after dual correction: {l2}");
 }
 
+#[test]
+fn hotspot_2d_grid_matches_serial_bitwise() {
+    let (initial, stencil, constant) = hotspot_pieces(18, 24, 4);
+    let expect = serial_run(&initial, &stencil, &constant, 16);
+    for (rx, ry) in [(2usize, 2usize), (3, 2), (2, 3)] {
+        for mode in [HaloMode::Pipelined, HaloMode::Snapshot] {
+            let cfg = DistConfig::<f64>::new(rx * ry, 16)
+                .with_grid(rx, ry)
+                .with_mode(mode);
+            let rep = run_distributed(
+                &initial,
+                &stencil,
+                &BoundarySpec::clamp(),
+                Some(&constant),
+                &cfg,
+            )
+            .expect("valid config");
+            assert_eq!(rep.grid, (rx, ry));
+            assert_eq!(rep.global, expect, "{rx}x{ry} grid diverged ({mode:?})");
+        }
+    }
+}
+
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
+    // CI raises the case count through PROPTEST_CASES (see the vendored
+    // shim's `with_cases_env`); 12 keeps local `cargo test` quick.
+    #![proptest_config(ProptestConfig::with_cases_env(12))]
 
     #[test]
-    fn distributed_equivalence_over_rank_counts(
-        ranks in 1usize..=6,
+    fn distributed_equivalence_over_rank_grids(
+        rx in 1usize..=3,
+        ry in 1usize..=3,
         iters in 1usize..=12,
         boundary in prop_oneof![
             Just(Boundary::Clamp),
@@ -136,9 +162,10 @@ proptest! {
         for _ in 0..iters {
             sim.step();
         }
-        let cfg = DistConfig::<f64>::new(ranks, iters).with_mode(mode);
+        let cfg = DistConfig::<f64>::new(rx * ry, iters).with_grid(rx, ry).with_mode(mode);
         let rep = run_distributed(&initial, &stencil, &bounds, Some(&constant), &cfg)
             .expect("valid config");
+        prop_assert_eq!(rep.grid, (rx, ry));
         prop_assert_eq!(&rep.global, sim.current());
     }
 }

@@ -31,11 +31,28 @@ pub mod test_runner {
         pub fn with_cases(cases: u32) -> Self {
             Self { cases }
         }
+
+        /// Like [`ProptestConfig::with_cases`], but the `PROPTEST_CASES`
+        /// environment variable overrides the in-code default — the same
+        /// knob real proptest honours, used by CI to raise the case count
+        /// without touching the tests.
+        pub fn with_cases_env(default_cases: u32) -> Self {
+            Self {
+                cases: env_cases().unwrap_or(default_cases),
+            }
+        }
+    }
+
+    /// `PROPTEST_CASES`, if set and parseable.
+    fn env_cases() -> Option<u32> {
+        std::env::var("PROPTEST_CASES").ok()?.parse().ok()
     }
 
     impl Default for ProptestConfig {
         fn default() -> Self {
-            Self { cases: 256 }
+            Self {
+                cases: env_cases().unwrap_or(256),
+            }
         }
     }
 
@@ -526,6 +543,23 @@ macro_rules! prop_oneof {
 #[cfg(test)]
 mod tests {
     use crate::prelude::*;
+
+    #[test]
+    fn env_var_overrides_case_count() {
+        // Serial within this test: set, read, restore.
+        let prior = std::env::var("PROPTEST_CASES").ok();
+        std::env::set_var("PROPTEST_CASES", "7");
+        assert_eq!(ProptestConfig::with_cases_env(3).cases, 7);
+        assert_eq!(ProptestConfig::default().cases, 7);
+        std::env::set_var("PROPTEST_CASES", "not-a-number");
+        assert_eq!(ProptestConfig::with_cases_env(3).cases, 3);
+        match prior {
+            Some(v) => std::env::set_var("PROPTEST_CASES", v),
+            None => std::env::remove_var("PROPTEST_CASES"),
+        }
+        // The explicit constructor ignores the environment.
+        assert_eq!(ProptestConfig::with_cases(5).cases, 5);
+    }
 
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(64))]
