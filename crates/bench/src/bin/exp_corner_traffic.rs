@@ -1,0 +1,281 @@
+//! **Corner-traffic experiment** — how much of the halo exchange the
+//! corner channels carry, and what wide-footprint kernels cost, on a 2-D
+//! rank grid.
+//!
+//! The exchange always ships the corner patches (diagonal stencil taps
+//! *and* the checksum interpolation's cross-axis terms read them), so the
+//! corner volume is a property of the halo geometry — `|wx| · |wy|`,
+//! quadratic in the halo width — while row/column strips grow linearly
+//! with the tile extents. This harness sweeps the library's named
+//! kernels ([`KernelArg::all`]: star-7, 9-point, 27-point, 13-point
+//! extent-2 star) × halo widths, and for every run:
+//!
+//! * **asserts** the per-channel cell counts reported by
+//!   [`abft_dist::DistReport::total_traffic`] against the analytically expected
+//!   halo volumes (window products, computed independently here from the
+//!   clamp-boundary geometry) — the acceptance check for the traffic
+//!   accounting;
+//! * verifies the result bitwise against the serial reference;
+//! * times the pipelined run (min over reps) unprotected and with
+//!   per-rank ABFT, reporting overhead relative to the star-7 baseline
+//!   at the same halo width.
+//!
+//! `--grid RXxRY` selects the rank grid (default 2×2; the study needs a
+//! decomposed x axis), `--json PATH` writes the machine-readable record
+//! tagged with kernel + grid for CI's `BENCH_corner_traffic.json`.
+
+use abft_bench::{Cli, KernelArg};
+use abft_core::AbftConfig;
+use abft_dist::{run_distributed, DistConfig, GridSpec, HaloTraffic, Partition2};
+use abft_grid::{BoundarySpec, Grid3D};
+use abft_metrics::{write_csv, Table};
+use abft_stencil::{Exec, StencilSim};
+
+struct Point {
+    kernel: &'static str,
+    halo: usize,
+    traffic: HaloTraffic,
+    pipelined_s: f64,
+    abft_s: f64,
+    overhead_vs_star_pct: f64,
+}
+
+/// Distinct in-domain cells one side window of width `h` resolves to
+/// under a **clamp** boundary: a domain-edge side folds every read onto
+/// the edge cell (1 distinct), an interior side needs `h` neighbour
+/// cells.
+fn clamp_window_len(t0: usize, t_len: usize, n: usize, h: usize) -> usize {
+    let low = if t0 == 0 { usize::from(h > 0) } else { h };
+    let high = if t0 + t_len == n {
+        usize::from(h > 0)
+    } else {
+        h
+    };
+    low + high
+}
+
+fn main() {
+    let cli = Cli::parse();
+    let (nx, ny, nz) = if cli.large {
+        (512, 512, 8)
+    } else {
+        (64, 64, 4)
+    };
+    let iters = cli.iters.unwrap_or(16);
+    // Like exp_halo_overlap, `--reps` is a whole-experiment budget: the
+    // sweep is 4 kernels × 3 halo widths × 2 configs, so the per-point
+    // rep count is the budget /10 (min 3). The effective count is echoed
+    // below and recorded as "reps" in the JSON artifact.
+    let reps = cli.reps.div_ceil(10).max(3);
+    // The corner study needs a decomposed x axis; default to the 2×2
+    // acceptance shape unless an explicit grid is given.
+    let (rx, ry) = match cli.grid_spec() {
+        GridSpec::Explicit { rx, ry } => (rx, ry),
+        _ => (2, 2),
+    };
+    assert!(rx > 1 && ry > 1, "--grid must be 2-D for the corner study");
+    let ranks = rx * ry;
+    let part = Partition2::new(nx, ny, rx, ry);
+    let bounds = BoundarySpec::<f32>::clamp();
+
+    let initial = Grid3D::from_fn(nx, ny, nz, |x, y, z| {
+        80.0 + ((x * 3 + y * 7 + z * 5) % 13) as f32 * 0.5
+    });
+
+    eprintln!(
+        "[exp_corner_traffic] {nx}x{ny}x{nz}, {rx}x{ry} rank grid, {iters} iterations, \
+         {reps} reps per point"
+    );
+    println!(
+        "{:<8} {:>5} {:>10} {:>10} {:>10} {:>9} {:>12} {:>12} {:>12} {:>10}",
+        "kernel",
+        "halo",
+        "row cells",
+        "col cells",
+        "cnr cells",
+        "cnr (%)",
+        "wire KiB/it",
+        "pipelined(s)",
+        "abft (s)",
+        "ovh (%)"
+    );
+    let mut table = Table::new(vec![
+        "kernel",
+        "grid",
+        "halo",
+        "row_cells",
+        "col_cells",
+        "corner_cells",
+        "corner_share_pct",
+        "wire_bytes_per_iter",
+        "pipelined_s",
+        "abft_s",
+        "overhead_vs_star_pct",
+    ]);
+    let mut points: Vec<Point> = Vec::new();
+    let mut star_time = [f64::INFINITY; 4]; // per halo width 1..=3
+
+    for kernel in KernelArg::all() {
+        let stencil = kernel.stencil::<f32>();
+        // Serial reference once per kernel (results are halo-invariant).
+        let mut serial =
+            StencilSim::new(initial.clone(), stencil.clone(), bounds).with_exec(Exec::Serial);
+        for _ in 0..iters {
+            serial.step();
+        }
+
+        for halo in [1usize, 2, 3] {
+            let base = || {
+                DistConfig::<f32>::new(ranks, iters)
+                    .with_grid(rx, ry)
+                    .with_halo(halo)
+            };
+            let mut pipe_t = f64::INFINITY;
+            let mut abft_t = f64::INFINITY;
+            let mut traffic = HaloTraffic::default();
+            for _ in 0..reps {
+                let rep = run_distributed(&initial, &stencil, &bounds, None, &base())
+                    .expect("valid dist config");
+                pipe_t = pipe_t.min(rep.wall_s);
+                assert_eq!(
+                    rep.global,
+                    *serial.current(),
+                    "{} diverged from serial",
+                    kernel.name()
+                );
+
+                // --- Acceptance check: reported per-channel counts must
+                //     equal the analytic halo volumes, rank by rank. ---
+                let hx_eff = halo.max(stencil.extent_x());
+                let hy_eff = halo.max(stencil.extent_y());
+                for r in &rep.ranks {
+                    let tile = part.tile(r.rank);
+                    let wx = clamp_window_len(tile.x0, tile.x_len, nx, hx_eff);
+                    let wy = clamp_window_len(tile.y0, tile.y_len, ny, hy_eff);
+                    assert_eq!(
+                        (
+                            r.traffic.row_cells,
+                            r.traffic.col_cells,
+                            r.traffic.corner_cells
+                        ),
+                        (tile.x_len * wy, wx * tile.y_len, wx * wy),
+                        "rank {} traffic disagrees with analytic volumes \
+                         ({}, halo {halo})",
+                        r.rank,
+                        kernel.name()
+                    );
+                }
+                traffic = rep.total_traffic();
+
+                let rep = run_distributed(
+                    &initial,
+                    &stencil,
+                    &bounds,
+                    None,
+                    &base().with_abft(AbftConfig::<f32>::paper_defaults()),
+                )
+                .expect("valid dist config");
+                abft_t = abft_t.min(rep.wall_s);
+                assert_eq!(
+                    rep.total_stats().detections,
+                    0,
+                    "false positive ({}, halo {halo})",
+                    kernel.name()
+                );
+            }
+
+            if kernel == KernelArg::Star7 {
+                star_time[halo] = pipe_t;
+            }
+            let ovh = 100.0 * (pipe_t / star_time[halo] - 1.0);
+            let point = Point {
+                kernel: kernel.name(),
+                halo,
+                traffic,
+                pipelined_s: pipe_t,
+                abft_s: abft_t,
+                overhead_vs_star_pct: ovh,
+            };
+            println!(
+                "{:<8} {:>5} {:>10} {:>10} {:>10} {:>9.1} {:>12.2} {:>12.4} {:>12.4} {:>10.1}",
+                point.kernel,
+                point.halo,
+                point.traffic.row_cells,
+                point.traffic.col_cells,
+                point.traffic.corner_cells,
+                100.0 * point.traffic.corner_share(),
+                point.traffic.wire_bytes() as f64 / 1024.0,
+                point.pipelined_s,
+                point.abft_s,
+                point.overhead_vs_star_pct,
+            );
+            table.row(vec![
+                point.kernel.to_string(),
+                format!("{rx}x{ry}"),
+                point.halo.to_string(),
+                point.traffic.row_cells.to_string(),
+                point.traffic.col_cells.to_string(),
+                point.traffic.corner_cells.to_string(),
+                format!("{:.2}", 100.0 * point.traffic.corner_share()),
+                point.traffic.wire_bytes().to_string(),
+                format!("{:.6}", point.pipelined_s),
+                format!("{:.6}", point.abft_s),
+                format!("{:.2}", point.overhead_vs_star_pct),
+            ]);
+            points.push(point);
+        }
+    }
+    println!("\nper-channel counts matched the analytic halo volumes on every run");
+
+    let path = format!("{}/exp_corner_traffic.csv", cli.out);
+    write_csv(&table, &path).expect("write CSV");
+    println!("[csv] {path}");
+
+    if let Some(json_path) = &cli.json {
+        let rows: Vec<String> = points
+            .iter()
+            .map(|p| {
+                format!(
+                    concat!(
+                        "    {{\"kernel\": \"{}\", ",
+                        "\"grid\": [{}, {}], ",
+                        "\"halo\": {}, ",
+                        "\"row_cells\": {}, ",
+                        "\"col_cells\": {}, ",
+                        "\"corner_cells\": {}, ",
+                        "\"corner_share\": {:.4}, ",
+                        "\"wire_bytes_per_iter\": {}, ",
+                        "\"pipelined_iters_per_s\": {:.3}, ",
+                        "\"abft_iters_per_s\": {:.3}, ",
+                        "\"overhead_vs_star_pct\": {:.2}}}"
+                    ),
+                    p.kernel,
+                    rx,
+                    ry,
+                    p.halo,
+                    p.traffic.row_cells,
+                    p.traffic.col_cells,
+                    p.traffic.corner_cells,
+                    p.traffic.corner_share(),
+                    p.traffic.wire_bytes(),
+                    iters as f64 / p.pipelined_s,
+                    iters as f64 / p.abft_s,
+                    p.overhead_vs_star_pct,
+                )
+            })
+            .collect();
+        let json = format!(
+            "{{\n  \"experiment\": \"exp_corner_traffic\",\n  \"grid\": [{nx}, {ny}, {nz}],\n  \
+             \"kernel\": \"sweep\",\n  \"rank_grid\": [{rx}, {ry}],\n  \
+             \"iters\": {iters},\n  \"reps\": {reps},\n  \"points\": [\n{}\n  ]\n}}\n",
+            rows.join(",\n")
+        );
+        if let Some(dir) = std::path::Path::new(json_path).parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir).expect("create JSON output dir");
+            }
+        }
+        std::fs::write(json_path, json).expect("write JSON");
+        println!("[json] {json_path}");
+    }
+}

@@ -61,9 +61,14 @@ fn main() {
         "{:<6} {:>7} {:>14} {:>14} {:>10} {:>12}",
         "ranks", "grid", "plain (s)", "abft (s)", "ovh (%)", "l2 vs serial"
     );
+    // This experiment always runs the HotSpot3D workload; the tag keeps
+    // its artifacts schema-compatible with the kernel-parameterised
+    // experiments (CI validates every BENCH_*.json carries it).
+    let kernel_name = "hotspot3d";
     let mut table = Table::new(vec![
         "ranks",
         "grid",
+        "kernel",
         "plain_s",
         "abft_s",
         "overhead_pct",
@@ -111,6 +116,7 @@ fn main() {
         table.row(vec![
             ranks.to_string(),
             format!("{}x{}", grid.0, grid.1),
+            kernel_name.to_string(),
             format!("{:.6}", plain.mean()),
             format!("{:.6}", prot.mean()),
             format!("{ovh:.2}"),
@@ -135,6 +141,7 @@ fn main() {
             .map(|p| {
                 format!(
                     "    {{\"ranks\": {}, \"grid\": [{}, {}], \
+                     \"kernel\": \"{kernel_name}\", \
                      \"plain_iters_per_s\": {:.3}, \
                      \"abft_iters_per_s\": {:.3}, \"overhead_pct\": {:.2}}}",
                     p.ranks,
@@ -148,6 +155,7 @@ fn main() {
             .collect();
         let json = format!(
             "{{\n  \"experiment\": \"exp_dist_scaling\",\n  \"grid\": [{nx}, {ny}, {nz}],\n  \
+             \"kernel\": \"{kernel_name}\",\n  \
              \"iters\": {iters},\n  \"points\": [\n{}\n  ]\n}}\n",
             rows.join(",\n")
         );

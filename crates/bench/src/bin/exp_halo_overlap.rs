@@ -1,6 +1,8 @@
 //! **Halo-overlap experiment** — the pipelined rank executor (persistent
 //! workers, double-buffered channels, interior/edge split) against the
-//! legacy snapshot-barrier baseline, on the HotSpot3D workload.
+//! legacy snapshot-barrier baseline, on the HotSpot3D workload by
+//! default or any library kernel via `--kernel star7|9pt|27pt|13pt`
+//! (wide-footprint kernels drive the corner-halo channels every sweep).
 //!
 //! For each rank count the harness times three configurations —
 //! snapshot (unprotected), pipelined (unprotected) and pipelined with
@@ -10,9 +12,12 @@
 //! halo-wait fraction (the slice of busy time a rank spends blocked on
 //! neighbour rows, i.e. communication *not* hidden by computation).
 //!
-//! `--json PATH` additionally writes a machine-readable record; CI's
-//! bench-smoke job uses this to publish `BENCH_dist.json` per PR so the
-//! perf trajectory of the halo pipeline is tracked over time.
+//! `--json PATH` additionally writes a machine-readable record tagged
+//! with the kernel and grid shape; CI's bench-smoke job uses this to
+//! publish `BENCH_dist*.json` per PR so the perf trajectory of the halo
+//! pipeline is tracked over time, and builds the same binary with the
+//! `hash-ghost-path` feature to gate the strip-indexed ghost path
+//! against the PR 3 hash baseline.
 
 use abft_bench::Cli;
 use abft_core::AbftConfig;
@@ -48,22 +53,35 @@ fn main() {
     let params = HotspotParams::new(nx, ny, nz);
     let power = synthetic_power::<f32>(nx, ny, nz, cli.seed);
     let temp0 = initial_temperature(&params, &power);
-    let coeff = params.coefficients();
-    let constant = Grid3D::from_fn(nx, ny, nz, |x, y, z| {
-        (coeff.step_div_cap * power.at(x, y, z) as f64 + coeff.ct * params.amb_temp) as f32
-    });
-    let stencil = params.stencil::<f32>();
+    // `--kernel` swaps the HotSpot3D star for a library kernel on the
+    // same temperature field (the power-term constant only applies to
+    // the HotSpot workload).
+    let (kernel_name, stencil, constant) = match cli.kernel {
+        None => {
+            let coeff = params.coefficients();
+            let constant = Grid3D::from_fn(nx, ny, nz, |x, y, z| {
+                (coeff.step_div_cap * power.at(x, y, z) as f64 + coeff.ct * params.amb_temp) as f32
+            });
+            ("hotspot3d", params.stencil::<f32>(), Some(constant))
+        }
+        Some(k) => (k.name(), k.stencil::<f32>(), None),
+    };
     let bounds = BoundarySpec::<f32>::clamp();
 
     // Serial reference for the bitwise equivalence check.
-    let mut serial = StencilSim::new(temp0.clone(), stencil.clone(), bounds)
-        .with_constant(constant.clone())
-        .with_exec(Exec::Serial);
+    let mut serial =
+        StencilSim::new(temp0.clone(), stencil.clone(), bounds).with_exec(Exec::Serial);
+    if let Some(c) = &constant {
+        serial = serial.with_constant(c.clone());
+    }
     for _ in 0..iters {
         serial.step();
     }
 
-    eprintln!("[exp_halo_overlap] {nx}x{ny}x{nz}, {iters} iterations, {reps} reps per point");
+    eprintln!(
+        "[exp_halo_overlap] {nx}x{ny}x{nz}, kernel {kernel_name}, {iters} iterations, \
+         {reps} reps per point"
+    );
     println!(
         "{:<6} {:>7} {:>14} {:>14} {:>9} {:>14} {:>10}",
         "ranks", "grid", "snapshot (s)", "pipelined (s)", "speedup", "abft pipe (s)", "wait (%)"
@@ -71,6 +89,7 @@ fn main() {
     let mut table = Table::new(vec![
         "ranks",
         "grid",
+        "kernel",
         "snapshot_s",
         "pipelined_s",
         "speedup",
@@ -92,7 +111,7 @@ fn main() {
         let mut grid = (1, ranks);
         for _ in 0..reps {
             let run = |cfg: DistConfig<f32>| -> DistReport<f32> {
-                run_distributed(&temp0, &stencil, &bounds, Some(&constant), &cfg)
+                run_distributed(&temp0, &stencil, &bounds, constant.as_ref(), &cfg)
                     .expect("valid dist config")
             };
             let base = || DistConfig::<f32>::new(ranks, iters).with_grid_spec(cli.grid_spec());
@@ -147,6 +166,7 @@ fn main() {
         table.row(vec![
             point.ranks.to_string(),
             format!("{}x{}", point.grid.0, point.grid.1),
+            kernel_name.to_string(),
             format!("{:.6}", point.snapshot_s),
             format!("{:.6}", point.pipelined_s),
             format!("{:.4}", point.snapshot_s / point.pipelined_s),
@@ -157,12 +177,23 @@ fn main() {
         points.push(point);
     }
 
-    let path = format!("{}/exp_halo_overlap.csv", cli.out);
+    // Suffixed with every CLI axis that varies across CI's bench-smoke
+    // steps (kernel, domain, rank-grid spec) so back-to-back runs never
+    // clobber each other's trend data.
+    let grid_tag = match cli.grid {
+        None => "slabs".to_string(),
+        Some(abft_bench::GridArg::Auto) => "auto".to_string(),
+        Some(abft_bench::GridArg::Explicit(rx, ry)) => format!("{rx}x{ry}"),
+    };
+    let path = format!(
+        "{}/exp_halo_overlap_{kernel_name}_{nx}x{ny}x{nz}_{grid_tag}.csv",
+        cli.out
+    );
     write_csv(&table, &path).expect("write CSV");
     println!("\n[csv] {path}");
 
     if let Some(json_path) = &cli.json {
-        let json = render_json(nx, ny, nz, iters, reps, &points);
+        let json = render_json(nx, ny, nz, kernel_name, iters, reps, &points);
         if let Some(dir) = std::path::Path::new(json_path).parent() {
             if !dir.as_os_str().is_empty() {
                 std::fs::create_dir_all(dir).expect("create JSON output dir");
@@ -175,11 +206,14 @@ fn main() {
 
 /// Hand-rolled JSON (the workspace vendors no serde): one record per rank
 /// count with per-iteration wall times, iterations/sec and halo-wait
-/// fractions — the schema CI's `BENCH_dist.json` artifact tracks per PR.
+/// fractions — the schema CI's `BENCH_dist*.json` artifacts track per
+/// PR. Every record (and the top level) is tagged with the kernel and
+/// the grid shape; CI's schema check fails the job if those tags drift.
 fn render_json(
     nx: usize,
     ny: usize,
     nz: usize,
+    kernel: &str,
     iters: usize,
     reps: usize,
     points: &[Point],
@@ -191,6 +225,7 @@ fn render_json(
                 concat!(
                     "    {{\"ranks\": {}, ",
                     "\"grid\": [{}, {}], ",
+                    "\"kernel\": \"{}\", ",
                     "\"snapshot_s_per_iter\": {:.6e}, ",
                     "\"pipelined_s_per_iter\": {:.6e}, ",
                     "\"speedup\": {:.4}, ",
@@ -203,6 +238,7 @@ fn render_json(
                 p.ranks,
                 p.grid.0,
                 p.grid.1,
+                kernel,
                 p.snapshot_s / iters as f64,
                 p.pipelined_s / iters as f64,
                 p.snapshot_s / p.pipelined_s,
@@ -216,6 +252,7 @@ fn render_json(
         .collect();
     format!(
         "{{\n  \"experiment\": \"exp_halo_overlap\",\n  \"grid\": [{nx}, {ny}, {nz}],\n  \
+         \"kernel\": \"{kernel}\",\n  \
          \"iters\": {iters},\n  \"reps\": {reps},\n  \"points\": [\n{}\n  ]\n}}\n",
         rows.join(",\n")
     )

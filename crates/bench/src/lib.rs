@@ -10,7 +10,8 @@ use abft_dist::GridSpec;
 use abft_fault::{Campaign, Method, RunRecord};
 use abft_hotspot::{build_sim, Scenario};
 use abft_metrics::Summary;
-use abft_stencil::{Exec, StencilSim};
+use abft_num::Real;
+use abft_stencil::{Exec, Stencil2D, Stencil3D, StencilSim};
 
 /// Parsed `--grid` argument of the distributed experiments: an explicit
 /// `RXxRY` rank grid or `auto` (near-square factorisation per rank count).
@@ -38,18 +39,81 @@ impl GridArg {
     }
 }
 
+/// Parsed `--kernel` argument of the distributed experiments: a named
+/// wide-footprint stencil from `abft-stencil`'s library. The experiments
+/// tag their CSV/JSON output with [`KernelArg::name`], and CI's schema
+/// check asserts every `BENCH_*.json` artifact carries the tag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelArg {
+    /// `star7`: 7-point star diffusion — extent 1, no corner taps.
+    Star7,
+    /// `9pt`: 9-point convection–diffusion — diagonal taps, asymmetric.
+    Nine,
+    /// `27pt`: 27-point diffusion box — the full 3-D corner footprint.
+    TwentySeven,
+    /// `13pt`: 13-point 4th-order star — extent 2, no corner taps.
+    Star13,
+}
+
+impl KernelArg {
+    /// Parse a `--kernel` value (`star7`, `9pt`, `27pt`, `13pt`).
+    pub fn parse(s: &str) -> Self {
+        match s.to_ascii_lowercase().as_str() {
+            "star7" | "star" | "7pt" => Self::Star7,
+            "9pt" | "nine" => Self::Nine,
+            "27pt" => Self::TwentySeven,
+            "13pt" | "star13" => Self::Star13,
+            other => panic!("--kernel expects star7|9pt|27pt|13pt, got {other:?}"),
+        }
+    }
+
+    /// The tag written into CSV/JSON output.
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Star7 => "star7",
+            Self::Nine => "9pt",
+            Self::TwentySeven => "27pt",
+            Self::Star13 => "13pt",
+        }
+    }
+
+    /// The library stencil this kernel names, with the experiments'
+    /// pinned (stable, conservative) coefficients.
+    pub fn stencil<T: Real>(self) -> Stencil3D<T> {
+        match self {
+            Self::Star7 => Stencil3D::diffusion_7pt(T::from_f64(0.12)),
+            Self::Nine => {
+                Stencil2D::convection_9pt(T::from_f64(0.18), T::from_f64(0.08), T::from_f64(-0.05))
+                    .into_3d()
+            }
+            Self::TwentySeven => Stencil3D::diffusion_27pt(T::from_f64(0.21)),
+            Self::Star13 => Stencil3D::diffusion_13pt_4th_order(T::from_f64(0.02)),
+        }
+    }
+
+    /// Every named kernel, star footprints first (`exp_corner_traffic`
+    /// sweeps this list and reports overhead relative to [`Self::Star7`]).
+    pub fn all() -> [KernelArg; 4] {
+        [Self::Star7, Self::Nine, Self::TwentySeven, Self::Star13]
+    }
+}
+
 /// Common command-line options for the experiment binaries.
 ///
 /// Supported flags: `--reps N`, `--seed S`, `--threads N`, `--large`
 /// (include the 512×512×8 tile), `--small-only` is the default,
 /// `--out DIR` (CSV output directory, default `results/`), `--iters N`
 /// (override an experiment's iteration count), `--json PATH` (machine
-/// readable results, used by CI's bench-smoke artifact) and
+/// readable results, used by CI's bench-smoke artifact),
 /// `--grid RXxRY|auto` (rank-grid shape; an explicit shape pins the rank
-/// sweep to `RX·RY` ranks). `--iters`, `--json` and `--grid` are honoured
-/// by the distributed experiments (`exp_dist_scaling`,
-/// `exp_halo_overlap`); the figure-replication binaries pin the paper's
-/// parameters and ignore them.
+/// sweep to `RX·RY` ranks) and `--kernel star7|9pt|27pt|13pt` (library
+/// stencil override). `--iters`, `--json` and `--grid` are honoured by
+/// the distributed experiments (`exp_dist_scaling`, `exp_halo_overlap`,
+/// `exp_corner_traffic`); `--kernel` only by `exp_halo_overlap`
+/// (`exp_dist_scaling` pins the HotSpot3D workload and
+/// `exp_corner_traffic` always sweeps the whole kernel library). The
+/// figure-replication binaries pin the paper's parameters and ignore
+/// all of these.
 #[derive(Debug, Clone)]
 pub struct Cli {
     pub reps: usize,
@@ -60,6 +124,7 @@ pub struct Cli {
     pub iters: Option<usize>,
     pub json: Option<String>,
     pub grid: Option<GridArg>,
+    pub kernel: Option<KernelArg>,
 }
 
 impl Default for Cli {
@@ -73,6 +138,7 @@ impl Default for Cli {
             iters: None,
             json: None,
             grid: None,
+            kernel: None,
         }
     }
 }
@@ -115,9 +181,14 @@ impl Cli {
                     i += 1;
                     cli.grid = Some(GridArg::parse(&args[i]));
                 }
+                "--kernel" => {
+                    i += 1;
+                    cli.kernel = Some(KernelArg::parse(&args[i]));
+                }
                 other => panic!(
                     "unknown flag {other}; supported: --reps N --seed S --threads N --large --out DIR \
-                     --iters N --json PATH --grid RXxRY|auto (dist experiments only)"
+                     --iters N --json PATH --grid RXxRY|auto --kernel star7|9pt|27pt|13pt \
+                     (dist experiments only)"
                 ),
             }
             i += 1;
@@ -230,8 +301,34 @@ mod tests {
         assert_eq!(c.reps, 50);
         assert!(!c.large);
         assert_eq!(c.grid, None);
+        assert_eq!(c.kernel, None);
         assert_eq!(c.grid_spec(), abft_dist::GridSpec::Slabs);
         assert_eq!(c.rank_counts(), vec![1, 2, 4, 8]);
+    }
+
+    #[test]
+    fn kernel_arg_parses_names_and_builds_stencils() {
+        assert_eq!(KernelArg::parse("star7"), KernelArg::Star7);
+        assert_eq!(KernelArg::parse("9PT"), KernelArg::Nine);
+        assert_eq!(KernelArg::parse("27pt"), KernelArg::TwentySeven);
+        assert_eq!(KernelArg::parse("13pt"), KernelArg::Star13);
+        for k in KernelArg::all() {
+            let s = k.stencil::<f64>();
+            assert!(
+                (s.weight_sum() - 1.0).abs() < 1e-12,
+                "{} not conservative",
+                k.name()
+            );
+        }
+        assert_eq!(KernelArg::Nine.stencil::<f64>().len(), 9);
+        assert_eq!(KernelArg::TwentySeven.stencil::<f64>().len(), 27);
+        assert_eq!(KernelArg::Star13.stencil::<f64>().extent_x(), 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn malformed_kernel_arg_rejected() {
+        let _ = KernelArg::parse("49pt");
     }
 
     #[test]

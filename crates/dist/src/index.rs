@@ -1,0 +1,621 @@
+//! Halo planning: which cells a rank needs, in what canonical order they
+//! travel, how fast an out-of-tile read finds its payload slot, and how
+//! much traffic each halo channel carries.
+//!
+//! # Strip indexing
+//!
+//! A rank's halo is a set of global `(x, y)` cells — row strips from
+//! y-neighbours, column strips from x-neighbours and the corner patches
+//! diagonal neighbours owe — flattened into one payload whose order both
+//! endpoints derive independently (see [`group_cells`]). Through PR 3 the
+//! cell → payload-slot map was a `HashMap<(x, y), usize>`, uniform for any
+//! topology but paying a SipHash per ghost read on the edge-sweep hot
+//! path.
+//!
+//! [`HaloIndex`] exploits the halo's *density*: in the canonical
+//! row-major order, consecutive slots form maximal **runs** of
+//! x-consecutive cells at a fixed `y` (a full row strip is a single run;
+//! column strips contribute one short run per row; corner patches extend
+//! the adjacent runs). A ghost read then resolves with two compares and an
+//! offset — index the row table by `y`, range-check `x` against the run —
+//! instead of hashing.
+//!
+//! The PR 3 hash path is kept **only** to prove bitwise equivalence and to
+//! serve as CI's perf baseline: it is compiled under `debug_assertions`
+//! (where every strip lookup is cross-checked against it) or the
+//! `hash-ghost-path` cargo feature (which routes production lookups back
+//! through the `HashMap`, so CI can benchmark strip vs. hash from the same
+//! binary source).
+//!
+//! # Traffic accounting
+//!
+//! [`HaloPlan`] also records the analytic per-channel halo volume
+//! ([`HaloTraffic`]): cells per row/column/corner channel, the unique
+//! cells actually exchanged after boundary folding/deduplication, and the
+//! wire bytes per iteration. [`crate::RankReport`] surfaces it per rank;
+//! [`crate::DistReport::total_traffic`] aggregates it.
+
+use crate::{Partition2, Tile};
+use abft_grid::{AxisHit, Boundary, BoundarySpec};
+use abft_num::Real;
+use std::collections::{BTreeMap, BTreeSet};
+
+#[cfg(any(debug_assertions, feature = "hash-ghost-path"))]
+use std::collections::HashMap;
+
+/// A rank's halo cells grouped by producing rank, in the canonical
+/// payload order (self first, then ascending producers; each group
+/// row-major, i.e. sorted by `(y, x)`).
+pub type CellGroups = Vec<(usize, Vec<(usize, usize)>)>;
+
+/// One maximal x-consecutive run of halo cells at a fixed global row:
+/// cells `(x0 .. x0+len, y)` occupy payload slots `base .. base+len`
+/// (stride 1 in the canonical row-major order).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Run {
+    x0: usize,
+    len: usize,
+    base: usize,
+}
+
+/// Cell → payload-slot resolution for one rank's halo.
+///
+/// The production path is arithmetic: `slot(x, y)` indexes a per-row run
+/// table (`y - y_min`) and scans that row's runs (one for a slab halo,
+/// rarely more than three on a 2-D grid) with a range check and an offset
+/// add. Debug builds cross-check every lookup against the legacy hash
+/// path; the `hash-ghost-path` feature swaps the production path back to
+/// the `HashMap` so CI can benchmark the two from identical sources.
+#[derive(Debug, Clone)]
+pub struct HaloIndex {
+    /// Smallest global `y` of any halo cell (row-table origin).
+    y_min: usize,
+    /// Per-row `(first_run, n_runs)` into `runs`, indexed by `y - y_min`.
+    row_spans: Vec<(u32, u32)>,
+    /// All runs, grouped by row, in row-table order.
+    runs: Vec<Run>,
+    /// Total number of halo cells (payload slots).
+    len: usize,
+    /// The PR 3 path: uniform `HashMap` lookup, kept to prove bitwise
+    /// equivalence (debug builds assert it on every read) and as the CI
+    /// perf baseline (`hash-ghost-path`).
+    #[cfg(any(debug_assertions, feature = "hash-ghost-path"))]
+    hash: HashMap<(usize, usize), usize>,
+}
+
+impl HaloIndex {
+    /// Build the index over the canonical payload order of `groups`.
+    pub fn new(groups: &CellGroups) -> Self {
+        let mut tagged: Vec<(usize, Run)> = Vec::new();
+        let mut slot = 0usize;
+        for (_, cells) in groups {
+            let mut current: Option<(usize, Run)> = None;
+            for &(gx, gy) in cells {
+                match &mut current {
+                    Some((y, run)) if *y == gy && gx == run.x0 + run.len => run.len += 1,
+                    _ => {
+                        if let Some(done) = current.take() {
+                            tagged.push(done);
+                        }
+                        current = Some((
+                            gy,
+                            Run {
+                                x0: gx,
+                                len: 1,
+                                base: slot,
+                            },
+                        ));
+                    }
+                }
+                slot += 1;
+            }
+            if let Some(done) = current.take() {
+                tagged.push(done);
+            }
+        }
+        let y_min = tagged.iter().map(|(y, _)| *y).min().unwrap_or(0);
+        let y_max = tagged.iter().map(|(y, _)| *y).max().unwrap_or(0);
+        tagged.sort_by_key(|(y, run)| (*y, run.x0, run.base));
+        let mut row_spans = vec![
+            (0u32, 0u32);
+            if tagged.is_empty() {
+                0
+            } else {
+                y_max - y_min + 1
+            }
+        ];
+        let mut runs = Vec::with_capacity(tagged.len());
+        for (y, run) in tagged {
+            let span = &mut row_spans[y - y_min];
+            if span.1 == 0 {
+                span.0 = runs.len() as u32;
+            }
+            span.1 += 1;
+            runs.push(run);
+        }
+        Self {
+            y_min,
+            row_spans,
+            runs,
+            len: slot,
+            #[cfg(any(debug_assertions, feature = "hash-ghost-path"))]
+            hash: {
+                let mut hash = HashMap::with_capacity(slot);
+                let mut s = 0usize;
+                for (_, cells) in groups {
+                    for &cell in cells {
+                        hash.insert(cell, s);
+                        s += 1;
+                    }
+                }
+                hash
+            },
+        }
+    }
+
+    /// Number of halo cells (payload slots).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the halo is empty (value-like boundaries everywhere).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of strips (maximal x-consecutive runs) backing the index.
+    pub fn n_runs(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// Payload slot of global halo cell `(x, y)` — the production lookup.
+    ///
+    /// Resolves through the strip table (two compares and an offset);
+    /// debug builds additionally assert the result against the hash path
+    /// on every call, so the whole equivalence test matrix doubles as a
+    /// strip-vs-hash proof. With the `hash-ghost-path` feature the legacy
+    /// `HashMap` resolves instead (CI's perf baseline).
+    #[inline]
+    pub fn slot(&self, x: usize, y: usize) -> Option<usize> {
+        #[cfg(feature = "hash-ghost-path")]
+        {
+            self.slot_hash(x, y)
+        }
+        #[cfg(not(feature = "hash-ghost-path"))]
+        {
+            let s = self.slot_strip(x, y);
+            #[cfg(debug_assertions)]
+            debug_assert_eq!(
+                s,
+                self.slot_hash(x, y),
+                "strip/hash halo-index divergence at ({x}, {y})"
+            );
+            s
+        }
+    }
+
+    /// Strip-table lookup: index the row, range-check the run, offset.
+    #[inline]
+    pub fn slot_strip(&self, x: usize, y: usize) -> Option<usize> {
+        let &(first, n) = self.row_spans.get(y.checked_sub(self.y_min)?)?;
+        for run in &self.runs[first as usize..(first + n) as usize] {
+            let dx = x.wrapping_sub(run.x0);
+            if dx < run.len {
+                return Some(run.base + dx);
+            }
+        }
+        None
+    }
+
+    /// The PR 3 `HashMap` lookup (equivalence witness / CI baseline).
+    #[cfg(any(debug_assertions, feature = "hash-ghost-path"))]
+    pub fn slot_hash(&self, x: usize, y: usize) -> Option<usize> {
+        self.hash.get(&(x, y)).copied()
+    }
+}
+
+/// Analytic per-channel halo volume of one rank, per iteration.
+///
+/// The row/column/corner counts are the *channel volumes* — the products
+/// of the tile extents with the resolved out-of-tile windows — so they
+/// match the textbook halo-surface formulas (row ≈ `x_len·|wy|`, column ≈
+/// `|wx|·y_len`, corner ≈ `|wx|·|wy|`). Under clamp/reflect the windows
+/// fold onto in-domain cells, so a cell can appear in more than one
+/// channel and even inside the rank's own tile; `unique_cells` counts the
+/// deduplicated exchange set, split into `self_cells` (served locally,
+/// never on the wire) and `remote_cells` (received from other ranks).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HaloTraffic {
+    /// Cells in row-strip channels (y-neighbour halos), per iteration.
+    pub row_cells: usize,
+    /// Cells in column-strip channels (x-neighbour halos), per iteration.
+    pub col_cells: usize,
+    /// Cells in corner-patch channels (diagonal halos), per iteration.
+    pub corner_cells: usize,
+    /// Unique cells in the exchange set after folding/deduplication.
+    pub unique_cells: usize,
+    /// Unique cells the rank serves to itself (boundary folds; no wire).
+    pub self_cells: usize,
+    /// Unique cells received from other ranks (actual wire traffic).
+    pub remote_cells: usize,
+    /// Payload bytes per cell (`nz · size_of::<T>()`).
+    pub cell_bytes: usize,
+}
+
+impl HaloTraffic {
+    /// Bytes per iteration in row-strip channels.
+    pub fn row_bytes(&self) -> usize {
+        self.row_cells * self.cell_bytes
+    }
+
+    /// Bytes per iteration in column-strip channels.
+    pub fn col_bytes(&self) -> usize {
+        self.col_cells * self.cell_bytes
+    }
+
+    /// Bytes per iteration in corner-patch channels.
+    pub fn corner_bytes(&self) -> usize {
+        self.corner_cells * self.cell_bytes
+    }
+
+    /// Bytes per iteration actually received over channels.
+    pub fn wire_bytes(&self) -> usize {
+        self.remote_cells * self.cell_bytes
+    }
+
+    /// Total channel-volume cells (row + column + corner).
+    pub fn channel_cells(&self) -> usize {
+        self.row_cells + self.col_cells + self.corner_cells
+    }
+
+    /// Fraction of the channel volume carried by corner patches — the
+    /// quantity `exp_corner_traffic` tracks across kernel footprints.
+    pub fn corner_share(&self) -> f64 {
+        let total = self.channel_cells();
+        if total > 0 {
+            self.corner_cells as f64 / total as f64
+        } else {
+            0.0
+        }
+    }
+
+    /// Field-wise sum (used to aggregate per-rank traffic into a run
+    /// total). All records of one run share the same `cell_bytes`
+    /// (asserted in debug builds when both sides carry one); the max is
+    /// kept so merging into a zeroed accumulator works.
+    pub fn merge(&mut self, other: &Self) {
+        debug_assert!(
+            self.cell_bytes == 0 || other.cell_bytes == 0 || self.cell_bytes == other.cell_bytes,
+            "merging HaloTraffic records with different cell sizes ({} vs {})",
+            self.cell_bytes,
+            other.cell_bytes
+        );
+        self.row_cells += other.row_cells;
+        self.col_cells += other.col_cells;
+        self.corner_cells += other.corner_cells;
+        self.unique_cells += other.unique_cells;
+        self.self_cells += other.self_cells;
+        self.remote_cells += other.remote_cells;
+        self.cell_bytes = self.cell_bytes.max(other.cell_bytes);
+    }
+}
+
+impl std::fmt::Display for HaloTraffic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "rows {} cells/{} B · cols {} cells/{} B · corners {} cells/{} B \
+             ({:.1}% corner share) · wire {} cells/{} B per iteration",
+            self.row_cells,
+            self.row_bytes(),
+            self.col_cells,
+            self.col_bytes(),
+            self.corner_cells,
+            self.corner_bytes(),
+            100.0 * self.corner_share(),
+            self.remote_cells,
+            self.wire_bytes(),
+        )
+    }
+}
+
+/// Everything one rank needs to exchange halos: the canonical cell
+/// groups, the payload-slot index and the per-channel traffic volumes.
+#[derive(Debug, Clone)]
+pub struct HaloPlan {
+    /// Needed cells grouped by producing rank in canonical payload order.
+    pub groups: CellGroups,
+    /// Cell → payload-slot index (strip-backed).
+    pub index: std::sync::Arc<HaloIndex>,
+    /// Analytic per-channel traffic volumes.
+    pub traffic: HaloTraffic,
+}
+
+impl HaloPlan {
+    /// Plan rank `me`'s halo: resolve the out-of-tile windows through the
+    /// global boundaries, group the needed cells by owner, build the
+    /// strip index and tally the per-channel volumes. `halo = (hx, hy)`
+    /// is the effective per-axis halo width (0 disables the axis) and
+    /// `dims` the global domain.
+    pub fn new<T: Real>(
+        tile: &Tile,
+        me: usize,
+        part: &Partition2,
+        halo: (usize, usize),
+        dims: (usize, usize, usize),
+        bounds: &BoundarySpec<T>,
+    ) -> Self {
+        let (hx, hy) = halo;
+        let (nx, ny, nz) = dims;
+        let wx = resolved_window(tile.x0, tile.x_len, hx, nx, &bounds.x);
+        let wy = resolved_window(tile.y0, tile.y_len, hy, ny, &bounds.y);
+        let cells = needed_halo_cells(tile, &wx, &wy);
+        let self_cells = cells.iter().filter(|&&(x, y)| tile.contains(x, y)).count();
+        let traffic = HaloTraffic {
+            row_cells: tile.x_len * wy.len(),
+            col_cells: wx.len() * tile.y_len,
+            corner_cells: wx.len() * wy.len(),
+            unique_cells: cells.len(),
+            self_cells,
+            remote_cells: cells.len() - self_cells,
+            cell_bytes: nz * std::mem::size_of::<T>(),
+        };
+        let groups = group_cells(cells, part, me);
+        let index = std::sync::Arc::new(HaloIndex::new(&groups));
+        Self {
+            groups,
+            index,
+            traffic,
+        }
+    }
+}
+
+/// The in-domain cells one axis window `start-halo..start+len+halo`
+/// resolves to through the global boundary. Value-like boundaries
+/// contribute nothing; clamp/reflect at the outer edges fold into
+/// in-domain cells (possibly the tile's own), periodic wraps around the
+/// torus.
+pub(crate) fn resolved_window<T: Real>(
+    start: usize,
+    len: usize,
+    halo: usize,
+    n: usize,
+    b: &Boundary<T>,
+) -> BTreeSet<usize> {
+    let mut set = BTreeSet::new();
+    let local_range = (-(halo as isize)..0).chain(len as isize..(len + halo) as isize);
+    for l in local_range {
+        if let AxisHit::In(i) = b.resolve(start as isize + l, n) {
+            set.insert(i);
+        }
+    }
+    set
+}
+
+/// The set of global cells a tile needs to satisfy every possible
+/// out-of-tile read, given the already-resolved per-axis windows: row
+/// strips (own columns × y-window), column strips (x-window × own rows)
+/// and the corner patches (x-window × y-window) — the full halo ring. The
+/// ring always includes corners, so diagonal stencil taps and the
+/// checksum interpolation's cross-axis correction terms are served
+/// without any extra message kind.
+pub(crate) fn needed_halo_cells(
+    tile: &Tile,
+    wx: &BTreeSet<usize>,
+    wy: &BTreeSet<usize>,
+) -> BTreeSet<(usize, usize)> {
+    let mut cells = BTreeSet::new();
+    for &gy in wy {
+        for gx in tile.x0..tile.x0 + tile.x_len {
+            cells.insert((gx, gy));
+        }
+    }
+    for &gx in wx {
+        for gy in tile.y0..tile.y0 + tile.y_len {
+            cells.insert((gx, gy));
+        }
+        for &gy in wy {
+            cells.insert((gx, gy));
+        }
+    }
+    cells
+}
+
+/// Group a rank's needed cells by producing rank in the canonical payload
+/// order — self-owned first, then ascending rank, each group row-major
+/// (sorted by `(y, x)`, so x-consecutive cells occupy consecutive payload
+/// slots and the strip index stays dense).
+pub(crate) fn group_cells(
+    cells: BTreeSet<(usize, usize)>,
+    part: &Partition2,
+    me: usize,
+) -> CellGroups {
+    let mut by_owner: BTreeMap<usize, Vec<(usize, usize)>> = BTreeMap::new();
+    for (gx, gy) in cells {
+        let (owner, _, _) = part.owner(gx, gy);
+        by_owner.entry(owner).or_default().push((gx, gy));
+    }
+    let mut groups: CellGroups = Vec::with_capacity(by_owner.len());
+    if let Some(own) = by_owner.remove(&me) {
+        groups.push((me, own));
+    }
+    groups.extend(by_owner);
+    for (_, group) in &mut groups {
+        group.sort_unstable_by_key(|&(x, y)| (y, x));
+    }
+    groups
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan_for(
+        tile: Tile,
+        me: usize,
+        part: &Partition2,
+        halo: (usize, usize),
+        dims: (usize, usize, usize),
+        bounds: &BoundarySpec<f64>,
+    ) -> HaloPlan {
+        HaloPlan::new(&tile, me, part, halo, dims, bounds)
+    }
+
+    #[test]
+    fn slab_halo_rows_are_single_runs() {
+        // Interior slab of a 1×3 split over 6×12: two full-width halo
+        // rows, each one contiguous run.
+        let part = Partition2::new(6, 12, 1, 3);
+        let tile = part.tile(1);
+        let plan = plan_for(tile, 1, &part, (0, 1), (6, 12, 2), &BoundarySpec::clamp());
+        assert_eq!(plan.index.len(), 12);
+        assert_eq!(plan.index.n_runs(), 2, "a full row strip is one run");
+        for (slot, &(x, y)) in plan.groups.iter().flat_map(|(_, g)| g).enumerate() {
+            assert_eq!(plan.index.slot(x, y), Some(slot));
+            assert_eq!(plan.index.slot_strip(x, y), Some(slot));
+        }
+    }
+
+    #[test]
+    fn strip_lookup_misses_return_none() {
+        let part = Partition2::new(6, 12, 1, 3);
+        let tile = part.tile(1);
+        let plan = plan_for(tile, 1, &part, (0, 1), (6, 12, 2), &BoundarySpec::clamp());
+        // In-tile interior cells, out-of-window rows and far columns all
+        // miss without panicking.
+        assert_eq!(plan.index.slot_strip(2, 5), None);
+        assert_eq!(plan.index.slot_strip(0, 0), None);
+        assert_eq!(plan.index.slot_strip(99, 3), None);
+        assert_eq!(plan.index.slot_strip(2, 99), None);
+    }
+
+    #[test]
+    fn interior_tile_ring_runs_follow_the_producer_groups() {
+        // Interior tile of a 3×3 grid over 9×9, halo 1: the ring has 16
+        // cells from 8 producers. Runs never span producer groups (slots
+        // are contiguous per group), so the ring decomposes into 12 runs:
+        // one per corner patch (4), one per row strip (2) and one per row
+        // of each column strip (2 × 3).
+        let part = Partition2::new(9, 9, 3, 3);
+        let tile = part.tile(4);
+        let plan = plan_for(tile, 4, &part, (1, 1), (9, 9, 1), &BoundarySpec::clamp());
+        assert_eq!(plan.index.len(), 16);
+        assert_eq!(plan.index.n_runs(), 4 + 2 + 2 * 3);
+        for corner in [(2, 2), (6, 2), (2, 6), (6, 6)] {
+            assert!(plan.index.slot(corner.0, corner.1).is_some());
+        }
+        assert_eq!(plan.index.slot(4, 4), None, "tile interior not indexed");
+    }
+
+    #[test]
+    #[cfg(any(debug_assertions, feature = "hash-ghost-path"))]
+    fn strip_and_hash_agree_on_every_cell_and_on_misses() {
+        let part = Partition2::new(13, 14, 2, 3);
+        for boundary in [Boundary::Clamp, Boundary::Periodic] {
+            let bounds = BoundarySpec::<f64>::uniform(boundary);
+            for me in 0..part.ranks() {
+                let tile = part.tile(me);
+                let plan = plan_for(tile, me, &part, (2, 2), (13, 14, 2), &bounds);
+                for y in 0..14 {
+                    for x in 0..13 {
+                        assert_eq!(
+                            plan.index.slot_strip(x, y),
+                            plan.index.slot_hash(x, y),
+                            "divergence at ({x}, {y}) rank {me} {boundary:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn slots_enumerate_payload_order() {
+        let part = Partition2::new(10, 10, 2, 2);
+        let tile = part.tile(3);
+        let plan = plan_for(
+            tile,
+            3,
+            &part,
+            (1, 1),
+            (10, 10, 3),
+            &BoundarySpec::periodic(),
+        );
+        let mut seen = vec![false; plan.index.len()];
+        let mut expected = 0usize;
+        for (_, group) in &plan.groups {
+            for &(x, y) in group {
+                let slot = plan.index.slot(x, y).expect("planned cell must resolve");
+                assert_eq!(slot, expected, "payload order broken at ({x}, {y})");
+                assert!(!seen[slot]);
+                seen[slot] = true;
+                expected += 1;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "slots must cover 0..len");
+    }
+
+    #[test]
+    fn traffic_volumes_match_window_products() {
+        // Interior tile of a 3×3 grid over 9×9, halo 1 under clamp: both
+        // windows have 2 cells, tile is 3×3.
+        let part = Partition2::new(9, 9, 3, 3);
+        let tile = part.tile(4);
+        let plan = plan_for(tile, 4, &part, (1, 1), (9, 9, 2), &BoundarySpec::clamp());
+        let t = plan.traffic;
+        assert_eq!(t.row_cells, 3 * 2);
+        assert_eq!(t.col_cells, 2 * 3);
+        assert_eq!(t.corner_cells, 2 * 2);
+        assert_eq!(t.unique_cells, 16);
+        assert_eq!(t.self_cells, 0, "interior tile folds nothing onto itself");
+        assert_eq!(t.remote_cells, 16);
+        assert_eq!(t.cell_bytes, 2 * std::mem::size_of::<f64>());
+        assert_eq!(t.wire_bytes(), 16 * 16);
+        assert!((t.corner_share() - 4.0 / 16.0).abs() < 1e-12);
+
+        // Domain-corner tile under clamp: each window folds one extra
+        // in-tile cell, and the fold cells are self-served.
+        let tile = part.tile(0);
+        let plan = plan_for(tile, 0, &part, (1, 1), (9, 9, 2), &BoundarySpec::clamp());
+        let t = plan.traffic;
+        assert_eq!(t.row_cells, 3 * 2);
+        assert_eq!(t.col_cells, 2 * 3);
+        assert_eq!(t.corner_cells, 2 * 2);
+        assert!(t.self_cells > 0, "clamp folds serve the tile's own cells");
+        assert_eq!(t.unique_cells, t.self_cells + t.remote_cells);
+    }
+
+    #[test]
+    fn traffic_merge_and_display() {
+        let mut a = HaloTraffic {
+            row_cells: 4,
+            col_cells: 2,
+            corner_cells: 1,
+            unique_cells: 7,
+            self_cells: 1,
+            remote_cells: 6,
+            cell_bytes: 8,
+        };
+        let b = a;
+        a.merge(&b);
+        assert_eq!(a.row_cells, 8);
+        assert_eq!(a.remote_cells, 12);
+        assert_eq!(a.cell_bytes, 8);
+        assert_eq!(a.channel_cells(), 14);
+        let s = a.to_string();
+        assert!(s.contains("rows 8 cells"), "{s}");
+        assert!(s.contains("corner share"), "{s}");
+    }
+
+    #[test]
+    fn empty_halo_is_safe() {
+        // A single rank with value-like boundaries needs no halo cells.
+        let part = Partition2::new(5, 5, 1, 1);
+        let tile = part.tile(0);
+        let plan = plan_for(tile, 0, &part, (0, 1), (5, 5, 1), &BoundarySpec::zero());
+        assert!(plan.index.is_empty());
+        assert_eq!(plan.index.slot_strip(0, 0), None);
+        assert_eq!(plan.traffic.unique_cells, 0);
+        assert_eq!(plan.traffic.corner_share(), 0.0);
+    }
+}

@@ -19,7 +19,13 @@
 //!   [`HaloGhost`] source holding neighbour **cells** captured at time `t`
 //!   — row strips from y-neighbours, column strips from x-neighbours and
 //!   the corner patches diagonal neighbours owe — exactly the values an
-//!   MPI halo exchange would have delivered;
+//!   MPI halo exchange would have delivered. Ghost reads resolve through
+//!   the strip-backed [`HaloIndex`] (per-row runs with a base slot, so an
+//!   edge-sweep lookup is two compares and an offset; the legacy hash
+//!   path survives behind `debug_assertions`/the `hash-ghost-path`
+//!   feature as equivalence witness and CI perf baseline), and each
+//!   rank's [`HaloPlan`] records per-channel traffic volumes
+//!   ([`HaloTraffic`]: cells and bytes per row/column/corner channel);
 //! * ranks execute in one of two [`HaloMode`]s. The default
 //!   [`HaloMode::Pipelined`] spawns each rank **once for the whole run**:
 //!   every iteration the rank posts the halo cells it owes each consumer
@@ -59,12 +65,14 @@ use abft_fault::BitFlip;
 use abft_grid::{AxisHit, Boundary, BoundarySpec, GhostCells, Grid3D};
 use abft_num::Real;
 use abft_stencil::{Exec, Stencil3D, StencilSim};
-use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::Arc;
 use std::time::Instant;
 
+mod index;
 mod pipeline;
 mod worker;
+
+pub use index::{CellGroups, HaloIndex, HaloPlan, HaloTraffic};
 
 /// How halo cells travel between ranks.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -320,6 +328,16 @@ pub struct PhaseTimings {
     pub edge_s: f64,
     /// ABFT verification (interpolation, detection, correction).
     pub verify_s: f64,
+    /// Halo payload bytes this rank sent to other ranks over the whole
+    /// run, **measured at the pack/copy site** (self-served boundary
+    /// folds are excluded; both modes move the same cells, so the modes
+    /// report identical totals — and they match the analytic plan,
+    /// `HaloTraffic::remote_cells · cell_bytes · iters`, which the unit
+    /// tests assert).
+    pub halo_bytes_sent: u64,
+    /// Halo payload bytes this rank received from other ranks over the
+    /// whole run, measured at halo-assembly time.
+    pub halo_bytes_recv: u64,
 }
 
 impl PhaseTimings {
@@ -365,6 +383,9 @@ pub struct RankReport {
     pub stats: ProtectorStats,
     /// Where this rank's wall-clock time went.
     pub timing: PhaseTimings,
+    /// Per-channel halo-traffic volumes (cells and bytes per iteration,
+    /// split into row/column/corner channels).
+    pub traffic: HaloTraffic,
 }
 
 /// Result of a distributed run.
@@ -398,6 +419,34 @@ impl<T: Real> DistReport<T> {
             .iter()
             .map(|r| r.timing.halo_wait_fraction())
             .fold(0.0, f64::max)
+    }
+
+    /// Per-channel halo-traffic volumes summed over all ranks.
+    pub fn total_traffic(&self) -> HaloTraffic {
+        let mut total = HaloTraffic::default();
+        for r in &self.ranks {
+            total.merge(&r.traffic);
+        }
+        total
+    }
+}
+
+impl<T: Real> std::fmt::Display for DistReport<T> {
+    /// One-glance run summary: rank-grid shape, wall time, protector
+    /// totals and the per-channel halo-traffic volumes.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let stats = self.total_stats();
+        writeln!(
+            f,
+            "{}x{} rank grid · {} ranks · wall {:.4} s · {} detections / {} corrections",
+            self.grid.0,
+            self.grid.1,
+            self.ranks.len(),
+            self.wall_s,
+            stats.detections,
+            stats.corrections,
+        )?;
+        write!(f, "halo traffic: {}", self.total_traffic())
     }
 }
 
@@ -611,10 +660,14 @@ pub fn auto_grid(ranks: usize, nx: usize, ny: usize) -> (usize, usize) {
 ///
 /// Cells are stored as one flat buffer of z-columns (`nz` values per
 /// cell) in the rank's canonical cell order; `index` maps a resolved
-/// global `(x, y)` to its cell slot.
+/// global `(x, y)` to its cell slot through the strip-backed
+/// [`HaloIndex`] (two compares and an offset on the edge-sweep hot path;
+/// the legacy hash lookup survives behind `debug_assertions` /
+/// the `hash-ghost-path` feature as the equivalence witness and CI perf
+/// baseline).
 #[derive(Debug, Clone)]
 pub struct HaloGhost<T> {
-    index: Arc<HashMap<(usize, usize), usize>>,
+    index: Arc<HaloIndex>,
     values: Vec<T>,
     bounds: BoundarySpec<T>,
     x0: usize,
@@ -626,7 +679,7 @@ pub struct HaloGhost<T> {
 
 impl<T: Real> HaloGhost<T> {
     pub(crate) fn new(
-        index: Arc<HashMap<(usize, usize), usize>>,
+        index: Arc<HaloIndex>,
         values: Vec<T>,
         bounds: BoundarySpec<T>,
         tile: Tile,
@@ -672,30 +725,29 @@ impl<T: Real> GhostCells<T> for HaloGhost<T> {
             AxisHit::Value(v) => return v,
             AxisHit::Ghost(_) => unreachable!("global ghost z-boundary rejected up front"),
         };
-        let slot = *self
+        let slot = self
             .index
-            .get(&(gx, gy))
+            .slot(gx, gy)
             .unwrap_or_else(|| panic!("halo cell ({gx}, {gy}) was not exchanged"));
         self.values[slot * self.nz + gz]
     }
 }
 
 /// One simulated rank: its tile simulation, optional protector, pending
-/// faults, halo-cell bookkeeping and accumulated phase timings.
+/// faults, halo plan (cell groups, strip index, traffic volumes) and
+/// accumulated phase timings.
 pub(crate) struct Rank<T> {
     pub(crate) sim: StencilSim<T>,
     pub(crate) abft: Option<OnlineAbft<T>>,
     pub(crate) tile: Tile,
     pub(crate) flips: Vec<BitFlip>,
-    /// Global halo cells this rank needs every iteration, grouped by
-    /// producer: self-owned cells first (boundary folds the rank serves to
-    /// itself), then remote producers in ascending rank order, each group
-    /// sorted by `(x, y)`. Concatenating the groups' z-columns in this
-    /// order yields the per-iteration halo payload.
-    pub(crate) cell_groups: CellGroups,
-    /// Cell → slot in the flat halo payload (the order fixed by
-    /// `cell_groups`).
-    pub(crate) cell_index: Arc<CellIndex>,
+    /// The rank's halo plan: global cells it needs every iteration,
+    /// grouped by producer (self-owned cells first — boundary folds the
+    /// rank serves to itself — then remote producers in ascending rank
+    /// order, each group row-major). Concatenating the groups' z-columns
+    /// in this order yields the per-iteration halo payload; the plan's
+    /// strip index resolves cells to payload slots.
+    pub(crate) plan: HaloPlan,
     pub(crate) timing: PhaseTimings,
 }
 
@@ -880,8 +932,7 @@ pub fn run_distributed<T: Real>(
                 sim = sim.with_constant(local_c);
             }
             let abft = cfg.abft.map(|acfg| OnlineAbft::new(&sim, acfg));
-            let cells = needed_halo_cells(&tile, hx, hy, nx, ny, bounds);
-            let (cell_groups, cell_index) = group_cells(cells, &part, r);
+            let plan = HaloPlan::new(&tile, r, &part, (hx, hy), (nx, ny, nz), bounds);
             Rank {
                 sim,
                 abft,
@@ -892,8 +943,7 @@ pub fn run_distributed<T: Real>(
                     .filter(|(fr, _)| *fr == r)
                     .map(|(_, f)| *f)
                     .collect(),
-                cell_groups,
-                cell_index: Arc::new(cell_index),
+                plan,
                 timing: PhaseTimings::default(),
             }
         })
@@ -938,6 +988,7 @@ pub fn run_distributed<T: Real>(
                 y_len: r.tile.y_len,
                 stats: r.abft.as_ref().map(|a| a.stats()).unwrap_or_default(),
                 timing: r.timing,
+                traffic: r.plan.traffic,
             })
             .collect(),
         grid: (rx, ry),
@@ -953,6 +1004,11 @@ fn run_snapshot<T: Real>(
     dims: (usize, usize, usize),
     iters: usize,
 ) {
+    // Wire traffic measured at the copy site: elements copied between
+    // *different* ranks, attributed to the producing and consuming rank
+    // (self-served boundary folds are not wire traffic).
+    let mut sent_elems = vec![0usize; ranks.len()];
+    let mut recv_elems = vec![0usize; ranks.len()];
     for t in 0..iters {
         // --- Halo exchange: snapshot every requested time-t cell. ------
         // In an MPI deployment this is the send/recv pairs (row strips,
@@ -961,11 +1017,13 @@ fn run_snapshot<T: Real>(
         let t0 = Instant::now();
         let ghosts: Vec<HaloGhost<T>> = ranks
             .iter()
-            .map(|rank| {
-                let mut values = Vec::with_capacity(rank.cell_index.len() * dims.2);
-                for (owner, cells) in &rank.cell_groups {
+            .enumerate()
+            .map(|(consumer, rank)| {
+                let mut values = Vec::with_capacity(rank.plan.index.len() * dims.2);
+                for (owner, cells) in &rank.plan.groups {
                     let owner_tile = ranks[*owner].tile;
                     let grid = ranks[*owner].sim.current();
+                    let before = values.len();
                     for &(gx, gy) in cells {
                         worker::push_column(
                             grid,
@@ -974,8 +1032,13 @@ fn run_snapshot<T: Real>(
                             &mut values,
                         );
                     }
+                    if *owner != consumer {
+                        let copied = values.len() - before;
+                        sent_elems[*owner] += copied;
+                        recv_elems[consumer] += copied;
+                    }
                 }
-                HaloGhost::new(rank.cell_index.clone(), values, *bounds, rank.tile, dims)
+                HaloGhost::new(rank.plan.index.clone(), values, *bounds, rank.tile, dims)
             })
             .collect();
         let exchange_share = t0.elapsed().as_secs_f64() / ranks.len() as f64;
@@ -994,102 +1057,16 @@ fn run_snapshot<T: Real>(
             rank.timing.post_s += exchange_share;
         }
     }
-}
-
-/// The in-domain cells one axis window `start-halo..start+len+halo`
-/// resolves to through the global boundary. Value-like boundaries
-/// contribute nothing; clamp/reflect at the outer edges fold into
-/// in-domain cells (possibly the tile's own), periodic wraps around the
-/// torus.
-fn resolved_window<T: Real>(
-    start: usize,
-    len: usize,
-    halo: usize,
-    n: usize,
-    b: &Boundary<T>,
-) -> BTreeSet<usize> {
-    let mut set = BTreeSet::new();
-    let local_range = (-(halo as isize)..0).chain(len as isize..(len + halo) as isize);
-    for l in local_range {
-        if let AxisHit::In(i) = b.resolve(start as isize + l, n) {
-            set.insert(i);
-        }
+    for (i, rank) in ranks.iter_mut().enumerate() {
+        rank.timing.halo_bytes_sent += (sent_elems[i] * std::mem::size_of::<T>()) as u64;
+        rank.timing.halo_bytes_recv += (recv_elems[i] * std::mem::size_of::<T>()) as u64;
     }
-    set
-}
-
-/// The set of global cells a tile needs to satisfy every possible
-/// out-of-tile read: row strips (own columns × y-window), column strips
-/// (x-window × own rows) and the corner patches (x-window × y-window) —
-/// the full halo ring, resolved through the global boundaries. The ring
-/// always includes corners, so diagonal stencil taps and the checksum
-/// interpolation's cross-axis correction terms are served without any
-/// extra message kind.
-fn needed_halo_cells<T: Real>(
-    tile: &Tile,
-    hx: usize,
-    hy: usize,
-    nx: usize,
-    ny: usize,
-    bounds: &BoundarySpec<T>,
-) -> BTreeSet<(usize, usize)> {
-    let wx = resolved_window(tile.x0, tile.x_len, hx, nx, &bounds.x);
-    let wy = resolved_window(tile.y0, tile.y_len, hy, ny, &bounds.y);
-    let mut cells = BTreeSet::new();
-    for &gy in &wy {
-        for gx in tile.x0..tile.x0 + tile.x_len {
-            cells.insert((gx, gy));
-        }
-    }
-    for &gx in &wx {
-        for gy in tile.y0..tile.y0 + tile.y_len {
-            cells.insert((gx, gy));
-        }
-        for &gy in &wy {
-            cells.insert((gx, gy));
-        }
-    }
-    cells
-}
-
-/// A rank's halo cells grouped by producing rank, in the canonical
-/// payload order (self first, then ascending producers).
-type CellGroups = Vec<(usize, Vec<(usize, usize)>)>;
-/// Global `(x, y)` halo cell → slot in the flat per-iteration payload.
-type CellIndex = HashMap<(usize, usize), usize>;
-
-/// Group a rank's needed cells by producing rank in the canonical payload
-/// order — self-owned first, then ascending rank — and build the cell →
-/// payload-slot index both halo modes share.
-fn group_cells(
-    cells: BTreeSet<(usize, usize)>,
-    part: &Partition2,
-    me: usize,
-) -> (CellGroups, CellIndex) {
-    let mut by_owner: BTreeMap<usize, Vec<(usize, usize)>> = BTreeMap::new();
-    for (gx, gy) in cells {
-        let (owner, _, _) = part.owner(gx, gy);
-        by_owner.entry(owner).or_default().push((gx, gy));
-    }
-    let mut groups = Vec::with_capacity(by_owner.len());
-    if let Some(own) = by_owner.remove(&me) {
-        groups.push((me, own));
-    }
-    groups.extend(by_owner);
-    let mut index = HashMap::new();
-    let mut slot = 0;
-    for (_, group) in &groups {
-        for &cell in group {
-            index.insert(cell, slot);
-            slot += 1;
-        }
-    }
-    (groups, index)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::collections::BTreeSet;
 
     fn wavy(nx: usize, ny: usize, nz: usize) -> Grid3D<f64> {
         Grid3D::from_fn(nx, ny, nz, |x, y, z| {
@@ -1366,28 +1343,34 @@ mod tests {
         }
     }
 
+    /// Needed halo cells for one tile of an `rx×ry` split of `nx×ny`,
+    /// through [`HaloPlan`] (the API both halo modes consume).
+    fn planned_cells(
+        part: &Partition2,
+        rank: usize,
+        halo: (usize, usize),
+        dims: (usize, usize, usize),
+        bounds: &BoundarySpec<f64>,
+    ) -> BTreeSet<(usize, usize)> {
+        let tile = part.tile(rank);
+        let plan = HaloPlan::new(&tile, rank, part, halo, dims, bounds);
+        plan.groups
+            .iter()
+            .flat_map(|(_, cells)| cells.iter().copied())
+            .collect()
+    }
+
     #[test]
     fn needed_cells_slab_tile_are_full_rows() {
         let by = BoundarySpec::<f64>::clamp();
         // Interior slab of a 1×3 split over 6×12: needs global rows 3 and
         // 8 across the full width, no columns.
-        let tile = Tile {
-            x0: 0,
-            x_len: 6,
-            y0: 4,
-            y_len: 4,
-        };
-        let cells = needed_halo_cells(&tile, 0, 1, 6, 12, &by);
+        let part = Partition2::new(6, 12, 1, 3);
+        let cells = planned_cells(&part, 1, (0, 1), (6, 12, 1), &by);
         let expect: BTreeSet<(usize, usize)> = (0..6).flat_map(|x| [(x, 3), (x, 8)]).collect();
         assert_eq!(cells, expect);
         // Top slab: y = -1 clamps onto its own row 0 (a self-served fold).
-        let top = Tile {
-            x0: 0,
-            x_len: 6,
-            y0: 0,
-            y_len: 4,
-        };
-        let cells = needed_halo_cells(&top, 0, 1, 6, 12, &by);
+        let cells = planned_cells(&part, 0, (0, 1), (6, 12, 1), &by);
         let expect: BTreeSet<(usize, usize)> = (0..6).flat_map(|x| [(x, 0), (x, 4)]).collect();
         assert_eq!(cells, expect);
     }
@@ -1396,13 +1379,8 @@ mod tests {
     fn needed_cells_2d_tile_include_corners() {
         let by = BoundarySpec::<f64>::clamp();
         // Interior tile of a 3×3 grid over 9×9: full ring incl. corners.
-        let tile = Tile {
-            x0: 3,
-            x_len: 3,
-            y0: 3,
-            y_len: 3,
-        };
-        let cells = needed_halo_cells(&tile, 1, 1, 9, 9, &by);
+        let part = Partition2::new(9, 9, 3, 3);
+        let cells = planned_cells(&part, 4, (1, 1), (9, 9, 1), &by);
         // Ring of width 1 around a 3×3 tile: 16 cells.
         assert_eq!(cells.len(), 16);
         for corner in [(2, 2), (6, 2), (2, 6), (6, 6)] {
@@ -1413,19 +1391,13 @@ mod tests {
         // Domain-corner tile under clamp: out-of-domain reads fold onto
         // its own edge cells — they must still be in the needed set (the
         // rank serves them to itself).
-        let corner_tile = Tile {
-            x0: 0,
-            x_len: 3,
-            y0: 0,
-            y_len: 3,
-        };
-        let cells = needed_halo_cells(&corner_tile, 1, 1, 9, 9, &by);
+        let cells = planned_cells(&part, 0, (1, 1), (9, 9, 1), &by);
         assert!(cells.contains(&(0, 0)), "clamp fold onto own corner");
         assert!(cells.contains(&(3, 3)), "outer corner neighbour");
 
         // Periodic wraps to the opposite side of the torus.
         let per = BoundarySpec::<f64>::periodic();
-        let cells = needed_halo_cells(&corner_tile, 1, 1, 9, 9, &per);
+        let cells = planned_cells(&part, 0, (1, 1), (9, 9, 1), &per);
         assert!(cells.contains(&(8, 8)), "periodic corner wrap");
         assert!(cells.contains(&(8, 0)), "periodic column wrap");
         assert!(cells.contains(&(0, 8)), "periodic row wrap");
@@ -1434,23 +1406,28 @@ mod tests {
     #[test]
     fn cell_groups_put_self_first_then_ascending_producers() {
         let part = Partition2::new(6, 6, 2, 2);
-        // Rank 3 (bottom-right tile) under periodic bounds needs cells
-        // from every rank including itself? No fold onto itself here, so
-        // check rank 0's groups under clamp instead: it folds onto itself.
+        // Rank 0's tile under clamp folds out-of-domain reads onto its own
+        // cells, so its plan has a self group — which must come first.
         let bounds = BoundarySpec::<f64>::clamp();
         let tile = part.tile(0);
-        let cells = needed_halo_cells(&tile, 1, 1, 6, 6, &bounds);
-        let (groups, index) = group_cells(cells, &part, 0);
-        assert_eq!(groups[0].0, 0, "self group must come first");
-        let owners: Vec<usize> = groups.iter().map(|(p, _)| *p).collect();
+        let plan = HaloPlan::new(&tile, 0, &part, (1, 1), (6, 6, 1), &bounds);
+        assert_eq!(plan.groups[0].0, 0, "self group must come first");
+        let owners: Vec<usize> = plan.groups.iter().map(|(p, _)| *p).collect();
         let mut sorted = owners.clone();
         sorted.sort_unstable();
         assert_eq!(owners[1..], sorted[1..], "producers ascending");
-        // The index enumerates the concatenated groups in order.
+        // The strip index enumerates the concatenated groups in order,
+        // and each group is row-major so runs stay dense.
         let mut expected_slot = 0;
-        for (_, group) in &groups {
-            for cell in group {
-                assert_eq!(index[cell], expected_slot);
+        for (_, group) in &plan.groups {
+            assert!(
+                group
+                    .windows(2)
+                    .all(|w| (w[0].1, w[0].0) < (w[1].1, w[1].0)),
+                "groups must be sorted row-major"
+            );
+            for &(x, y) in group {
+                assert_eq!(plan.index.slot(x, y), Some(expected_slot));
                 expected_slot += 1;
             }
         }
@@ -1800,7 +1777,73 @@ mod tests {
             // Interior sweeps happened (slabs are taller than 2×extent).
             assert!(t.interior_s > 0.0, "rank {} never overlapped", r.rank);
             assert!((0.0..=1.0).contains(&t.halo_wait_fraction()));
+            // Byte counters are consistent with the rank's traffic plan
+            // (8 iterations of `remote_cells` z-columns).
+            assert_eq!(
+                t.halo_bytes_recv,
+                (r.traffic.remote_cells * r.traffic.cell_bytes * 8) as u64
+            );
+            assert!(t.halo_bytes_sent > 0, "every slab owes a neighbour rows");
         }
         assert!(rep.max_halo_wait_fraction() <= 1.0);
+        // Summed sends equal summed receives: every cell posted by one
+        // rank lands in exactly one consumer's payload.
+        let sent: u64 = rep.ranks.iter().map(|r| r.timing.halo_bytes_sent).sum();
+        let recv: u64 = rep.ranks.iter().map(|r| r.timing.halo_bytes_recv).sum();
+        assert_eq!(sent, recv);
+    }
+
+    #[test]
+    fn traffic_is_reported_per_channel_and_in_totals() {
+        let initial = wavy(12, 12, 2);
+        let stencil = Stencil3D::seven_point(0.4f64, 0.1, 0.1, 0.1);
+        let rep = run_distributed(
+            &initial,
+            &stencil,
+            &BoundarySpec::clamp(),
+            None,
+            &DistConfig::<f64>::new(4, 3).with_grid(2, 2),
+        )
+        .unwrap();
+        // 2×2 over 12×12, halo 1 under clamp: per tile both windows have
+        // 1 (neighbour) + 1 (clamp fold) = 2 cells.
+        for r in &rep.ranks {
+            assert_eq!(r.traffic.row_cells, 6 * 2, "rank {}", r.rank);
+            assert_eq!(r.traffic.col_cells, 2 * 6, "rank {}", r.rank);
+            assert_eq!(r.traffic.corner_cells, 2 * 2, "rank {}", r.rank);
+            assert_eq!(r.traffic.cell_bytes, 2 * std::mem::size_of::<f64>());
+            assert_eq!(
+                r.traffic.unique_cells,
+                r.traffic.self_cells + r.traffic.remote_cells
+            );
+        }
+        let total = rep.total_traffic();
+        assert_eq!(total.row_cells, 4 * 12);
+        assert_eq!(total.corner_cells, 16);
+        // The Display summary carries the traffic line.
+        let text = rep.to_string();
+        assert!(text.contains("halo traffic"), "{text}");
+        assert!(text.contains("corner share"), "{text}");
+
+        // Snapshot mode measures the same wire bytes at its copy site as
+        // the pipelined channels move, and both match the analytic plan.
+        let snap = run_distributed(
+            &initial,
+            &stencil,
+            &BoundarySpec::clamp(),
+            None,
+            &DistConfig::<f64>::new(4, 3)
+                .with_grid(2, 2)
+                .with_mode(HaloMode::Snapshot),
+        )
+        .unwrap();
+        for (p, s) in rep.ranks.iter().zip(&snap.ranks) {
+            assert_eq!(p.timing.halo_bytes_sent, s.timing.halo_bytes_sent);
+            assert_eq!(p.timing.halo_bytes_recv, s.timing.halo_bytes_recv);
+            assert_eq!(
+                s.timing.halo_bytes_recv,
+                (s.traffic.remote_cells * s.traffic.cell_bytes * 3) as u64
+            );
+        }
     }
 }

@@ -20,10 +20,11 @@
 //! the worker snapshots them locally before sweeping.
 //!
 //! Messages carry no cell coordinates: both endpoints derive the same
-//! canonical cell order from the consumer's `cell_groups` (self first,
-//! then producers ascending, each group sorted by `(x, y)`), so a message
-//! is just the flat value payload and the consumer's prebuilt
-//! `cell_index` resolves lookups.
+//! canonical cell order from the consumer's halo plan (self first, then
+//! producers ascending, each group row-major — sorted by `(y, x)` so
+//! x-consecutive cells occupy consecutive payload slots), so a message is
+//! just the flat value payload and the consumer's prebuilt strip index
+//! ([`crate::HaloIndex`]) resolves lookups arithmetically.
 //!
 //! Progress argument (no deadlock): consider the rank at the minimum
 //! iteration `t`. Every channel holds only messages for iterations `>=
@@ -77,7 +78,7 @@ impl<T> Ports<T> {
 pub(crate) fn build_topology<T: Real>(ranks: &[Rank<T>]) -> Vec<Ports<T>> {
     let mut ports: Vec<Ports<T>> = (0..ranks.len()).map(|_| Ports::empty()).collect();
     for (c, rank) in ranks.iter().enumerate() {
-        for (p, cells) in &rank.cell_groups {
+        for (p, cells) in &rank.plan.groups {
             let tile = ranks[*p].tile;
             let localised: Vec<(usize, usize)> = cells
                 .iter()

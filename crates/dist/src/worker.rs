@@ -71,27 +71,36 @@ pub(crate) fn run<T: Real>(
         0..tile.x_len
     };
     let interior_y = ey..tile.y_len.saturating_sub(ey).max(ey);
-    let index = rank.cell_index.clone();
+    let index = rank.plan.index.clone();
 
     for t in 0..iters {
         // --- 1. post ---------------------------------------------------
         let t0 = Instant::now();
         let current = rank.sim.current();
+        let mut sent = 0usize;
         for (tx, cells) in &ports.sends {
-            tx.send(pack_cells(current, cells))
-                .expect("consumer rank hung up");
+            let msg = pack_cells(current, cells);
+            sent += msg.len();
+            tx.send(msg).expect("consumer rank hung up");
         }
         let self_values = pack_cells(current, &ports.self_cells);
         rank.timing.post_s += t0.elapsed().as_secs_f64();
+        rank.timing.halo_bytes_sent += (sent * std::mem::size_of::<T>()) as u64;
 
         // --- 2–5. overlapped step -------------------------------------
         let recvs = &ports.recvs;
         let index = index.clone();
+        let self_len = self_values.len();
+        // Wire bytes measured at assembly: everything in the payload
+        // beyond the self-served prefix arrived over a channel.
+        let recv_elems = std::cell::Cell::new(0usize);
+        let recv_ref = &recv_elems;
         let wait = move || {
             let mut values = self_values;
             for rx in recvs {
                 values.extend(rx.recv().expect("producer rank hung up"));
             }
+            recv_ref.set(values.len() - self_len);
             HaloGhost::new(index, values, bounds, tile, dims)
         };
 
@@ -143,6 +152,7 @@ pub(crate) fn run<T: Real>(
             }
         };
         rank.timing.add_step(&times);
+        rank.timing.halo_bytes_recv += (recv_elems.get() * std::mem::size_of::<T>()) as u64;
     }
 }
 

@@ -127,6 +127,16 @@ fn diagonal_stencil_fault_matrix_2x2() {
     ]))
 }
 
+/// The matrix under the library's 27-point diffusion box: every off-axis
+/// tap class is populated, so a corrupted corner cell would be consumed
+/// through row, column *and* corner halos on two z-layers at the next
+/// exchange — the widest blast radius a width-1 kernel can have. The
+/// correction must still land before any of those posts.
+#[test]
+fn twenty_seven_point_fault_matrix_2x2() {
+    run_matrix(&Stencil3D::diffusion_27pt(0.21));
+}
+
 /// False-positive guard: long clean protected runs on the same grid must
 /// never alarm in either mode.
 #[test]

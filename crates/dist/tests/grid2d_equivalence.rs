@@ -135,6 +135,45 @@ fn wide_stencils_match_serial_on_2d_grids() {
     }
 }
 
+/// The library's first-class corner-halo workloads — the 9-point
+/// convection kernel and the 27-point diffusion box — run bitwise
+/// through every grid shape: their diagonal taps make the corner patches
+/// load-bearing in every channel direction at once.
+#[test]
+fn library_corner_kernels_match_serial_on_all_grids() {
+    use abft_stencil::Stencil2D;
+    let initial = wavy(13, 14, 2);
+    let kernels = [
+        (
+            "9pt",
+            Stencil2D::<f64>::convection_9pt(0.18, 0.08, -0.05).into_3d(),
+        ),
+        ("27pt", Stencil3D::<f64>::diffusion_27pt(0.21)),
+    ];
+    for (name, stencil) in &kernels {
+        for boundary in [Boundary::Clamp, Boundary::Periodic] {
+            let bounds = BoundarySpec::uniform(boundary);
+            let expect = serial(&initial, stencil, &bounds, 8);
+            for (rx, ry) in GRIDS {
+                for mode in [HaloMode::Pipelined, HaloMode::Snapshot] {
+                    let rep = run(
+                        &initial,
+                        stencil,
+                        &bounds,
+                        &DistConfig::<f64>::new(rx * ry, 8)
+                            .with_grid(rx, ry)
+                            .with_mode(mode),
+                    );
+                    assert_eq!(
+                        rep.global, expect,
+                        "{name} diverged on {rx}x{ry} ({boundary:?}, {mode:?})"
+                    );
+                }
+            }
+        }
+    }
+}
+
 /// Mixed global boundaries: the x and y axes resolve out-of-domain reads
 /// differently, and tile corners see both.
 #[test]

@@ -87,6 +87,49 @@ impl<T: Real> Stencil2D<T> {
         Self::from_tuples(&taps)
     }
 
+    /// 9-point convection–diffusion step: an isotropic 9-point diffusion
+    /// footprint (orthogonal : diagonal weight ratio 2 : 1, total
+    /// diffusive weight `alpha`) plus first-order **upwind** convection
+    /// with velocity `(cx, cy)`, `|cx| + |cy| + alpha < 1` for stability.
+    ///
+    /// This is the wide-footprint workload the corner-halo machinery
+    /// exists for: the diagonal taps make a distributed run consume the
+    /// corner patches every iteration, and a nonzero velocity makes the
+    /// kernel asymmetric in both axes, so any halo mix-up breaks bitwise
+    /// equality with the serial reference.
+    pub fn convection_9pt(alpha: T, cx: T, cy: T) -> Self {
+        let orth = alpha / T::from_f64(6.0);
+        let diag = alpha / T::from_f64(12.0);
+        let (cxa, cya) = (cx.abs_r(), cy.abs_r());
+        // Weight grid indexed [dj+1][di+1]; upwind taps strengthen the
+        // side the flow comes from.
+        let mut w = [[T::ZERO; 3]; 3];
+        for (dj, row) in w.iter_mut().enumerate() {
+            for (di, cell) in row.iter_mut().enumerate() {
+                *cell = match (di != 1, dj != 1) {
+                    (false, false) => T::ONE - alpha - cxa - cya,
+                    (true, true) => diag,
+                    _ => orth,
+                };
+            }
+        }
+        let ix = if cx > T::ZERO { 0 } else { 2 };
+        if cx != T::ZERO {
+            w[1][ix] += cxa;
+        }
+        let iy = if cy > T::ZERO { 0 } else { 2 };
+        if cy != T::ZERO {
+            w[iy][1] += cya;
+        }
+        let mut taps = Vec::with_capacity(9);
+        for dj in 0..3isize {
+            for di in 0..3isize {
+                taps.push((di - 1, dj - 1, w[dj as usize][di as usize]));
+            }
+        }
+        Self::from_tuples(&taps)
+    }
+
     /// Explicit 2-D heat step with **anisotropic** diffusion numbers
     /// (`αx ≠ αy` allowed).
     pub fn heat_anisotropic(alpha_x: T, alpha_y: T) -> Self {
@@ -112,6 +155,35 @@ impl<T: Real> Stencil3D<T> {
     pub fn laplacian_7pt() -> Self {
         let six = T::from_f64(6.0);
         Stencil3D::seven_point(-six, T::ONE, T::ONE, T::ONE)
+    }
+
+    /// 27-point 3-D diffusion step: the full 3×3×3 box with
+    /// distance-weighted neighbours (face : edge : corner = 4 : 2 : 1,
+    /// total diffusive weight `alpha`), `0 < alpha < 1` for stability.
+    ///
+    /// Every off-axis tap class is populated — 12 edge and 8 corner
+    /// neighbours — so a distributed run reads the x–y corner patches on
+    /// **two** z-layers per sweep point: the heaviest consumer of the
+    /// corner-halo channels the library ships.
+    pub fn diffusion_27pt(alpha: T) -> Self {
+        // 6 faces · 4 + 12 edges · 2 + 8 corners · 1 = 56 weight units.
+        let unit = alpha / T::from_f64(56.0);
+        let mut taps = Vec::with_capacity(27);
+        for dk in -1..=1isize {
+            for dj in -1..=1isize {
+                for di in -1..=1isize {
+                    let order = di.abs() + dj.abs() + dk.abs();
+                    let w = match order {
+                        0 => T::ONE - alpha,
+                        1 => T::from_f64(4.0) * unit,
+                        2 => T::from_f64(2.0) * unit,
+                        _ => unit,
+                    };
+                    taps.push((di, dj, dk, w));
+                }
+            }
+        }
+        Stencil3D::from_tuples(&taps)
     }
 
     /// 13-point fourth-order Laplacian-based diffusion step: width-2
@@ -191,6 +263,59 @@ mod tests {
         let s = Stencil3D::<f64>::diffusion_7pt(0.05);
         assert!((s.weight_sum() - 1.0).abs() < 1e-12);
         assert_eq!(s.extent_x(), 1);
+    }
+
+    #[test]
+    fn convection_9pt_is_conservative_asymmetric_and_full_box() {
+        let s = Stencil2D::<f64>::convection_9pt(0.18, 0.08, -0.05);
+        assert_eq!(s.len(), 9);
+        let s3 = s.into_3d();
+        assert!((s3.weight_sum() - 1.0).abs() < 1e-12);
+        assert!(!s3.symmetric_x(), "upwind x tap must break x symmetry");
+        assert!(!s3.symmetric_y(), "upwind y tap must break y symmetry");
+        assert_eq!((s3.extent_x(), s3.extent_y(), s3.extent_z()), (1, 1, 0));
+        // All four diagonal taps carry weight (the corner-halo consumers).
+        for (di, dj) in [(-1, -1), (1, -1), (-1, 1), (1, 1)] {
+            assert!(
+                s3.taps()
+                    .iter()
+                    .any(|t| t.di == di && t.dj == dj && t.w > 0.0),
+                "missing diagonal tap ({di}, {dj})"
+            );
+        }
+    }
+
+    #[test]
+    fn convection_9pt_zero_velocity_is_symmetric_diffusion() {
+        let s = Stencil2D::<f64>::convection_9pt(0.24, 0.0, 0.0).into_3d();
+        assert!((s.weight_sum() - 1.0).abs() < 1e-12);
+        assert!(s.symmetric_x() && s.symmetric_y());
+        // Orthogonal : diagonal weights at the 2 : 1 ratio.
+        let orth = s.taps().iter().find(|t| t.di == 1 && t.dj == 0).unwrap().w;
+        let diag = s.taps().iter().find(|t| t.di == 1 && t.dj == 1).unwrap().w;
+        assert!((orth - 2.0 * diag).abs() < 1e-12);
+    }
+
+    #[test]
+    fn diffusion_27pt_is_conservative_symmetric_full_cube() {
+        let s = Stencil3D::<f64>::diffusion_27pt(0.21);
+        assert_eq!(s.len(), 27);
+        assert!((s.weight_sum() - 1.0).abs() < 1e-12);
+        assert!(s.symmetric_x() && s.symmetric_y() && s.symmetric_z());
+        assert_eq!((s.extent_x(), s.extent_y(), s.extent_z()), (1, 1, 1));
+        // Face : edge : corner = 4 : 2 : 1.
+        let w_at = |di: isize, dj: isize, dk: isize| {
+            s.taps()
+                .iter()
+                .find(|t| (t.di, t.dj, t.dk) == (di, dj, dk))
+                .unwrap()
+                .w
+        };
+        let (face, edge, corner) = (w_at(1, 0, 0), w_at(1, 1, 0), w_at(1, 1, 1));
+        assert!((face - 4.0 * corner).abs() < 1e-12);
+        assert!((edge - 2.0 * corner).abs() < 1e-12);
+        assert!(corner > 0.0);
+        assert!((w_at(0, 0, 0) - (1.0 - 0.21)).abs() < 1e-12);
     }
 
     #[test]

@@ -6,12 +6,16 @@
 //! online ABFT: the "intrinsically parallel" deployment the paper argues
 //! for in §3.2.
 //!
-//! Two decompositions run back to back on the same workload:
+//! Three decompositions run back to back on the same domain:
 //!
-//! 1. the classic `1×ranks` **y-slab** split with a mid-run bit flip, and
+//! 1. the classic `1×ranks` **y-slab** split with a mid-run bit flip,
 //! 2. a **2×2 rank grid** (column strips + corner patches in the halo)
 //!    with the flip aimed at a tile *corner* — the cell owed to three
-//!    neighbours at once, the hardest containment site.
+//!    neighbours at once, the hardest containment site — and
+//! 3. the same 2×2 grid under the library's **9-point convection
+//!    kernel**, whose diagonal taps consume the corner patches every
+//!    sweep, again with a corner flip; the report's per-channel traffic
+//!    summary shows the row/column/corner split the exchange carried.
 //!
 //! Run with: `cargo run --release --example distributed_halo -- [ranks]`
 
@@ -112,13 +116,53 @@ fn main() {
     let l2 = l2_error(serial.current(), &report.global);
     let total = report.total_stats();
     println!("\nglobal l2 vs serial run: {l2:.3e}");
-    println!(
-        "total: {} detections, {} corrections across ranks",
-        total.detections, total.corrections
-    );
+    println!("{report}");
     assert_eq!(report.grid, (2, 2));
     assert_eq!(total.corrections, 1);
     assert_eq!(report.ranks[3].stats.corrections, 1);
     assert!(l2 < 1e-8, "corrected 2-D run must match serial");
-    println!("\ndistributed + per-rank ABFT matches the serial reference in both decompositions");
+
+    // --- 3. 2×2 rank grid, 9-point kernel, fault at a tile corner. -----
+    // The convection kernel's diagonal taps make the corner patches
+    // load-bearing: the corrupted corner cell would be consumed through
+    // the row, column *and* corner channels at the next exchange, so the
+    // per-rank correction has to land before all three posts.
+    let nine_point = Stencil2D::convection_9pt(0.18f64, 0.08, -0.05).into_3d();
+    let mut serial9 =
+        StencilSim::new(initial.clone(), nine_point.clone(), bounds).with_exec(Exec::Serial);
+    for _ in 0..iters {
+        serial9.step();
+    }
+    // Rank 0's far corner abuts the domain centre where all four tiles
+    // meet — its cell is owed to every other rank at once.
+    let centre_corner_flip = BitFlip {
+        iteration: 23,
+        x: nx / 2 - 1,
+        y: ny / 2 - 1,
+        z: 1,
+        bit: 52,
+    };
+    let cfg = DistConfig::new(4, iters)
+        .with_grid(2, 2)
+        .with_abft(AbftConfig::<f64>::paper_defaults())
+        .with_flip(0, centre_corner_flip);
+    let report =
+        run_distributed(&initial, &nine_point, &bounds, None, &cfg).expect("valid dist config");
+
+    println!("\n== 2x2 rank grid x {iters} iterations, 9-point kernel, corner bit-flip ==\n");
+    report_ranks(&report);
+
+    let l2 = l2_error(serial9.current(), &report.global);
+    let total = report.total_stats();
+    println!("\nglobal l2 vs serial run: {l2:.3e}");
+    println!("{report}");
+    let traffic = report.total_traffic();
+    assert!(
+        traffic.corner_cells > 0,
+        "a 2-D grid must exchange corner patches"
+    );
+    assert_eq!(total.corrections, 1);
+    assert_eq!(report.ranks[0].stats.corrections, 1);
+    assert!(l2 < 1e-8, "corrected 9-point run must match serial");
+    println!("\ndistributed + per-rank ABFT matches the serial reference in all three runs");
 }
