@@ -26,7 +26,7 @@
 
 use abft_bench::{Cli, KernelArg};
 use abft_core::AbftConfig;
-use abft_dist::{run_distributed, DistConfig, GridSpec, HaloTraffic, Partition2};
+use abft_dist::{run_distributed, DistConfig, GridSpec, HaloTraffic, Partition3};
 use abft_grid::{BoundarySpec, Grid3D};
 use abft_metrics::{write_csv, Table};
 use abft_stencil::{Exec, StencilSim};
@@ -42,25 +42,35 @@ struct Point {
 
 /// Distinct in-domain cells one side window of width `h` resolves to
 /// under a **clamp** boundary: a domain-edge side folds every read onto
-/// the edge cell (1 distinct), an interior side needs `h` neighbour
-/// cells.
+/// the edge cell (1 distinct); an interior side needs `h` neighbour
+/// cells, clipped to what the domain holds on that side (a halo wider
+/// than the remaining extent — possible for thin z-bricks — clamps onto
+/// the far edge cell, which the in-range part already covers).
 fn clamp_window_len(t0: usize, t_len: usize, n: usize, h: usize) -> usize {
-    let low = if t0 == 0 { usize::from(h > 0) } else { h };
-    let high = if t0 + t_len == n {
-        usize::from(h > 0)
-    } else {
-        h
-    };
+    if h == 0 {
+        return 0;
+    }
+    let low = if t0 == 0 { 1 } else { h.min(t0) };
+    let end = t0 + t_len;
+    let high = if end == n { 1 } else { h.min(n - end) };
     low + high
 }
 
 fn main() {
     let cli = Cli::parse();
-    let (nx, ny, nz) = if cli.large {
+    let (nx, ny, mut nz) = if cli.large {
         (512, 512, 8)
     } else {
         (64, 64, 4)
     };
+    // A z-decomposed run must fit the deepest library kernel (the
+    // extent-2 13-point star needs bricks thicker than 2 layers).
+    if let GridSpec::Explicit { rz, .. } = cli.grid_spec() {
+        if rz > 1 {
+            nz = nz.max(6 * rz);
+        }
+    }
+    let nz = nz;
     let iters = cli.iters.unwrap_or(16);
     // Like exp_halo_overlap, `--reps` is a whole-experiment budget: the
     // sweep is 4 kernels × 3 halo widths × 2 configs, so the per-point
@@ -68,14 +78,19 @@ fn main() {
     // below and recorded as "reps" in the JSON artifact.
     let reps = cli.reps.div_ceil(10).max(3);
     // The corner study needs a decomposed x axis; default to the 2×2
-    // acceptance shape unless an explicit grid is given.
-    let (rx, ry) = match cli.grid_spec() {
-        GridSpec::Explicit { rx, ry } => (rx, ry),
-        _ => (2, 2),
+    // acceptance shape unless an explicit grid is given (a 3-D
+    // `--grid RXxRYxRZ` additionally exercises the z-face/edge/corner
+    // channels).
+    let (rx, ry, rz) = match cli.grid_spec() {
+        GridSpec::Explicit { rx, ry, rz } => (rx, ry, rz),
+        _ => (2, 2, 1),
     };
-    assert!(rx > 1 && ry > 1, "--grid must be 2-D for the corner study");
-    let ranks = rx * ry;
-    let part = Partition2::new(nx, ny, rx, ry);
+    assert!(
+        rx > 1 && ry > 1,
+        "--grid must decompose x and y for the corner study"
+    );
+    let ranks = rx * ry * rz;
+    let part = Partition3::new(nx, ny, nz, rx, ry, rz);
     let bounds = BoundarySpec::<f32>::clamp();
 
     let initial = Grid3D::from_fn(nx, ny, nz, |x, y, z| {
@@ -83,7 +98,7 @@ fn main() {
     });
 
     eprintln!(
-        "[exp_corner_traffic] {nx}x{ny}x{nz}, {rx}x{ry} rank grid, {iters} iterations, \
+        "[exp_corner_traffic] {nx}x{ny}x{nz}, {rx}x{ry}x{rz} rank grid, {iters} iterations, \
          {reps} reps per point"
     );
     println!(
@@ -127,7 +142,7 @@ fn main() {
         for halo in [1usize, 2, 3] {
             let base = || {
                 DistConfig::<f32>::new(ranks, iters)
-                    .with_grid(rx, ry)
+                    .with_grid3(rx, ry, rz)
                     .with_halo(halo)
             };
             let mut pipe_t = f64::INFINITY;
@@ -148,19 +163,45 @@ fn main() {
                 //     equal the analytic halo volumes, rank by rank. ---
                 let hx_eff = halo.max(stencil.extent_x());
                 let hy_eff = halo.max(stencil.extent_y());
+                let hz_eff = halo.max(stencil.extent_z());
                 for r in &rep.ranks {
-                    let tile = part.tile(r.rank);
-                    let wx = clamp_window_len(tile.x0, tile.x_len, nx, hx_eff);
-                    let wy = clamp_window_len(tile.y0, tile.y_len, ny, hy_eff);
+                    let b = part.brick(r.rank);
+                    let wx = clamp_window_len(b.x0, b.x_len, nx, hx_eff);
+                    let wy = clamp_window_len(b.y0, b.y_len, ny, hy_eff);
+                    let wz = if rz > 1 {
+                        clamp_window_len(b.z0, b.z_len, nz, hz_eff)
+                    } else {
+                        0
+                    };
                     assert_eq!(
                         (
                             r.traffic.row_cells,
                             r.traffic.col_cells,
                             r.traffic.corner_cells
                         ),
-                        (tile.x_len * wy, wx * tile.y_len, wx * wy),
-                        "rank {} traffic disagrees with analytic volumes \
-                         ({}, halo {halo})",
+                        (
+                            b.x_len * wy * b.z_len,
+                            wx * b.y_len * b.z_len,
+                            wx * wy * b.z_len
+                        ),
+                        "rank {} x/y-channel traffic disagrees with analytic \
+                         volumes ({}, halo {halo})",
+                        r.rank,
+                        kernel.name()
+                    );
+                    assert_eq!(
+                        (
+                            r.traffic.zface_cells,
+                            r.traffic.zedge_cells,
+                            r.traffic.zcorner_cells
+                        ),
+                        (
+                            b.x_len * b.y_len * wz,
+                            (wx * b.y_len + b.x_len * wy) * wz,
+                            wx * wy * wz
+                        ),
+                        "rank {} z-channel traffic disagrees with analytic \
+                         volumes ({}, halo {halo})",
                         r.rank,
                         kernel.name()
                     );
@@ -211,7 +252,7 @@ fn main() {
             );
             table.row(vec![
                 point.kernel.to_string(),
-                format!("{rx}x{ry}"),
+                format!("{rx}x{ry}x{rz}"),
                 point.halo.to_string(),
                 point.traffic.row_cells.to_string(),
                 point.traffic.col_cells.to_string(),
@@ -238,11 +279,14 @@ fn main() {
                 format!(
                     concat!(
                         "    {{\"kernel\": \"{}\", ",
-                        "\"grid\": [{}, {}], ",
+                        "\"grid\": [{}, {}, {}], ",
                         "\"halo\": {}, ",
                         "\"row_cells\": {}, ",
                         "\"col_cells\": {}, ",
                         "\"corner_cells\": {}, ",
+                        "\"zface_cells\": {}, ",
+                        "\"zedge_cells\": {}, ",
+                        "\"zcorner_cells\": {}, ",
                         "\"corner_share\": {:.4}, ",
                         "\"wire_bytes_per_iter\": {}, ",
                         "\"pipelined_iters_per_s\": {:.3}, ",
@@ -252,10 +296,14 @@ fn main() {
                     p.kernel,
                     rx,
                     ry,
+                    rz,
                     p.halo,
                     p.traffic.row_cells,
                     p.traffic.col_cells,
                     p.traffic.corner_cells,
+                    p.traffic.zface_cells,
+                    p.traffic.zedge_cells,
+                    p.traffic.zcorner_cells,
                     p.traffic.corner_share(),
                     p.traffic.wire_bytes(),
                     iters as f64 / p.pipelined_s,
@@ -266,7 +314,7 @@ fn main() {
             .collect();
         let json = format!(
             "{{\n  \"experiment\": \"exp_corner_traffic\",\n  \"grid\": [{nx}, {ny}, {nz}],\n  \
-             \"kernel\": \"sweep\",\n  \"rank_grid\": [{rx}, {ry}],\n  \
+             \"kernel\": \"sweep\",\n  \"rank_grid\": [{rx}, {ry}, {rz}],\n  \
              \"iters\": {iters},\n  \"reps\": {reps},\n  \"points\": [\n{}\n  ]\n}}\n",
             rows.join(",\n")
         );

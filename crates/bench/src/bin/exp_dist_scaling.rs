@@ -19,7 +19,7 @@ use abft_metrics::{l2_error, write_csv, Table, Timer, Welford};
 use abft_stencil::{Exec, StencilSim};
 
 struct Point {
-    grid: (usize, usize),
+    grid: (usize, usize, usize),
     ranks: usize,
     plain_s: f64,
     abft_s: f64,
@@ -28,8 +28,9 @@ struct Point {
 
 fn main() {
     let cli = Cli::parse();
-    // Default decomposition is y-slabs; `--grid RXxRY|auto` selects a 2-D
-    // rank grid (an explicit shape pins the sweep to its rank count).
+    // Default decomposition is y-slabs; `--grid RXxRY[xRZ]|auto` selects
+    // a 2-D tile or 3-D brick rank grid (an explicit shape pins the sweep
+    // to its rank count).
     let (nx, ny, nz) = if cli.large {
         (512, 512, 8)
     } else {
@@ -80,7 +81,7 @@ fn main() {
         let mut plain = Welford::new();
         let mut prot = Welford::new();
         let mut l2 = 0.0f64;
-        let mut grid = (1, ranks);
+        let mut grid = (1, ranks, 1);
         for _ in 0..reps {
             let cfg = DistConfig::<f32>::new(ranks, iters).with_grid_spec(cli.grid_spec());
             let t = Timer::start();
@@ -107,7 +108,7 @@ fn main() {
         println!(
             "{:<6} {:>7} {:>14.4} {:>14.4} {:>10.1} {:>12.3e}",
             ranks,
-            format!("{}x{}", grid.0, grid.1),
+            format!("{}x{}x{}", grid.0, grid.1, grid.2),
             plain.mean(),
             prot.mean(),
             ovh,
@@ -115,7 +116,7 @@ fn main() {
         );
         table.row(vec![
             ranks.to_string(),
-            format!("{}x{}", grid.0, grid.1),
+            format!("{}x{}x{}", grid.0, grid.1, grid.2),
             kernel_name.to_string(),
             format!("{:.6}", plain.mean()),
             format!("{:.6}", prot.mean()),
@@ -140,13 +141,14 @@ fn main() {
             .iter()
             .map(|p| {
                 format!(
-                    "    {{\"ranks\": {}, \"grid\": [{}, {}], \
+                    "    {{\"ranks\": {}, \"grid\": [{}, {}, {}], \
                      \"kernel\": \"{kernel_name}\", \
                      \"plain_iters_per_s\": {:.3}, \
                      \"abft_iters_per_s\": {:.3}, \"overhead_pct\": {:.2}}}",
                     p.ranks,
                     p.grid.0,
                     p.grid.1,
+                    p.grid.2,
                     iters as f64 / p.plain_s,
                     iters as f64 / p.abft_s,
                     p.overhead_pct,

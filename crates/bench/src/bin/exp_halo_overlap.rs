@@ -29,7 +29,7 @@ use abft_stencil::{Exec, StencilSim};
 
 struct Point {
     ranks: usize,
-    grid: (usize, usize),
+    grid: (usize, usize, usize),
     snapshot_s: f64,
     pipelined_s: f64,
     abft_s: f64,
@@ -39,9 +39,10 @@ struct Point {
 
 fn main() {
     let cli = Cli::parse();
-    // Default decomposition is y-slabs (`--grid RXxRY|auto` selects a 2-D
-    // rank grid and pins the sweep to its rank count). `--large` selects
-    // the paper-scale 512×512 grid the CI acceptance gate runs on.
+    // Default decomposition is y-slabs (`--grid RXxRY[xRZ]|auto` selects
+    // a 2-D tile or 3-D brick rank grid and pins the sweep to its rank
+    // count). `--large` selects the paper-scale 512×512 grid the CI
+    // acceptance gate runs on.
     let (nx, ny, nz) = if cli.large {
         (512, 512, 8)
     } else {
@@ -108,7 +109,7 @@ fn main() {
         let mut abft_t = f64::INFINITY;
         let mut wait_mean = Welford::new();
         let mut wait_max = 0.0f64;
-        let mut grid = (1, ranks);
+        let mut grid = (1, ranks, 1);
         for _ in 0..reps {
             let run = |cfg: DistConfig<f32>| -> DistReport<f32> {
                 run_distributed(&temp0, &stencil, &bounds, constant.as_ref(), &cfg)
@@ -156,7 +157,7 @@ fn main() {
         println!(
             "{:<6} {:>7} {:>14.4} {:>14.4} {:>8.2}x {:>14.4} {:>10.1}",
             point.ranks,
-            format!("{}x{}", point.grid.0, point.grid.1),
+            format!("{}x{}x{}", point.grid.0, point.grid.1, point.grid.2),
             point.snapshot_s,
             point.pipelined_s,
             point.snapshot_s / point.pipelined_s,
@@ -165,7 +166,7 @@ fn main() {
         );
         table.row(vec![
             point.ranks.to_string(),
-            format!("{}x{}", point.grid.0, point.grid.1),
+            format!("{}x{}x{}", point.grid.0, point.grid.1, point.grid.2),
             kernel_name.to_string(),
             format!("{:.6}", point.snapshot_s),
             format!("{:.6}", point.pipelined_s),
@@ -183,7 +184,8 @@ fn main() {
     let grid_tag = match cli.grid {
         None => "slabs".to_string(),
         Some(abft_bench::GridArg::Auto) => "auto".to_string(),
-        Some(abft_bench::GridArg::Explicit(rx, ry)) => format!("{rx}x{ry}"),
+        Some(abft_bench::GridArg::Explicit(rx, ry, 1)) => format!("{rx}x{ry}"),
+        Some(abft_bench::GridArg::Explicit(rx, ry, rz)) => format!("{rx}x{ry}x{rz}"),
     };
     let path = format!(
         "{}/exp_halo_overlap_{kernel_name}_{nx}x{ny}x{nz}_{grid_tag}.csv",
@@ -224,7 +226,7 @@ fn render_json(
             format!(
                 concat!(
                     "    {{\"ranks\": {}, ",
-                    "\"grid\": [{}, {}], ",
+                    "\"grid\": [{}, {}, {}], ",
                     "\"kernel\": \"{}\", ",
                     "\"snapshot_s_per_iter\": {:.6e}, ",
                     "\"pipelined_s_per_iter\": {:.6e}, ",
@@ -238,6 +240,7 @@ fn render_json(
                 p.ranks,
                 p.grid.0,
                 p.grid.1,
+                p.grid.2,
                 kernel,
                 p.snapshot_s / iters as f64,
                 p.pipelined_s / iters as f64,

@@ -14,28 +14,35 @@ use abft_num::Real;
 use abft_stencil::{Exec, Stencil2D, Stencil3D, StencilSim};
 
 /// Parsed `--grid` argument of the distributed experiments: an explicit
-/// `RXxRY` rank grid or `auto` (near-square factorisation per rank count).
+/// `RXxRY` (undecomposed z) or `RXxRYxRZ` rank grid, or `auto`
+/// (near-square x×y factorisation per rank count).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum GridArg {
     /// `--grid auto`.
     Auto,
-    /// `--grid RXxRY`.
-    Explicit(usize, usize),
+    /// `--grid RXxRY` (`rz = 1`) or `--grid RXxRYxRZ`.
+    Explicit(usize, usize, usize),
 }
 
 impl GridArg {
-    /// Parse `"auto"` or `"RXxRY"` (case-insensitive separator).
+    /// Parse `"auto"`, `"RXxRY"` or `"RXxRYxRZ"` (case-insensitive
+    /// separator).
     pub fn parse(s: &str) -> Self {
         if s.eq_ignore_ascii_case("auto") {
             return Self::Auto;
         }
-        let (rx, ry) = s
-            .split_once(['x', 'X'])
-            .unwrap_or_else(|| panic!("--grid expects RXxRY or auto, got {s:?}"));
-        Self::Explicit(
-            rx.parse().expect("--grid RXxRY: RX must be a number"),
-            ry.parse().expect("--grid RXxRY: RY must be a number"),
-        )
+        let parts: Vec<usize> = s
+            .split(['x', 'X'])
+            .map(|p| {
+                p.parse()
+                    .unwrap_or_else(|_| panic!("--grid expects RXxRY[xRZ] or auto, got {s:?}"))
+            })
+            .collect();
+        match parts[..] {
+            [rx, ry] => Self::Explicit(rx, ry, 1),
+            [rx, ry, rz] => Self::Explicit(rx, ry, rz),
+            _ => panic!("--grid expects RXxRY[xRZ] or auto, got {s:?}"),
+        }
     }
 }
 
@@ -105,9 +112,10 @@ impl KernelArg {
 /// `--out DIR` (CSV output directory, default `results/`), `--iters N`
 /// (override an experiment's iteration count), `--json PATH` (machine
 /// readable results, used by CI's bench-smoke artifact),
-/// `--grid RXxRY|auto` (rank-grid shape; an explicit shape pins the rank
-/// sweep to `RX·RY` ranks) and `--kernel star7|9pt|27pt|13pt` (library
-/// stencil override). `--iters`, `--json` and `--grid` are honoured by
+/// `--grid RXxRY[xRZ]|auto` (rank-grid shape; an explicit shape pins the
+/// rank sweep to `RX·RY·RZ` ranks) and `--kernel star7|9pt|27pt|13pt`
+/// (library stencil override). `--iters`, `--json` and `--grid` are
+/// honoured by
 /// the distributed experiments (`exp_dist_scaling`, `exp_halo_overlap`,
 /// `exp_corner_traffic`); `--kernel` only by `exp_halo_overlap`
 /// (`exp_dist_scaling` pins the HotSpot3D workload and
@@ -187,7 +195,7 @@ impl Cli {
                 }
                 other => panic!(
                     "unknown flag {other}; supported: --reps N --seed S --threads N --large --out DIR \
-                     --iters N --json PATH --grid RXxRY|auto --kernel star7|9pt|27pt|13pt \
+                     --iters N --json PATH --grid RXxRY[xRZ]|auto --kernel star7|9pt|27pt|13pt \
                      (dist experiments only)"
                 ),
             }
@@ -220,16 +228,16 @@ impl Cli {
         match self.grid {
             None => GridSpec::Slabs,
             Some(GridArg::Auto) => GridSpec::Auto,
-            Some(GridArg::Explicit(rx, ry)) => GridSpec::Explicit { rx, ry },
+            Some(GridArg::Explicit(rx, ry, rz)) => GridSpec::Explicit { rx, ry, rz },
         }
     }
 
     /// Rank counts the distributed experiments sweep. An explicit
-    /// `--grid RXxRY` pins the sweep to its own rank count; `auto` and
-    /// the slab default sweep the usual ladder.
+    /// `--grid RXxRY[xRZ]` pins the sweep to its own rank count; `auto`
+    /// and the slab default sweep the usual ladder.
     pub fn rank_counts(&self) -> Vec<usize> {
         match self.grid {
-            Some(GridArg::Explicit(rx, ry)) => vec![rx * ry],
+            Some(GridArg::Explicit(rx, ry, rz)) => vec![rx * ry * rz],
             _ => vec![1, 2, 4, 8],
         }
     }
@@ -333,18 +341,24 @@ mod tests {
 
     #[test]
     fn grid_arg_parsing_and_sweep_pinning() {
-        assert_eq!(GridArg::parse("2x2"), GridArg::Explicit(2, 2));
-        assert_eq!(GridArg::parse("4X1"), GridArg::Explicit(4, 1));
+        assert_eq!(GridArg::parse("2x2"), GridArg::Explicit(2, 2, 1));
+        assert_eq!(GridArg::parse("4X1"), GridArg::Explicit(4, 1, 1));
+        assert_eq!(GridArg::parse("2x2x2"), GridArg::Explicit(2, 2, 2));
+        assert_eq!(GridArg::parse("1X2x3"), GridArg::Explicit(1, 2, 3));
         assert_eq!(GridArg::parse("auto"), GridArg::Auto);
         let c = Cli {
-            grid: Some(GridArg::Explicit(2, 3)),
+            grid: Some(GridArg::Explicit(2, 3, 2)),
             ..Cli::default()
         };
         assert_eq!(
             c.grid_spec(),
-            abft_dist::GridSpec::Explicit { rx: 2, ry: 3 }
+            abft_dist::GridSpec::Explicit {
+                rx: 2,
+                ry: 3,
+                rz: 2
+            }
         );
-        assert_eq!(c.rank_counts(), vec![6]);
+        assert_eq!(c.rank_counts(), vec![12]);
         let c = Cli {
             grid: Some(GridArg::Auto),
             ..c

@@ -57,6 +57,21 @@ impl<T: Real> StepOutcome<T> {
 /// Per §3.2 only the column vector `b` is maintained every iteration; the
 /// row side is materialised on demand from the still-live time-`t` buffer
 /// when a mismatch occurs (set [`AbftConfig::maintain_row`] to keep both).
+///
+/// ```
+/// use abft_core::{AbftConfig, OnlineAbft};
+/// use abft_grid::{BoundarySpec, Grid3D};
+/// use abft_stencil::{Exec, NoHook, Stencil3D, StencilSim};
+///
+/// let initial = Grid3D::from_fn(12, 10, 2, |x, y, _| 80.0 + (x * y) as f64 * 0.1);
+/// let stencil = Stencil3D::seven_point(0.4, 0.1, 0.1, 0.1);
+/// let mut sim = StencilSim::new(initial, stencil, BoundarySpec::clamp())
+///     .with_exec(Exec::Serial);
+/// let mut abft = OnlineAbft::new(&sim, AbftConfig::<f64>::paper_defaults());
+/// let outcome = abft.step(&mut sim, &NoHook);
+/// assert!(outcome.is_clean());
+/// assert_eq!(abft.stats().steps, 1);
+/// ```
 #[derive(Debug, Clone)]
 pub struct OnlineAbft<T> {
     cfg: AbftConfig<T>,
@@ -214,22 +229,24 @@ impl<T: Real> OnlineAbft<T> {
         (outcome, times)
     }
 
-    /// Advance one protected iteration with a **rectangular** overlapped
-    /// window — the 2-D-decomposition analogue of
-    /// [`OnlineAbft::step_overlapped`]. A full-width `interior_x`
-    /// delegates to the fused 1-D path; otherwise the column checksums
-    /// cannot be fused into the split sweep (a partial x-window never
-    /// completes a checksum line), so they are recomputed from the
-    /// finished step — the same `f64` line reduction the fused sweep
-    /// performs, hence bitwise-identical vectors — before verification
-    /// runs. Detection/correction still lands before the rank's next halo
-    /// post.
+    /// Advance one protected iteration with a **box** overlapped window —
+    /// the x×y×z-decomposition analogue of
+    /// [`OnlineAbft::step_overlapped`]. A full-width `interior_x` together
+    /// with a full-depth `interior_z` delegates to the fused 1-D path;
+    /// otherwise the column checksums cannot be fused into the split
+    /// sweep (a partial window never completes every checksum line), so
+    /// they are recomputed from the finished step — the same `f64` line
+    /// reduction the fused sweep performs, hence bitwise-identical
+    /// vectors — before verification runs. Each rank verifies only the
+    /// z-layers of its own brick (the protector's shape *is* the brick);
+    /// detection/correction still lands before the rank's next halo post.
     pub fn step_overlapped_region<H, G, W>(
         &mut self,
         sim: &mut StencilSim<T>,
         hook: &H,
         interior_x: Range<usize>,
         interior_y: Range<usize>,
+        interior_z: Range<usize>,
         wait: W,
     ) -> (StepOutcome<T>, SplitStepTimes)
     where
@@ -237,13 +254,15 @@ impl<T: Real> OnlineAbft<T> {
         G: GhostCells<T>,
         W: FnOnce() -> G,
     {
-        let nx = self.nx;
+        let (nx, nz) = (self.nx, self.nz);
         let ix = interior_x.start.min(nx)..interior_x.end.min(nx);
         let ix = ix.start..ix.end.max(ix.start);
-        if self.cfg.maintain_row || ix == (0..nx) {
+        let iz = interior_z.start.min(nz)..interior_z.end.min(nz);
+        let iz = iz.start..iz.end.max(iz.start);
+        if self.cfg.maintain_row || (ix == (0..nx) && iz == (0..nz)) {
             return self.step_overlapped(sim, hook, interior_y, wait);
         }
-        let (ghosts, mut times) = sim.step_overlapped_region(hook, ix, interior_y, wait, None);
+        let (ghosts, mut times) = sim.step_overlapped_region(hook, ix, interior_y, iz, wait, None);
         let t = Instant::now();
         compute_col_into(sim.current(), &mut self.col_comp);
         let outcome = self.verify_after_sweep(sim, &ghosts);

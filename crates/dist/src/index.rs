@@ -1,24 +1,24 @@
 //! Halo planning: which cells a rank needs, in what canonical order they
-//! travel, how fast an out-of-tile read finds its payload slot, and how
+//! travel, how fast an out-of-brick read finds its payload slot, and how
 //! much traffic each halo channel carries.
 //!
 //! # Strip indexing
 //!
-//! A rank's halo is a set of global `(x, y)` cells — row strips from
-//! y-neighbours, column strips from x-neighbours and the corner patches
-//! diagonal neighbours owe — flattened into one payload whose order both
-//! endpoints derive independently (see [`group_cells`]). Through PR 3 the
-//! cell → payload-slot map was a `HashMap<(x, y), usize>`, uniform for any
-//! topology but paying a SipHash per ghost read on the edge-sweep hot
-//! path.
+//! A rank's halo is a set of global `(x, y, z)` cells — the full 3-D
+//! shell around its brick: x/y/z **faces**, the **edges** where two axis
+//! windows meet and the **corners** where all three do — flattened into
+//! one payload whose order both endpoints derive independently (see
+//! [`group_cells`]). Through PR 3 the cell → payload-slot map was a
+//! `HashMap`, uniform for any topology but paying a SipHash per ghost
+//! read on the edge-sweep hot path.
 //!
 //! [`HaloIndex`] exploits the halo's *density*: in the canonical
-//! row-major order, consecutive slots form maximal **runs** of
-//! x-consecutive cells at a fixed `y` (a full row strip is a single run;
-//! column strips contribute one short run per row; corner patches extend
-//! the adjacent runs). A ghost read then resolves with two compares and an
-//! offset — index the row table by `y`, range-check `x` against the run —
-//! instead of hashing.
+//! z-major, row-major order, consecutive slots form maximal **runs** of
+//! x-consecutive cells at a fixed `(y, z)` line (a face strip is a single
+//! run per line; x-face strips contribute one short run per line; edge
+//! and corner patches extend or add runs). A ghost read then resolves
+//! with two table indexings and a range check — index the `(z, y)` line
+//! table, range-check `x` against the run — instead of hashing.
 //!
 //! The PR 3 hash path is kept **only** to prove bitwise equivalence and to
 //! serve as CI's perf baseline: it is compiled under `debug_assertions`
@@ -30,12 +30,14 @@
 //! # Traffic accounting
 //!
 //! [`HaloPlan`] also records the analytic per-channel halo volume
-//! ([`HaloTraffic`]): cells per row/column/corner channel, the unique
-//! cells actually exchanged after boundary folding/deduplication, and the
-//! wire bytes per iteration. [`crate::RankReport`] surfaces it per rank;
+//! ([`HaloTraffic`]): cells per x-face/y-face/z-face channel, the xy-edge
+//! ("corner patch" of the 2-D decomposition), xz/yz-edge and xyz-corner
+//! channels, the unique cells actually exchanged after boundary
+//! folding/deduplication, and the wire bytes per iteration.
+//! [`crate::RankReport`] surfaces it per rank;
 //! [`crate::DistReport::total_traffic`] aggregates it.
 
-use crate::{Partition2, Tile};
+use crate::{Brick, Partition3};
 use abft_grid::{AxisHit, Boundary, BoundarySpec};
 use abft_num::Real;
 use std::collections::{BTreeMap, BTreeSet};
@@ -45,12 +47,12 @@ use std::collections::HashMap;
 
 /// A rank's halo cells grouped by producing rank, in the canonical
 /// payload order (self first, then ascending producers; each group
-/// row-major, i.e. sorted by `(y, x)`).
-pub type CellGroups = Vec<(usize, Vec<(usize, usize)>)>;
+/// z-major row-major, i.e. sorted by `(z, y, x)`).
+pub type CellGroups = Vec<(usize, Vec<(usize, usize, usize)>)>;
 
-/// One maximal x-consecutive run of halo cells at a fixed global row:
-/// cells `(x0 .. x0+len, y)` occupy payload slots `base .. base+len`
-/// (stride 1 in the canonical row-major order).
+/// One maximal x-consecutive run of halo cells at a fixed global `(y, z)`
+/// line: cells `(x0 .. x0+len, y, z)` occupy payload slots
+/// `base .. base+len` (stride 1 in the canonical order).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct Run {
     x0: usize,
@@ -60,19 +62,25 @@ struct Run {
 
 /// Cell → payload-slot resolution for one rank's halo.
 ///
-/// The production path is arithmetic: `slot(x, y)` indexes a per-row run
-/// table (`y - y_min`) and scans that row's runs (one for a slab halo,
-/// rarely more than three on a 2-D grid) with a range check and an offset
-/// add. Debug builds cross-check every lookup against the legacy hash
-/// path; the `hash-ghost-path` feature swaps the production path back to
-/// the `HashMap` so CI can benchmark the two from identical sources.
+/// The production path is arithmetic: `slot(x, y, z)` indexes a per-line
+/// run table (`(z - z_min) · y_span + (y - y_min)`) and scans that line's
+/// runs (one for a face strip, rarely more than three on a decomposed
+/// grid) with a range check and an offset add. Debug builds cross-check
+/// every lookup against the legacy hash path; the `hash-ghost-path`
+/// feature swaps the production path back to the `HashMap` so CI can
+/// benchmark the two from identical sources.
 #[derive(Debug, Clone)]
 pub struct HaloIndex {
-    /// Smallest global `y` of any halo cell (row-table origin).
+    /// Smallest global `y` of any halo cell (line-table origin).
     y_min: usize,
-    /// Per-row `(first_run, n_runs)` into `runs`, indexed by `y - y_min`.
-    row_spans: Vec<(u32, u32)>,
-    /// All runs, grouped by row, in row-table order.
+    /// Smallest global `z` of any halo cell (line-table origin).
+    z_min: usize,
+    /// Number of `y` values the line table spans per `z`.
+    y_span: usize,
+    /// Per-line `(first_run, n_runs)` into `runs`, indexed by
+    /// `(z - z_min) · y_span + (y - y_min)`.
+    line_spans: Vec<(u32, u32)>,
+    /// All runs, grouped by line, in line-table order.
     runs: Vec<Run>,
     /// Total number of halo cells (payload slots).
     len: usize,
@@ -80,25 +88,27 @@ pub struct HaloIndex {
     /// equivalence (debug builds assert it on every read) and as the CI
     /// perf baseline (`hash-ghost-path`).
     #[cfg(any(debug_assertions, feature = "hash-ghost-path"))]
-    hash: HashMap<(usize, usize), usize>,
+    hash: HashMap<(usize, usize, usize), usize>,
 }
 
 impl HaloIndex {
     /// Build the index over the canonical payload order of `groups`.
     pub fn new(groups: &CellGroups) -> Self {
-        let mut tagged: Vec<(usize, Run)> = Vec::new();
+        let mut tagged: Vec<((usize, usize), Run)> = Vec::new();
         let mut slot = 0usize;
         for (_, cells) in groups {
-            let mut current: Option<(usize, Run)> = None;
-            for &(gx, gy) in cells {
+            let mut current: Option<((usize, usize), Run)> = None;
+            for &(gx, gy, gz) in cells {
                 match &mut current {
-                    Some((y, run)) if *y == gy && gx == run.x0 + run.len => run.len += 1,
+                    Some((line, run)) if *line == (gy, gz) && gx == run.x0 + run.len => {
+                        run.len += 1
+                    }
                     _ => {
                         if let Some(done) = current.take() {
                             tagged.push(done);
                         }
                         current = Some((
-                            gy,
+                            (gy, gz),
                             Run {
                                 x0: gx,
                                 len: 1,
@@ -113,20 +123,25 @@ impl HaloIndex {
                 tagged.push(done);
             }
         }
-        let y_min = tagged.iter().map(|(y, _)| *y).min().unwrap_or(0);
-        let y_max = tagged.iter().map(|(y, _)| *y).max().unwrap_or(0);
-        tagged.sort_by_key(|(y, run)| (*y, run.x0, run.base));
-        let mut row_spans = vec![
-            (0u32, 0u32);
-            if tagged.is_empty() {
-                0
-            } else {
-                y_max - y_min + 1
-            }
-        ];
+        let y_min = tagged.iter().map(|((y, _), _)| *y).min().unwrap_or(0);
+        let y_max = tagged.iter().map(|((y, _), _)| *y).max().unwrap_or(0);
+        let z_min = tagged.iter().map(|((_, z), _)| *z).min().unwrap_or(0);
+        let z_max = tagged.iter().map(|((_, z), _)| *z).max().unwrap_or(0);
+        let y_span = if tagged.is_empty() {
+            0
+        } else {
+            y_max - y_min + 1
+        };
+        let z_span = if tagged.is_empty() {
+            0
+        } else {
+            z_max - z_min + 1
+        };
+        tagged.sort_by_key(|((y, z), run)| (*z, *y, run.x0, run.base));
+        let mut line_spans = vec![(0u32, 0u32); z_span * y_span];
         let mut runs = Vec::with_capacity(tagged.len());
-        for (y, run) in tagged {
-            let span = &mut row_spans[y - y_min];
+        for ((y, z), run) in tagged {
+            let span = &mut line_spans[(z - z_min) * y_span + (y - y_min)];
             if span.1 == 0 {
                 span.0 = runs.len() as u32;
             }
@@ -135,7 +150,9 @@ impl HaloIndex {
         }
         Self {
             y_min,
-            row_spans,
+            z_min,
+            y_span,
+            line_spans,
             runs,
             len: slot,
             #[cfg(any(debug_assertions, feature = "hash-ghost-path"))]
@@ -168,36 +185,43 @@ impl HaloIndex {
         self.runs.len()
     }
 
-    /// Payload slot of global halo cell `(x, y)` — the production lookup.
+    /// Payload slot of global halo cell `(x, y, z)` — the production
+    /// lookup.
     ///
-    /// Resolves through the strip table (two compares and an offset);
-    /// debug builds additionally assert the result against the hash path
-    /// on every call, so the whole equivalence test matrix doubles as a
-    /// strip-vs-hash proof. With the `hash-ghost-path` feature the legacy
-    /// `HashMap` resolves instead (CI's perf baseline).
+    /// Resolves through the strip table (two table indexings, a range
+    /// check and an offset); debug builds additionally assert the result
+    /// against the hash path on every call, so the whole equivalence test
+    /// matrix doubles as a strip-vs-hash proof. With the `hash-ghost-path`
+    /// feature the legacy `HashMap` resolves instead (CI's perf baseline).
     #[inline]
-    pub fn slot(&self, x: usize, y: usize) -> Option<usize> {
+    pub fn slot(&self, x: usize, y: usize, z: usize) -> Option<usize> {
         #[cfg(feature = "hash-ghost-path")]
         {
-            self.slot_hash(x, y)
+            self.slot_hash(x, y, z)
         }
         #[cfg(not(feature = "hash-ghost-path"))]
         {
-            let s = self.slot_strip(x, y);
+            let s = self.slot_strip(x, y, z);
             #[cfg(debug_assertions)]
             debug_assert_eq!(
                 s,
-                self.slot_hash(x, y),
-                "strip/hash halo-index divergence at ({x}, {y})"
+                self.slot_hash(x, y, z),
+                "strip/hash halo-index divergence at ({x}, {y}, {z})"
             );
             s
         }
     }
 
-    /// Strip-table lookup: index the row, range-check the run, offset.
+    /// Strip-table lookup: index the `(z, y)` line, range-check the run,
+    /// offset.
     #[inline]
-    pub fn slot_strip(&self, x: usize, y: usize) -> Option<usize> {
-        let &(first, n) = self.row_spans.get(y.checked_sub(self.y_min)?)?;
+    pub fn slot_strip(&self, x: usize, y: usize, z: usize) -> Option<usize> {
+        let dy = y.checked_sub(self.y_min)?;
+        if dy >= self.y_span {
+            return None;
+        }
+        let dz = z.checked_sub(self.z_min)?;
+        let &(first, n) = self.line_spans.get(dz * self.y_span + dy)?;
         for run in &self.runs[first as usize..(first + n) as usize] {
             let dx = x.wrapping_sub(run.x0);
             if dx < run.len {
@@ -209,51 +233,66 @@ impl HaloIndex {
 
     /// The PR 3 `HashMap` lookup (equivalence witness / CI baseline).
     #[cfg(any(debug_assertions, feature = "hash-ghost-path"))]
-    pub fn slot_hash(&self, x: usize, y: usize) -> Option<usize> {
-        self.hash.get(&(x, y)).copied()
+    pub fn slot_hash(&self, x: usize, y: usize, z: usize) -> Option<usize> {
+        self.hash.get(&(x, y, z)).copied()
     }
 }
 
-/// Analytic per-channel halo volume of one rank, per iteration.
+/// Analytic per-channel halo volume of one rank, per iteration, in
+/// **cells** (single `(x, y, z)` points; `cell_bytes` is the scalar
+/// width).
 ///
-/// The row/column/corner counts are the *channel volumes* — the products
-/// of the tile extents with the resolved out-of-tile windows — so they
-/// match the textbook halo-surface formulas (row ≈ `x_len·|wy|`, column ≈
-/// `|wx|·y_len`, corner ≈ `|wx|·|wy|`). Under clamp/reflect the windows
-/// fold onto in-domain cells, so a cell can appear in more than one
-/// channel and even inside the rank's own tile; `unique_cells` counts the
-/// deduplicated exchange set, split into `self_cells` (served locally,
-/// never on the wire) and `remote_cells` (received from other ranks).
+/// The channel counts are the *channel volumes* — the products of the
+/// brick extents with the resolved out-of-brick windows — so they match
+/// the textbook halo-surface formulas (y-face ≈ `x_len·|wy|·z_len`,
+/// x-face ≈ `|wx|·y_len·z_len`, z-face ≈ `x_len·y_len·|wz|`, edges and
+/// corners the corresponding two- and three-window products). Under
+/// clamp/reflect the windows fold onto in-domain cells, so a cell can
+/// appear in more than one channel and even inside the rank's own brick;
+/// `unique_cells` counts the deduplicated exchange set, split into
+/// `self_cells` (served locally, never on the wire) and `remote_cells`
+/// (received from other ranks).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct HaloTraffic {
-    /// Cells in row-strip channels (y-neighbour halos), per iteration.
+    /// Cells in y-face channels (row strips from y-neighbours:
+    /// `x_len·|wy|·z_len`), per iteration.
     pub row_cells: usize,
-    /// Cells in column-strip channels (x-neighbour halos), per iteration.
+    /// Cells in x-face channels (column strips from x-neighbours:
+    /// `|wx|·y_len·z_len`), per iteration.
     pub col_cells: usize,
-    /// Cells in corner-patch channels (diagonal halos), per iteration.
+    /// Cells in xy-edge channels (the 2-D decomposition's corner patches:
+    /// `|wx|·|wy|·z_len`), per iteration.
     pub corner_cells: usize,
+    /// Cells in z-face channels (`x_len·y_len·|wz|`), per iteration.
+    /// Zero unless the z axis is decomposed.
+    pub zface_cells: usize,
+    /// Cells in xz- and yz-edge channels
+    /// (`(|wx|·y_len + x_len·|wy|)·|wz|`), per iteration.
+    pub zedge_cells: usize,
+    /// Cells in xyz-corner channels (`|wx|·|wy|·|wz|`), per iteration.
+    pub zcorner_cells: usize,
     /// Unique cells in the exchange set after folding/deduplication.
     pub unique_cells: usize,
     /// Unique cells the rank serves to itself (boundary folds; no wire).
     pub self_cells: usize,
     /// Unique cells received from other ranks (actual wire traffic).
     pub remote_cells: usize,
-    /// Payload bytes per cell (`nz · size_of::<T>()`).
+    /// Payload bytes per cell (`size_of::<T>()`).
     pub cell_bytes: usize,
 }
 
 impl HaloTraffic {
-    /// Bytes per iteration in row-strip channels.
+    /// Bytes per iteration in y-face (row-strip) channels.
     pub fn row_bytes(&self) -> usize {
         self.row_cells * self.cell_bytes
     }
 
-    /// Bytes per iteration in column-strip channels.
+    /// Bytes per iteration in x-face (column-strip) channels.
     pub fn col_bytes(&self) -> usize {
         self.col_cells * self.cell_bytes
     }
 
-    /// Bytes per iteration in corner-patch channels.
+    /// Bytes per iteration in xy-edge (corner-patch) channels.
     pub fn corner_bytes(&self) -> usize {
         self.corner_cells * self.cell_bytes
     }
@@ -263,17 +302,40 @@ impl HaloTraffic {
         self.remote_cells * self.cell_bytes
     }
 
-    /// Total channel-volume cells (row + column + corner).
-    pub fn channel_cells(&self) -> usize {
-        self.row_cells + self.col_cells + self.corner_cells
+    /// Cells per iteration in the z-decomposition channels (z-faces,
+    /// xz/yz-edges and xyz-corners). Zero for 2-D rank grids.
+    pub fn z_cells(&self) -> usize {
+        self.zface_cells + self.zedge_cells + self.zcorner_cells
     }
 
-    /// Fraction of the channel volume carried by corner patches — the
-    /// quantity `exp_corner_traffic` tracks across kernel footprints.
+    /// Bytes per iteration in the z-decomposition channels.
+    pub fn z_bytes(&self) -> usize {
+        self.z_cells() * self.cell_bytes
+    }
+
+    /// Total channel-volume cells across all six channel kinds.
+    pub fn channel_cells(&self) -> usize {
+        self.row_cells + self.col_cells + self.corner_cells + self.z_cells()
+    }
+
+    /// Fraction of the channel volume carried by xy-edge (corner)
+    /// patches — the quantity `exp_corner_traffic` tracks across kernel
+    /// footprints.
     pub fn corner_share(&self) -> f64 {
         let total = self.channel_cells();
         if total > 0 {
             self.corner_cells as f64 / total as f64
+        } else {
+            0.0
+        }
+    }
+
+    /// Fraction of the channel volume carried by the z-decomposition
+    /// channels (faces + edges + corners owed to z-neighbours).
+    pub fn z_share(&self) -> f64 {
+        let total = self.channel_cells();
+        if total > 0 {
+            self.z_cells() as f64 / total as f64
         } else {
             0.0
         }
@@ -293,6 +355,9 @@ impl HaloTraffic {
         self.row_cells += other.row_cells;
         self.col_cells += other.col_cells;
         self.corner_cells += other.corner_cells;
+        self.zface_cells += other.zface_cells;
+        self.zedge_cells += other.zedge_cells;
+        self.zcorner_cells += other.zcorner_cells;
         self.unique_cells += other.unique_cells;
         self.self_cells += other.self_cells;
         self.remote_cells += other.remote_cells;
@@ -305,7 +370,8 @@ impl std::fmt::Display for HaloTraffic {
         write!(
             f,
             "rows {} cells/{} B · cols {} cells/{} B · corners {} cells/{} B \
-             ({:.1}% corner share) · wire {} cells/{} B per iteration",
+             ({:.1}% corner share) · z-channels {} cells/{} B ({:.1}% z share) · \
+             wire {} cells/{} B per iteration",
             self.row_cells,
             self.row_bytes(),
             self.col_cells,
@@ -313,6 +379,9 @@ impl std::fmt::Display for HaloTraffic {
             self.corner_cells,
             self.corner_bytes(),
             100.0 * self.corner_share(),
+            self.z_cells(),
+            self.z_bytes(),
+            100.0 * self.z_share(),
             self.remote_cells,
             self.wire_bytes(),
         )
@@ -332,33 +401,40 @@ pub struct HaloPlan {
 }
 
 impl HaloPlan {
-    /// Plan rank `me`'s halo: resolve the out-of-tile windows through the
+    /// Plan rank `me`'s halo: resolve the out-of-brick windows through the
     /// global boundaries, group the needed cells by owner, build the
-    /// strip index and tally the per-channel volumes. `halo = (hx, hy)`
-    /// is the effective per-axis halo width (0 disables the axis) and
-    /// `dims` the global domain.
+    /// strip index and tally the per-channel volumes.
+    /// `halo = (hx, hy, hz)` is the effective per-axis halo width (0
+    /// disables the axis) and `dims` the global domain.
     pub fn new<T: Real>(
-        tile: &Tile,
+        brick: &Brick,
         me: usize,
-        part: &Partition2,
-        halo: (usize, usize),
+        part: &Partition3,
+        halo: (usize, usize, usize),
         dims: (usize, usize, usize),
         bounds: &BoundarySpec<T>,
     ) -> Self {
-        let (hx, hy) = halo;
+        let (hx, hy, hz) = halo;
         let (nx, ny, nz) = dims;
-        let wx = resolved_window(tile.x0, tile.x_len, hx, nx, &bounds.x);
-        let wy = resolved_window(tile.y0, tile.y_len, hy, ny, &bounds.y);
-        let cells = needed_halo_cells(tile, &wx, &wy);
-        let self_cells = cells.iter().filter(|&&(x, y)| tile.contains(x, y)).count();
+        let wx = resolved_window(brick.x0, brick.x_len, hx, nx, &bounds.x);
+        let wy = resolved_window(brick.y0, brick.y_len, hy, ny, &bounds.y);
+        let wz = resolved_window(brick.z0, brick.z_len, hz, nz, &bounds.z);
+        let cells = needed_halo_cells(brick, &wx, &wy, &wz);
+        let self_cells = cells
+            .iter()
+            .filter(|&&(x, y, z)| brick.contains(x, y, z))
+            .count();
         let traffic = HaloTraffic {
-            row_cells: tile.x_len * wy.len(),
-            col_cells: wx.len() * tile.y_len,
-            corner_cells: wx.len() * wy.len(),
+            row_cells: brick.x_len * wy.len() * brick.z_len,
+            col_cells: wx.len() * brick.y_len * brick.z_len,
+            corner_cells: wx.len() * wy.len() * brick.z_len,
+            zface_cells: brick.x_len * brick.y_len * wz.len(),
+            zedge_cells: (wx.len() * brick.y_len + brick.x_len * wy.len()) * wz.len(),
+            zcorner_cells: wx.len() * wy.len() * wz.len(),
             unique_cells: cells.len(),
             self_cells,
             remote_cells: cells.len() - self_cells,
-            cell_bytes: nz * std::mem::size_of::<T>(),
+            cell_bytes: std::mem::size_of::<T>(),
         };
         let groups = group_cells(cells, part, me);
         let index = std::sync::Arc::new(HaloIndex::new(&groups));
@@ -373,7 +449,7 @@ impl HaloPlan {
 /// The in-domain cells one axis window `start-halo..start+len+halo`
 /// resolves to through the global boundary. Value-like boundaries
 /// contribute nothing; clamp/reflect at the outer edges fold into
-/// in-domain cells (possibly the tile's own), periodic wraps around the
+/// in-domain cells (possibly the brick's own), periodic wraps around the
 /// torus.
 pub(crate) fn resolved_window<T: Real>(
     start: usize,
@@ -392,48 +468,67 @@ pub(crate) fn resolved_window<T: Real>(
     set
 }
 
-/// The set of global cells a tile needs to satisfy every possible
-/// out-of-tile read, given the already-resolved per-axis windows: row
-/// strips (own columns × y-window), column strips (x-window × own rows)
-/// and the corner patches (x-window × y-window) — the full halo ring. The
-/// ring always includes corners, so diagonal stencil taps and the
-/// checksum interpolation's cross-axis correction terms are served
-/// without any extra message kind.
+/// The set of global cells a brick needs to satisfy every possible
+/// out-of-brick read, given the already-resolved per-axis windows: the
+/// full 3-D halo shell — x/y/z faces, xy/xz/yz edges and xyz corners,
+/// i.e. every combination of `(Wx ∪ brick-x) × (Wy ∪ brick-y) ×
+/// (Wz ∪ brick-z)` with at least one window axis. The shell always
+/// includes edges and corners, so diagonal stencil taps and the checksum
+/// interpolation's cross-axis correction terms are served without any
+/// extra message kind.
 pub(crate) fn needed_halo_cells(
-    tile: &Tile,
+    brick: &Brick,
     wx: &BTreeSet<usize>,
     wy: &BTreeSet<usize>,
-) -> BTreeSet<(usize, usize)> {
+    wz: &BTreeSet<usize>,
+) -> BTreeSet<(usize, usize, usize)> {
+    let bx = || brick.x0..brick.x0 + brick.x_len;
+    let by = || brick.y0..brick.y0 + brick.y_len;
+    let bz = || brick.z0..brick.z0 + brick.z_len;
     let mut cells = BTreeSet::new();
+    // y-faces + xy-edges (all brick z-layers).
     for &gy in wy {
-        for gx in tile.x0..tile.x0 + tile.x_len {
-            cells.insert((gx, gy));
+        for gz in bz() {
+            for gx in bx() {
+                cells.insert((gx, gy, gz));
+            }
+            for &gx in wx {
+                cells.insert((gx, gy, gz));
+            }
         }
     }
+    // x-faces (all brick z-layers).
     for &gx in wx {
-        for gy in tile.y0..tile.y0 + tile.y_len {
-            cells.insert((gx, gy));
+        for gz in bz() {
+            for gy in by() {
+                cells.insert((gx, gy, gz));
+            }
         }
-        for &gy in wy {
-            cells.insert((gx, gy));
+    }
+    // z-faces + xz/yz-edges + xyz-corners.
+    for &gz in wz {
+        for gy in by().chain(wy.iter().copied()) {
+            for gx in bx().chain(wx.iter().copied()) {
+                cells.insert((gx, gy, gz));
+            }
         }
     }
     cells
 }
 
 /// Group a rank's needed cells by producing rank in the canonical payload
-/// order — self-owned first, then ascending rank, each group row-major
-/// (sorted by `(y, x)`, so x-consecutive cells occupy consecutive payload
-/// slots and the strip index stays dense).
+/// order — self-owned first, then ascending rank, each group z-major
+/// row-major (sorted by `(z, y, x)`, so x-consecutive cells occupy
+/// consecutive payload slots and the strip index stays dense).
 pub(crate) fn group_cells(
-    cells: BTreeSet<(usize, usize)>,
-    part: &Partition2,
+    cells: BTreeSet<(usize, usize, usize)>,
+    part: &Partition3,
     me: usize,
 ) -> CellGroups {
-    let mut by_owner: BTreeMap<usize, Vec<(usize, usize)>> = BTreeMap::new();
-    for (gx, gy) in cells {
-        let (owner, _, _) = part.owner(gx, gy);
-        by_owner.entry(owner).or_default().push((gx, gy));
+    let mut by_owner: BTreeMap<usize, Vec<(usize, usize, usize)>> = BTreeMap::new();
+    for (gx, gy, gz) in cells {
+        let (owner, _, _, _) = part.owner(gx, gy, gz);
+        by_owner.entry(owner).or_default().push((gx, gy, gz));
     }
     let mut groups: CellGroups = Vec::with_capacity(by_owner.len());
     if let Some(own) = by_owner.remove(&me) {
@@ -441,7 +536,7 @@ pub(crate) fn group_cells(
     }
     groups.extend(by_owner);
     for (_, group) in &mut groups {
-        group.sort_unstable_by_key(|&(x, y)| (y, x));
+        group.sort_unstable_by_key(|&(x, y, z)| (z, y, x));
     }
     groups
 }
@@ -451,78 +546,136 @@ mod tests {
     use super::*;
 
     fn plan_for(
-        tile: Tile,
+        brick: Brick,
         me: usize,
-        part: &Partition2,
-        halo: (usize, usize),
+        part: &Partition3,
+        halo: (usize, usize, usize),
         dims: (usize, usize, usize),
         bounds: &BoundarySpec<f64>,
     ) -> HaloPlan {
-        HaloPlan::new(&tile, me, part, halo, dims, bounds)
+        HaloPlan::new(&brick, me, part, halo, dims, bounds)
     }
 
     #[test]
-    fn slab_halo_rows_are_single_runs() {
-        // Interior slab of a 1×3 split over 6×12: two full-width halo
-        // rows, each one contiguous run.
-        let part = Partition2::new(6, 12, 1, 3);
-        let tile = part.tile(1);
-        let plan = plan_for(tile, 1, &part, (0, 1), (6, 12, 2), &BoundarySpec::clamp());
-        assert_eq!(plan.index.len(), 12);
-        assert_eq!(plan.index.n_runs(), 2, "a full row strip is one run");
-        for (slot, &(x, y)) in plan.groups.iter().flat_map(|(_, g)| g).enumerate() {
-            assert_eq!(plan.index.slot(x, y), Some(slot));
-            assert_eq!(plan.index.slot_strip(x, y), Some(slot));
+    fn slab_halo_rows_are_one_run_per_line() {
+        // Interior slab of a 1×3×1 split over 6×12×2: two full-width halo
+        // rows on two z-layers, each (y, z) line one contiguous run.
+        let part = Partition3::new(6, 12, 2, 1, 3, 1);
+        let brick = part.brick(1);
+        let plan = plan_for(
+            brick,
+            1,
+            &part,
+            (0, 1, 0),
+            (6, 12, 2),
+            &BoundarySpec::clamp(),
+        );
+        assert_eq!(plan.index.len(), 6 * 2 * 2);
+        assert_eq!(plan.index.n_runs(), 4, "one run per halo row per layer");
+        for (slot, &(x, y, z)) in plan.groups.iter().flat_map(|(_, g)| g).enumerate() {
+            assert_eq!(plan.index.slot(x, y, z), Some(slot));
+            assert_eq!(plan.index.slot_strip(x, y, z), Some(slot));
         }
     }
 
     #[test]
     fn strip_lookup_misses_return_none() {
-        let part = Partition2::new(6, 12, 1, 3);
-        let tile = part.tile(1);
-        let plan = plan_for(tile, 1, &part, (0, 1), (6, 12, 2), &BoundarySpec::clamp());
-        // In-tile interior cells, out-of-window rows and far columns all
-        // miss without panicking.
-        assert_eq!(plan.index.slot_strip(2, 5), None);
-        assert_eq!(plan.index.slot_strip(0, 0), None);
-        assert_eq!(plan.index.slot_strip(99, 3), None);
-        assert_eq!(plan.index.slot_strip(2, 99), None);
+        let part = Partition3::new(6, 12, 2, 1, 3, 1);
+        let brick = part.brick(1);
+        let plan = plan_for(
+            brick,
+            1,
+            &part,
+            (0, 1, 0),
+            (6, 12, 2),
+            &BoundarySpec::clamp(),
+        );
+        // In-brick interior cells, out-of-window rows, far columns and
+        // out-of-table z all miss without panicking.
+        assert_eq!(plan.index.slot_strip(2, 5, 0), None);
+        assert_eq!(plan.index.slot_strip(0, 0, 0), None);
+        assert_eq!(plan.index.slot_strip(99, 3, 0), None);
+        assert_eq!(plan.index.slot_strip(2, 99, 0), None);
+        assert_eq!(plan.index.slot_strip(2, 3, 99), None);
     }
 
     #[test]
     fn interior_tile_ring_runs_follow_the_producer_groups() {
-        // Interior tile of a 3×3 grid over 9×9, halo 1: the ring has 16
-        // cells from 8 producers. Runs never span producer groups (slots
-        // are contiguous per group), so the ring decomposes into 12 runs:
-        // one per corner patch (4), one per row strip (2) and one per row
-        // of each column strip (2 × 3).
-        let part = Partition2::new(9, 9, 3, 3);
-        let tile = part.tile(4);
-        let plan = plan_for(tile, 4, &part, (1, 1), (9, 9, 1), &BoundarySpec::clamp());
+        // Interior tile of a 3×3×1 grid over 9×9, halo 1: per z-layer the
+        // ring has 16 cells from 8 producers. Runs never span producer
+        // groups (slots are contiguous per group), so each layer's ring
+        // decomposes into 12 runs: one per corner patch (4), one per row
+        // strip (2) and one per row of each column strip (2 × 3).
+        let part = Partition3::new(9, 9, 1, 3, 3, 1);
+        let brick = part.brick(4);
+        let plan = plan_for(
+            brick,
+            4,
+            &part,
+            (1, 1, 0),
+            (9, 9, 1),
+            &BoundarySpec::clamp(),
+        );
         assert_eq!(plan.index.len(), 16);
         assert_eq!(plan.index.n_runs(), 4 + 2 + 2 * 3);
         for corner in [(2, 2), (6, 2), (2, 6), (6, 6)] {
-            assert!(plan.index.slot(corner.0, corner.1).is_some());
+            assert!(plan.index.slot(corner.0, corner.1, 0).is_some());
         }
-        assert_eq!(plan.index.slot(4, 4), None, "tile interior not indexed");
+        assert_eq!(plan.index.slot(4, 4, 0), None, "brick interior not indexed");
+    }
+
+    #[test]
+    fn z_shell_cells_cover_faces_edges_and_corners() {
+        // Interior brick of a 3×3×3 grid over 9×9×9, halo 1: the shell is
+        // the full 5×5×5 box minus the 3×3×3 brick = 98 cells.
+        let part = Partition3::new(9, 9, 9, 3, 3, 3);
+        let brick = part.brick(13); // grid position (1, 1, 1)
+        let plan = plan_for(
+            brick,
+            13,
+            &part,
+            (1, 1, 1),
+            (9, 9, 9),
+            &BoundarySpec::clamp(),
+        );
+        assert_eq!(plan.index.len(), 5 * 5 * 5 - 3 * 3 * 3);
+        let t = plan.traffic;
+        assert_eq!(t.row_cells, 3 * 2 * 3);
+        assert_eq!(t.col_cells, 2 * 3 * 3);
+        assert_eq!(t.corner_cells, 2 * 2 * 3);
+        assert_eq!(t.zface_cells, 3 * 3 * 2);
+        assert_eq!(t.zedge_cells, (2 * 3 + 3 * 2) * 2);
+        assert_eq!(t.zcorner_cells, 2 * 2 * 2);
+        // z-face, z-edge and z-corner cells all resolve through the index.
+        for cell in [(4, 4, 2), (2, 4, 2), (2, 2, 2), (4, 4, 6), (6, 6, 6)] {
+            assert!(
+                plan.index.slot(cell.0, cell.1, cell.2).is_some(),
+                "missing shell cell {cell:?}"
+            );
+        }
+        assert_eq!(plan.index.slot(4, 4, 4), None, "brick interior excluded");
+        // 26 producers: every face/edge/corner neighbour of the centre.
+        assert_eq!(plan.groups.len(), 26);
     }
 
     #[test]
     #[cfg(any(debug_assertions, feature = "hash-ghost-path"))]
     fn strip_and_hash_agree_on_every_cell_and_on_misses() {
-        let part = Partition2::new(13, 14, 2, 3);
+        let part = Partition3::new(13, 14, 4, 2, 3, 2);
         for boundary in [Boundary::Clamp, Boundary::Periodic] {
             let bounds = BoundarySpec::<f64>::uniform(boundary);
             for me in 0..part.ranks() {
-                let tile = part.tile(me);
-                let plan = plan_for(tile, me, &part, (2, 2), (13, 14, 2), &bounds);
-                for y in 0..14 {
-                    for x in 0..13 {
-                        assert_eq!(
-                            plan.index.slot_strip(x, y),
-                            plan.index.slot_hash(x, y),
-                            "divergence at ({x}, {y}) rank {me} {boundary:?}"
-                        );
+                let brick = part.brick(me);
+                let plan = plan_for(brick, me, &part, (2, 2, 1), (13, 14, 4), &bounds);
+                for z in 0..4 {
+                    for y in 0..14 {
+                        for x in 0..13 {
+                            assert_eq!(
+                                plan.index.slot_strip(x, y, z),
+                                plan.index.slot_hash(x, y, z),
+                                "divergence at ({x}, {y}, {z}) rank {me} {boundary:?}"
+                            );
+                        }
                     }
                 }
             }
@@ -531,22 +684,22 @@ mod tests {
 
     #[test]
     fn slots_enumerate_payload_order() {
-        let part = Partition2::new(10, 10, 2, 2);
-        let tile = part.tile(3);
+        let part = Partition3::new(10, 10, 4, 2, 2, 2);
+        let brick = part.brick(7);
         let plan = plan_for(
-            tile,
-            3,
+            brick,
+            7,
             &part,
-            (1, 1),
-            (10, 10, 3),
+            (1, 1, 1),
+            (10, 10, 4),
             &BoundarySpec::periodic(),
         );
         let mut seen = vec![false; plan.index.len()];
         let mut expected = 0usize;
         for (_, group) in &plan.groups {
-            for &(x, y) in group {
-                let slot = plan.index.slot(x, y).expect("planned cell must resolve");
-                assert_eq!(slot, expected, "payload order broken at ({x}, {y})");
+            for &(x, y, z) in group {
+                let slot = plan.index.slot(x, y, z).expect("planned cell must resolve");
+                assert_eq!(slot, expected, "payload order broken at ({x}, {y}, {z})");
                 assert!(!seen[slot]);
                 seen[slot] = true;
                 expected += 1;
@@ -557,30 +710,48 @@ mod tests {
 
     #[test]
     fn traffic_volumes_match_window_products() {
-        // Interior tile of a 3×3 grid over 9×9, halo 1 under clamp: both
-        // windows have 2 cells, tile is 3×3.
-        let part = Partition2::new(9, 9, 3, 3);
-        let tile = part.tile(4);
-        let plan = plan_for(tile, 4, &part, (1, 1), (9, 9, 2), &BoundarySpec::clamp());
+        // Interior tile of a 3×3×1 grid over 9×9×2, halo 1 under clamp:
+        // both x/y windows have 2 cells, tile is 3×3 over 2 layers.
+        let part = Partition3::new(9, 9, 2, 3, 3, 1);
+        let brick = part.brick(4);
+        let plan = plan_for(
+            brick,
+            4,
+            &part,
+            (1, 1, 0),
+            (9, 9, 2),
+            &BoundarySpec::clamp(),
+        );
         let t = plan.traffic;
-        assert_eq!(t.row_cells, 3 * 2);
-        assert_eq!(t.col_cells, 2 * 3);
-        assert_eq!(t.corner_cells, 2 * 2);
-        assert_eq!(t.unique_cells, 16);
+        assert_eq!(t.row_cells, 3 * 2 * 2);
+        assert_eq!(t.col_cells, 2 * 3 * 2);
+        assert_eq!(t.corner_cells, 2 * 2 * 2);
+        assert_eq!(t.zface_cells, 0, "undecomposed z has no z-channels");
+        assert_eq!(t.zedge_cells, 0);
+        assert_eq!(t.zcorner_cells, 0);
+        assert_eq!(t.unique_cells, 16 * 2);
         assert_eq!(t.self_cells, 0, "interior tile folds nothing onto itself");
-        assert_eq!(t.remote_cells, 16);
-        assert_eq!(t.cell_bytes, 2 * std::mem::size_of::<f64>());
-        assert_eq!(t.wire_bytes(), 16 * 16);
-        assert!((t.corner_share() - 4.0 / 16.0).abs() < 1e-12);
+        assert_eq!(t.remote_cells, 16 * 2);
+        assert_eq!(t.cell_bytes, std::mem::size_of::<f64>());
+        assert_eq!(t.wire_bytes(), 32 * 8);
+        assert!((t.corner_share() - 8.0 / 32.0).abs() < 1e-12);
+        assert_eq!(t.z_share(), 0.0);
 
         // Domain-corner tile under clamp: each window folds one extra
         // in-tile cell, and the fold cells are self-served.
-        let tile = part.tile(0);
-        let plan = plan_for(tile, 0, &part, (1, 1), (9, 9, 2), &BoundarySpec::clamp());
+        let brick = part.brick(0);
+        let plan = plan_for(
+            brick,
+            0,
+            &part,
+            (1, 1, 0),
+            (9, 9, 2),
+            &BoundarySpec::clamp(),
+        );
         let t = plan.traffic;
-        assert_eq!(t.row_cells, 3 * 2);
-        assert_eq!(t.col_cells, 2 * 3);
-        assert_eq!(t.corner_cells, 2 * 2);
+        assert_eq!(t.row_cells, 3 * 2 * 2);
+        assert_eq!(t.col_cells, 2 * 3 * 2);
+        assert_eq!(t.corner_cells, 2 * 2 * 2);
         assert!(t.self_cells > 0, "clamp folds serve the tile's own cells");
         assert_eq!(t.unique_cells, t.self_cells + t.remote_cells);
     }
@@ -591,30 +762,35 @@ mod tests {
             row_cells: 4,
             col_cells: 2,
             corner_cells: 1,
-            unique_cells: 7,
+            zface_cells: 3,
+            zedge_cells: 2,
+            zcorner_cells: 1,
+            unique_cells: 13,
             self_cells: 1,
-            remote_cells: 6,
+            remote_cells: 12,
             cell_bytes: 8,
         };
         let b = a;
         a.merge(&b);
         assert_eq!(a.row_cells, 8);
-        assert_eq!(a.remote_cells, 12);
+        assert_eq!(a.remote_cells, 24);
         assert_eq!(a.cell_bytes, 8);
-        assert_eq!(a.channel_cells(), 14);
+        assert_eq!(a.z_cells(), 12);
+        assert_eq!(a.channel_cells(), 26);
         let s = a.to_string();
         assert!(s.contains("rows 8 cells"), "{s}");
         assert!(s.contains("corner share"), "{s}");
+        assert!(s.contains("z share"), "{s}");
     }
 
     #[test]
     fn empty_halo_is_safe() {
         // A single rank with value-like boundaries needs no halo cells.
-        let part = Partition2::new(5, 5, 1, 1);
-        let tile = part.tile(0);
-        let plan = plan_for(tile, 0, &part, (0, 1), (5, 5, 1), &BoundarySpec::zero());
+        let part = Partition3::new(5, 5, 1, 1, 1, 1);
+        let brick = part.brick(0);
+        let plan = plan_for(brick, 0, &part, (0, 1, 0), (5, 5, 1), &BoundarySpec::zero());
         assert!(plan.index.is_empty());
-        assert_eq!(plan.index.slot_strip(0, 0), None);
+        assert_eq!(plan.index.slot_strip(0, 0, 0), None);
         assert_eq!(plan.traffic.unique_cells, 0);
         assert_eq!(plan.traffic.corner_share(), 0.0);
     }

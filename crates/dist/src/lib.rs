@@ -10,28 +10,31 @@
 //!
 //! This crate simulates an MPI-style deployment inside one process:
 //!
-//! * the global domain is decomposed into an **x×y grid of tiles**
-//!   ([`Partition2`]): `1×R` y-slabs (the default, [`GridSpec::Slabs`]),
-//!   an explicit `RX×RY` grid ([`DistConfig::with_grid`]) or an
-//!   auto-factored near-square grid ([`GridSpec::Auto`]);
-//! * each rank owns a [`StencilSim`] over its tile with every decomposed
-//!   axis set to [`Boundary::Ghost`]; out-of-tile reads are served by a
+//! * the global domain is decomposed into an **x×y×z grid of bricks**
+//!   ([`Partition3`]): `1×R×1` y-slabs (the default, [`GridSpec::Slabs`]),
+//!   an explicit `RX×RY` grid ([`DistConfig::with_grid`]), a full
+//!   `RX×RY×RZ` brick grid ([`DistConfig::with_grid3`]) or an
+//!   auto-factored near-square x×y grid ([`GridSpec::Auto`]);
+//! * each rank owns a [`StencilSim`] over its brick with every decomposed
+//!   axis set to [`Boundary::Ghost`]; out-of-brick reads are served by a
 //!   [`HaloGhost`] source holding neighbour **cells** captured at time `t`
-//!   — row strips from y-neighbours, column strips from x-neighbours and
-//!   the corner patches diagonal neighbours owe — exactly the values an
-//!   MPI halo exchange would have delivered. Ghost reads resolve through
-//!   the strip-backed [`HaloIndex`] (per-row runs with a base slot, so an
-//!   edge-sweep lookup is two compares and an offset; the legacy hash
-//!   path survives behind `debug_assertions`/the `hash-ghost-path`
-//!   feature as equivalence witness and CI perf baseline), and each
-//!   rank's [`HaloPlan`] records per-channel traffic volumes
-//!   ([`HaloTraffic`]: cells and bytes per row/column/corner channel);
+//!   — the full 3-D halo shell: x/y/z face strips, the edge strips where
+//!   two axis windows meet (the 2-D decomposition's corner patches are
+//!   the xy-edges) and the corner patches where all three do — exactly
+//!   the values an MPI halo exchange would have delivered. Ghost reads
+//!   resolve through the strip-backed [`HaloIndex`] (per-`(y, z)`-line
+//!   runs with a base slot, so an edge-sweep lookup is two table
+//!   indexings and an offset; the legacy hash path survives behind
+//!   `debug_assertions`/the `hash-ghost-path` feature as equivalence
+//!   witness and CI perf baseline), and each rank's [`HaloPlan`] records
+//!   per-channel traffic volumes ([`HaloTraffic`]: cells and bytes per
+//!   face/edge/corner channel);
 //! * ranks execute in one of two [`HaloMode`]s. The default
 //!   [`HaloMode::Pipelined`] spawns each rank **once for the whole run**:
 //!   every iteration the rank posts the halo cells it owes each consumer
 //!   to per-neighbour channels, sweeps its ghost-free interior window
 //!   while the halos are in flight, then applies the received ghosts to
-//!   its edge frame — there is no global barrier; ordering is enforced
+//!   its edge shell — there is no global barrier; ordering is enforced
 //!   purely by the bounded (depth-2, double-buffered) channels.
 //!   [`HaloMode::Snapshot`] is the legacy barriered path — a global
 //!   snapshot exchange followed by one thread spawn per rank per
@@ -39,26 +42,29 @@
 //! * a rank with protection enabled drives its sweep through
 //!   [`OnlineAbft::step_with_ghosts`] (snapshot) or
 //!   [`OnlineAbft::step_overlapped_region`] (pipelined), so checksum
-//!   interpolation sees the same halo values as the sweep — row *and*
-//!   column checksums now cross rank boundaries in both directions — and
-//!   single-point corruptions are detected and corrected *locally*,
-//!   inside the rank's iteration, before the next halo post;
-//! * [`DistReport::global`] gathers the tiles back into one grid.
+//!   interpolation sees the same halo values as the sweep — row and
+//!   column checksums cross rank boundaries in every decomposed
+//!   direction, and each rank verifies exactly the z-layers of its own
+//!   brick — and single-point corruptions are detected and corrected
+//!   *locally*, inside the rank's iteration, before the next halo post;
+//! * [`DistReport::global`] gathers the bricks back into one grid.
 //!
 //! Both modes are **bitwise identical** to a serial [`StencilSim`] run of
 //! the global domain for every grid shape: the per-point operation order
 //! of the sweep does not depend on the decomposition or on the
 //! interior/edge split, and halo reads reproduce the exact values the
 //! serial sweep reads (see `tests/distributed_equivalence.rs` at the
-//! workspace root, and `tests/{pipeline_equivalence,grid2d_equivalence}.rs`
+//! workspace root, and
+//! `tests/{pipeline_equivalence,grid2d_equivalence,grid3d_equivalence}.rs`
 //! in this crate).
 //!
 //! Global boundary conditions at the outer domain edges are honoured by
 //! resolving the rank-local out-of-range coordinate against the **global**
-//! boundary of that axis: clamp/reflect fold back into edge-tile cells,
-//! periodic wraps around the tile torus (the first column of tiles
+//! boundary of that axis: clamp/reflect fold back into edge-brick cells,
+//! periodic wraps around the brick torus (the first column of bricks
 //! receives halos from the last), and zero/constant short-circuit to the
-//! boundary value — including at tile corners, where both axes resolve.
+//! boundary value — including at brick edges and corners, where two or
+//! all three axes resolve.
 
 use abft_core::{AbftConfig, OnlineAbft, ProtectorStats};
 use abft_fault::BitFlip;
@@ -93,14 +99,17 @@ pub enum HaloMode {
 /// Shape of the rank grid the domain is decomposed over.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum GridSpec {
-    /// `1 × ranks` y-slabs — the legacy decomposition and the default.
+    /// `1 × ranks × 1` y-slabs — the legacy decomposition and the
+    /// default.
     #[default]
     Slabs,
-    /// Auto-factor the rank count into the `RX×RY` grid whose tiles have
-    /// the smallest perimeter (see [`auto_grid`]).
+    /// Auto-factor the rank count into the `RX×RY` (undecomposed z) grid
+    /// whose tiles have the smallest perimeter (see [`auto_grid`]).
     Auto,
-    /// An explicit `RX×RY` grid; `rx · ry` must equal the rank count.
-    Explicit { rx: usize, ry: usize },
+    /// An explicit `RX×RY×RZ` brick grid; `rx · ry · rz` must equal the
+    /// rank count. `rz = 1` is the PR 3 tile grid, behaviourally
+    /// identical to before the z axis became decomposable.
+    Explicit { rx: usize, ry: usize, rz: usize },
 }
 
 /// A rejected distributed-run configuration.
@@ -111,22 +120,35 @@ pub enum GridSpec {
 pub enum DistError {
     /// `ranks == 0`.
     NoRanks,
-    /// An explicit grid whose `rx · ry` differs from the rank count.
-    GridMismatch { rx: usize, ry: usize, ranks: usize },
+    /// An explicit grid whose `rx · ry · rz` differs from the rank count.
+    GridMismatch {
+        rx: usize,
+        ry: usize,
+        rz: usize,
+        ranks: usize,
+    },
     /// More y-ranks than domain rows (at most one rank per row).
     TooManyRanks { rows: usize, ranks: usize },
     /// More x-ranks than domain columns (at most one rank per column).
     TooManyRanksX { cols: usize, ranks: usize },
-    /// A tile is not taller than the stencil's y-extent.
+    /// More z-ranks than domain layers (at most one rank per layer).
+    TooManyRanksZ { layers: usize, ranks: usize },
+    /// A brick is not taller (in y) than the stencil's y-extent.
     SlabTooShort {
         rank: usize,
         rows: usize,
         extent: usize,
     },
-    /// A tile is not wider than the stencil's x-extent.
+    /// A brick is not wider (in x) than the stencil's x-extent.
     TileTooNarrow {
         rank: usize,
         cols: usize,
+        extent: usize,
+    },
+    /// A brick is not thicker (in z) than the stencil's z-extent.
+    BrickTooThin {
+        rank: usize,
+        layers: usize,
         extent: usize,
     },
     /// The outer-domain boundary spec uses [`Boundary::Ghost`].
@@ -138,13 +160,13 @@ pub enum DistError {
     },
     /// A flip names a rank that does not exist.
     FlipRank { rank: usize, ranks: usize },
-    /// A flip's tile-local coordinates fall outside its rank's 2-D tile
+    /// A flip's brick-local coordinates fall outside its rank's 3-D brick
     /// (it would never fire and silently corrupt the experiment
     /// bookkeeping).
-    FlipOutOfTile {
+    FlipOutOfBrick {
         rank: usize,
         flip: (usize, usize, usize),
-        tile: (usize, usize, usize),
+        brick: (usize, usize, usize),
     },
     /// A flip's bit index exceeds the float width.
     FlipBit { bit: u32, bits: u32 },
@@ -156,18 +178,22 @@ impl std::fmt::Display for DistError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             Self::NoRanks => write!(f, "need at least one rank"),
-            Self::GridMismatch { rx, ry, ranks } => write!(
+            Self::GridMismatch { rx, ry, rz, ranks } => write!(
                 f,
-                "grid {rx}x{ry} covers {} ranks but {ranks} were configured",
-                rx * ry
+                "grid {rx}x{ry}x{rz} covers {} ranks but {ranks} were configured",
+                rx * ry * rz
             ),
             Self::TooManyRanks { rows, ranks } => write!(
                 f,
-                "cannot decompose {rows} rows over {ranks} ranks (at most one rank per row)"
+                "cannot decompose {rows} rows over {ranks} y-ranks (at most one rank per row)"
             ),
             Self::TooManyRanksX { cols, ranks } => write!(
                 f,
                 "cannot decompose {cols} columns over {ranks} x-ranks (at most one rank per column)"
+            ),
+            Self::TooManyRanksZ { layers, ranks } => write!(
+                f,
+                "cannot decompose {layers} z-layers over {ranks} z-ranks (at most one rank per layer)"
             ),
             Self::SlabTooShort {
                 rank,
@@ -175,7 +201,7 @@ impl std::fmt::Display for DistError {
                 extent,
             } => write!(
                 f,
-                "rank {rank}'s tile of {rows} rows is not taller than the stencil y-extent {extent}; use fewer y-ranks"
+                "rank {rank}'s brick of {rows} rows is not taller than the stencil y-extent {extent}; use fewer y-ranks"
             ),
             Self::TileTooNarrow {
                 rank,
@@ -183,7 +209,15 @@ impl std::fmt::Display for DistError {
                 extent,
             } => write!(
                 f,
-                "rank {rank}'s tile of {cols} columns is not wider than the stencil x-extent {extent}; use fewer x-ranks"
+                "rank {rank}'s brick of {cols} columns is not wider than the stencil x-extent {extent}; use fewer x-ranks"
+            ),
+            Self::BrickTooThin {
+                rank,
+                layers,
+                extent,
+            } => write!(
+                f,
+                "rank {rank}'s brick of {layers} z-layers is not thicker than the stencil z-extent {extent}; use fewer z-ranks"
             ),
             Self::GhostBoundary => write!(
                 f,
@@ -196,12 +230,12 @@ impl std::fmt::Display for DistError {
             Self::FlipRank { rank, ranks } => {
                 write!(f, "flip rank {rank} out of range ({ranks} ranks)")
             }
-            Self::FlipOutOfTile { rank, flip, tile } => {
+            Self::FlipOutOfBrick { rank, flip, brick } => {
                 let (x, y, z) = flip;
-                let (nx, ny, nz) = tile;
+                let (nx, ny, nz) = brick;
                 write!(
                     f,
-                    "flip ({x}, {y}, {z}) outside rank {rank}'s {nx}x{ny}x{nz} tile"
+                    "flip ({x}, {y}, {z}) outside rank {rank}'s {nx}x{ny}x{nz} brick"
                 )
             }
             Self::FlipBit { bit, bits } => {
@@ -218,6 +252,21 @@ impl std::fmt::Display for DistError {
 impl std::error::Error for DistError {}
 
 /// Configuration of one distributed run.
+///
+/// Built with [`DistConfig::new`] and the `with_*` builders:
+///
+/// ```
+/// use abft_core::AbftConfig;
+/// use abft_dist::{DistConfig, GridSpec, HaloMode};
+///
+/// let cfg = DistConfig::<f32>::new(8, 100)
+///     .with_grid3(2, 2, 2) // an x×y×z brick grid
+///     .with_halo(2)
+///     .with_abft(AbftConfig::paper_defaults())
+///     .with_mode(HaloMode::Snapshot);
+/// assert_eq!(cfg.grid, GridSpec::Explicit { rx: 2, ry: 2, rz: 2 });
+/// assert_eq!(cfg.halo, Some(2));
+/// ```
 #[derive(Debug, Clone)]
 pub struct DistConfig<T> {
     /// Number of simulated ranks.
@@ -231,11 +280,11 @@ pub struct DistConfig<T> {
     /// Per-rank online ABFT configuration; `None` runs unprotected.
     pub abft: Option<AbftConfig<T>>,
     /// Faults to inject: `(rank, flip)` with the flip's coordinates local
-    /// to that rank's tile.
+    /// to that rank's brick.
     pub flips: Vec<(usize, BitFlip)>,
     /// Halo exchange strategy (default: [`HaloMode::Pipelined`]).
     pub mode: HaloMode,
-    /// Rank-grid shape (default: [`GridSpec::Slabs`], the legacy 1×R
+    /// Rank-grid shape (default: [`GridSpec::Slabs`], the legacy 1×R×1
     /// y-slab decomposition).
     pub grid: GridSpec,
 }
@@ -274,10 +323,19 @@ impl<T: Real> DistConfig<T> {
         self
     }
 
-    /// Decompose over an explicit `rx × ry` rank grid (`rx · ry` must
-    /// equal `ranks`; checked by [`run_distributed`]).
+    /// Decompose over an explicit `rx × ry` rank grid with an
+    /// undecomposed z axis (`rx · ry` must equal `ranks`; checked by
+    /// [`run_distributed`]).
     pub fn with_grid(mut self, rx: usize, ry: usize) -> Self {
-        self.grid = GridSpec::Explicit { rx, ry };
+        self.grid = GridSpec::Explicit { rx, ry, rz: 1 };
+        self
+    }
+
+    /// Decompose over an explicit `rx × ry × rz` rank-brick grid
+    /// (`rx · ry · rz` must equal `ranks`; checked by
+    /// [`run_distributed`]).
+    pub fn with_grid3(mut self, rx: usize, ry: usize, rz: usize) -> Self {
+        self.grid = GridSpec::Explicit { rx, ry, rz };
         self
     }
 
@@ -293,9 +351,9 @@ impl<T: Real> DistConfig<T> {
         self
     }
 
-    /// Inject one bit-flip in `rank`'s tile (local coordinates). Validity
-    /// is checked by [`run_distributed`], which rejects out-of-tile flips
-    /// with a [`DistError`].
+    /// Inject one bit-flip in `rank`'s brick (local coordinates).
+    /// Validity is checked by [`run_distributed`], which rejects
+    /// out-of-brick flips with a [`DistError`].
     pub fn with_flip(mut self, rank: usize, flip: BitFlip) -> Self {
         self.flips.push((rank, flip));
         self
@@ -369,22 +427,27 @@ impl PhaseTimings {
 /// What one rank owned and observed.
 #[derive(Debug, Clone)]
 pub struct RankReport {
-    /// Rank index, `0..ranks`, row-major over the grid (`ty · rx + tx`).
+    /// Rank index, `0..ranks`, row-major over the grid
+    /// (`(tz · ry + ty) · rx + tx`).
     pub rank: usize,
-    /// First global `x` column of the tile.
+    /// First global `x` column of the brick.
     pub x0: usize,
-    /// Tile width in columns.
+    /// Brick width in columns.
     pub x_len: usize,
-    /// First global `y` row of the tile.
+    /// First global `y` row of the brick.
     pub y0: usize,
-    /// Tile height in rows.
+    /// Brick height in rows.
     pub y_len: usize,
+    /// First global `z` layer of the brick.
+    pub z0: usize,
+    /// Brick depth in layers.
+    pub z_len: usize,
     /// Protector counters (all zero for unprotected runs).
     pub stats: ProtectorStats,
     /// Where this rank's wall-clock time went.
     pub timing: PhaseTimings,
     /// Per-channel halo-traffic volumes (cells and bytes per iteration,
-    /// split into row/column/corner channels).
+    /// split into face/edge/corner channels).
     pub traffic: HaloTraffic,
 }
 
@@ -395,8 +458,8 @@ pub struct DistReport<T> {
     pub global: Grid3D<T>,
     /// Per-rank reports, indexed by rank.
     pub ranks: Vec<RankReport>,
-    /// The resolved rank-grid shape `(rx, ry)`.
-    pub grid: (usize, usize),
+    /// The resolved rank-grid shape `(rx, ry, rz)`.
+    pub grid: (usize, usize, usize),
     /// Wall-clock seconds of the iteration loop (setup and gather
     /// excluded), as seen by the driver.
     pub wall_s: f64,
@@ -438,9 +501,10 @@ impl<T: Real> std::fmt::Display for DistReport<T> {
         let stats = self.total_stats();
         writeln!(
             f,
-            "{}x{} rank grid · {} ranks · wall {:.4} s · {} detections / {} corrections",
+            "{}x{}x{} rank grid · {} ranks · wall {:.4} s · {} detections / {} corrections",
             self.grid.0,
             self.grid.1,
+            self.grid.2,
             self.ranks.len(),
             self.wall_s,
             stats.detections,
@@ -524,9 +588,9 @@ pub fn decompose(n: usize, ranks: usize) -> Vec<(usize, usize)> {
     out
 }
 
-/// One rank's rectangle of the global x–y plane (all `z` layers).
+/// One rank's box of the global domain: an x×y×z brick.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct Tile {
+pub struct Brick {
     /// First global `x` column.
     pub x0: usize,
     /// Width in columns.
@@ -535,42 +599,52 @@ pub struct Tile {
     pub y0: usize,
     /// Height in rows.
     pub y_len: usize,
+    /// First global `z` layer.
+    pub z0: usize,
+    /// Depth in layers.
+    pub z_len: usize,
 }
 
-impl Tile {
-    /// Whether global cell `(x, y)` lies in this tile.
-    pub fn contains(&self, x: usize, y: usize) -> bool {
-        (self.x0..self.x0 + self.x_len).contains(&x) && (self.y0..self.y0 + self.y_len).contains(&y)
+impl Brick {
+    /// Whether global cell `(x, y, z)` lies in this brick.
+    pub fn contains(&self, x: usize, y: usize, z: usize) -> bool {
+        (self.x0..self.x0 + self.x_len).contains(&x)
+            && (self.y0..self.y0 + self.y_len).contains(&y)
+            && (self.z0..self.z0 + self.z_len).contains(&z)
     }
 }
 
-/// A balanced 2-D (x×y) tile decomposition of an `nx × ny` domain over an
-/// `rx × ry` rank grid: each axis is split with [`decompose`], and rank
-/// `ty · rx + tx` owns the tile at grid position `(tx, ty)`.
+/// A balanced 3-D (x×y×z) brick decomposition of an `nx × ny × nz` domain
+/// over an `rx × ry × rz` rank grid: each axis is split with
+/// [`decompose`], and rank `(tz · ry + ty) · rx + tx` owns the brick at
+/// grid position `(tx, ty, tz)` — for `rz = 1` this is exactly the PR 3
+/// x×y tile numbering.
 ///
 /// ```
-/// use abft_dist::Partition2;
-/// let p = Partition2::new(10, 9, 2, 3);
-/// assert_eq!(p.ranks(), 6);
-/// let t = p.tile(3); // grid position (1, 1)
-/// assert_eq!((t.x0, t.x_len, t.y0, t.y_len), (5, 5, 3, 3));
-/// assert_eq!(p.owner(7, 4), (3, 2, 1)); // (rank, tile-local x, y)
+/// use abft_dist::Partition3;
+/// let p = Partition3::new(10, 9, 4, 2, 3, 2);
+/// assert_eq!(p.ranks(), 12);
+/// let b = p.brick(9); // grid position (1, 1, 1)
+/// assert_eq!((b.x0, b.x_len, b.y0, b.y_len, b.z0, b.z_len), (5, 5, 3, 3, 2, 2));
+/// assert_eq!(p.owner(7, 4, 3), (9, 2, 1, 1)); // (rank, brick-local x, y, z)
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct Partition2 {
+pub struct Partition3 {
     cols: Vec<(usize, usize)>,
     rows: Vec<(usize, usize)>,
+    layers: Vec<(usize, usize)>,
 }
 
-impl Partition2 {
-    /// Partition an `nx × ny` domain over an `rx × ry` grid.
+impl Partition3 {
+    /// Partition an `nx × ny × nz` domain over an `rx × ry × rz` grid.
     ///
     /// # Panics
     /// Panics when an axis has more ranks than cells (see [`decompose`]).
-    pub fn new(nx: usize, ny: usize, rx: usize, ry: usize) -> Self {
+    pub fn new(nx: usize, ny: usize, nz: usize, rx: usize, ry: usize, rz: usize) -> Self {
         Self {
             cols: decompose(nx, rx),
             rows: decompose(ny, ry),
+            layers: decompose(nz, rz),
         }
     }
 
@@ -584,33 +658,46 @@ impl Partition2 {
         self.rows.len()
     }
 
-    /// Total rank count (`rx · ry`).
-    pub fn ranks(&self) -> usize {
-        self.cols.len() * self.rows.len()
+    /// Ranks along z.
+    pub fn rz(&self) -> usize {
+        self.layers.len()
     }
 
-    /// The tile owned by `rank` (row-major: `rank = ty · rx + tx`).
-    pub fn tile(&self, rank: usize) -> Tile {
-        let (tx, ty) = (rank % self.rx(), rank / self.rx());
+    /// Total rank count (`rx · ry · rz`).
+    pub fn ranks(&self) -> usize {
+        self.cols.len() * self.rows.len() * self.layers.len()
+    }
+
+    /// The brick owned by `rank` (row-major:
+    /// `rank = (tz · ry + ty) · rx + tx`).
+    pub fn brick(&self, rank: usize) -> Brick {
+        let tx = rank % self.rx();
+        let ty = (rank / self.rx()) % self.ry();
+        let tz = rank / (self.rx() * self.ry());
         let (x0, x_len) = self.cols[tx];
         let (y0, y_len) = self.rows[ty];
-        Tile {
+        let (z0, z_len) = self.layers[tz];
+        Brick {
             x0,
             x_len,
             y0,
             y_len,
+            z0,
+            z_len,
         }
     }
 
-    /// Which rank owns global cell `(x, y)`, plus its tile-local
+    /// Which rank owns global cell `(x, y, z)`, plus its brick-local
     /// coordinates.
-    pub fn owner(&self, x: usize, y: usize) -> (usize, usize, usize) {
+    pub fn owner(&self, x: usize, y: usize, z: usize) -> (usize, usize, usize, usize) {
         let tx = axis_owner(&self.cols, x);
         let ty = axis_owner(&self.rows, y);
+        let tz = axis_owner(&self.layers, z);
         (
-            ty * self.rx() + tx,
+            (tz * self.ry() + ty) * self.rx() + tx,
             x - self.cols[tx].0,
             y - self.rows[ty].0,
+            z - self.layers[tz].0,
         )
     }
 }
@@ -650,21 +737,20 @@ pub fn auto_grid(ranks: usize, nx: usize, ny: usize) -> (usize, usize) {
 }
 
 /// Time-`t` halo cells for one rank, plus the geometry needed to resolve a
-/// tile-local out-of-range read against the **global** boundaries of both
-/// decomposed axes (including corner reads, where x *and* y are out of
-/// range at once).
+/// brick-local out-of-range read against the **global** boundaries of all
+/// three decomposed axes (including edge and corner reads, where two or
+/// all three of x, y and z are out of range at once).
 ///
 /// This is the [`GhostCells`] source handed to the sweep *and* to the
 /// checksum interpolation, so both see identical neighbour data — the
 /// precondition of [`OnlineAbft::step_with_ghosts`].
 ///
-/// Cells are stored as one flat buffer of z-columns (`nz` values per
-/// cell) in the rank's canonical cell order; `index` maps a resolved
-/// global `(x, y)` to its cell slot through the strip-backed
-/// [`HaloIndex`] (two compares and an offset on the edge-sweep hot path;
-/// the legacy hash lookup survives behind `debug_assertions` /
-/// the `hash-ghost-path` feature as the equivalence witness and CI perf
-/// baseline).
+/// Cells are stored as one flat buffer of scalars in the rank's canonical
+/// cell order; `index` maps a resolved global `(x, y, z)` to its payload
+/// slot through the strip-backed [`HaloIndex`] (a `(z, y)` line-table
+/// index plus a range check on the edge-sweep hot path; the legacy hash
+/// lookup survives behind `debug_assertions` / the `hash-ghost-path`
+/// feature as the equivalence witness and CI perf baseline).
 #[derive(Debug, Clone)]
 pub struct HaloGhost<T> {
     index: Arc<HaloIndex>,
@@ -672,9 +758,10 @@ pub struct HaloGhost<T> {
     bounds: BoundarySpec<T>,
     x0: usize,
     y0: usize,
+    z0: usize,
     nx_global: usize,
     ny_global: usize,
-    nz: usize,
+    nz_global: usize,
 }
 
 impl<T: Real> HaloGhost<T> {
@@ -682,20 +769,21 @@ impl<T: Real> HaloGhost<T> {
         index: Arc<HaloIndex>,
         values: Vec<T>,
         bounds: BoundarySpec<T>,
-        tile: Tile,
+        brick: Brick,
         dims: (usize, usize, usize),
     ) -> Self {
-        let (nx_global, ny_global, nz) = dims;
-        debug_assert_eq!(values.len(), index.len() * nz, "halo payload size");
+        let (nx_global, ny_global, nz_global) = dims;
+        debug_assert_eq!(values.len(), index.len(), "halo payload size");
         Self {
             index,
             values,
             bounds,
-            x0: tile.x0,
-            y0: tile.y0,
+            x0: brick.x0,
+            y0: brick.y0,
+            z0: brick.z0,
             nx_global,
             ny_global,
-            nz,
+            nz_global,
         }
     }
 }
@@ -705,7 +793,7 @@ impl<T: Real> GhostCells<T> for HaloGhost<T> {
     fn ghost(&self, x: isize, y: isize, z: isize) -> T {
         // The sweep resolves axes in x → y → z order and short-circuits on
         // the first value-like hit, so the axes before the ghost hit are
-        // in-range tile-local indices while the rest are still raw.
+        // in-range brick-local indices while the rest are still raw.
         // Shifting into global coordinates and finishing the resolution
         // here (global x first, then y, then z) reproduces the serial
         // sweep's read exactly — an already-resolved local index simply
@@ -720,33 +808,33 @@ impl<T: Real> GhostCells<T> for HaloGhost<T> {
             AxisHit::Value(v) => return v,
             AxisHit::Ghost(_) => unreachable!("global ghost y-boundary rejected up front"),
         };
-        let gz = match self.bounds.z.resolve(z, self.nz) {
+        let gz = match self.bounds.z.resolve(self.z0 as isize + z, self.nz_global) {
             AxisHit::In(i) => i,
             AxisHit::Value(v) => return v,
             AxisHit::Ghost(_) => unreachable!("global ghost z-boundary rejected up front"),
         };
         let slot = self
             .index
-            .slot(gx, gy)
-            .unwrap_or_else(|| panic!("halo cell ({gx}, {gy}) was not exchanged"));
-        self.values[slot * self.nz + gz]
+            .slot(gx, gy, gz)
+            .unwrap_or_else(|| panic!("halo cell ({gx}, {gy}, {gz}) was not exchanged"));
+        self.values[slot]
     }
 }
 
-/// One simulated rank: its tile simulation, optional protector, pending
+/// One simulated rank: its brick simulation, optional protector, pending
 /// faults, halo plan (cell groups, strip index, traffic volumes) and
 /// accumulated phase timings.
 pub(crate) struct Rank<T> {
     pub(crate) sim: StencilSim<T>,
     pub(crate) abft: Option<OnlineAbft<T>>,
-    pub(crate) tile: Tile,
+    pub(crate) brick: Brick,
     pub(crate) flips: Vec<BitFlip>,
     /// The rank's halo plan: global cells it needs every iteration,
     /// grouped by producer (self-owned cells first — boundary folds the
     /// rank serves to itself — then remote producers in ascending rank
-    /// order, each group row-major). Concatenating the groups' z-columns
-    /// in this order yields the per-iteration halo payload; the plan's
-    /// strip index resolves cells to payload slots.
+    /// order, each group z-major row-major). Concatenating the groups'
+    /// scalars in this order yields the per-iteration halo payload; the
+    /// plan's strip index resolves cells to payload slots.
     pub(crate) plan: HaloPlan,
     pub(crate) timing: PhaseTimings,
 }
@@ -768,33 +856,37 @@ fn grid_shape<T: Real>(
     cfg: &DistConfig<T>,
     nx: usize,
     ny: usize,
-) -> Result<(usize, usize), DistError> {
+) -> Result<(usize, usize, usize), DistError> {
     match cfg.grid {
-        GridSpec::Slabs => Ok((1, cfg.ranks)),
-        GridSpec::Auto => Ok(auto_grid(cfg.ranks, nx, ny)),
-        GridSpec::Explicit { rx, ry } => {
-            if rx * ry != cfg.ranks {
+        GridSpec::Slabs => Ok((1, cfg.ranks, 1)),
+        GridSpec::Auto => {
+            let (rx, ry) = auto_grid(cfg.ranks, nx, ny);
+            Ok((rx, ry, 1))
+        }
+        GridSpec::Explicit { rx, ry, rz } => {
+            if rx * ry * rz != cfg.ranks {
                 Err(DistError::GridMismatch {
                     rx,
                     ry,
+                    rz,
                     ranks: cfg.ranks,
                 })
             } else {
-                Ok((rx, ry))
+                Ok((rx, ry, rz))
             }
         }
     }
 }
 
 /// Check a distributed configuration against the domain, returning the
-/// tile decomposition on success.
+/// brick decomposition on success.
 fn validate<T: Real>(
     initial: &Grid3D<T>,
     stencil: &Stencil3D<T>,
     bounds: &BoundarySpec<T>,
     constant: Option<&Grid3D<T>>,
     cfg: &DistConfig<T>,
-) -> Result<Partition2, DistError> {
+) -> Result<Partition3, DistError> {
     let (nx, ny, nz) = initial.dims();
     if matches!(bounds.x, Boundary::Ghost)
         || matches!(bounds.y, Boundary::Ghost)
@@ -813,7 +905,7 @@ fn validate<T: Real>(
     if cfg.ranks == 0 {
         return Err(DistError::NoRanks);
     }
-    let (rx, ry) = grid_shape(cfg, nx, ny)?;
+    let (rx, ry, rz) = grid_shape(cfg, nx, ny)?;
     if ry > ny {
         return Err(DistError::TooManyRanks {
             rows: ny,
@@ -826,21 +918,34 @@ fn validate<T: Real>(
             ranks: rx,
         });
     }
-    let part = Partition2::new(nx, ny, rx, ry);
+    if rz > nz {
+        return Err(DistError::TooManyRanksZ {
+            layers: nz,
+            ranks: rz,
+        });
+    }
+    let part = Partition3::new(nx, ny, nz, rx, ry, rz);
     for rank in 0..part.ranks() {
-        let tile = part.tile(rank);
-        if tile.y_len <= stencil.extent_y() {
+        let brick = part.brick(rank);
+        if brick.y_len <= stencil.extent_y() {
             return Err(DistError::SlabTooShort {
                 rank,
-                rows: tile.y_len,
+                rows: brick.y_len,
                 extent: stencil.extent_y(),
             });
         }
-        if rx > 1 && tile.x_len <= stencil.extent_x() {
+        if rx > 1 && brick.x_len <= stencil.extent_x() {
             return Err(DistError::TileTooNarrow {
                 rank,
-                cols: tile.x_len,
+                cols: brick.x_len,
                 extent: stencil.extent_x(),
+            });
+        }
+        if rz > 1 && brick.z_len <= stencil.extent_z() {
+            return Err(DistError::BrickTooThin {
+                rank,
+                layers: brick.z_len,
+                extent: stencil.extent_z(),
             });
         }
     }
@@ -851,12 +956,12 @@ fn validate<T: Real>(
                 ranks: cfg.ranks,
             });
         }
-        let tile = part.tile(*rank);
-        if flip.x >= tile.x_len || flip.y >= tile.y_len || flip.z >= nz {
-            return Err(DistError::FlipOutOfTile {
+        let brick = part.brick(*rank);
+        if flip.x >= brick.x_len || flip.y >= brick.y_len || flip.z >= brick.z_len {
+            return Err(DistError::FlipOutOfBrick {
                 rank: *rank,
                 flip: (flip.x, flip.y, flip.z),
-                tile: (tile.x_len, tile.y_len, nz),
+                brick: (brick.x_len, brick.y_len, brick.z_len),
             });
         }
         if flip.bit >= T::BITS {
@@ -877,20 +982,35 @@ fn validate<T: Real>(
 
 /// Run the distributed simulation and gather the result.
 ///
-/// Decomposes `initial` into `cfg.ranks` tiles per [`DistConfig::grid`],
+/// Decomposes `initial` into `cfg.ranks` bricks per [`DistConfig::grid`],
 /// steps them `cfg.iters` times exchanging halos per [`DistConfig::mode`],
 /// protecting each rank with online ABFT when configured, and gathers the
-/// tiles back into a global grid. The unprotected (and clean protected)
+/// bricks back into a global grid. The unprotected (and clean protected)
 /// result is bitwise equal to a serial [`StencilSim`] run with the same
 /// inputs, in either mode and for every grid shape.
 ///
+/// ```
+/// use abft_dist::{run_distributed, DistConfig};
+/// use abft_grid::{BoundarySpec, Grid3D};
+/// use abft_stencil::Stencil3D;
+///
+/// let initial = Grid3D::from_fn(8, 8, 4, |x, y, z| (x + y + z) as f64);
+/// let stencil = Stencil3D::seven_point(0.4, 0.1, 0.1, 0.1);
+/// // 8 ranks on a 2×2×2 brick grid, 5 iterations.
+/// let cfg = DistConfig::<f64>::new(8, 5).with_grid3(2, 2, 2);
+/// let report = run_distributed(&initial, &stencil, &BoundarySpec::clamp(), None, &cfg)?;
+/// assert_eq!(report.grid, (2, 2, 2));
+/// assert_eq!(report.global.dims(), (8, 8, 4));
+/// # Ok::<(), abft_dist::DistError>(())
+/// ```
+///
 /// # Errors
-/// Returns a [`DistError`] when the decomposition leaves a tile no larger
-/// than the stencil's extent on a decomposed axis, when an explicit grid
-/// does not cover the rank count, when `bounds` uses [`Boundary::Ghost`]
-/// (the outer-domain boundary must be self-contained), or when a flip
-/// spec is invalid (bad rank, out-of-tile coordinates, bit width, or an
-/// iteration that never runs).
+/// Returns a [`DistError`] when the decomposition leaves a brick no
+/// larger than the stencil's extent on a decomposed axis, when an
+/// explicit grid does not cover the rank count, when `bounds` uses
+/// [`Boundary::Ghost`] (the outer-domain boundary must be
+/// self-contained), or when a flip spec is invalid (bad rank,
+/// out-of-brick coordinates, bit width, or an iteration that never runs).
 pub fn run_distributed<T: Real>(
     initial: &Grid3D<T>,
     stencil: &Stencil3D<T>,
@@ -900,43 +1020,49 @@ pub fn run_distributed<T: Real>(
 ) -> Result<DistReport<T>, DistError> {
     let (nx, ny, nz) = initial.dims();
     let part = validate(initial, stencil, bounds, constant, cfg)?;
-    let (rx, ry) = (part.rx(), part.ry());
+    let (rx, ry, rz) = (part.rx(), part.ry(), part.rz());
     let hy = cfg.halo.unwrap_or(0).max(stencil.extent_y());
     let hx = if rx > 1 {
         cfg.halo.unwrap_or(0).max(stencil.extent_x())
     } else {
         0
     };
+    let hz = if rz > 1 {
+        cfg.halo.unwrap_or(0).max(stencil.extent_z())
+    } else {
+        0
+    };
 
     // Rank-local boundary spec: decomposed axes served by the halo, the
-    // rest as global. x stays global for slab grids so the 1-D path is
-    // untouched (no column exchange, fused checksums, identical perf).
+    // rest as global. x and z stay global for slab grids so the 1-D path
+    // is untouched (no column/layer exchange, fused checksums, identical
+    // perf).
     let local_bounds = BoundarySpec {
         x: if rx > 1 { Boundary::Ghost } else { bounds.x },
         y: Boundary::Ghost,
-        z: bounds.z,
+        z: if rz > 1 { Boundary::Ghost } else { bounds.z },
     };
 
     let mut ranks: Vec<Rank<T>> = (0..part.ranks())
         .map(|r| {
-            let tile = part.tile(r);
-            let slab = Grid3D::from_fn(tile.x_len, tile.y_len, nz, |x, y, z| {
-                initial.at(tile.x0 + x, tile.y0 + y, z)
+            let brick = part.brick(r);
+            let local = Grid3D::from_fn(brick.x_len, brick.y_len, brick.z_len, |x, y, z| {
+                initial.at(brick.x0 + x, brick.y0 + y, brick.z0 + z)
             });
             let mut sim =
-                StencilSim::new(slab, stencil.clone(), local_bounds).with_exec(Exec::Serial);
+                StencilSim::new(local, stencil.clone(), local_bounds).with_exec(Exec::Serial);
             if let Some(c) = constant {
-                let local_c = Grid3D::from_fn(tile.x_len, tile.y_len, nz, |x, y, z| {
-                    c.at(tile.x0 + x, tile.y0 + y, z)
+                let local_c = Grid3D::from_fn(brick.x_len, brick.y_len, brick.z_len, |x, y, z| {
+                    c.at(brick.x0 + x, brick.y0 + y, brick.z0 + z)
                 });
                 sim = sim.with_constant(local_c);
             }
             let abft = cfg.abft.map(|acfg| OnlineAbft::new(&sim, acfg));
-            let plan = HaloPlan::new(&tile, r, &part, (hx, hy), (nx, ny, nz), bounds);
+            let plan = HaloPlan::new(&brick, r, &part, (hx, hy, hz), (nx, ny, nz), bounds);
             Rank {
                 sim,
                 abft,
-                tile,
+                brick,
                 flips: cfg
                     .flips
                     .iter()
@@ -960,17 +1086,17 @@ pub fn run_distributed<T: Real>(
     }
     let wall_s = wall.elapsed().as_secs_f64();
 
-    // --- Gather the tiles back into the global grid (one pass per tile,
-    //     contiguous x-line copies). ------------------------------------
+    // --- Gather the bricks back into the global grid (one pass per
+    //     brick, contiguous x-line copies). -----------------------------
     let mut global = Grid3D::zeros(nx, ny, nz);
     for rank in &ranks {
         let local = rank.sim.current();
-        let t = rank.tile;
-        for z in 0..nz {
-            for ly in 0..t.y_len {
-                let src = &local.as_slice()[z * t.x_len * t.y_len + ly * t.x_len..][..t.x_len];
-                let base = global.idx(t.x0, t.y0 + ly, z);
-                global.as_mut_slice()[base..base + t.x_len].copy_from_slice(src);
+        let b = rank.brick;
+        for lz in 0..b.z_len {
+            for ly in 0..b.y_len {
+                let src = &local.as_slice()[(lz * b.y_len + ly) * b.x_len..][..b.x_len];
+                let base = global.idx(b.x0, b.y0 + ly, b.z0 + lz);
+                global.as_mut_slice()[base..base + b.x_len].copy_from_slice(src);
             }
         }
     }
@@ -982,16 +1108,18 @@ pub fn run_distributed<T: Real>(
             .enumerate()
             .map(|(i, r)| RankReport {
                 rank: i,
-                x0: r.tile.x0,
-                x_len: r.tile.x_len,
-                y0: r.tile.y0,
-                y_len: r.tile.y_len,
+                x0: r.brick.x0,
+                x_len: r.brick.x_len,
+                y0: r.brick.y0,
+                y_len: r.brick.y_len,
+                z0: r.brick.z0,
+                z_len: r.brick.z_len,
                 stats: r.abft.as_ref().map(|a| a.stats()).unwrap_or_default(),
                 timing: r.timing,
                 traffic: r.plan.traffic,
             })
             .collect(),
-        grid: (rx, ry),
+        grid: (rx, ry, rz),
         wall_s,
     })
 }
@@ -1011,24 +1139,25 @@ fn run_snapshot<T: Real>(
     let mut recv_elems = vec![0usize; ranks.len()];
     for t in 0..iters {
         // --- Halo exchange: snapshot every requested time-t cell. ------
-        // In an MPI deployment this is the send/recv pairs (row strips,
-        // column strips and corner patches); here the z-columns are copied
-        // out of the owning rank's current buffer.
+        // In an MPI deployment this is the send/recv pairs (face, edge
+        // and corner strips); here the scalars are copied out of the
+        // owning rank's current buffer.
         let t0 = Instant::now();
         let ghosts: Vec<HaloGhost<T>> = ranks
             .iter()
             .enumerate()
             .map(|(consumer, rank)| {
-                let mut values = Vec::with_capacity(rank.plan.index.len() * dims.2);
+                let mut values = Vec::with_capacity(rank.plan.index.len());
                 for (owner, cells) in &rank.plan.groups {
-                    let owner_tile = ranks[*owner].tile;
+                    let owner_brick = ranks[*owner].brick;
                     let grid = ranks[*owner].sim.current();
                     let before = values.len();
-                    for &(gx, gy) in cells {
-                        worker::push_column(
+                    for &(gx, gy, gz) in cells {
+                        worker::push_cell(
                             grid,
-                            gx - owner_tile.x0,
-                            gy - owner_tile.y0,
+                            gx - owner_brick.x0,
+                            gy - owner_brick.y0,
+                            gz - owner_brick.z0,
                             &mut values,
                         );
                     }
@@ -1038,7 +1167,7 @@ fn run_snapshot<T: Real>(
                         recv_elems[consumer] += copied;
                     }
                 }
-                HaloGhost::new(rank.plan.index.clone(), values, *bounds, rank.tile, dims)
+                HaloGhost::new(rank.plan.index.clone(), values, *bounds, rank.brick, dims)
             })
             .collect();
         let exchange_share = t0.elapsed().as_secs_f64() / ranks.len() as f64;
@@ -1109,23 +1238,39 @@ mod tests {
     }
 
     #[test]
-    fn partition2_tiles_cover_the_domain_once() {
-        let p = Partition2::new(13, 11, 3, 2);
-        assert_eq!((p.rx(), p.ry(), p.ranks()), (3, 2, 6));
-        let mut seen = vec![0u32; 13 * 11];
+    fn partition3_bricks_cover_the_domain_once() {
+        let p = Partition3::new(13, 11, 5, 3, 2, 2);
+        assert_eq!((p.rx(), p.ry(), p.rz(), p.ranks()), (3, 2, 2, 12));
+        let mut seen = vec![0u32; 13 * 11 * 5];
         for r in 0..p.ranks() {
-            let t = p.tile(r);
-            for y in t.y0..t.y0 + t.y_len {
-                for x in t.x0..t.x0 + t.x_len {
-                    seen[y * 13 + x] += 1;
-                    let (owner, lx, ly) = p.owner(x, y);
-                    assert_eq!(owner, r);
-                    assert_eq!((lx, ly), (x - t.x0, y - t.y0));
-                    assert!(t.contains(x, y));
+            let b = p.brick(r);
+            for z in b.z0..b.z0 + b.z_len {
+                for y in b.y0..b.y0 + b.y_len {
+                    for x in b.x0..b.x0 + b.x_len {
+                        seen[(z * 11 + y) * 13 + x] += 1;
+                        let (owner, lx, ly, lz) = p.owner(x, y, z);
+                        assert_eq!(owner, r);
+                        assert_eq!((lx, ly, lz), (x - b.x0, y - b.y0, z - b.z0));
+                        assert!(b.contains(x, y, z));
+                    }
                 }
             }
         }
-        assert!(seen.iter().all(|&c| c == 1), "tiles overlap or leave gaps");
+        assert!(seen.iter().all(|&c| c == 1), "bricks overlap or leave gaps");
+    }
+
+    #[test]
+    fn partition3_with_rz_1_matches_the_legacy_tile_numbering() {
+        // The rank = (tz·ry + ty)·rx + tx numbering degenerates to the
+        // PR 3 ty·rx + tx order at rz = 1 — the legacy-compat guarantee.
+        let p = Partition3::new(10, 9, 4, 2, 3, 1);
+        for rank in 0..6 {
+            let b = p.brick(rank);
+            assert_eq!((b.z0, b.z_len), (0, 4));
+            let (tx, ty) = (rank % 2, rank / 2);
+            assert_eq!(b.x0, [0, 5][tx]);
+            assert_eq!(b.y0, [0, 3, 6][ty]);
+        }
     }
 
     #[test]
@@ -1232,7 +1377,8 @@ mod tests {
             assert_eq!(rep.ranks.len(), 1);
             assert_eq!(rep.ranks[0].y_len, 9);
             assert_eq!(rep.ranks[0].x_len, 8);
-            assert_eq!(rep.grid, (1, 1));
+            assert_eq!(rep.ranks[0].z_len, 2);
+            assert_eq!(rep.grid, (1, 1, 1));
         }
     }
 
@@ -1261,7 +1407,7 @@ mod tests {
                     &DistConfig::<f64>::new(4, 8).with_grid(2, 2).with_mode(mode),
                 )
                 .unwrap();
-                assert_eq!(rep.grid, (2, 2));
+                assert_eq!(rep.grid, (2, 2, 1));
                 assert_eq!(rep.global, expect, "2x2 diverged ({boundary:?}, {mode:?})");
             }
         }
@@ -1314,8 +1460,53 @@ mod tests {
             &DistConfig::<f64>::new(4, 6).with_auto_grid(),
         )
         .unwrap();
-        assert_eq!(rep.grid, (2, 2), "square domain should auto-factor 2x2");
+        assert_eq!(rep.grid, (2, 2, 1), "square domain should auto-factor 2x2");
         assert_eq!(rep.global, expect);
+    }
+
+    #[test]
+    fn brick_2x2x2_matches_serial_in_both_modes() {
+        let initial = wavy(10, 12, 6);
+        // Asymmetric on every axis so all six face strips carry distinct
+        // weights, plus an xyz-diagonal tap that exercises the 3-D corner
+        // channels.
+        let stencil = Stencil3D::from_tuples(&[
+            (0, 0, 0, 0.3f64),
+            (-1, 0, 0, 0.15),
+            (1, 0, 0, 0.05),
+            (0, -1, 0, 0.12),
+            (0, 1, 0, 0.08),
+            (0, 0, -1, 0.14),
+            (0, 0, 1, 0.06),
+            (1, 1, 1, 0.1),
+        ]);
+        for boundary in [Boundary::Clamp, Boundary::Periodic] {
+            let bounds = BoundarySpec::uniform(boundary);
+            let expect = serial(&initial, &stencil, &bounds, 8);
+            for mode in both_modes() {
+                let rep = run_distributed(
+                    &initial,
+                    &stencil,
+                    &bounds,
+                    None,
+                    &DistConfig::<f64>::new(8, 8)
+                        .with_grid3(2, 2, 2)
+                        .with_mode(mode),
+                )
+                .unwrap();
+                assert_eq!(rep.grid, (2, 2, 2));
+                assert_eq!(
+                    rep.global, expect,
+                    "2x2x2 diverged ({boundary:?}, {mode:?})"
+                );
+                // Every rank owns half the layers and reports z-channel
+                // traffic.
+                for r in &rep.ranks {
+                    assert_eq!(r.z_len, 3);
+                    assert!(r.traffic.zface_cells > 0, "rank {} has no z-face", r.rank);
+                }
+            }
+        }
     }
 
     #[test]
@@ -1343,17 +1534,17 @@ mod tests {
         }
     }
 
-    /// Needed halo cells for one tile of an `rx×ry` split of `nx×ny`,
-    /// through [`HaloPlan`] (the API both halo modes consume).
+    /// Needed halo cells for one brick of an `rx×ry×rz` split, through
+    /// [`HaloPlan`] (the API both halo modes consume).
     fn planned_cells(
-        part: &Partition2,
+        part: &Partition3,
         rank: usize,
-        halo: (usize, usize),
+        halo: (usize, usize, usize),
         dims: (usize, usize, usize),
         bounds: &BoundarySpec<f64>,
-    ) -> BTreeSet<(usize, usize)> {
-        let tile = part.tile(rank);
-        let plan = HaloPlan::new(&tile, rank, part, halo, dims, bounds);
+    ) -> BTreeSet<(usize, usize, usize)> {
+        let brick = part.brick(rank);
+        let plan = HaloPlan::new(&brick, rank, part, halo, dims, bounds);
         plan.groups
             .iter()
             .flat_map(|(_, cells)| cells.iter().copied())
@@ -1363,71 +1554,100 @@ mod tests {
     #[test]
     fn needed_cells_slab_tile_are_full_rows() {
         let by = BoundarySpec::<f64>::clamp();
-        // Interior slab of a 1×3 split over 6×12: needs global rows 3 and
-        // 8 across the full width, no columns.
-        let part = Partition2::new(6, 12, 1, 3);
-        let cells = planned_cells(&part, 1, (0, 1), (6, 12, 1), &by);
-        let expect: BTreeSet<(usize, usize)> = (0..6).flat_map(|x| [(x, 3), (x, 8)]).collect();
+        // Interior slab of a 1×3×1 split over 6×12×1: needs global rows 3
+        // and 8 across the full width, no columns or layers.
+        let part = Partition3::new(6, 12, 1, 1, 3, 1);
+        let cells = planned_cells(&part, 1, (0, 1, 0), (6, 12, 1), &by);
+        let expect: BTreeSet<(usize, usize, usize)> =
+            (0..6).flat_map(|x| [(x, 3, 0), (x, 8, 0)]).collect();
         assert_eq!(cells, expect);
         // Top slab: y = -1 clamps onto its own row 0 (a self-served fold).
-        let cells = planned_cells(&part, 0, (0, 1), (6, 12, 1), &by);
-        let expect: BTreeSet<(usize, usize)> = (0..6).flat_map(|x| [(x, 0), (x, 4)]).collect();
+        let cells = planned_cells(&part, 0, (0, 1, 0), (6, 12, 1), &by);
+        let expect: BTreeSet<(usize, usize, usize)> =
+            (0..6).flat_map(|x| [(x, 0, 0), (x, 4, 0)]).collect();
         assert_eq!(cells, expect);
     }
 
     #[test]
     fn needed_cells_2d_tile_include_corners() {
         let by = BoundarySpec::<f64>::clamp();
-        // Interior tile of a 3×3 grid over 9×9: full ring incl. corners.
-        let part = Partition2::new(9, 9, 3, 3);
-        let cells = planned_cells(&part, 4, (1, 1), (9, 9, 1), &by);
+        // Interior tile of a 3×3×1 grid over 9×9: full ring incl. corners.
+        let part = Partition3::new(9, 9, 1, 3, 3, 1);
+        let cells = planned_cells(&part, 4, (1, 1, 0), (9, 9, 1), &by);
         // Ring of width 1 around a 3×3 tile: 16 cells.
         assert_eq!(cells.len(), 16);
-        for corner in [(2, 2), (6, 2), (2, 6), (6, 6)] {
+        for corner in [(2, 2, 0), (6, 2, 0), (2, 6, 0), (6, 6, 0)] {
             assert!(cells.contains(&corner), "missing corner {corner:?}");
         }
-        assert!(!cells.contains(&(4, 4)), "tile interior must not be needed");
+        assert!(
+            !cells.contains(&(4, 4, 0)),
+            "tile interior must not be needed"
+        );
 
         // Domain-corner tile under clamp: out-of-domain reads fold onto
         // its own edge cells — they must still be in the needed set (the
         // rank serves them to itself).
-        let cells = planned_cells(&part, 0, (1, 1), (9, 9, 1), &by);
-        assert!(cells.contains(&(0, 0)), "clamp fold onto own corner");
-        assert!(cells.contains(&(3, 3)), "outer corner neighbour");
+        let cells = planned_cells(&part, 0, (1, 1, 0), (9, 9, 1), &by);
+        assert!(cells.contains(&(0, 0, 0)), "clamp fold onto own corner");
+        assert!(cells.contains(&(3, 3, 0)), "outer corner neighbour");
 
         // Periodic wraps to the opposite side of the torus.
         let per = BoundarySpec::<f64>::periodic();
-        let cells = planned_cells(&part, 0, (1, 1), (9, 9, 1), &per);
-        assert!(cells.contains(&(8, 8)), "periodic corner wrap");
-        assert!(cells.contains(&(8, 0)), "periodic column wrap");
-        assert!(cells.contains(&(0, 8)), "periodic row wrap");
+        let cells = planned_cells(&part, 0, (1, 1, 0), (9, 9, 1), &per);
+        assert!(cells.contains(&(8, 8, 0)), "periodic corner wrap");
+        assert!(cells.contains(&(8, 0, 0)), "periodic column wrap");
+        assert!(cells.contains(&(0, 8, 0)), "periodic row wrap");
+    }
+
+    #[test]
+    fn needed_cells_3d_brick_include_z_faces_edges_and_corners() {
+        // Centre brick of a 3×3×3 grid over 9×9×9, halo 1: the shell is
+        // the 5×5×5 box minus the 3×3×3 brick.
+        let by = BoundarySpec::<f64>::clamp();
+        let part = Partition3::new(9, 9, 9, 3, 3, 3);
+        let cells = planned_cells(&part, 13, (1, 1, 1), (9, 9, 9), &by);
+        assert_eq!(cells.len(), 5 * 5 * 5 - 27);
+        assert!(cells.contains(&(4, 4, 2)), "z-face below");
+        assert!(cells.contains(&(4, 4, 6)), "z-face above");
+        assert!(cells.contains(&(2, 4, 2)), "xz-edge");
+        assert!(cells.contains(&(4, 2, 2)), "yz-edge");
+        assert!(cells.contains(&(2, 2, 2)), "xyz-corner");
+        assert!(cells.contains(&(6, 6, 6)), "far xyz-corner");
+        assert!(!cells.contains(&(4, 4, 4)), "brick interior excluded");
+
+        // Periodic z wraps the torus: the bottom-corner brick needs the
+        // top layer.
+        let per = BoundarySpec::<f64>::periodic();
+        let cells = planned_cells(&part, 0, (1, 1, 1), (9, 9, 9), &per);
+        assert!(cells.contains(&(0, 0, 8)), "periodic z-face wrap");
+        assert!(cells.contains(&(8, 8, 8)), "periodic xyz-corner wrap");
     }
 
     #[test]
     fn cell_groups_put_self_first_then_ascending_producers() {
-        let part = Partition2::new(6, 6, 2, 2);
-        // Rank 0's tile under clamp folds out-of-domain reads onto its own
-        // cells, so its plan has a self group — which must come first.
+        let part = Partition3::new(6, 6, 4, 2, 2, 2);
+        // Rank 0's brick under clamp folds out-of-domain reads onto its
+        // own cells, so its plan has a self group — which must come first.
         let bounds = BoundarySpec::<f64>::clamp();
-        let tile = part.tile(0);
-        let plan = HaloPlan::new(&tile, 0, &part, (1, 1), (6, 6, 1), &bounds);
+        let brick = part.brick(0);
+        let plan = HaloPlan::new(&brick, 0, &part, (1, 1, 1), (6, 6, 4), &bounds);
         assert_eq!(plan.groups[0].0, 0, "self group must come first");
         let owners: Vec<usize> = plan.groups.iter().map(|(p, _)| *p).collect();
         let mut sorted = owners.clone();
         sorted.sort_unstable();
         assert_eq!(owners[1..], sorted[1..], "producers ascending");
         // The strip index enumerates the concatenated groups in order,
-        // and each group is row-major so runs stay dense.
+        // and each group is z-major row-major so runs stay dense.
         let mut expected_slot = 0;
         for (_, group) in &plan.groups {
             assert!(
                 group
                     .windows(2)
-                    .all(|w| (w[0].1, w[0].0) < (w[1].1, w[1].0)),
-                "groups must be sorted row-major"
+                    .all(|w| (w[0].2, w[0].1, w[0].0) < (w[1].2, w[1].1, w[1].0)),
+                "groups must be sorted z-major row-major"
             );
-            for &(x, y) in group {
-                assert_eq!(plan.index.slot(x, y), Some(expected_slot));
+            for &(x, y, z) in group {
+                assert_eq!(plan.index.slot(x, y, z), Some(expected_slot));
                 expected_slot += 1;
             }
         }
@@ -1522,7 +1742,8 @@ mod tests {
             rep.ranks.iter().map(|r| (r.rank, r.y0, r.y_len)).collect();
         assert_eq!(geom, vec![(0, 0, 3), (1, 3, 3), (2, 6, 3), (3, 9, 2)]);
         assert!(rep.ranks.iter().all(|r| r.x0 == 0 && r.x_len == 5));
-        assert_eq!(rep.grid, (1, 4));
+        assert!(rep.ranks.iter().all(|r| r.z0 == 0 && r.z_len == 1));
+        assert_eq!(rep.grid, (1, 4, 1));
         assert!(rep.wall_s >= 0.0);
 
         let rep = run_distributed(
@@ -1542,11 +1763,32 @@ mod tests {
             geom,
             vec![(0, 3, 0, 6), (3, 2, 0, 6), (0, 3, 6, 5), (3, 2, 6, 5)]
         );
-        assert_eq!(rep.grid, (2, 2));
+        assert_eq!(rep.grid, (2, 2, 1));
+
+        // A z-decomposed grid reports brick layer geometry too.
+        let initial = wavy(5, 11, 4);
+        let rep = run_distributed(
+            &initial,
+            &stencil,
+            &BoundarySpec::clamp(),
+            None,
+            &DistConfig::<f64>::new(4, 2).with_grid3(1, 2, 2),
+        )
+        .unwrap();
+        let geom: Vec<(usize, usize, usize, usize)> = rep
+            .ranks
+            .iter()
+            .map(|r| (r.y0, r.y_len, r.z0, r.z_len))
+            .collect();
+        assert_eq!(
+            geom,
+            vec![(0, 6, 0, 2), (6, 5, 0, 2), (0, 6, 2, 2), (6, 5, 2, 2)]
+        );
+        assert_eq!(rep.grid, (1, 2, 2));
     }
 
     #[test]
-    fn out_of_tile_flip_rejected_with_structured_error() {
+    fn out_of_brick_flip_rejected_with_structured_error() {
         let initial = wavy(6, 12, 2);
         let stencil = Stencil3D::seven_point(0.4f64, 0.1, 0.1, 0.1);
         // 12 rows over 4 ranks ⇒ 3-row slabs; local y = 3 can never fire.
@@ -1566,17 +1808,17 @@ mod tests {
             run_distributed(&initial, &stencil, &BoundarySpec::clamp(), None, &cfg).unwrap_err();
         assert_eq!(
             err,
-            DistError::FlipOutOfTile {
+            DistError::FlipOutOfBrick {
                 rank: 1,
                 flip: (1, 3, 0),
-                tile: (6, 3, 2),
+                brick: (6, 3, 2),
             }
         );
-        assert!(err.to_string().contains("outside rank 1's 6x3x2 tile"));
+        assert!(err.to_string().contains("outside rank 1's 6x3x2 brick"));
     }
 
     #[test]
-    fn out_of_tile_flip_rejected_in_x_on_2d_grids() {
+    fn out_of_brick_flip_rejected_in_x_on_2d_grids() {
         let initial = wavy(10, 10, 2);
         let stencil = Stencil3D::seven_point(0.4f64, 0.1, 0.1, 0.1);
         // 2×2 grid over 10×10 ⇒ 5×5 tiles; local x = 7 fits the y-slab
@@ -1595,13 +1837,42 @@ mod tests {
             run_distributed(&initial, &stencil, &BoundarySpec::clamp(), None, &cfg).unwrap_err();
         assert_eq!(
             err,
-            DistError::FlipOutOfTile {
+            DistError::FlipOutOfBrick {
                 rank: 2,
                 flip: (7, 2, 0),
-                tile: (5, 5, 2),
+                brick: (5, 5, 2),
             }
         );
-        assert!(err.to_string().contains("outside rank 2's 5x5x2 tile"));
+        assert!(err.to_string().contains("outside rank 2's 5x5x2 brick"));
+    }
+
+    #[test]
+    fn out_of_brick_flip_rejected_in_z_on_3d_grids() {
+        let initial = wavy(8, 10, 4);
+        let stencil = Stencil3D::seven_point(0.4f64, 0.1, 0.1, 0.1);
+        // 1×2×2 grid over 8×10×4 ⇒ 8×5×2 bricks; local z = 3 fits the
+        // undecomposed-z interpretation (z < 4) but not the brick.
+        let cfg = DistConfig::new(4, 5).with_grid3(1, 2, 2).with_flip(
+            3,
+            BitFlip {
+                iteration: 1,
+                x: 2,
+                y: 2,
+                z: 3,
+                bit: 40,
+            },
+        );
+        let err =
+            run_distributed(&initial, &stencil, &BoundarySpec::clamp(), None, &cfg).unwrap_err();
+        assert_eq!(
+            err,
+            DistError::FlipOutOfBrick {
+                rank: 3,
+                flip: (2, 2, 3),
+                brick: (8, 5, 2),
+            }
+        );
+        assert!(err.to_string().contains("outside rank 3's 8x5x2 brick"));
     }
 
     #[test]
@@ -1664,10 +1935,11 @@ mod tests {
             DistError::GridMismatch {
                 rx: 3,
                 ry: 2,
+                rz: 1,
                 ranks: 4
             }
         );
-        assert!(err.to_string().contains("grid 3x2 covers 6 ranks"));
+        assert!(err.to_string().contains("grid 3x2x1 covers 6 ranks"));
         // More x-ranks than columns.
         let err = run_distributed(
             &initial,
@@ -1678,6 +1950,113 @@ mod tests {
         )
         .unwrap_err();
         assert_eq!(err, DistError::TooManyRanksX { cols: 8, ranks: 9 });
+        // More z-ranks than layers (the domain has 1).
+        let err = run_distributed(
+            &initial,
+            &stencil,
+            &bounds,
+            None,
+            &DistConfig::<f64>::new(4, 1).with_grid3(1, 2, 2),
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            DistError::TooManyRanksZ {
+                layers: 1,
+                ranks: 2
+            }
+        );
+    }
+
+    #[test]
+    fn thin_brick_rejected_for_wide_z_stencils() {
+        let initial = wavy(6, 8, 4);
+        let stencil = Stencil3D::from_tuples(&[(0, 0, -2, 0.5f64), (0, 0, 2, 0.5)]);
+        // 4 layers over 2 z-ranks ⇒ 2-layer bricks, but z-extent is 2.
+        let err = run_distributed(
+            &initial,
+            &stencil,
+            &BoundarySpec::clamp(),
+            None,
+            &DistConfig::<f64>::new(2, 1).with_grid3(1, 1, 2),
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            DistError::BrickTooThin {
+                rank: 0,
+                layers: 2,
+                extent: 2,
+            }
+        );
+        assert!(err
+            .to_string()
+            .contains("not thicker than the stencil z-extent"));
+    }
+
+    /// Every geometry error's Display names the offending axis, so a
+    /// rejected campaign config can be diagnosed from the message alone.
+    #[test]
+    fn dist_error_messages_name_the_offending_axis() {
+        let cases: Vec<(DistError, &str)> = vec![
+            (DistError::TooManyRanks { rows: 4, ranks: 9 }, "9 y-ranks"),
+            (DistError::TooManyRanksX { cols: 4, ranks: 9 }, "9 x-ranks"),
+            (
+                DistError::TooManyRanksZ {
+                    layers: 4,
+                    ranks: 9,
+                },
+                "9 z-ranks",
+            ),
+            (
+                DistError::SlabTooShort {
+                    rank: 1,
+                    rows: 2,
+                    extent: 2,
+                },
+                "y-extent",
+            ),
+            (
+                DistError::TileTooNarrow {
+                    rank: 1,
+                    cols: 2,
+                    extent: 2,
+                },
+                "x-extent",
+            ),
+            (
+                DistError::BrickTooThin {
+                    rank: 1,
+                    layers: 2,
+                    extent: 2,
+                },
+                "z-extent",
+            ),
+        ];
+        for (err, needle) in cases {
+            let msg = err.to_string();
+            assert!(msg.contains(needle), "{msg:?} does not name {needle:?}");
+            assert!(msg.contains("rank"), "{msg:?} does not name the rank axis");
+        }
+        // The brick-shape errors spell the full 3-D geometry.
+        let msg = DistError::FlipOutOfBrick {
+            rank: 2,
+            flip: (1, 2, 3),
+            brick: (4, 5, 6),
+        }
+        .to_string();
+        assert!(
+            msg.contains("(1, 2, 3)") && msg.contains("4x5x6 brick"),
+            "{msg}"
+        );
+        let msg = DistError::GridMismatch {
+            rx: 2,
+            ry: 3,
+            rz: 4,
+            ranks: 5,
+        }
+        .to_string();
+        assert!(msg.contains("2x3x4"), "{msg}");
     }
 
     #[test]
@@ -1805,21 +2184,22 @@ mod tests {
             &DistConfig::<f64>::new(4, 3).with_grid(2, 2),
         )
         .unwrap();
-        // 2×2 over 12×12, halo 1 under clamp: per tile both windows have
-        // 1 (neighbour) + 1 (clamp fold) = 2 cells.
+        // 2×2 over 12×12×2, halo 1 under clamp: per tile both windows
+        // have 1 (neighbour) + 1 (clamp fold) = 2 cells, over 2 layers.
         for r in &rep.ranks {
-            assert_eq!(r.traffic.row_cells, 6 * 2, "rank {}", r.rank);
-            assert_eq!(r.traffic.col_cells, 2 * 6, "rank {}", r.rank);
-            assert_eq!(r.traffic.corner_cells, 2 * 2, "rank {}", r.rank);
-            assert_eq!(r.traffic.cell_bytes, 2 * std::mem::size_of::<f64>());
+            assert_eq!(r.traffic.row_cells, 6 * 2 * 2, "rank {}", r.rank);
+            assert_eq!(r.traffic.col_cells, 2 * 6 * 2, "rank {}", r.rank);
+            assert_eq!(r.traffic.corner_cells, 2 * 2 * 2, "rank {}", r.rank);
+            assert_eq!(r.traffic.z_cells(), 0, "undecomposed z has no z-channels");
+            assert_eq!(r.traffic.cell_bytes, std::mem::size_of::<f64>());
             assert_eq!(
                 r.traffic.unique_cells,
                 r.traffic.self_cells + r.traffic.remote_cells
             );
         }
         let total = rep.total_traffic();
-        assert_eq!(total.row_cells, 4 * 12);
-        assert_eq!(total.corner_cells, 16);
+        assert_eq!(total.row_cells, 4 * 12 * 2);
+        assert_eq!(total.corner_cells, 32);
         // The Display summary carries the traffic line.
         let text = rep.to_string();
         assert!(text.contains("halo traffic"), "{text}");

@@ -3,16 +3,17 @@
 //!
 //! Topology: for every (producer, consumer) rank pair where the consumer's
 //! halo needs at least one cell owned by the producer, a dedicated bounded
-//! channel carries one message per iteration — the z-columns of all the
+//! channel carries one message per iteration — the values of all the
 //! cells that producer owes that consumer, snapshotted at the producer's
-//! current time. With a 2-D rank grid this covers row strips
-//! (y-neighbours), column strips (x-neighbours) *and* corner patches
-//! (diagonal neighbours) through the same construction: the topology is
-//! derived from needed-cell ownership, never from hard-coded ±1
-//! neighbours, so periodic wrap-around, halos wider than a tile
-//! (multi-rank-away producers) and unbalanced tiles all fall out for free.
-//! The bound of **2** is the double-buffering discipline: a producer may
-//! run at most two iterations ahead of a consumer before its send blocks
+//! current time. With an x×y×z brick grid this covers face strips
+//! (x/y/z neighbours), edge strips (two shared axes — the 2-D grid's
+//! corner patches are the xy-edges) *and* corner patches (xyz-diagonal
+//! neighbours) through the same construction: the topology is derived
+//! from needed-cell ownership, never from hard-coded ±1 neighbours, so
+//! periodic wrap-around, halos wider than a brick (multi-rank-away
+//! producers) and unbalanced bricks all fall out for free. The bound of
+//! **2** is the double-buffering discipline: a producer may run at most
+//! two iterations ahead of a consumer before its send blocks
 //! (backpressure), which caps skew and memory without any global barrier.
 //!
 //! Cells a rank needs from *itself* (clamp/reflect folding at the outer
@@ -21,10 +22,11 @@
 //!
 //! Messages carry no cell coordinates: both endpoints derive the same
 //! canonical cell order from the consumer's halo plan (self first, then
-//! producers ascending, each group row-major — sorted by `(y, x)` so
-//! x-consecutive cells occupy consecutive payload slots), so a message is
-//! just the flat value payload and the consumer's prebuilt strip index
-//! ([`crate::HaloIndex`]) resolves lookups arithmetically.
+//! producers ascending, each group z-major row-major — sorted by
+//! `(z, y, x)` so x-consecutive cells occupy consecutive payload slots),
+//! so a message is just the flat value payload and the consumer's
+//! prebuilt strip index ([`crate::HaloIndex`]) resolves lookups
+//! arithmetically.
 //!
 //! Progress argument (no deadlock): consider the rank at the minimum
 //! iteration `t`. Every channel holds only messages for iterations `>=
@@ -40,13 +42,13 @@ use abft_grid::BoundarySpec;
 use abft_num::Real;
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 
-/// Halo payload: the z-columns of the owed cells, flat, in the consumer's
+/// Halo payload: the values of the owed cells, flat, in the consumer's
 /// canonical cell order.
 pub(crate) type HaloMsg<T> = Vec<T>;
 
-/// An outgoing halo channel: the sender plus the producer-local `(lx, ly)`
-/// cells owed to that consumer every iteration.
-pub(crate) type SendPort<T> = (SyncSender<HaloMsg<T>>, Vec<(usize, usize)>);
+/// An outgoing halo channel: the sender plus the producer-local
+/// `(lx, ly, lz)` cells owed to that consumer every iteration.
+pub(crate) type SendPort<T> = (SyncSender<HaloMsg<T>>, Vec<(usize, usize, usize)>);
 
 /// Double-buffering depth of each halo channel: a producer can run at
 /// most this many iterations ahead of a consumer before its send blocks.
@@ -60,8 +62,8 @@ pub(crate) struct Ports<T> {
     /// (matching the consumer's payload layout); exactly one message per
     /// producer per iteration, in iteration order.
     pub(crate) recvs: Vec<Receiver<HaloMsg<T>>>,
-    /// Tile-local `(lx, ly)` cells this rank serves to itself.
-    pub(crate) self_cells: Vec<(usize, usize)>,
+    /// Brick-local `(lx, ly, lz)` cells this rank serves to itself.
+    pub(crate) self_cells: Vec<(usize, usize, usize)>,
 }
 
 impl<T> Ports<T> {
@@ -79,10 +81,10 @@ pub(crate) fn build_topology<T: Real>(ranks: &[Rank<T>]) -> Vec<Ports<T>> {
     let mut ports: Vec<Ports<T>> = (0..ranks.len()).map(|_| Ports::empty()).collect();
     for (c, rank) in ranks.iter().enumerate() {
         for (p, cells) in &rank.plan.groups {
-            let tile = ranks[*p].tile;
-            let localised: Vec<(usize, usize)> = cells
+            let brick = ranks[*p].brick;
+            let localised: Vec<(usize, usize, usize)> = cells
                 .iter()
-                .map(|&(gx, gy)| (gx - tile.x0, gy - tile.y0))
+                .map(|&(gx, gy, gz)| (gx - brick.x0, gy - brick.y0, gz - brick.z0))
                 .collect();
             if *p == c {
                 ports[c].self_cells = localised;

@@ -4,16 +4,16 @@
 //! Pipelined iteration structure (one pass of [`run`]'s loop):
 //!
 //! 1. **post** — snapshot the halo cells this rank owes its consumers
-//!    (row strips, column strips, corner patches) out of the current
+//!    (face strips, edge strips, corner patches) out of the current
 //!    (time-`t`) buffer and send one message per consumer channel;
 //!    self-served cells are copied aside.
-//! 2. **interior** — sweep the rectangular window whose stencil support
-//!    stays in-tile (x- and y-edges both excluded on a 2-D grid). This is
-//!    the overlap window: neighbour sends/receives complete while the
-//!    bulk of the compute runs.
+//! 2. **interior** — sweep the box window whose stencil support stays
+//!    in-brick (x-, y- and z-edges all excluded on a fully decomposed
+//!    grid). This is the overlap window: neighbour sends/receives
+//!    complete while the bulk of the compute runs.
 //! 3. **wait** — block on each producer channel for its halo message and
 //!    assemble the [`HaloGhost`] for this iteration.
-//! 4. **edge** — sweep the remaining edge frame against the ghost and
+//! 4. **edge** — sweep the remaining edge shell against the ghost and
 //!    finish the step (buffer swap).
 //! 5. **verify** — when protected, ABFT interpolation/detection runs on
 //!    the completed step; corrections land *before* the next post, so a
@@ -27,25 +27,24 @@ use abft_num::Real;
 use abft_stencil::{ChecksumMode, NoHook, SplitStepTimes};
 use std::time::Instant;
 
-/// Append the z-column of tile-local cell `(lx, ly)` (length `nz`) to
-/// `out`.
-pub(crate) fn push_column<T: Real>(grid: &Grid3D<T>, lx: usize, ly: usize, out: &mut Vec<T>) {
-    let (nx, ny, nz) = grid.dims();
-    let s = grid.as_slice();
-    let base = ly * nx + lx;
-    let ll = nx * ny;
-    for z in 0..nz {
-        out.push(s[z * ll + base]);
-    }
+/// Append the value of brick-local cell `(lx, ly, lz)` to `out`.
+pub(crate) fn push_cell<T: Real>(
+    grid: &Grid3D<T>,
+    lx: usize,
+    ly: usize,
+    lz: usize,
+    out: &mut Vec<T>,
+) {
+    let (nx, ny, _) = grid.dims();
+    out.push(grid.as_slice()[(lz * ny + ly) * nx + lx]);
 }
 
-/// Snapshot the z-columns of `cells` (tile-local coordinates) into one
+/// Snapshot the scalars of `cells` (brick-local coordinates) into one
 /// flat payload.
-pub(crate) fn pack_cells<T: Real>(grid: &Grid3D<T>, cells: &[(usize, usize)]) -> HaloMsg<T> {
-    let nz = grid.dims().2;
-    let mut out = Vec::with_capacity(cells.len() * nz);
-    for &(lx, ly) in cells {
-        push_column(grid, lx, ly, &mut out);
+pub(crate) fn pack_cells<T: Real>(grid: &Grid3D<T>, cells: &[(usize, usize, usize)]) -> HaloMsg<T> {
+    let mut out = Vec::with_capacity(cells.len());
+    for &(lx, ly, lz) in cells {
+        push_cell(grid, lx, ly, lz, &mut out);
     }
     out
 }
@@ -58,19 +57,25 @@ pub(crate) fn run<T: Real>(
     dims: (usize, usize, usize),
     iters: usize,
 ) {
-    let tile = rank.tile;
+    let brick = rank.brick;
     let ex = rank.sim.stencil().extent_x();
     let ey = rank.sim.stencil().extent_y();
+    let ez = rank.sim.stencil().extent_z();
     // The ghost-free overlap window: cells whose stencil support stays
-    // in-tile (may be empty for tiles barely larger than the extent); the
-    // complement is the edge frame. The x axis only narrows when it is
-    // actually decomposed (tile-local x boundary is Ghost).
+    // in-brick (may be empty for bricks barely larger than the extent);
+    // the complement is the edge shell. An axis only narrows when it is
+    // actually decomposed (brick-local boundary is Ghost).
     let interior_x = if matches!(rank.sim.bounds().x, Boundary::Ghost) {
-        ex..tile.x_len.saturating_sub(ex).max(ex)
+        ex..brick.x_len.saturating_sub(ex).max(ex)
     } else {
-        0..tile.x_len
+        0..brick.x_len
     };
-    let interior_y = ey..tile.y_len.saturating_sub(ey).max(ey);
+    let interior_y = ey..brick.y_len.saturating_sub(ey).max(ey);
+    let interior_z = if matches!(rank.sim.bounds().z, Boundary::Ghost) {
+        ez..brick.z_len.saturating_sub(ez).max(ez)
+    } else {
+        0..brick.z_len
+    };
     let index = rank.plan.index.clone();
 
     for t in 0..iters {
@@ -101,7 +106,7 @@ pub(crate) fn run<T: Real>(
                 values.extend(rx.recv().expect("producer rank hung up"));
             }
             recv_ref.set(values.len() - self_len);
-            HaloGhost::new(index, values, bounds, tile, dims)
+            HaloGhost::new(index, values, bounds, brick, dims)
         };
 
         let flips_now = rank.flips_at(t);
@@ -112,6 +117,7 @@ pub(crate) fn run<T: Real>(
                     &NoHook,
                     interior_x.clone(),
                     interior_y.clone(),
+                    interior_z.clone(),
                     wait,
                 )
                 .1
@@ -123,6 +129,7 @@ pub(crate) fn run<T: Real>(
                     &hook,
                     interior_x.clone(),
                     interior_y.clone(),
+                    interior_z.clone(),
                     wait,
                 )
                 .1
@@ -133,6 +140,7 @@ pub(crate) fn run<T: Real>(
                         &NoHook,
                         interior_x.clone(),
                         interior_y.clone(),
+                        interior_z.clone(),
                         wait,
                         None,
                     )
@@ -145,6 +153,7 @@ pub(crate) fn run<T: Real>(
                         &hook,
                         interior_x.clone(),
                         interior_y.clone(),
+                        interior_z.clone(),
                         wait,
                         None,
                     )

@@ -85,7 +85,7 @@ fn grids_match_serial_bitwise_across_boundaries_and_halo_widths() {
                     &bounds,
                     &base.with_mode(HaloMode::Snapshot),
                 );
-                assert_eq!(pipe.grid, (rx, ry));
+                assert_eq!(pipe.grid, (rx, ry, 1));
                 assert_eq!(
                     pipe.global, expect,
                     "{rx}x{ry} pipelined diverged from serial ({boundary:?}, halo {halo})"

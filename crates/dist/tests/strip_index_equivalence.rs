@@ -1,7 +1,8 @@
-//! Property test of the tentpole claim: the strip-indexed ghost path
+//! Property test of the strip-index claim: the strip-indexed ghost path
 //! resolves **every** halo cell to the identical payload slot the PR 3
 //! `HashMap` path produced, for every grid spec × halo width × boundary
-//! the distributed substrate supports.
+//! the distributed substrate supports — including x×y×z brick grids,
+//! whose halo shells add z-face, z-edge and z-corner cells.
 //!
 //! The hash witness only exists in debug builds or under the
 //! `hash-ghost-path` feature (release builds strip it from the hot path
@@ -11,17 +12,20 @@
 //! the exhaustive, directed version of that proof.
 #![cfg(any(debug_assertions, feature = "hash-ghost-path"))]
 
-use abft_dist::{auto_grid, run_distributed, DistConfig, GridSpec, HaloMode, HaloPlan, Partition2};
+use abft_dist::{auto_grid, run_distributed, DistConfig, GridSpec, HaloMode, HaloPlan, Partition3};
 use abft_grid::{Boundary, BoundarySpec, Grid3D};
 use abft_stencil::{Exec, Stencil2D, Stencil3D, StencilSim};
 use proptest::prelude::*;
 
 /// Resolve a [`GridSpec`] the way `run_distributed` does.
-fn shape(spec: GridSpec, ranks: usize, nx: usize, ny: usize) -> (usize, usize) {
+fn shape(spec: GridSpec, ranks: usize, nx: usize, ny: usize) -> (usize, usize, usize) {
     match spec {
-        GridSpec::Slabs => (1, ranks),
-        GridSpec::Auto => auto_grid(ranks, nx, ny),
-        GridSpec::Explicit { rx, ry } => (rx, ry),
+        GridSpec::Slabs => (1, ranks, 1),
+        GridSpec::Auto => {
+            let (rx, ry) = auto_grid(ranks, nx, ny);
+            (rx, ry, 1)
+        }
+        GridSpec::Explicit { rx, ry, rz } => (rx, ry, rz),
     }
 }
 
@@ -37,59 +41,66 @@ proptest! {
     fn strip_and_hash_resolve_every_ghost_cell_identically(
         nx in 8usize..=15,
         ny in 8usize..=15,
-        nz in 1usize..=3,
+        nz in 2usize..=5,
         halo in 1usize..=3,
         rx in 1usize..=3,
         ry in 1usize..=3,
+        rz in 1usize..=2,
         spec_kind in 0usize..3,
         boundary in prop_oneof![Just(Boundary::Clamp), Just(Boundary::Periodic)],
     ) {
         let spec = match spec_kind {
             0 => GridSpec::Slabs,
             1 => GridSpec::Auto,
-            _ => GridSpec::Explicit { rx, ry },
+            _ => GridSpec::Explicit { rx, ry, rz },
         };
         let ranks = match spec {
             GridSpec::Slabs => ry,
-            _ => rx * ry,
+            _ => rx * ry * rz,
         };
-        let (grx, gry) = shape(spec, ranks, nx, ny);
-        prop_assume!(grx <= nx && gry <= ny);
+        let (grx, gry, grz) = shape(spec, ranks, nx, ny);
+        prop_assume!(grx <= nx && gry <= ny && grz <= nz);
         let bounds = BoundarySpec::<f64>::uniform(boundary);
-        let part = Partition2::new(nx, ny, grx, gry);
-        // Mirror run_distributed: x only becomes a halo axis when it is
-        // actually decomposed.
+        let part = Partition3::new(nx, ny, nz, grx, gry, grz);
+        // Mirror run_distributed: an axis only becomes a halo axis when
+        // it is actually decomposed.
         let hx = if grx > 1 { halo } else { 0 };
+        let hz = if grz > 1 { halo } else { 0 };
         for r in 0..part.ranks() {
-            let tile = part.tile(r);
-            let plan = HaloPlan::new(&tile, r, &part, (hx, halo), (nx, ny, nz), &bounds);
+            let brick = part.brick(r);
+            let plan = HaloPlan::new(&brick, r, &part, (hx, halo, hz), (nx, ny, nz), &bounds);
             let mut planned = std::collections::BTreeSet::new();
             let mut slot = 0usize;
             for (_, group) in &plan.groups {
-                for &(x, y) in group {
+                for &(x, y, z) in group {
                     prop_assert_eq!(
-                        plan.index.slot_strip(x, y),
+                        plan.index.slot_strip(x, y, z),
                         Some(slot),
-                        "strip slot broke payload order at ({}, {}) rank {}", x, y, r
+                        "strip slot broke payload order at ({}, {}, {}) rank {}", x, y, z, r
                     );
                     prop_assert_eq!(
-                        plan.index.slot_hash(x, y),
+                        plan.index.slot_hash(x, y, z),
                         Some(slot),
-                        "hash slot broke payload order at ({}, {}) rank {}", x, y, r
+                        "hash slot broke payload order at ({}, {}, {}) rank {}", x, y, z, r
                     );
-                    planned.insert((x, y));
+                    planned.insert((x, y, z));
                     slot += 1;
                 }
             }
             prop_assert_eq!(slot, plan.index.len());
             // Sweep the whole domain plus a guard band: hits agree with
             // the plan, misses miss in both paths.
-            for y in 0..ny + 2 {
-                for x in 0..nx + 2 {
-                    let strip = plan.index.slot_strip(x, y);
-                    let hash = plan.index.slot_hash(x, y);
-                    prop_assert_eq!(strip, hash, "divergence at ({}, {}) rank {}", x, y, r);
-                    prop_assert_eq!(strip.is_some(), planned.contains(&(x, y)));
+            for z in 0..nz + 2 {
+                for y in 0..ny + 2 {
+                    for x in 0..nx + 2 {
+                        let strip = plan.index.slot_strip(x, y, z);
+                        let hash = plan.index.slot_hash(x, y, z);
+                        prop_assert_eq!(
+                            strip, hash,
+                            "divergence at ({}, {}, {}) rank {}", x, y, z, r
+                        );
+                        prop_assert_eq!(strip.is_some(), planned.contains(&(x, y, z)));
+                    }
                 }
             }
         }
@@ -102,16 +113,17 @@ proptest! {
     #[test]
     fn corner_kernels_stay_bitwise_serial_through_the_strip_index(
         halo in 1usize..=3,
-        spec_kind in 0usize..3,
+        spec_kind in 0usize..4,
         use_27pt in proptest::prelude::any::<bool>(),
         boundary in prop_oneof![Just(Boundary::Clamp), Just(Boundary::Periodic)],
         mode in prop_oneof![Just(HaloMode::Pipelined), Just(HaloMode::Snapshot)],
     ) {
-        let (nx, ny, nz) = (11, 13, 2);
-        let spec = match spec_kind {
-            0 => GridSpec::Slabs,
-            1 => GridSpec::Auto,
-            _ => GridSpec::Explicit { rx: 2, ry: 2 },
+        let (nx, ny, nz) = (11, 13, 4);
+        let (spec, ranks) = match spec_kind {
+            0 => (GridSpec::Slabs, 4),
+            1 => (GridSpec::Auto, 4),
+            2 => (GridSpec::Explicit { rx: 2, ry: 2, rz: 1 }, 4),
+            _ => (GridSpec::Explicit { rx: 2, ry: 2, rz: 2 }, 8),
         };
         let stencil = if use_27pt {
             Stencil3D::<f64>::diffusion_27pt(0.21)
@@ -127,7 +139,7 @@ proptest! {
         for _ in 0..7 {
             serial.step();
         }
-        let cfg = DistConfig::<f64>::new(4, 7)
+        let cfg = DistConfig::<f64>::new(ranks, 7)
             .with_grid_spec(spec)
             .with_halo(halo)
             .with_mode(mode);

@@ -128,14 +128,19 @@ impl<T: Real> BoundarySpec<T> {
 /// Resolution precedence is x → y → z: the first `Ghost` axis hit fires
 /// the call, so axes *before* it carry already-resolved in-range indices
 /// while the firing axis and every axis *after* it keep their raw signed
-/// coordinates — which may themselves be out of range. With a 2-D (x×y)
-/// domain decomposition a corner read arrives with **both** x and y out
-/// of range; the source must finish resolving the trailing axes itself
-/// (against the global boundaries, for the distributed substrate).
+/// coordinates — which may themselves be out of range. **Up to all three
+/// axes can be out of range at once**: with a 2-D (x×y) domain
+/// decomposition a tile-corner read arrives with x and y out of range,
+/// and with a 3-D (x×y×z) brick decomposition an edge read carries two
+/// raw axes and a brick-corner read all three. The source must finish
+/// resolving every trailing axis itself, in the same x → y → z order
+/// (against the global boundaries, for the distributed substrate) —
+/// only then is the read bitwise-faithful to the undecomposed sweep.
 pub trait GhostCells<T>: Sync {
     /// Value of the ghost cell at global-ish coordinates. Axes preceding
-    /// the first ghost hit are already resolved; the rest keep their
-    /// signed coordinates.
+    /// the first ghost hit are already resolved; the firing axis and
+    /// every axis after it keep their signed coordinates, each of which
+    /// may be out of range.
     fn ghost(&self, x: isize, y: isize, z: isize) -> T;
 }
 

@@ -207,18 +207,19 @@ impl<T: Real> StencilSim<T> {
         );
     }
 
-    /// Low-level half of a split step over a rectangular `rows × xs`
-    /// window: sweep it into the back buffer **without** completing the
-    /// step (no checksums — a partial x-window cannot complete a column
-    /// checksum line). Call [`StencilSim::finish_step`] once disjoint
-    /// windows tiling the whole domain have been swept; the result is
-    /// bitwise equal to one [`StencilSim::step_full`].
+    /// Low-level half of a split step over a box `rows × xs × zs` window:
+    /// sweep it into the back buffer **without** completing the step (no
+    /// checksums — a partial x-window cannot complete a column checksum
+    /// line). Call [`StencilSim::finish_step`] once disjoint windows
+    /// tiling the whole domain have been swept; the result is bitwise
+    /// equal to one [`StencilSim::step_full`].
     pub fn sweep_region_partial<H: SweepHook<T>, G: GhostCells<T>>(
         &mut self,
         hook: &H,
         ghosts: &G,
         rows: Range<usize>,
         xs: Range<usize>,
+        zs: Range<usize>,
     ) {
         let (src, dst) = self.buf.split();
         crate::sweep_region(
@@ -233,6 +234,7 @@ impl<T: Real> StencilSim<T> {
             self.exec,
             rows,
             xs,
+            zs,
         );
     }
 
@@ -289,25 +291,28 @@ impl<T: Real> StencilSim<T> {
         (ghosts, times)
     }
 
-    /// One overlapped step with a rectangular interior window — the 2-D
-    /// generalisation of [`StencilSim::step_overlapped`] for x×y-decomposed
-    /// tiles, whose ghost-free interior excludes both x- and y-edge cells.
-    /// Sweeps `interior_y × interior_x` first (no ghost reads allowed),
-    /// calls `wait` for the ghost source, then sweeps the remaining edge
-    /// frame (top/bottom rows full-width, left/right columns of the middle
-    /// rows) against it. Bitwise equal to [`StencilSim::step_full`] with
-    /// the same ghost values.
+    /// One overlapped step with a box interior window — the 3-D
+    /// generalisation of [`StencilSim::step_overlapped`] for
+    /// x×y×z-decomposed bricks, whose ghost-free interior excludes the x-,
+    /// y- *and* z-edge cells. Sweeps `interior_y × interior_x ×
+    /// interior_z` first (no ghost reads allowed), calls `wait` for the
+    /// ghost source, then sweeps the remaining edge shell (bottom/top
+    /// z-slabs over the full cross-section, then the y-frame rows
+    /// full-width and the x-side columns of the middle box) against it.
+    /// Bitwise equal to [`StencilSim::step_full`] with the same ghost
+    /// values.
     ///
-    /// A full-width `interior_x` delegates to
+    /// Full-width `interior_x` *and* full-depth `interior_z` delegate to
     /// [`StencilSim::step_overlapped`] (the fused-checksum 1-D path);
-    /// otherwise `col` must be `None` — a partial x-window cannot complete
-    /// a column checksum line, so protectors recompute the vectors from
-    /// the finished step instead.
+    /// otherwise `col` must be `None` — a partial window cannot complete
+    /// every column checksum line, so protectors recompute the vectors
+    /// from the finished step instead.
     pub fn step_overlapped_region<H, G, W>(
         &mut self,
         hook: &H,
         interior_x: Range<usize>,
         interior_y: Range<usize>,
+        interior_z: Range<usize>,
         wait: W,
         col: Option<&mut [T]>,
     ) -> (G, SplitStepTimes)
@@ -316,29 +321,33 @@ impl<T: Real> StencilSim<T> {
         G: GhostCells<T>,
         W: FnOnce() -> G,
     {
-        let (nx, ny, _) = self.dims();
+        let (nx, ny, nz) = self.dims();
         let ix = interior_x.start.min(nx)..interior_x.end.min(nx);
         let ix = ix.start..ix.end.max(ix.start);
-        if ix == (0..nx) {
+        let iz = interior_z.start.min(nz)..interior_z.end.min(nz);
+        let iz = iz.start..iz.end.max(iz.start);
+        if ix == (0..nx) && iz == (0..nz) {
             return self.step_overlapped(hook, interior_y, wait, col);
         }
         assert!(
             col.is_none(),
-            "fused column checksums need a full-width interior window; \
-             compute them from the finished step instead"
+            "fused column checksums need a full-width, full-depth interior \
+             window; compute them from the finished step instead"
         );
         let iy = interior_y.start.min(ny)..interior_y.end.min(ny);
         let iy = iy.start..iy.end.max(iy.start);
 
         let t0 = Instant::now();
-        self.sweep_region_partial(hook, &NoGhosts, iy.clone(), ix.clone());
+        self.sweep_region_partial(hook, &NoGhosts, iy.clone(), ix.clone(), iz.clone());
         let t1 = Instant::now();
         let ghosts = wait();
         let t2 = Instant::now();
-        self.sweep_region_partial(hook, &ghosts, 0..iy.start, 0..nx);
-        self.sweep_region_partial(hook, &ghosts, iy.end..ny, 0..nx);
-        self.sweep_region_partial(hook, &ghosts, iy.clone(), 0..ix.start);
-        self.sweep_region_partial(hook, &ghosts, iy.clone(), ix.end..nx);
+        self.sweep_region_partial(hook, &ghosts, 0..ny, 0..nx, 0..iz.start);
+        self.sweep_region_partial(hook, &ghosts, 0..ny, 0..nx, iz.end..nz);
+        self.sweep_region_partial(hook, &ghosts, 0..iy.start, 0..nx, iz.clone());
+        self.sweep_region_partial(hook, &ghosts, iy.end..ny, 0..nx, iz.clone());
+        self.sweep_region_partial(hook, &ghosts, iy.clone(), 0..ix.start, iz.clone());
+        self.sweep_region_partial(hook, &ghosts, iy.clone(), ix.end..nx, iz.clone());
         self.finish_step();
         let t3 = Instant::now();
 
@@ -471,7 +480,37 @@ mod tests {
                 2 => (0..12, 4..8),
                 _ => (5..5, 0..12),
             };
-            let (_, times) = split.step_overlapped_region(&NoHook, ix, iy, || NoGhosts, None);
+            let (_, times) = split.step_overlapped_region(&NoHook, ix, iy, 0..1, || NoGhosts, None);
+            assert!(times.interior_s >= 0.0 && times.edge_s >= 0.0);
+        }
+        assert_eq!(full.current(), split.current());
+        assert_eq!(full.iteration(), split.iteration());
+    }
+
+    #[test]
+    fn overlapped_box_step_with_z_window_is_bitwise_equal_to_full_step() {
+        let make = || {
+            let g = Grid3D::from_fn(9, 8, 5, |x, y, z| ((x * 3 + y * 5 + z * 7) % 11) as f64);
+            StencilSim::new(
+                g,
+                Stencil3D::seven_point(0.4f64, 0.1, 0.1, 0.1),
+                BoundarySpec::clamp(),
+            )
+            .with_exec(Exec::Serial)
+        };
+        let mut full = make();
+        let mut split = make();
+        for it in 0..8 {
+            full.step();
+            // Proper 3-D interiors, a full box (delegates to the fused
+            // path), partial z with full x, and empty interiors.
+            let (ix, iy, iz) = match it % 4 {
+                0 => (1..8, 1..7, 1..4),
+                1 => (2..5, 2..6, 2..3),
+                2 => (0..9, 0..8, 0..5),
+                _ => (0..9, 3..5, 1..4),
+            };
+            let (_, times) = split.step_overlapped_region(&NoHook, ix, iy, iz, || NoGhosts, None);
             assert!(times.interior_s >= 0.0 && times.edge_s >= 0.0);
         }
         assert_eq!(full.current(), split.current());

@@ -119,7 +119,7 @@ pub fn sweep_rows<T: Real, H: SweepHook<T>, G: GhostCells<T>>(
     exec: Exec,
     rows: std::ops::Range<usize>,
 ) {
-    let nx = src.dims().0;
+    let (nx, _, nz) = src.dims();
     sweep_region(
         src,
         dst,
@@ -132,23 +132,25 @@ pub fn sweep_rows<T: Real, H: SweepHook<T>, G: GhostCells<T>>(
         exec,
         rows,
         0..nx,
+        0..nz,
     );
 }
 
-/// Sweep only the rectangular window `rows × xs` (every layer): the 2-D
-/// generalisation of [`sweep_rows`] used by x×y-decomposed ranks, whose
-/// overlap window excludes both the x- and y-edge cells of a tile.
+/// Sweep only the box window `rows × xs × zs`: the 3-D generalisation of
+/// [`sweep_rows`] used by x×y×z-decomposed ranks, whose overlap window
+/// excludes the x-, y- *and* z-edge cells of a brick.
 ///
 /// Per-point results are identical to a full [`sweep`] restricted to the
 /// window, so a step assembled from disjoint windows tiling the whole
 /// domain is bitwise equal to one full sweep. [`ChecksumMode::Col`] is
 /// rejected unless `xs` covers `0..nx` (a column checksum entry sums a
-/// whole x-line); [`ChecksumMode::RowCol`] additionally requires full
-/// `rows`.
+/// whole x-line; entries of unswept `(z, y)` lines are left untouched);
+/// [`ChecksumMode::RowCol`] additionally requires full `rows`.
 ///
 /// # Panics
-/// Panics on the same conditions as [`sweep`], if `rows`/`xs` exceed the
-/// domain, or on a checksum mode whose vectors the window cannot complete.
+/// Panics on the same conditions as [`sweep`], if `rows`/`xs`/`zs` exceed
+/// the domain, or on a checksum mode whose vectors the window cannot
+/// complete.
 #[allow(clippy::too_many_arguments)]
 pub fn sweep_region<T: Real, H: SweepHook<T>, G: GhostCells<T>>(
     src: &Grid3D<T>,
@@ -162,12 +164,15 @@ pub fn sweep_region<T: Real, H: SweepHook<T>, G: GhostCells<T>>(
     exec: Exec,
     rows: std::ops::Range<usize>,
     xs: std::ops::Range<usize>,
+    zs: std::ops::Range<usize>,
 ) {
     let (nx, ny, nz) = src.dims();
     let y_rows = rows.start..rows.end.max(rows.start);
     let xs = xs.start..xs.end.max(xs.start);
+    let zs = zs.start..zs.end.max(zs.start);
     assert!(y_rows.end <= ny, "row range {y_rows:?} exceeds ny = {ny}");
     assert!(xs.end <= nx, "x range {xs:?} exceeds nx = {nx}");
+    assert!(zs.end <= nz, "z range {zs:?} exceeds nz = {nz}");
     assert!(
         matches!(mode, ChecksumMode::None) || xs == (0..nx),
         "column checksums require full x-lines (got xs {xs:?} of 0..{nx})"
@@ -214,6 +219,7 @@ pub fn sweep_region<T: Real, H: SweepHook<T>, G: GhostCells<T>>(
         .zip(rows.drain(..))
         .zip(cols.drain(..))
         .enumerate()
+        .filter(|(z, _)| zs.contains(z))
         .map(|(z, ((dst_layer, row), col))| LayerTask {
             z,
             dst_layer,
@@ -705,9 +711,15 @@ mod tests {
             ChecksumMode::None,
             Exec::Serial,
         );
-        // Disjoint windows tiling the domain, swept in arbitrary order.
+        // Disjoint windows tiling the domain, swept in arbitrary order —
+        // including a z-split (layer 2 separate from layers 0..2).
         let mut tiled = Grid3D::zeros(9, 7, 3);
-        for (rows, xs) in [(3..7, 4..9), (0..3, 0..9), (3..7, 0..4)] {
+        for (rows, xs, zs) in [
+            (3..7, 4..9, 0..2),
+            (0..3, 0..9, 0..2),
+            (3..7, 0..4, 0..2),
+            (0..7, 0..9, 2..3),
+        ] {
             sweep_region(
                 &src,
                 &mut tiled,
@@ -720,6 +732,7 @@ mod tests {
                 Exec::Serial,
                 rows,
                 xs,
+                zs,
             );
         }
         assert_eq!(full, tiled);
@@ -743,6 +756,7 @@ mod tests {
             Exec::Serial,
             0..5,
             1..6,
+            0..1,
         );
     }
 

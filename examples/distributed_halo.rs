@@ -6,16 +6,21 @@
 //! online ABFT: the "intrinsically parallel" deployment the paper argues
 //! for in §3.2.
 //!
-//! Three decompositions run back to back on the same domain:
+//! Four decompositions run back to back on the same domain:
 //!
 //! 1. the classic `1×ranks` **y-slab** split with a mid-run bit flip,
 //! 2. a **2×2 rank grid** (column strips + corner patches in the halo)
 //!    with the flip aimed at a tile *corner* — the cell owed to three
-//!    neighbours at once, the hardest containment site — and
+//!    neighbours at once, the hardest containment site —
 //! 3. the same 2×2 grid under the library's **9-point convection
 //!    kernel**, whose diagonal taps consume the corner patches every
 //!    sweep, again with a corner flip; the report's per-channel traffic
-//!    summary shows the row/column/corner split the exchange carried.
+//!    summary shows the row/column/corner split the exchange carried —
+//!    and
+//! 4. a **2×2×2 brick grid** under the library's **27-point diffusion
+//!    kernel**, whose z-diagonal taps consume the z-face, z-edge and
+//!    z-corner channels every sweep, with the flip at a brick's
+//!    xyz-corner — the cell owed to seven neighbours at once.
 //!
 //! Run with: `cargo run --release --example distributed_halo -- [ranks]`
 
@@ -25,14 +30,14 @@ use stencil_abft::prelude::*;
 fn report_ranks(report: &DistReport<f64>) {
     println!(
         "{:<6} {:>12} {:>10} {:>12} {:>12} {:>12}",
-        "rank", "tile", "origin", "detections", "corrections", "halo-wait"
+        "rank", "brick", "origin", "detections", "corrections", "halo-wait"
     );
     for r in &report.ranks {
         println!(
             "{:<6} {:>12} {:>10} {:>12} {:>12} {:>11.1}%",
             r.rank,
-            format!("{}x{}", r.x_len, r.y_len),
-            format!("({},{})", r.x0, r.y0),
+            format!("{}x{}x{}", r.x_len, r.y_len, r.z_len),
+            format!("({},{},{})", r.x0, r.y0, r.z0),
             r.stats.detections,
             r.stats.corrections,
             100.0 * r.timing.halo_wait_fraction()
@@ -117,7 +122,7 @@ fn main() {
     let total = report.total_stats();
     println!("\nglobal l2 vs serial run: {l2:.3e}");
     println!("{report}");
-    assert_eq!(report.grid, (2, 2));
+    assert_eq!(report.grid, (2, 2, 1));
     assert_eq!(total.corrections, 1);
     assert_eq!(report.ranks[3].stats.corrections, 1);
     assert!(l2 < 1e-8, "corrected 2-D run must match serial");
@@ -164,5 +169,48 @@ fn main() {
     assert_eq!(total.corrections, 1);
     assert_eq!(report.ranks[0].stats.corrections, 1);
     assert!(l2 < 1e-8, "corrected 9-point run must match serial");
-    println!("\ndistributed + per-rank ABFT matches the serial reference in all three runs");
+
+    // --- 4. 2×2×2 brick grid, 27-point kernel, fault at a brick corner. -
+    // The z axis is decomposed too: rank 7's brick origin is the domain
+    // centre, so its local (0, 0, 0) cell sits at the meeting point of
+    // all eight bricks — owed to every other rank through x/y/z faces,
+    // edges *and* the xyz-corner channel — and the 27-point kernel's
+    // z-diagonal taps consume all of them the very next sweep.
+    let twenty_seven = Stencil3D::diffusion_27pt(0.21f64);
+    let mut serial27 =
+        StencilSim::new(initial.clone(), twenty_seven.clone(), bounds).with_exec(Exec::Serial);
+    for _ in 0..iters {
+        serial27.step();
+    }
+    let brick_corner_flip = BitFlip {
+        iteration: 23,
+        x: 0,
+        y: 0,
+        z: 0,
+        bit: 52,
+    };
+    let cfg = DistConfig::new(8, iters)
+        .with_grid3(2, 2, 2)
+        .with_abft(AbftConfig::<f64>::paper_defaults())
+        .with_flip(7, brick_corner_flip);
+    let report =
+        run_distributed(&initial, &twenty_seven, &bounds, None, &cfg).expect("valid dist config");
+
+    println!("\n== 2x2x2 rank bricks x {iters} iterations, 27-point kernel, corner bit-flip ==\n");
+    report_ranks(&report);
+
+    let l2 = l2_error(serial27.current(), &report.global);
+    let total = report.total_stats();
+    println!("\nglobal l2 vs serial run: {l2:.3e}");
+    println!("{report}");
+    let traffic = report.total_traffic();
+    assert_eq!(report.grid, (2, 2, 2));
+    assert!(
+        traffic.zface_cells > 0 && traffic.zcorner_cells > 0,
+        "a 3-D brick grid must exchange z-face and z-corner patches"
+    );
+    assert_eq!(total.corrections, 1);
+    assert_eq!(report.ranks[7].stats.corrections, 1);
+    assert!(l2 < 1e-8, "corrected 27-point brick run must match serial");
+    println!("\ndistributed + per-rank ABFT matches the serial reference in all four runs");
 }

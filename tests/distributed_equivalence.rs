@@ -130,8 +130,34 @@ fn hotspot_2d_grid_matches_serial_bitwise() {
                 &cfg,
             )
             .expect("valid config");
-            assert_eq!(rep.grid, (rx, ry));
+            assert_eq!(rep.grid, (rx, ry, 1));
             assert_eq!(rep.global, expect, "{rx}x{ry} grid diverged ({mode:?})");
+        }
+    }
+}
+
+#[test]
+fn hotspot_3d_brick_grid_matches_serial_bitwise() {
+    let (initial, stencil, constant) = hotspot_pieces(18, 24, 4);
+    let expect = serial_run(&initial, &stencil, &constant, 16);
+    for (rx, ry, rz) in [(1usize, 2usize, 2usize), (2, 2, 2), (1, 1, 2)] {
+        for mode in [HaloMode::Pipelined, HaloMode::Snapshot] {
+            let cfg = DistConfig::<f64>::new(rx * ry * rz, 16)
+                .with_grid3(rx, ry, rz)
+                .with_mode(mode);
+            let rep = run_distributed(
+                &initial,
+                &stencil,
+                &BoundarySpec::clamp(),
+                Some(&constant),
+                &cfg,
+            )
+            .expect("valid config");
+            assert_eq!(rep.grid, (rx, ry, rz));
+            assert_eq!(
+                rep.global, expect,
+                "{rx}x{ry}x{rz} bricks diverged ({mode:?})"
+            );
         }
     }
 }
@@ -165,7 +191,7 @@ proptest! {
         let cfg = DistConfig::<f64>::new(rx * ry, iters).with_grid(rx, ry).with_mode(mode);
         let rep = run_distributed(&initial, &stencil, &bounds, Some(&constant), &cfg)
             .expect("valid config");
-        prop_assert_eq!(rep.grid, (rx, ry));
+        prop_assert_eq!(rep.grid, (rx, ry, 1));
         prop_assert_eq!(&rep.global, sim.current());
     }
 }
