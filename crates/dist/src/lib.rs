@@ -76,9 +76,11 @@ use std::time::Instant;
 
 mod index;
 mod pipeline;
+mod service;
 mod worker;
 
 pub use index::{CellGroups, HaloIndex, HaloPlan, HaloTraffic};
+pub use service::{DistService, JobId, JobSpec, ServeStats};
 
 /// How halo cells travel between ranks.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -120,6 +122,33 @@ pub enum GridSpec {
 pub enum DistError {
     /// `ranks == 0`.
     NoRanks,
+    /// The domain has no cells (some axis is zero-length).
+    EmptyGrid { dims: (usize, usize, usize) },
+    /// `iters == 0`: the job would do nothing (and the one-shot path
+    /// used to panic deep in the decomposition instead of saying so).
+    ZeroIterations,
+    /// A requested halo narrower than the kernel reach on a decomposed
+    /// axis, rejected by [`DistService::submit`]'s strict admission (the
+    /// lenient one-shot path widens the halo to the reach instead).
+    HaloTooNarrow {
+        axis: char,
+        halo: usize,
+        extent: usize,
+    },
+    /// A pipelined job wants more ranks than the service has pooled
+    /// workers; all of a job's ranks must run concurrently, so it could
+    /// never start.
+    PoolTooSmall { ranks: usize, pool: usize },
+    /// A rank's simulation panicked mid-job. The job is lost but the
+    /// pool survives; `rank` is the lowest failing rank when known
+    /// (`None` when the panic escaped the per-rank containment).
+    RankPanicked {
+        rank: Option<usize>,
+        message: String,
+    },
+    /// [`DistService::await_job`] was asked for a job this service never
+    /// admitted — or one whose report was already claimed.
+    UnknownJob { id: u64 },
     /// An explicit grid whose `rx · ry · rz` differs from the rank count.
     GridMismatch {
         rx: usize,
@@ -178,6 +207,27 @@ impl std::fmt::Display for DistError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             Self::NoRanks => write!(f, "need at least one rank"),
+            Self::EmptyGrid { dims } => {
+                let (nx, ny, nz) = dims;
+                write!(f, "domain {nx}x{ny}x{nz} has no cells")
+            }
+            Self::ZeroIterations => write!(f, "zero iterations configured; nothing to run"),
+            Self::HaloTooNarrow { axis, halo, extent } => write!(
+                f,
+                "requested halo {halo} is narrower than the kernel {axis}-reach {extent} on a decomposed {axis} axis"
+            ),
+            Self::PoolTooSmall { ranks, pool } => write!(
+                f,
+                "job needs {ranks} concurrent ranks but the pool has {pool} workers"
+            ),
+            Self::RankPanicked { rank, message } => match rank {
+                Some(r) => write!(f, "rank {r} panicked mid-job: {message}"),
+                None => write!(f, "job panicked: {message}"),
+            },
+            Self::UnknownJob { id } => write!(
+                f,
+                "job #{id} was never admitted here (or its report was already claimed)"
+            ),
             Self::GridMismatch { rx, ry, rz, ranks } => write!(
                 f,
                 "grid {rx}x{ry}x{rz} covers {} ranks but {ranks} were configured",
@@ -463,6 +513,10 @@ pub struct DistReport<T> {
     /// Wall-clock seconds of the iteration loop (setup and gather
     /// excluded), as seen by the driver.
     pub wall_s: f64,
+    /// Submit-to-completion seconds as observed by the serving layer
+    /// (queue wait + setup + iteration loop + gather). Zero when the
+    /// report was produced outside a [`DistService`].
+    pub latency_s: f64,
 }
 
 impl<T: Real> DistReport<T> {
@@ -510,6 +564,11 @@ impl<T: Real> std::fmt::Display for DistReport<T> {
             stats.detections,
             stats.corrections,
         )?;
+        let mut busy = abft_metrics::LatencySummary::new();
+        for r in &self.ranks {
+            busy.push(r.timing.total_s());
+        }
+        writeln!(f, "rank busy time {busy}")?;
         write!(f, "halo traffic: {}", self.total_traffic())
     }
 }
@@ -834,8 +893,10 @@ pub(crate) struct Rank<T> {
     /// rank serves to itself — then remote producers in ascending rank
     /// order, each group z-major row-major). Concatenating the groups'
     /// scalars in this order yields the per-iteration halo payload; the
-    /// plan's strip index resolves cells to payload slots.
-    pub(crate) plan: HaloPlan,
+    /// plan's strip index resolves cells to payload slots. Shared with
+    /// the pool's topology cache — the plan is immutable, so jobs with
+    /// the same shape reuse one copy.
+    pub(crate) plan: Arc<HaloPlan>,
     pub(crate) timing: PhaseTimings,
 }
 
@@ -888,6 +949,12 @@ fn validate<T: Real>(
     cfg: &DistConfig<T>,
 ) -> Result<Partition3, DistError> {
     let (nx, ny, nz) = initial.dims();
+    if nx == 0 || ny == 0 || nz == 0 {
+        return Err(DistError::EmptyGrid { dims: (nx, ny, nz) });
+    }
+    if cfg.iters == 0 {
+        return Err(DistError::ZeroIterations);
+    }
     if matches!(bounds.x, Boundary::Ghost)
         || matches!(bounds.y, Boundary::Ghost)
         || matches!(bounds.z, Boundary::Ghost)
@@ -1018,9 +1085,29 @@ pub fn run_distributed<T: Real>(
     constant: Option<&Grid3D<T>>,
     cfg: &DistConfig<T>,
 ) -> Result<DistReport<T>, DistError> {
-    let (nx, ny, nz) = initial.dims();
-    let part = validate(initial, stencil, bounds, constant, cfg)?;
-    let (rx, ry, rz) = (part.rx(), part.ry(), part.rz());
+    // One-shot wrapper over a temporary service: one pool slot per rank,
+    // lenient halo semantics (a narrow halo widens to the kernel reach
+    // instead of erroring — kept for the overlap experiments that sweep
+    // halo widths below wide kernels' reach).
+    let service = DistService::new(cfg.ranks.max(1))?;
+    let mut spec = JobSpec::new(initial.clone(), stencil.clone(), *bounds, cfg.clone());
+    if let Some(c) = constant {
+        spec = spec.with_constant(c.clone());
+    }
+    let id = service.submit_lenient(spec)?;
+    let report = service.await_job(id);
+    service.shutdown();
+    report
+}
+
+/// The effective per-axis halo width `(hx, hy, hz)`: the configured halo
+/// widened to the stencil's reach, on the axes that exchange (y always —
+/// it is always ghost-decomposed — x and z only when actually split).
+pub(crate) fn effective_halo<T: Real>(
+    cfg: &DistConfig<T>,
+    stencil: &Stencil3D<T>,
+    (rx, _ry, rz): (usize, usize, usize),
+) -> (usize, usize, usize) {
     let hy = cfg.halo.unwrap_or(0).max(stencil.extent_y());
     let hx = if rx > 1 {
         cfg.halo.unwrap_or(0).max(stencil.extent_x())
@@ -1032,7 +1119,24 @@ pub fn run_distributed<T: Real>(
     } else {
         0
     };
+    (hx, hy, hz)
+}
 
+/// Build one job's transient rank state: per-brick sims (with constant
+/// slices), per-job protectors and per-job flip lists. Everything here is
+/// job-scoped by construction — a fresh call per job is what guarantees
+/// one job's faults and protector counters can never leak into the next —
+/// while the immutable halo `plans` are shared with the topology cache.
+pub(crate) fn build_ranks<T: Real>(
+    initial: &Grid3D<T>,
+    stencil: &Stencil3D<T>,
+    bounds: &BoundarySpec<T>,
+    constant: Option<&Grid3D<T>>,
+    cfg: &DistConfig<T>,
+    part: &Partition3,
+    plans: &[Arc<HaloPlan>],
+) -> Vec<Rank<T>> {
+    let (rx, rz) = (part.rx(), part.rz());
     // Rank-local boundary spec: decomposed axes served by the halo, the
     // rest as global. x and z stay global for slab grids so the 1-D path
     // is untouched (no column/layer exchange, fused checksums, identical
@@ -1042,8 +1146,7 @@ pub fn run_distributed<T: Real>(
         y: Boundary::Ghost,
         z: if rz > 1 { Boundary::Ghost } else { bounds.z },
     };
-
-    let mut ranks: Vec<Rank<T>> = (0..part.ranks())
+    (0..part.ranks())
         .map(|r| {
             let brick = part.brick(r);
             let local = Grid3D::from_fn(brick.x_len, brick.y_len, brick.z_len, |x, y, z| {
@@ -1058,7 +1161,6 @@ pub fn run_distributed<T: Real>(
                 sim = sim.with_constant(local_c);
             }
             let abft = cfg.abft.map(|acfg| OnlineAbft::new(&sim, acfg));
-            let plan = HaloPlan::new(&brick, r, &part, (hx, hy, hz), (nx, ny, nz), bounds);
             Rank {
                 sim,
                 abft,
@@ -1069,25 +1171,23 @@ pub fn run_distributed<T: Real>(
                     .filter(|(fr, _)| *fr == r)
                     .map(|(_, f)| *f)
                     .collect(),
-                plan,
+                plan: plans[r].clone(),
                 timing: PhaseTimings::default(),
             }
         })
-        .collect();
+        .collect()
+}
 
-    let wall = Instant::now();
-    match cfg.mode {
-        HaloMode::Pipelined => {
-            pipeline::run_pipelined(&mut ranks, bounds, (nx, ny, nz), cfg.iters);
-        }
-        HaloMode::Snapshot => {
-            run_snapshot(&mut ranks, bounds, (nx, ny, nz), cfg.iters);
-        }
-    }
-    let wall_s = wall.elapsed().as_secs_f64();
-
-    // --- Gather the bricks back into the global grid (one pass per
-    //     brick, contiguous x-line copies). -----------------------------
+/// Gather the finished ranks' bricks back into one global grid and fold
+/// their stats, timings and traffic into a [`DistReport`].
+pub(crate) fn gather_report<T: Real>(
+    ranks: Vec<Rank<T>>,
+    grid: (usize, usize, usize),
+    dims: (usize, usize, usize),
+    wall_s: f64,
+) -> DistReport<T> {
+    let (nx, ny, nz) = dims;
+    // One pass per brick, contiguous x-line copies.
     let mut global = Grid3D::zeros(nx, ny, nz);
     for rank in &ranks {
         let local = rank.sim.current();
@@ -1100,8 +1200,7 @@ pub fn run_distributed<T: Real>(
             }
         }
     }
-
-    Ok(DistReport {
+    DistReport {
         global,
         ranks: ranks
             .iter()
@@ -1119,9 +1218,10 @@ pub fn run_distributed<T: Real>(
                 traffic: r.plan.traffic,
             })
             .collect(),
-        grid: (rx, ry, rz),
+        grid,
         wall_s,
-    })
+        latency_s: 0.0,
+    }
 }
 
 /// The legacy barriered execution: snapshot all requested halo cells on
@@ -2225,5 +2325,97 @@ mod tests {
                 (s.traffic.remote_cells * s.traffic.cell_bytes * 3) as u64
             );
         }
+    }
+
+    #[test]
+    fn empty_grid_rejected_with_structured_error() {
+        // Two layers of defence: every `Grid3D` constructor refuses
+        // zero-cell shapes outright, and should a zero-dim grid ever
+        // reach `validate` anyway (a future constructor, deserialized
+        // state), admission rejects it with a structured error instead
+        // of panicking in `decompose` inside a pooled worker.
+        for dims in [(0usize, 8usize, 2usize), (8, 0, 2), (8, 8, 0)] {
+            let built = std::panic::catch_unwind(|| {
+                Grid3D::from_fn(dims.0, dims.1, dims.2, |_, _, _| 0.0f64)
+            });
+            assert!(built.is_err(), "Grid3D accepted empty dims {dims:?}");
+            let err = DistError::EmptyGrid { dims };
+            assert!(err.to_string().contains("has no cells"), "{err}");
+        }
+    }
+
+    #[test]
+    fn zero_iterations_rejected_with_structured_error() {
+        let initial = wavy(8, 8, 2);
+        let stencil = Stencil3D::seven_point(0.4f64, 0.1, 0.1, 0.1);
+        let err = run_distributed(
+            &initial,
+            &stencil,
+            &BoundarySpec::clamp(),
+            None,
+            &DistConfig::<f64>::new(2, 0),
+        )
+        .unwrap_err();
+        assert_eq!(err, DistError::ZeroIterations);
+        assert!(err.to_string().contains("zero iterations"), "{err}");
+    }
+
+    #[test]
+    fn serving_error_messages_are_specific() {
+        let cases: Vec<(DistError, &str)> = vec![
+            (
+                DistError::HaloTooNarrow {
+                    axis: 'z',
+                    halo: 1,
+                    extent: 2,
+                },
+                "kernel z-reach 2",
+            ),
+            (
+                DistError::PoolTooSmall { ranks: 8, pool: 4 },
+                "8 concurrent ranks",
+            ),
+            (
+                DistError::RankPanicked {
+                    rank: Some(3),
+                    message: "boom".to_string(),
+                },
+                "rank 3 panicked",
+            ),
+            (
+                DistError::RankPanicked {
+                    rank: None,
+                    message: "boom".to_string(),
+                },
+                "job panicked",
+            ),
+            (DistError::UnknownJob { id: 42 }, "job #42"),
+            (DistError::EmptyGrid { dims: (0, 8, 2) }, "domain 0x8x2"),
+        ];
+        for (err, needle) in cases {
+            let msg = err.to_string();
+            assert!(msg.contains(needle), "{msg:?} does not contain {needle:?}");
+        }
+    }
+
+    #[test]
+    fn report_display_includes_rank_busy_latency_line() {
+        let initial = wavy(12, 16, 2);
+        let stencil = Stencil3D::seven_point(0.4f64, 0.1, 0.1, 0.1);
+        let rep = run_distributed(
+            &initial,
+            &stencil,
+            &BoundarySpec::clamp(),
+            None,
+            &DistConfig::<f64>::new(4, 4),
+        )
+        .unwrap();
+        let text = rep.to_string();
+        assert!(text.contains("rank busy time"), "{text}");
+        assert!(text.contains("min/p50/p99/max"), "{text}");
+        // The one-shot wrapper rides the serving layer, so even it
+        // observes a submit-to-completion latency.
+        assert!(rep.latency_s > 0.0);
+        assert!(rep.latency_s >= rep.wall_s);
     }
 }

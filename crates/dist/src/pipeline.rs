@@ -1,5 +1,6 @@
-//! The persistent rank pipeline: channel topology construction and the
-//! run loop that spawns each rank **once** for the whole simulation.
+//! Channel topology for the persistent rank pipeline, factored into a
+//! pool-scoped [`Topology`] value so a serving pool can reuse it across
+//! jobs instead of rebuilding per run.
 //!
 //! Topology: for every (producer, consumer) rank pair where the consumer's
 //! halo needs at least one cell owned by the producer, a dedicated bounded
@@ -35,12 +36,25 @@
 //! minimality — and its receives are satisfied because every producer at
 //! iteration `>= t` posted its `t`-message before doing anything blocking.
 //! Hence the minimum rank always advances.
+//!
+//! **Reusability across jobs**: a job sends exactly one message per
+//! channel per iteration and receives exactly one, so after a job's
+//! `iters` iterations complete cleanly every channel is drained — the
+//! same [`Ports`] set can carry the next job unchanged. The
+//! [`TopologyCache`] exploits this: topologies are keyed on everything
+//! the channel wiring depends on — domain shape, rank grid, effective
+//! per-axis halo depth (which folds in the kernel reach, since the
+//! effective width is `max(halo, extent)` per decomposed axis) and the
+//! global boundary spec (periodic wrap changes who owes whom) — and only
+//! a job that *panicked* mid-flight poisons its entry (channels may hold
+//! stale messages), so the scheduler discards that one entry and rebuilds
+//! on next use.
 
-use crate::worker;
-use crate::Rank;
+use crate::{HaloPlan, Partition3};
 use abft_grid::BoundarySpec;
 use abft_num::Real;
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::Arc;
 
 /// Halo payload: the values of the owed cells, flat, in the consumer's
 /// canonical cell order.
@@ -53,6 +67,11 @@ pub(crate) type SendPort<T> = (SyncSender<HaloMsg<T>>, Vec<(usize, usize, usize)
 /// Double-buffering depth of each halo channel: a producer can run at
 /// most this many iterations ahead of a consumer before its send blocks.
 pub(crate) const CHANNEL_DEPTH: usize = 2;
+
+/// Entries the topology cache holds before evicting the oldest. Serving
+/// streams rarely rotate through more than a handful of job shapes; the
+/// cap only bounds memory for adversarial shape churn.
+const CACHE_CAP: usize = 32;
 
 /// One rank's endpoints in the pipeline.
 pub(crate) struct Ports<T> {
@@ -76,12 +95,47 @@ impl<T> Ports<T> {
     }
 }
 
-/// Wire up the halo channels from each rank's needed-cell groups.
-pub(crate) fn build_topology<T: Real>(ranks: &[Rank<T>]) -> Vec<Ports<T>> {
-    let mut ports: Vec<Ports<T>> = (0..ranks.len()).map(|_| Ports::empty()).collect();
-    for (c, rank) in ranks.iter().enumerate() {
-        for (p, cells) in &rank.plan.groups {
-            let brick = ranks[*p].brick;
+/// Everything the channel wiring of a topology depends on. Two jobs with
+/// equal keys exchange exactly the same cells over exactly the same
+/// channels, so they can share one [`Topology`].
+///
+/// The kernel reach enters through `halo`: callers key on the *effective*
+/// per-axis halo depth `max(requested halo, stencil extent)`, so a wider
+/// kernel under the same requested halo yields a different key.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct TopoKey<T> {
+    /// Global domain dims `(nx, ny, nz)`.
+    pub(crate) dims: (usize, usize, usize),
+    /// Rank-grid shape `(rx, ry, rz)`.
+    pub(crate) grid: (usize, usize, usize),
+    /// Effective per-axis halo depth `(hx, hy, hz)`.
+    pub(crate) halo: (usize, usize, usize),
+    /// Global boundary spec (periodic wrap rewires the halo channels).
+    pub(crate) bounds: BoundarySpec<T>,
+}
+
+/// A pool-scoped channel topology: the per-rank halo plans plus the
+/// channel endpoints, reusable across every job that shares the key.
+pub(crate) struct Topology<T> {
+    pub(crate) key: TopoKey<T>,
+    /// Per-rank halo plans (cell groups, strip index, traffic volumes),
+    /// shared with each job's transient [`crate::Rank`] values.
+    pub(crate) plans: Vec<Arc<HaloPlan>>,
+    /// The channel endpoints, built lazily on first pipelined use
+    /// (snapshot-mode jobs never need them); `None` while a job has them
+    /// checked out.
+    ports: Option<Vec<Ports<T>>>,
+}
+
+/// Wire up per-rank halo channels from the ranks' halo plans. Channels
+/// are created in consumer-major, ascending-producer order — the same
+/// deterministic order the plans list their groups in — so two builds of
+/// the same key are interchangeable.
+fn build_ports<T: Real>(plans: &[Arc<HaloPlan>], part: &Partition3) -> Vec<Ports<T>> {
+    let mut ports: Vec<Ports<T>> = (0..plans.len()).map(|_| Ports::empty()).collect();
+    for (c, plan) in plans.iter().enumerate() {
+        for (p, cells) in &plan.groups {
+            let brick = part.brick(*p);
             let localised: Vec<(usize, usize, usize)> = cells
                 .iter()
                 .map(|&(gx, gy, gz)| (gx - brick.x0, gy - brick.y0, gz - brick.z0))
@@ -98,24 +152,152 @@ pub(crate) fn build_topology<T: Real>(ranks: &[Rank<T>]) -> Vec<Ports<T>> {
     ports
 }
 
-/// Spawn one persistent worker per rank and run the whole simulation.
-/// Workers communicate only through their ports; the driver just joins.
-pub(crate) fn run_pipelined<T: Real>(
-    ranks: &mut [Rank<T>],
-    bounds: &BoundarySpec<T>,
-    dims: (usize, usize, usize),
-    iters: usize,
-) {
-    let ports = build_topology(ranks);
-    let bounds = *bounds;
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = ranks
-            .iter_mut()
-            .zip(ports)
-            .map(|(rank, port)| scope.spawn(move || worker::run(rank, port, bounds, dims, iters)))
-            .collect();
-        for handle in handles {
-            handle.join().expect("rank worker panicked");
+/// The pool's topology store: a small keyed set of reusable topologies
+/// with hit/miss accounting (surfaced through
+/// [`crate::ServeStats`]).
+///
+/// `BoundarySpec` is `PartialEq` but not `Hash` (it can carry a
+/// `Boundary::Constant(T)` value), so lookup is a linear scan over at
+/// most [`CACHE_CAP`] entries — negligible next to a single halo
+/// exchange.
+pub(crate) struct TopologyCache<T> {
+    entries: Vec<Topology<T>>,
+    pub(crate) hits: u64,
+    pub(crate) misses: u64,
+}
+
+impl<T: Real> TopologyCache<T> {
+    pub(crate) fn new() -> Self {
+        Self {
+            entries: Vec::new(),
+            hits: 0,
+            misses: 0,
         }
-    });
+    }
+
+    fn position(&self, key: &TopoKey<T>) -> Option<usize> {
+        self.entries.iter().position(|e| e.key == *key)
+    }
+
+    /// Find or build the topology for `key`, returning its per-rank halo
+    /// plans (the job's ranks share them by `Arc`).
+    pub(crate) fn plans(
+        &mut self,
+        key: &TopoKey<T>,
+        part: &Partition3,
+        bounds: &BoundarySpec<T>,
+    ) -> Vec<Arc<HaloPlan>> {
+        if let Some(i) = self.position(key) {
+            self.hits += 1;
+            return self.entries[i].plans.clone();
+        }
+        self.misses += 1;
+        let plans: Vec<Arc<HaloPlan>> = (0..part.ranks())
+            .map(|r| {
+                let brick = part.brick(r);
+                Arc::new(HaloPlan::new::<T>(
+                    &brick, r, part, key.halo, key.dims, bounds,
+                ))
+            })
+            .collect();
+        if self.entries.len() >= CACHE_CAP {
+            self.entries.remove(0);
+        }
+        self.entries.push(Topology {
+            key: *key,
+            plans: plans.clone(),
+            ports: None,
+        });
+        plans
+    }
+
+    /// Check the channel endpoints for `key` out for one pipelined job,
+    /// building them on first use. The caller must [`Self::check_in`]
+    /// them after a clean job, or [`Self::discard`] the entry after a
+    /// panicked one.
+    pub(crate) fn check_out(&mut self, key: &TopoKey<T>, part: &Partition3) -> Vec<Ports<T>> {
+        let i = self
+            .position(key)
+            .expect("ports checked out before plans were built");
+        match self.entries[i].ports.take() {
+            Some(ports) => ports,
+            None => build_ports(&self.entries[i].plans, part),
+        }
+    }
+
+    /// Return drained channel endpoints for reuse by the next job. A
+    /// no-op when the entry was evicted while the job ran.
+    pub(crate) fn check_in(&mut self, key: &TopoKey<T>, ports: Vec<Ports<T>>) {
+        if let Some(i) = self.position(key) {
+            self.entries[i].ports = Some(ports);
+        }
+    }
+
+    /// Drop the entry for `key` entirely — used after a rank panic, when
+    /// channels may hold stale mid-job messages.
+    pub(crate) fn discard(&mut self, key: &TopoKey<T>) {
+        if let Some(i) = self.position(key) {
+            self.entries.remove(i);
+        }
+    }
+
+    /// Drop every entry (used when a job fails in a way that leaves the
+    /// pool's bookkeeping uncertain).
+    pub(crate) fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Number of cached topologies (test introspection).
+    #[cfg(test)]
+    pub(crate) fn len(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abft_grid::Boundary;
+
+    fn key(bounds: BoundarySpec<f64>) -> (TopoKey<f64>, Partition3) {
+        let part = Partition3::new(8, 12, 2, 1, 3, 1);
+        let key = TopoKey {
+            dims: (8, 12, 2),
+            grid: (1, 3, 1),
+            halo: (0, 1, 0),
+            bounds,
+        };
+        (key, part)
+    }
+
+    #[test]
+    fn cache_hits_on_repeat_keys_and_misses_on_new_ones() {
+        let mut cache: TopologyCache<f64> = TopologyCache::new();
+        let (k, part) = key(BoundarySpec::clamp());
+        let first = cache.plans(&k, &part, &k.bounds);
+        let again = cache.plans(&k, &part, &k.bounds);
+        assert_eq!((cache.hits, cache.misses, cache.len()), (1, 1, 1));
+        // Same entry, shared by Arc — not a rebuild.
+        assert!(Arc::ptr_eq(&first[0], &again[0]));
+        // A different boundary spec rewires the halo → distinct entry.
+        let (k2, part2) = key(BoundarySpec::uniform(Boundary::Periodic));
+        cache.plans(&k2, &part2, &k2.bounds);
+        assert_eq!((cache.hits, cache.misses, cache.len()), (1, 2, 2));
+    }
+
+    #[test]
+    fn ports_check_out_lazily_and_survive_round_trips() {
+        let mut cache: TopologyCache<f64> = TopologyCache::new();
+        let (k, part) = key(BoundarySpec::clamp());
+        cache.plans(&k, &part, &k.bounds);
+        let ports = cache.check_out(&k, &part);
+        assert_eq!(ports.len(), 3);
+        // 3 y-slabs: the middle rank owes both neighbours, ends owe one.
+        assert_eq!(ports[1].sends.len(), 2);
+        assert_eq!(ports[1].recvs.len(), 2);
+        cache.check_in(&k, ports);
+        // Discard drops the entry (post-panic hygiene).
+        cache.discard(&k);
+        assert_eq!(cache.len(), 0);
+    }
 }

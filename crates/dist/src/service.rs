@@ -1,0 +1,836 @@
+//! The serving layer: a pool-scoped [`DistService`] that executes a
+//! stream of independent protected simulations on one persistent rank
+//! pool.
+//!
+//! `run_distributed` pays thread start/join and channel-topology
+//! construction on every call — fine for one experiment, wrong for the
+//! ROADMAP's serving deployment where many small jobs arrive back to
+//! back. The service decouples **rank lifetime from job lifetime**:
+//!
+//! * [`DistService::new`] spawns `pool` long-lived worker threads (one
+//!   rank slot each) plus one scheduler thread; workers park on their
+//!   task channel between jobs.
+//! * [`DistService::submit`] validates a [`JobSpec`] *synchronously* —
+//!   malformed jobs are rejected with a structured
+//!   [`DistError`](crate::DistError) at admission, before they can reach
+//!   (and panic inside) a pooled worker — then enqueues it and returns a
+//!   [`JobId`].
+//! * The scheduler executes admitted jobs **in submit order, one at a
+//!   time** (a job needs all of its ranks' channels live at once, and
+//!   serial execution keeps per-job results bitwise identical to a
+//!   dedicated run). Channel topologies are cached by
+//!   `(domain shape, rank grid, effective halo, boundary spec)` and
+//!   reused across jobs; see [`ServeStats`].
+//! * [`DistService::await_job`] blocks until a job's
+//!   [`DistReport`](crate::DistReport) (or admission-independent failure)
+//!   is ready; each report can be claimed once.
+//! * [`DistService::shutdown`] (or drop) drains the queue and joins the
+//!   pool.
+//!
+//! **Fault-plan scoping**: every job gets freshly built rank state — its
+//! own `StencilSim`s, its own `OnlineAbft` protectors, its own pending
+//! flip list — so an injected fault in job *k* is detected, corrected
+//! and *forgotten* inside job *k*; only the immutable topology (halo
+//! plans and drained channels) is shared between jobs.
+//!
+//! **Panic containment**: a rank that panics mid-job is caught in its
+//! pool worker; dropping its channel endpoints cascades the failure to
+//! the job's other ranks (also caught), the job fails with
+//! [`DistError::RankPanicked`](crate::DistError::RankPanicked), the
+//! possibly-stale topology entry is discarded, and the pool itself
+//! survives to serve the next job.
+
+use crate::pipeline::{Ports, TopoKey, TopologyCache};
+use crate::worker::{self, RankTask, TaskResult};
+use crate::{
+    build_ranks, effective_halo, gather_report, run_snapshot, validate, DistConfig, DistError,
+    DistReport, HaloMode, Rank,
+};
+use abft_grid::{BoundarySpec, Grid3D};
+use abft_num::Real;
+use abft_stencil::Stencil3D;
+use std::collections::{HashMap, HashSet};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Handle to one submitted job; claim its report with
+/// [`DistService::await_job`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct JobId(u64);
+
+impl JobId {
+    /// The raw job number (monotonically increasing per service).
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
+impl std::fmt::Display for JobId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "job #{}", self.0)
+    }
+}
+
+/// One complete unit of serving work: the domain, kernel, boundaries,
+/// optional constant field and run configuration that
+/// [`crate::run_distributed`] takes as separate arguments, owned so the
+/// job can outlive the submitting call.
+#[derive(Debug, Clone)]
+pub struct JobSpec<T: Real> {
+    /// Initial global domain.
+    pub initial: Grid3D<T>,
+    /// Stencil kernel to sweep.
+    pub stencil: Stencil3D<T>,
+    /// Global boundary conditions.
+    pub bounds: BoundarySpec<T>,
+    /// Optional per-cell constant field (e.g. HotSpot's power map).
+    pub constant: Option<Grid3D<T>>,
+    /// Rank count, iterations, grid shape, protection and fault plan.
+    pub cfg: DistConfig<T>,
+}
+
+impl<T: Real> JobSpec<T> {
+    /// A job without a constant field.
+    pub fn new(
+        initial: Grid3D<T>,
+        stencil: Stencil3D<T>,
+        bounds: BoundarySpec<T>,
+        cfg: DistConfig<T>,
+    ) -> Self {
+        Self {
+            initial,
+            stencil,
+            bounds,
+            constant: None,
+            cfg,
+        }
+    }
+
+    /// Attach a per-cell constant field (shape-checked at admission).
+    pub fn with_constant(mut self, constant: Grid3D<T>) -> Self {
+        self.constant = Some(constant);
+        self
+    }
+}
+
+/// Service counters: completed/failed jobs and topology-cache traffic.
+///
+/// `topology_hits` counting up while `topology_misses` stays flat is the
+/// pool-reuse signal `exp_serve` measures: repeat jobs skip halo-plan and
+/// channel construction entirely.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Jobs that produced a report.
+    pub jobs_completed: u64,
+    /// Jobs that failed after admission (rank panic).
+    pub jobs_failed: u64,
+    /// Jobs that reused a cached channel topology.
+    pub topology_hits: u64,
+    /// Jobs that had to build their topology.
+    pub topology_misses: u64,
+}
+
+/// An admitted job on its way to the scheduler.
+struct Admitted<T: Real> {
+    id: u64,
+    spec: JobSpec<T>,
+    submitted: Instant,
+}
+
+struct ServeState<T: Real> {
+    /// Admitted but not yet completed job ids.
+    pending: HashSet<u64>,
+    /// Completed jobs awaiting claim by [`DistService::await_job`].
+    done: HashMap<u64, Result<DistReport<T>, DistError>>,
+    stats: ServeStats,
+}
+
+impl<T: Real> Default for ServeState<T> {
+    fn default() -> Self {
+        Self {
+            pending: HashSet::new(),
+            done: HashMap::new(),
+            stats: ServeStats::default(),
+        }
+    }
+}
+
+struct Shared<T: Real> {
+    state: Mutex<ServeState<T>>,
+    cv: Condvar,
+}
+
+struct WorkerHandle<T: Real> {
+    tx: Sender<RankTask<T>>,
+    handle: JoinHandle<()>,
+}
+
+/// A persistent rank pool serving a stream of distributed stencil jobs.
+///
+/// ```
+/// use abft_dist::{DistConfig, DistService, JobSpec};
+/// use abft_grid::{BoundarySpec, Grid3D};
+/// use abft_stencil::Stencil3D;
+///
+/// let service = DistService::<f64>::new(4)?;
+/// let job = JobSpec::new(
+///     Grid3D::from_fn(8, 16, 2, |x, y, z| (x + y + z) as f64),
+///     Stencil3D::seven_point(0.4, 0.1, 0.1, 0.1),
+///     BoundarySpec::clamp(),
+///     DistConfig::new(4, 10),
+/// );
+/// let id = service.submit(job)?;
+/// let report = service.await_job(id)?;
+/// assert_eq!(report.global.dims(), (8, 16, 2));
+/// service.shutdown();
+/// # Ok::<(), abft_dist::DistError>(())
+/// ```
+pub struct DistService<T: Real> {
+    to_scheduler: Option<Sender<Admitted<T>>>,
+    scheduler: Option<JoinHandle<()>>,
+    shared: Arc<Shared<T>>,
+    next_id: AtomicU64,
+    pool: usize,
+}
+
+impl<T: Real> DistService<T> {
+    /// Spawn a pool of `pool` persistent rank workers plus a scheduler.
+    ///
+    /// # Errors
+    /// [`DistError::NoRanks`] when `pool == 0`.
+    pub fn new(pool: usize) -> Result<Self, DistError> {
+        if pool == 0 {
+            return Err(DistError::NoRanks);
+        }
+        let (done_tx, done_rx) = channel();
+        let workers: Vec<WorkerHandle<T>> = (0..pool)
+            .map(|i| {
+                let (tx, rx) = channel();
+                let done = done_tx.clone();
+                let handle = std::thread::Builder::new()
+                    .name(format!("abft-serve-{i}"))
+                    .spawn(move || worker::pool_worker(rx, done))
+                    .expect("spawn pool worker");
+                WorkerHandle { tx, handle }
+            })
+            .collect();
+        drop(done_tx);
+        let shared = Arc::new(Shared {
+            state: Mutex::new(ServeState::default()),
+            cv: Condvar::new(),
+        });
+        let (job_tx, job_rx) = channel();
+        let sched_shared = Arc::clone(&shared);
+        let scheduler = std::thread::Builder::new()
+            .name("abft-serve-scheduler".to_string())
+            .spawn(move || scheduler_loop(job_rx, sched_shared, workers, done_rx))
+            .expect("spawn scheduler");
+        Ok(Self {
+            to_scheduler: Some(job_tx),
+            scheduler: Some(scheduler),
+            shared,
+            next_id: AtomicU64::new(1),
+            pool,
+        })
+    }
+
+    /// Number of pooled rank workers.
+    pub fn pool_size(&self) -> usize {
+        self.pool
+    }
+
+    /// Admit one job for execution; returns its [`JobId`] immediately.
+    ///
+    /// Validation is synchronous and strict: on top of every
+    /// [`crate::run_distributed`] check (empty grid, zero iterations,
+    /// rank/grid fit, flip validity, …) the service rejects a requested
+    /// halo narrower than the kernel reach on a decomposed axis
+    /// ([`DistError::HaloTooNarrow`] — the one-shot API silently widens
+    /// it instead) and a pipelined job needing more ranks than the pool
+    /// has workers ([`DistError::PoolTooSmall`] — such a job could never
+    /// make progress, since every rank of a job must run concurrently).
+    ///
+    /// # Errors
+    /// Any [`DistError`] admission failure; the job is not enqueued.
+    pub fn submit(&self, spec: JobSpec<T>) -> Result<JobId, DistError> {
+        self.admit(spec, true)
+    }
+
+    /// Admission with the one-shot API's lenient halo semantics (a
+    /// too-narrow halo is widened to the kernel reach, not rejected) —
+    /// the compatibility path [`crate::run_distributed`] rides on.
+    pub(crate) fn submit_lenient(&self, spec: JobSpec<T>) -> Result<JobId, DistError> {
+        self.admit(spec, false)
+    }
+
+    fn admit(&self, spec: JobSpec<T>, strict: bool) -> Result<JobId, DistError> {
+        let part = validate(
+            &spec.initial,
+            &spec.stencil,
+            &spec.bounds,
+            spec.constant.as_ref(),
+            &spec.cfg,
+        )?;
+        if strict {
+            strict_halo(&spec, (part.rx(), part.ry(), part.rz()))?;
+        }
+        if spec.cfg.mode == HaloMode::Pipelined && spec.cfg.ranks > self.pool {
+            return Err(DistError::PoolTooSmall {
+                ranks: spec.cfg.ranks,
+                pool: self.pool,
+            });
+        }
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        self.shared.state.lock().unwrap().pending.insert(id);
+        let admitted = Admitted {
+            id,
+            spec,
+            submitted: Instant::now(),
+        };
+        let sender = self
+            .to_scheduler
+            .as_ref()
+            .expect("service already shut down");
+        if sender.send(admitted).is_err() {
+            // Scheduler already gone — only reachable mid-teardown.
+            self.shared.state.lock().unwrap().pending.remove(&id);
+            return Err(DistError::UnknownJob { id });
+        }
+        Ok(JobId(id))
+    }
+
+    /// Block until `id`'s report is ready and claim it. Each report can
+    /// be claimed exactly once.
+    ///
+    /// # Errors
+    /// The job's own failure ([`DistError::RankPanicked`]), or
+    /// [`DistError::UnknownJob`] when `id` was never admitted here or
+    /// its report was already claimed.
+    pub fn await_job(&self, id: JobId) -> Result<DistReport<T>, DistError> {
+        let mut state = self.shared.state.lock().unwrap();
+        loop {
+            if let Some(result) = state.done.remove(&id.0) {
+                return result;
+            }
+            if !state.pending.contains(&id.0) {
+                return Err(DistError::UnknownJob { id: id.0 });
+            }
+            state = self.shared.cv.wait(state).unwrap();
+        }
+    }
+
+    /// A snapshot of the service counters.
+    pub fn stats(&self) -> ServeStats {
+        self.shared.state.lock().unwrap().stats
+    }
+
+    /// Drain the admission queue, finish in-flight jobs and join the
+    /// pool. Dropping the service does the same.
+    pub fn shutdown(mut self) {
+        self.finish();
+    }
+
+    fn finish(&mut self) {
+        drop(self.to_scheduler.take());
+        if let Some(handle) = self.scheduler.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl<T: Real> Drop for DistService<T> {
+    fn drop(&mut self) {
+        self.finish();
+    }
+}
+
+/// Reject a requested halo the kernel cannot fit through on an axis that
+/// actually exchanges (more than one rank). The lenient path widens the
+/// halo to the kernel reach instead; under strict admission that silent
+/// rewrite of the job's exchange volume is an error.
+fn strict_halo<T: Real>(spec: &JobSpec<T>, grid: (usize, usize, usize)) -> Result<(), DistError> {
+    let Some(halo) = spec.cfg.halo else {
+        return Ok(());
+    };
+    let (rx, ry, rz) = grid;
+    let axes = [
+        ('x', spec.stencil.extent_x(), rx),
+        ('y', spec.stencil.extent_y(), ry),
+        ('z', spec.stencil.extent_z(), rz),
+    ];
+    for (axis, extent, ranks) in axes {
+        if ranks > 1 && halo < extent {
+            return Err(DistError::HaloTooNarrow { axis, halo, extent });
+        }
+    }
+    Ok(())
+}
+
+/// The scheduler thread: pop admitted jobs in submit order, execute each
+/// against the pool, stamp its latency and publish the result.
+fn scheduler_loop<T: Real>(
+    jobs: Receiver<Admitted<T>>,
+    shared: Arc<Shared<T>>,
+    workers: Vec<WorkerHandle<T>>,
+    done: Receiver<TaskResult<T>>,
+) {
+    let mut cache: TopologyCache<T> = TopologyCache::new();
+    while let Ok(job) = jobs.recv() {
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            execute_job(&job.spec, &mut cache, &workers, &done)
+        }));
+        let result = match outcome {
+            Ok(result) => result,
+            Err(payload) => {
+                // A panic escaped the per-rank containment (a snapshot-
+                // mode rank panicking through its scoped join, or a
+                // scheduler bug). The pool threads are unharmed, but any
+                // cached channels and in-flight completions are suspect:
+                // start the next job from a clean slate.
+                cache.clear();
+                while done.try_recv().is_ok() {}
+                Err(DistError::RankPanicked {
+                    rank: None,
+                    message: worker::panic_message(payload),
+                })
+            }
+        };
+        let result = result.map(|mut report| {
+            report.latency_s = job.submitted.elapsed().as_secs_f64();
+            report
+        });
+        let mut state = shared.state.lock().unwrap();
+        state.stats.topology_hits = cache.hits;
+        state.stats.topology_misses = cache.misses;
+        if result.is_ok() {
+            state.stats.jobs_completed += 1;
+        } else {
+            state.stats.jobs_failed += 1;
+        }
+        state.pending.remove(&job.id);
+        state.done.insert(job.id, result);
+        drop(state);
+        shared.cv.notify_all();
+    }
+    // Service shut down: release the workers and join them.
+    let (senders, handles): (Vec<_>, Vec<_>) =
+        workers.into_iter().map(|w| (w.tx, w.handle)).unzip();
+    drop(senders);
+    for handle in handles {
+        let _ = handle.join();
+    }
+}
+
+/// Execute one admitted job: resolve its topology (cache hit or build),
+/// build fresh per-job rank state, fan the ranks out to the pool (or run
+/// the legacy snapshot loop), and gather the report.
+fn execute_job<T: Real>(
+    spec: &JobSpec<T>,
+    cache: &mut TopologyCache<T>,
+    workers: &[WorkerHandle<T>],
+    done: &Receiver<TaskResult<T>>,
+) -> Result<DistReport<T>, DistError> {
+    // Re-validate: admission already did, but the scheduler must never
+    // trust a handed-over spec enough to panic a pooled worker.
+    let part = validate(
+        &spec.initial,
+        &spec.stencil,
+        &spec.bounds,
+        spec.constant.as_ref(),
+        &spec.cfg,
+    )?;
+    let dims = spec.initial.dims();
+    let grid = (part.rx(), part.ry(), part.rz());
+    let halo = effective_halo(&spec.cfg, &spec.stencil, grid);
+    let key = TopoKey {
+        dims,
+        grid,
+        halo,
+        bounds: spec.bounds,
+    };
+    let plans = cache.plans(&key, &part, &spec.bounds);
+    let mut ranks = build_ranks(
+        &spec.initial,
+        &spec.stencil,
+        &spec.bounds,
+        spec.constant.as_ref(),
+        &spec.cfg,
+        &part,
+        &plans,
+    );
+    let count = ranks.len();
+    let wall = Instant::now();
+    match spec.cfg.mode {
+        HaloMode::Pipelined => {
+            if count > workers.len() {
+                return Err(DistError::PoolTooSmall {
+                    ranks: count,
+                    pool: workers.len(),
+                });
+            }
+            let ports = cache.check_out(&key, &part);
+            debug_assert_eq!(ports.len(), count, "topology/rank count mismatch");
+            for (idx, (rank, port)) in ranks.drain(..).zip(ports).enumerate() {
+                let task = RankTask {
+                    idx,
+                    rank,
+                    ports: port,
+                    bounds: spec.bounds,
+                    dims,
+                    iters: spec.cfg.iters,
+                };
+                workers[idx].tx.send(task).expect("pool worker hung up");
+            }
+            let mut back_ranks: Vec<Option<Rank<T>>> = (0..count).map(|_| None).collect();
+            let mut back_ports: Vec<Option<Ports<T>>> = (0..count).map(|_| None).collect();
+            let mut failure: Option<(usize, String)> = None;
+            for _ in 0..count {
+                let (idx, result) = done.recv().expect("pool worker hung up");
+                match result {
+                    Ok((rank, port)) => {
+                        back_ranks[idx] = Some(rank);
+                        back_ports[idx] = Some(port);
+                    }
+                    Err(message) => {
+                        // Keep the lowest-rank panic (the cascade's
+                        // "producer/consumer hung up" echoes are noise).
+                        if failure.as_ref().is_none_or(|(r, _)| idx < *r) {
+                            failure = Some((idx, message));
+                        }
+                    }
+                }
+            }
+            if let Some((rank, message)) = failure {
+                cache.discard(&key);
+                return Err(DistError::RankPanicked {
+                    rank: Some(rank),
+                    message,
+                });
+            }
+            cache.check_in(
+                &key,
+                back_ports
+                    .into_iter()
+                    .map(|p| p.expect("every rank reported"))
+                    .collect(),
+            );
+            ranks = back_ranks
+                .into_iter()
+                .map(|r| r.expect("every rank reported"))
+                .collect();
+        }
+        HaloMode::Snapshot => {
+            run_snapshot(&mut ranks, &spec.bounds, dims, spec.cfg.iters);
+        }
+    }
+    let wall_s = wall.elapsed().as_secs_f64();
+    Ok(gather_report(ranks, grid, dims, wall_s))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abft_core::AbftConfig;
+    use abft_fault::BitFlip;
+    use abft_stencil::{Exec, StencilSim};
+
+    fn field(nx: usize, ny: usize, nz: usize) -> Grid3D<f64> {
+        Grid3D::from_fn(nx, ny, nz, |x, y, z| {
+            ((x * 13 + y * 31 + z * 7) % 23) as f64 * 0.75 - 4.0
+        })
+    }
+
+    fn heat() -> Stencil3D<f64> {
+        Stencil3D::seven_point(0.4f64, 0.1, 0.1, 0.1)
+    }
+
+    fn job(ranks: usize, iters: usize) -> JobSpec<f64> {
+        JobSpec::new(
+            field(10, 16, 2),
+            heat(),
+            BoundarySpec::clamp(),
+            DistConfig::new(ranks, iters),
+        )
+    }
+
+    #[test]
+    fn service_report_matches_the_one_shot_api_bitwise() {
+        let service = DistService::<f64>::new(4).unwrap();
+        let id = service.submit(job(4, 9)).unwrap();
+        let served = service.await_job(id).unwrap();
+        let fresh = crate::run_distributed(
+            &field(10, 16, 2),
+            &heat(),
+            &BoundarySpec::clamp(),
+            None,
+            &DistConfig::new(4, 9),
+        )
+        .unwrap();
+        assert_eq!(served.global, fresh.global);
+        assert_eq!(served.grid, fresh.grid);
+        assert!(served.latency_s > 0.0);
+        service.shutdown();
+    }
+
+    #[test]
+    fn repeat_jobs_hit_the_topology_cache() {
+        let service = DistService::<f64>::new(4).unwrap();
+        let ids: Vec<JobId> = (0..4).map(|_| service.submit(job(4, 5)).unwrap()).collect();
+        for id in ids {
+            service.await_job(id).unwrap();
+        }
+        let stats = service.stats();
+        assert_eq!(stats.jobs_completed, 4);
+        assert_eq!(stats.jobs_failed, 0);
+        assert_eq!(stats.topology_misses, 1, "{stats:?}");
+        assert_eq!(stats.topology_hits, 3, "{stats:?}");
+
+        // A different domain shape is a genuine miss.
+        let other = JobSpec::new(
+            field(8, 12, 2),
+            heat(),
+            BoundarySpec::clamp(),
+            DistConfig::new(4, 5),
+        );
+        let id = service.submit(other).unwrap();
+        service.await_job(id).unwrap();
+        assert_eq!(service.stats().topology_misses, 2);
+        service.shutdown();
+    }
+
+    #[test]
+    fn results_arrive_regardless_of_await_order() {
+        let service = DistService::<f64>::new(2).unwrap();
+        let a = service.submit(job(2, 4)).unwrap();
+        let b = service.submit(job(2, 7)).unwrap();
+        let c = service.submit(job(1, 3)).unwrap();
+        // Await in reverse submit order; the scheduler runs FIFO anyway.
+        let rc = service.await_job(c).unwrap();
+        let rb = service.await_job(b).unwrap();
+        let ra = service.await_job(a).unwrap();
+        assert_eq!(ra.ranks.len(), 2);
+        assert_eq!(rb.ranks.len(), 2);
+        assert_eq!(rc.ranks.len(), 1);
+        service.shutdown();
+    }
+
+    #[test]
+    fn strict_admission_rejects_a_halo_narrower_than_the_kernel() {
+        // 4th-order star kernel: reach 2 on every axis; request halo 1 on
+        // a y-decomposed domain.
+        let wide = Stencil3D::diffusion_13pt_4th_order(0.02f64);
+        let spec = JobSpec::new(
+            field(12, 16, 4),
+            wide.clone(),
+            BoundarySpec::clamp(),
+            DistConfig::new(2, 3).with_halo(1),
+        );
+        let service = DistService::<f64>::new(2).unwrap();
+        let err = service.submit(spec).unwrap_err();
+        assert_eq!(
+            err,
+            DistError::HaloTooNarrow {
+                axis: 'y',
+                halo: 1,
+                extent: 2,
+            }
+        );
+        // The one-shot path keeps the lenient legacy semantics: the same
+        // configuration silently widens the halo and runs.
+        let report = crate::run_distributed(
+            &field(12, 16, 4),
+            &wide,
+            &BoundarySpec::clamp(),
+            None,
+            &DistConfig::new(2, 3).with_halo(1),
+        )
+        .unwrap();
+        assert_eq!(report.ranks.len(), 2);
+        service.shutdown();
+    }
+
+    #[test]
+    fn pipelined_jobs_larger_than_the_pool_are_rejected() {
+        let service = DistService::<f64>::new(2).unwrap();
+        let err = service.submit(job(4, 3)).unwrap_err();
+        assert_eq!(err, DistError::PoolTooSmall { ranks: 4, pool: 2 });
+        // Snapshot-mode ranks run on scoped threads, not pool slots, so
+        // the same size is fine there.
+        let mut snap = job(4, 3);
+        snap.cfg = snap.cfg.with_mode(HaloMode::Snapshot);
+        let id = service.submit(snap).unwrap();
+        assert!(service.await_job(id).is_ok());
+        service.shutdown();
+    }
+
+    #[test]
+    fn reports_are_claimed_exactly_once() {
+        let service = DistService::<f64>::new(2).unwrap();
+        let id = service.submit(job(2, 3)).unwrap();
+        assert!(service.await_job(id).is_ok());
+        assert_eq!(
+            service.await_job(id).unwrap_err(),
+            DistError::UnknownJob { id: id.as_u64() }
+        );
+        service.shutdown();
+    }
+
+    #[test]
+    fn zero_sized_pool_is_rejected() {
+        let err = DistService::<f64>::new(0).err();
+        assert_eq!(err, Some(DistError::NoRanks));
+    }
+
+    #[test]
+    fn malformed_jobs_never_reach_the_pool() {
+        // Every admission failure must come back synchronously from
+        // submit — and the pool must stay healthy for the next job.
+        let service = DistService::<f64>::new(4).unwrap();
+        let rejects: Vec<(JobSpec<f64>, DistError)> = vec![
+            (job(2, 0), DistError::ZeroIterations),
+            (
+                {
+                    let mut s = job(2, 3);
+                    s.cfg = s.cfg.with_flip(
+                        5,
+                        BitFlip {
+                            iteration: 1,
+                            x: 0,
+                            y: 0,
+                            z: 0,
+                            bit: 3,
+                        },
+                    );
+                    s
+                },
+                DistError::FlipRank { rank: 5, ranks: 2 },
+            ),
+            (
+                {
+                    let mut s = job(2, 3);
+                    s.cfg = s.cfg.with_flip(
+                        1,
+                        BitFlip {
+                            iteration: 1,
+                            x: 99,
+                            y: 0,
+                            z: 0,
+                            bit: 3,
+                        },
+                    );
+                    s
+                },
+                DistError::FlipOutOfBrick {
+                    rank: 1,
+                    flip: (99, 0, 0),
+                    brick: (10, 8, 2),
+                },
+            ),
+        ];
+        for (spec, expected) in rejects {
+            assert_eq!(service.submit(spec).unwrap_err(), expected);
+        }
+        // The pool still serves.
+        let id = service.submit(job(4, 4)).unwrap();
+        assert!(service.await_job(id).is_ok());
+        service.shutdown();
+    }
+
+    #[test]
+    fn faults_are_scoped_to_their_job() {
+        // Job k carries a flip; jobs k−1 and k+1 are identical but clean.
+        // The fault must be detected and corrected inside job k only, and
+        // all three must gather the same (corrected) global state as a
+        // serial run.
+        let initial = field(10, 16, 2);
+        let stencil = heat();
+        let bounds = BoundarySpec::clamp();
+        let mut serial =
+            StencilSim::new(initial.clone(), stencil.clone(), bounds).with_exec(Exec::Serial);
+        for _ in 0..8 {
+            serial.step();
+        }
+
+        let clean = DistConfig::new(4, 8).with_abft(AbftConfig::<f64>::paper_defaults());
+        let faulty = clean.clone().with_flip(
+            2,
+            BitFlip {
+                iteration: 3,
+                x: 4,
+                y: 1,
+                z: 1,
+                bit: 52,
+            },
+        );
+        let service = DistService::<f64>::new(4).unwrap();
+        let before = service
+            .submit(JobSpec::new(
+                initial.clone(),
+                stencil.clone(),
+                bounds,
+                clean.clone(),
+            ))
+            .unwrap();
+        let hit = service
+            .submit(JobSpec::new(
+                initial.clone(),
+                stencil.clone(),
+                bounds,
+                faulty,
+            ))
+            .unwrap();
+        let after = service
+            .submit(JobSpec::new(
+                initial.clone(),
+                stencil.clone(),
+                bounds,
+                clean,
+            ))
+            .unwrap();
+
+        let r_before = service.await_job(before).unwrap();
+        let r_hit = service.await_job(hit).unwrap();
+        let r_after = service.await_job(after).unwrap();
+
+        assert_eq!(r_hit.total_stats().detections, 1);
+        assert_eq!(r_hit.total_stats().corrections, 1);
+        assert_eq!(r_hit.ranks[2].stats.corrections, 1);
+        assert_eq!(
+            r_before.total_stats().detections,
+            0,
+            "fault leaked backwards"
+        );
+        assert_eq!(r_after.total_stats().detections, 0, "fault leaked forwards");
+        // Clean jobs track the serial trajectory bitwise; the faulty job
+        // recovers to it within the correction residual (same bound the
+        // fault-matrix suites use).
+        assert_eq!(r_before.global, *serial.current(), "diverged from serial");
+        assert_eq!(r_after.global, *serial.current(), "diverged from serial");
+        let residual = r_hit.global.max_abs_diff(serial.current());
+        assert!(
+            residual < 1e-9,
+            "residual error {residual:.3e} after correction"
+        );
+        // All three shared one cached topology.
+        let stats = service.stats();
+        assert_eq!(stats.topology_misses, 1);
+        assert_eq!(stats.topology_hits, 2);
+        service.shutdown();
+    }
+
+    #[test]
+    fn job_ids_display_and_order() {
+        let service = DistService::<f64>::new(1).unwrap();
+        let a = service.submit(job(1, 2)).unwrap();
+        let b = service.submit(job(1, 2)).unwrap();
+        assert!(a < b);
+        assert_eq!(a.to_string(), format!("job #{}", a.as_u64()));
+        service.await_job(a).unwrap();
+        service.await_job(b).unwrap();
+        service.shutdown();
+    }
+}

@@ -1,4 +1,5 @@
-//! The per-rank worker: the body of one persistent pipeline thread, plus
+//! The per-rank worker: the body of one persistent **pool** thread that
+//! parks between jobs and runs one rank's whole simulation per job, plus
 //! the barriered single-step used by the legacy snapshot mode.
 //!
 //! Pipelined iteration structure (one pass of [`run`]'s loop):
@@ -25,7 +26,77 @@ use abft_fault::MultiFlipHook;
 use abft_grid::{Boundary, BoundarySpec, Grid3D};
 use abft_num::Real;
 use abft_stencil::{ChecksumMode, NoHook, SplitStepTimes};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc::{Receiver, Sender};
 use std::time::Instant;
+
+/// One rank's share of one job, dispatched to a pool worker: the freshly
+/// built rank state, the checked-out channel endpoints for its slot in
+/// the topology, and the job's sweep parameters.
+pub(crate) struct RankTask<T> {
+    /// Rank index within the job (echoed back so the scheduler can
+    /// restore ranks and ports to their slots).
+    pub(crate) idx: usize,
+    pub(crate) rank: Rank<T>,
+    pub(crate) ports: Ports<T>,
+    pub(crate) bounds: BoundarySpec<T>,
+    pub(crate) dims: (usize, usize, usize),
+    pub(crate) iters: usize,
+}
+
+/// What a pool worker hands back per task: the rank and ports for reuse,
+/// or the panic message when the rank's simulation blew up mid-job (its
+/// rank and ports are dropped — dropping the senders is what cascades
+/// the failure to blocked neighbours).
+pub(crate) type TaskResult<T> = (usize, Result<(Rank<T>, Ports<T>), String>);
+
+/// Render a caught panic payload (the `&str`/`String` forms `panic!`
+/// produces) for a structured [`crate::DistError::RankPanicked`].
+pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    match payload.downcast::<String>() {
+        Ok(s) => *s,
+        Err(payload) => match payload.downcast::<&str>() {
+            Ok(s) => (*s).to_string(),
+            Err(_) => "non-string panic payload".to_string(),
+        },
+    }
+}
+
+/// The body of one long-lived pool thread: park on the task channel
+/// between jobs, run one rank per task, and contain any panic so a
+/// poisoned *job* never becomes a poisoned *pool* — the loop survives
+/// and the next `recv` parks it for the next job.
+pub(crate) fn pool_worker<T: Real>(tasks: Receiver<RankTask<T>>, done: Sender<TaskResult<T>>) {
+    while let Ok(mut task) = tasks.recv() {
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            run(
+                &mut task.rank,
+                &task.ports,
+                task.bounds,
+                task.dims,
+                task.iters,
+            );
+        }));
+        let result = match outcome {
+            Ok(()) => {
+                let RankTask {
+                    idx, rank, ports, ..
+                } = task;
+                (idx, Ok((rank, ports)))
+            }
+            Err(payload) => {
+                let idx = task.idx;
+                // Drop the rank and its ports: hung-up channels unblock
+                // (and fail) every neighbour still waiting on this rank.
+                drop(task);
+                (idx, Err(panic_message(payload)))
+            }
+        };
+        if done.send(result).is_err() {
+            return;
+        }
+    }
+}
 
 /// Append the value of brick-local cell `(lx, ly, lz)` to `out`.
 pub(crate) fn push_cell<T: Real>(
@@ -49,10 +120,13 @@ pub(crate) fn pack_cells<T: Real>(grid: &Grid3D<T>, cells: &[(usize, usize, usiz
     out
 }
 
-/// The persistent worker loop for one rank (pipelined mode).
+/// One rank's whole simulation for one job (pipelined mode). Ports are
+/// borrowed, not consumed: a clean job drains every channel (one send
+/// and one recv per channel per iteration), so the same endpoints carry
+/// the pool's next job.
 pub(crate) fn run<T: Real>(
     rank: &mut Rank<T>,
-    ports: Ports<T>,
+    ports: &Ports<T>,
     bounds: BoundarySpec<T>,
     dims: (usize, usize, usize),
     iters: usize,
@@ -185,5 +259,84 @@ pub(crate) fn step_rank_barriered<T: Real>(rank: &mut Rank<T>, t: usize, ghost: 
             let hook = MultiFlipHook::new(flips_now);
             rank.sim.step_full(&hook, ghost, ChecksumMode::None);
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{TopoKey, TopologyCache};
+    use crate::{build_ranks, DistConfig, Partition3};
+    use abft_stencil::Stencil3D;
+    use std::sync::mpsc::{channel, sync_channel};
+
+    /// A complete single-rank task over a 6×6×2 clamped domain.
+    fn one_rank_task(iters: usize) -> RankTask<f64> {
+        let dims = (6, 6, 2);
+        let part = Partition3::new(6, 6, 2, 1, 1, 1);
+        let bounds = BoundarySpec::clamp();
+        let stencil = Stencil3D::seven_point(0.4f64, 0.1, 0.1, 0.1);
+        let initial = Grid3D::from_fn(6, 6, 2, |x, y, z| (x * 3 + y + z * 5) as f64);
+        let cfg = DistConfig::<f64>::new(1, iters);
+        let key = TopoKey {
+            dims,
+            grid: (1, 1, 1),
+            halo: (0, 1, 0),
+            bounds,
+        };
+        let mut cache = TopologyCache::new();
+        let plans = cache.plans(&key, &part, &bounds);
+        let ports = cache.check_out(&key, &part).remove(0);
+        let mut ranks = build_ranks(&initial, &stencil, &bounds, None, &cfg, &part, &plans);
+        RankTask {
+            idx: 0,
+            rank: ranks.remove(0),
+            ports,
+            bounds,
+            dims,
+            iters,
+        }
+    }
+
+    /// The pool invariant: a panicking job fails *that task* but the
+    /// worker thread survives, parks, and serves the next job normally.
+    #[test]
+    fn pool_worker_contains_a_panic_and_serves_the_next_job() {
+        let (task_tx, task_rx) = channel();
+        let (done_tx, done_rx) = channel();
+        let worker = std::thread::spawn(move || pool_worker::<f64>(task_rx, done_tx));
+
+        // Poison the first task: an incoming channel whose producer is
+        // already gone makes the rank panic in its first halo wait.
+        let mut poisoned = one_rank_task(3);
+        poisoned.idx = 7;
+        let (dead_tx, dead_rx) = sync_channel::<HaloMsg<f64>>(2);
+        drop(dead_tx);
+        poisoned.ports.recvs.push(dead_rx);
+        task_tx.send(poisoned).unwrap();
+        let (idx, result) = done_rx.recv().unwrap();
+        assert_eq!(idx, 7);
+        let message = result.err().expect("poisoned task must fail");
+        assert!(
+            message.contains("hung up"),
+            "unexpected panic message: {message}"
+        );
+
+        // The same worker must still be alive for a clean task.
+        task_tx.send(one_rank_task(3)).unwrap();
+        let (idx, result) = done_rx.recv().unwrap();
+        assert_eq!(idx, 0);
+        assert!(result.is_ok(), "pool worker was poisoned by the panic");
+
+        drop(task_tx);
+        worker.join().expect("worker thread exits cleanly");
+    }
+
+    #[test]
+    fn panic_message_renders_both_payload_shapes() {
+        let s = catch_unwind(|| panic!("plain str")).unwrap_err();
+        assert_eq!(panic_message(s), "plain str");
+        let owned = catch_unwind(|| panic!("{}", String::from("owned"))).unwrap_err();
+        assert_eq!(panic_message(owned), "owned");
     }
 }

@@ -1,0 +1,269 @@
+//! The serving layer must be **invisible** in the results: any sequence
+//! of heterogeneous jobs pushed through one pooled [`DistService`] has
+//! to come back job-by-job bitwise identical to dedicated
+//! [`run_distributed`] calls — pooled workers, cached channel
+//! topologies and queued admission may change *when* work happens,
+//! never *what* it computes. Fault plans are job-scoped: a flip
+//! injected into job *k* is detected and corrected inside job *k* and
+//! leaves zero trace in its neighbours.
+
+use abft_core::AbftConfig;
+use abft_dist::{run_distributed, DistConfig, DistService, HaloMode, JobSpec};
+use abft_fault::BitFlip;
+use abft_grid::{Boundary, BoundarySpec, Grid3D};
+use abft_stencil::Stencil3D;
+use proptest::prelude::*;
+
+fn wavy(nx: usize, ny: usize, nz: usize, seed: usize) -> Grid3D<f64> {
+    Grid3D::from_fn(nx, ny, nz, |x, y, z| {
+        ((x * 17 + y * 29 + z * 11 + seed * 7) % 31) as f64 * 0.5 - 7.0
+    })
+}
+
+fn y_periodic() -> BoundarySpec<f64> {
+    BoundarySpec {
+        x: Boundary::Clamp,
+        y: Boundary::Periodic,
+        z: Boundary::Clamp,
+    }
+}
+
+/// A deliberately mixed job catalogue: shapes, kernels (7-point star,
+/// 27-point box, wide 13-point star), boundaries, protection, halo
+/// modes and one mid-job fault — nothing two consecutive jobs agree on.
+fn catalogue() -> Vec<(&'static str, JobSpec<f64>)> {
+    vec![
+        (
+            "7pt clamp unprotected",
+            JobSpec::new(
+                wavy(10, 16, 2, 0),
+                Stencil3D::seven_point(0.4f64, 0.1, 0.1, 0.1),
+                BoundarySpec::clamp(),
+                DistConfig::new(4, 8),
+            ),
+        ),
+        (
+            "27pt periodic protected bricks",
+            JobSpec::new(
+                wavy(12, 12, 4, 1),
+                Stencil3D::diffusion_27pt(0.19f64),
+                y_periodic(),
+                DistConfig::new(4, 6)
+                    .with_grid3(1, 2, 2)
+                    .with_abft(AbftConfig::<f64>::paper_defaults()),
+            ),
+        ),
+        (
+            "7pt periodic with mid-job flip",
+            JobSpec::new(
+                wavy(9, 24, 3, 2),
+                Stencil3D::seven_point(0.38f64, 0.08, 0.27, 0.08),
+                y_periodic(),
+                DistConfig::new(3, 9)
+                    .with_abft(AbftConfig::<f64>::paper_defaults())
+                    .with_flip(
+                        1,
+                        BitFlip {
+                            iteration: 3,
+                            x: 2,
+                            y: 3,
+                            z: 1,
+                            bit: 51,
+                        },
+                    ),
+            ),
+        ),
+        (
+            "13pt wide halo protected",
+            JobSpec::new(
+                wavy(14, 10, 4, 3),
+                Stencil3D::diffusion_13pt_4th_order(0.02f64),
+                BoundarySpec::clamp(),
+                DistConfig::new(2, 5)
+                    .with_halo(2)
+                    .with_abft(AbftConfig::<f64>::paper_defaults()),
+            ),
+        ),
+        (
+            "7pt snapshot mode",
+            JobSpec::new(
+                wavy(10, 16, 2, 4),
+                Stencil3D::seven_point(0.4f64, 0.1, 0.1, 0.1),
+                BoundarySpec::clamp(),
+                DistConfig::new(4, 8).with_mode(HaloMode::Snapshot),
+            ),
+        ),
+        (
+            "27pt small bricks with flip",
+            JobSpec::new(
+                wavy(8, 8, 2, 5),
+                Stencil3D::diffusion_27pt(0.15f64),
+                BoundarySpec::clamp(),
+                DistConfig::new(4, 7)
+                    .with_grid3(2, 2, 1)
+                    .with_abft(AbftConfig::<f64>::paper_defaults())
+                    .with_flip(
+                        2,
+                        BitFlip {
+                            iteration: 2,
+                            x: 1,
+                            y: 2,
+                            z: 1,
+                            bit: 50,
+                        },
+                    ),
+            ),
+        ),
+    ]
+}
+
+fn fresh(spec: &JobSpec<f64>) -> abft_dist::DistReport<f64> {
+    run_distributed(
+        &spec.initial,
+        &spec.stencil,
+        &spec.bounds,
+        spec.constant.as_ref(),
+        &spec.cfg,
+    )
+    .expect("catalogue jobs are valid")
+}
+
+/// Every catalogue job, submitted twice in interleaved order on one
+/// service (first pass builds each topology, second pass reuses it),
+/// matches a dedicated `run_distributed` run bitwise — global state,
+/// rank count, ABFT stats and halo traffic alike.
+#[test]
+fn interleaved_heterogeneous_jobs_match_fresh_one_shot_runs() {
+    let jobs = catalogue();
+    let service = DistService::<f64>::new(4).unwrap();
+    // Two passes over the catalogue: pass 0 misses the topology cache,
+    // pass 1 hits it. Both must be invisible in the results.
+    let ids: Vec<_> = (0..2)
+        .flat_map(|pass| jobs.iter().map(move |(name, spec)| (pass, name, spec)))
+        .map(|(pass, name, spec)| (pass, name, service.submit(spec.clone()).unwrap()))
+        .collect();
+    for (pass, name, id) in ids {
+        let (_, spec) = jobs.iter().find(|(n, _)| n == name).unwrap();
+        let served = service.await_job(id).unwrap();
+        let expect = fresh(spec);
+        let ctx = format!("{name} (pass {pass})");
+        assert_eq!(served.global, expect.global, "{ctx} diverged");
+        assert_eq!(
+            served.grid, expect.grid,
+            "{ctx} picked a different rank grid"
+        );
+        assert_eq!(served.ranks.len(), expect.ranks.len(), "{ctx}");
+        for (s, e) in served.ranks.iter().zip(&expect.ranks) {
+            assert_eq!(s.stats.detections, e.stats.detections, "{ctx}");
+            assert_eq!(s.stats.corrections, e.stats.corrections, "{ctx}");
+            assert_eq!(s.traffic.remote_cells, e.traffic.remote_cells, "{ctx}");
+            assert_eq!(s.traffic.row_cells, e.traffic.row_cells, "{ctx}");
+        }
+    }
+    let stats = service.stats();
+    assert_eq!(stats.jobs_completed, 2 * jobs.len() as u64);
+    assert_eq!(stats.jobs_failed, 0);
+    // Pass 1 reused every distinct topology from pass 0. (Two catalogue
+    // entries share a key on purpose: same domain, same decomposition.)
+    assert_eq!(stats.topology_misses, 5, "{stats:?}");
+    assert_eq!(stats.topology_hits, 7, "{stats:?}");
+    service.shutdown();
+}
+
+/// The fault in job *k* must be detected and corrected in job *k* and
+/// nowhere else: its protected neighbours k−1 and k+1 report zero
+/// detections and stay bitwise equal to their dedicated runs.
+#[test]
+fn faults_in_one_job_leave_no_trace_in_neighbours() {
+    let jobs = catalogue();
+    let service = DistService::<f64>::new(4).unwrap();
+    let ids: Vec<_> = jobs
+        .iter()
+        .map(|(_, spec)| service.submit(spec.clone()).unwrap())
+        .collect();
+    let reports: Vec<_> = ids
+        .into_iter()
+        .map(|id| service.await_job(id).unwrap())
+        .collect();
+    service.shutdown();
+
+    // Jobs 2 and 5 carry the flips; everything else must stay silent.
+    for (k, (name, spec)) in jobs.iter().enumerate() {
+        let total = reports[k].total_stats();
+        if spec.cfg.flips.is_empty() {
+            assert_eq!(total.detections, 0, "fault leaked into `{name}` (job {k})");
+        } else {
+            let (rank, _) = spec.cfg.flips[0];
+            assert_eq!(total.detections, 1, "missed detection in `{name}`");
+            assert_eq!(total.corrections, 1, "missed correction in `{name}`");
+            assert_eq!(
+                reports[k].ranks[rank].stats.corrections, 1,
+                "correction landed in the wrong rank for `{name}`"
+            );
+        }
+        assert_eq!(reports[k].global, fresh(spec).global, "`{name}` diverged");
+    }
+}
+
+proptest! {
+    // CI raises the case count through PROPTEST_CASES (the vendored shim
+    // honours it, like real proptest); 8 keeps local `cargo test` quick.
+    #![proptest_config(ProptestConfig::with_cases_env(8))]
+
+    /// Random job sequences — shape, kernel, boundary, rank count, halo
+    /// mode, protection and an optional mid-job flip sampled per job —
+    /// through one shared service match dedicated runs bitwise, job by
+    /// job, in every sampled order.
+    #[test]
+    fn sampled_job_sequences_serve_bitwise_identically(
+        picks in proptest::collection::vec(
+            (0usize..3, 0usize..2, any::<bool>(), 0usize..2, any::<bool>(), any::<bool>()),
+            1..6,
+        ),
+    ) {
+        let service = DistService::<f64>::new(4).unwrap();
+        let specs: Vec<JobSpec<f64>> = picks
+            .iter()
+            .enumerate()
+            .map(|(i, &(shape, kernel, periodic, ranks, snapshot, faulty))| {
+                let (nx, ny, nz) = [(10, 16, 2), (12, 12, 4), (8, 10, 3)][shape];
+                let stencil = if kernel == 0 {
+                    Stencil3D::seven_point(0.4f64, 0.1, 0.1, 0.1)
+                } else {
+                    Stencil3D::diffusion_27pt(0.19f64)
+                };
+                let bounds = if periodic { y_periodic() } else { BoundarySpec::clamp() };
+                let mut cfg = DistConfig::new([2, 4][ranks], 3 + (i % 5));
+                if snapshot {
+                    cfg = cfg.with_mode(HaloMode::Snapshot);
+                }
+                if faulty {
+                    // Protection is required to survive the flip; the
+                    // site (0, 1, 1) sits inside every sampled brick.
+                    cfg = cfg
+                        .with_abft(AbftConfig::<f64>::paper_defaults())
+                        .with_flip(
+                            0,
+                            BitFlip { iteration: 1, x: 0, y: 1, z: 1, bit: 51 },
+                        );
+                }
+                JobSpec::new(wavy(nx, ny, nz, i), stencil, bounds, cfg)
+            })
+            .collect();
+        let ids: Vec<_> = specs
+            .iter()
+            .map(|spec| service.submit(spec.clone()).unwrap())
+            .collect();
+        for (k, (spec, id)) in specs.iter().zip(ids).enumerate() {
+            let served = service.await_job(id).unwrap();
+            let expect = fresh(spec);
+            prop_assert_eq!(&served.global, &expect.global, "job {} diverged", k);
+            prop_assert_eq!(
+                served.total_stats().detections,
+                expect.total_stats().detections,
+                "job {} changed its ABFT verdict", k
+            );
+        }
+        service.shutdown();
+    }
+}

@@ -3,11 +3,13 @@
 //! (Fig. 10), wall-clock timing, ASCII tables and CSV output.
 
 mod l2;
+mod latency;
 mod stats;
 mod table;
 mod timer;
 
 pub use l2::{l2_error, l2_error_slices};
+pub use latency::{LatencySummary, P2Quantile};
 pub use stats::{BoxStats, Quantiles, Summary, Welford};
 pub use table::{write_csv, Table};
 pub use timer::Timer;
