@@ -80,7 +80,9 @@ mod service;
 mod worker;
 
 pub use index::{CellGroups, HaloIndex, HaloPlan, HaloTraffic};
-pub use service::{DistService, JobId, JobSpec, ServeStats};
+pub use service::{
+    DistService, JobHandle, JobId, JobSpec, SchedPolicy, ServeStats, ServiceConfig, MAX_OVERTAKES,
+};
 
 /// How halo cells travel between ranks.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -139,6 +141,11 @@ pub enum DistError {
     /// workers; all of a job's ranks must run concurrently, so it could
     /// never start.
     PoolTooSmall { ranks: usize, pool: usize },
+    /// The service's bounded admission queue is full: `capacity` jobs are
+    /// already admitted and unfinished. Returned by
+    /// [`DistService::submit`] as structured backpressure — retry later,
+    /// or use [`DistService::submit_wait`] to block for a slot instead.
+    QueueFull { capacity: usize },
     /// A rank's simulation panicked mid-job. The job is lost but the
     /// pool survives; `rank` is the lowest failing rank when known
     /// (`None` when the panic escaped the per-rank containment).
@@ -219,6 +226,10 @@ impl std::fmt::Display for DistError {
             Self::PoolTooSmall { ranks, pool } => write!(
                 f,
                 "job needs {ranks} concurrent ranks but the pool has {pool} workers"
+            ),
+            Self::QueueFull { capacity } => write!(
+                f,
+                "admission queue is full ({capacity} jobs admitted and unfinished)"
             ),
             Self::RankPanicked { rank, message } => match rank {
                 Some(r) => write!(f, "rank {r} panicked mid-job: {message}"),
@@ -515,8 +526,19 @@ pub struct DistReport<T> {
     pub wall_s: f64,
     /// Submit-to-completion seconds as observed by the serving layer
     /// (queue wait + setup + iteration loop + gather). Zero when the
-    /// report was produced outside a [`DistService`].
+    /// report was produced outside a [`DistService`]. Always
+    /// `queue_wait_s + exec_s` up to clock-read jitter.
     pub latency_s: f64,
+    /// Seconds the job spent admitted but not yet started — waiting for
+    /// enough free pool slots (and, under the bounded-skip policy, for
+    /// its turn past other queued jobs). Zero outside a [`DistService`];
+    /// near-zero for [`run_distributed`], whose private service has
+    /// exactly the slots its one job needs.
+    pub queue_wait_s: f64,
+    /// Seconds from scheduler dispatch to gathered report: rank-state
+    /// build, the iteration loop, and the gather. Zero outside a
+    /// [`DistService`].
+    pub exec_s: f64,
 }
 
 impl<T: Real> DistReport<T> {
@@ -1085,17 +1107,21 @@ pub fn run_distributed<T: Real>(
     constant: Option<&Grid3D<T>>,
     cfg: &DistConfig<T>,
 ) -> Result<DistReport<T>, DistError> {
-    // One-shot wrapper over a temporary service: one pool slot per rank,
-    // lenient halo semantics (a narrow halo widens to the kernel reach
-    // instead of erroring — kept for the overlap experiments that sweep
-    // halo widths below wide kernels' reach).
-    let service = DistService::new(cfg.ranks.max(1))?;
-    let mut spec = JobSpec::new(initial.clone(), stencil.clone(), *bounds, cfg.clone());
+    // A documented DistService-of-one: a temporary service with one pool
+    // slot per rank and a single-job queue, using lenient halo semantics
+    // (a narrow halo widens to the kernel reach instead of erroring —
+    // kept for the overlap experiments that sweep halo widths below wide
+    // kernels' reach). The one-shot and pooled paths are therefore the
+    // same code; only admission strictness differs.
+    let service = DistService::with_config(ServiceConfig::new(cfg.ranks.max(1)))?;
+    let mut spec = JobSpec::over(initial.clone(), stencil.clone())
+        .with_bounds(*bounds)
+        .with_dist(cfg.clone());
     if let Some(c) = constant {
         spec = spec.with_constant(c.clone());
     }
-    let id = service.submit_lenient(spec)?;
-    let report = service.await_job(id);
+    let handle = service.submit_lenient(spec)?;
+    let report = handle.wait();
     service.shutdown();
     report
 }
@@ -1221,6 +1247,8 @@ pub(crate) fn gather_report<T: Real>(
         grid,
         wall_s,
         latency_s: 0.0,
+        queue_wait_s: 0.0,
+        exec_s: 0.0,
     }
 }
 

@@ -121,10 +121,14 @@ pub(crate) struct Topology<T> {
     /// Per-rank halo plans (cell groups, strip index, traffic volumes),
     /// shared with each job's transient [`crate::Rank`] values.
     pub(crate) plans: Vec<Arc<HaloPlan>>,
-    /// The channel endpoints, built lazily on first pipelined use
-    /// (snapshot-mode jobs never need them); `None` while a job has them
-    /// checked out.
-    ports: Option<Vec<Ports<T>>>,
+    /// Idle channel-endpoint sets, built lazily on first pipelined use
+    /// (snapshot-mode jobs never need them). A *stack* rather than a
+    /// single slot because the concurrent scheduler can run several
+    /// same-key jobs side by side: each checks out its own set (building
+    /// a fresh one when the stack is empty) and checks it back in after
+    /// a clean run, so the stack depth converges to the key's observed
+    /// concurrency — bounded by the pool size.
+    idle_ports: Vec<Vec<Ports<T>>>,
 }
 
 /// Wire up per-rank halo channels from the ranks' halo plans. Channels
@@ -206,30 +210,33 @@ impl<T: Real> TopologyCache<T> {
         self.entries.push(Topology {
             key: *key,
             plans: plans.clone(),
-            ports: None,
+            idle_ports: Vec::new(),
         });
         plans
     }
 
-    /// Check the channel endpoints for `key` out for one pipelined job,
-    /// building them on first use. The caller must [`Self::check_in`]
-    /// them after a clean job, or [`Self::discard`] the entry after a
-    /// panicked one.
+    /// Check a channel-endpoint set for `key` out for one pipelined job,
+    /// popping an idle set or building a fresh one when every cached set
+    /// is already carrying a concurrent same-key job. The caller must
+    /// [`Self::check_in`] the set after a clean job, or [`Self::discard`]
+    /// the entry after a panicked one.
     pub(crate) fn check_out(&mut self, key: &TopoKey<T>, part: &Partition3) -> Vec<Ports<T>> {
         let i = self
             .position(key)
             .expect("ports checked out before plans were built");
-        match self.entries[i].ports.take() {
+        match self.entries[i].idle_ports.pop() {
             Some(ports) => ports,
             None => build_ports(&self.entries[i].plans, part),
         }
     }
 
-    /// Return drained channel endpoints for reuse by the next job. A
-    /// no-op when the entry was evicted while the job ran.
+    /// Return a drained channel-endpoint set for reuse by a later job. A
+    /// no-op when the entry was evicted (or discarded after a concurrent
+    /// same-key job panicked) while this job ran — the set is simply
+    /// dropped and the next job rebuilds.
     pub(crate) fn check_in(&mut self, key: &TopoKey<T>, ports: Vec<Ports<T>>) {
         if let Some(i) = self.position(key) {
-            self.entries[i].ports = Some(ports);
+            self.entries[i].idle_ports.push(ports);
         }
     }
 

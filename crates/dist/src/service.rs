@@ -1,55 +1,71 @@
 //! The serving layer: a pool-scoped [`DistService`] that executes a
 //! stream of independent protected simulations on one persistent rank
-//! pool.
+//! pool, **concurrently** when their rank demands fit.
 //!
 //! `run_distributed` pays thread start/join and channel-topology
 //! construction on every call — fine for one experiment, wrong for the
 //! ROADMAP's serving deployment where many small jobs arrive back to
-//! back. The service decouples **rank lifetime from job lifetime**:
+//! back. The service decouples **rank lifetime from job lifetime** and
+//! **job order from slot order**:
 //!
 //! * [`DistService::new`] spawns `pool` long-lived worker threads (one
 //!   rank slot each) plus one scheduler thread; workers park on their
-//!   task channel between jobs.
+//!   task channel between tasks. [`DistService::with_config`] additionally
+//!   sets the admission-queue capacity and the scheduling policy.
 //! * [`DistService::submit`] validates a [`JobSpec`] *synchronously* —
 //!   malformed jobs are rejected with a structured
 //!   [`DistError`](crate::DistError) at admission, before they can reach
-//!   (and panic inside) a pooled worker — then enqueues it and returns a
-//!   [`JobId`].
-//! * The scheduler executes admitted jobs **in submit order, one at a
-//!   time** (a job needs all of its ranks' channels live at once, and
-//!   serial execution keeps per-job results bitwise identical to a
-//!   dedicated run). Channel topologies are cached by
-//!   `(domain shape, rank grid, effective halo, boundary spec)` and
-//!   reused across jobs; see [`ServeStats`].
-//! * [`DistService::await_job`] blocks until a job's
-//!   [`DistReport`](crate::DistReport) (or admission-independent failure)
-//!   is ready; each report can be claimed once.
-//! * [`DistService::shutdown`] (or drop) drains the queue and joins the
-//!   pool.
+//!   (and panic inside) a pooled worker. The admission queue is
+//!   **bounded**: when `queue_capacity` jobs are already admitted and
+//!   unfinished, `submit` returns
+//!   [`DistError::QueueFull`](crate::DistError::QueueFull) and
+//!   [`DistService::submit_wait`] blocks for a slot instead.
+//! * The scheduler tracks **free pool slots** and admits every queued
+//!   job whose rank demand fits, running multiple jobs' rank workers
+//!   side by side. A larger job that does not fit is skipped at most
+//!   [`MAX_OVERTAKES`] times; after that it becomes a head-of-line
+//!   barrier until enough slots drain back — so small jobs exploit
+//!   spare slots without starving big ones. [`SchedPolicy::SerialFifo`]
+//!   restores the strict PR 6 one-at-a-time order as a benchmark
+//!   baseline.
+//! * `submit` returns a [`JobHandle`] that **streams** the result:
+//!   [`JobHandle::wait`] blocks, [`JobHandle::try_result`] polls without
+//!   blocking, and [`JobHandle::on_complete`] registers a callback run
+//!   by the scheduler the moment the report is gathered. The id-based
+//!   [`DistService::await_job`] remains as a thin compatibility wrapper.
+//! * [`DistService::shutdown`] (or drop) drains the queue, finishes
+//!   in-flight jobs and joins the pool.
 //!
-//! **Fault-plan scoping**: every job gets freshly built rank state — its
-//! own `StencilSim`s, its own `OnlineAbft` protectors, its own pending
-//! flip list — so an injected fault in job *k* is detected, corrected
-//! and *forgotten* inside job *k*; only the immutable topology (halo
-//! plans and drained channels) is shared between jobs.
+//! **Determinism invariant**: co-scheduling changes *when* a job runs,
+//! never *what* it computes. Every job gets freshly built rank state —
+//! its own `StencilSim`s, its own `OnlineAbft` protectors, its own
+//! pending flip list — and its own checked-out channel-endpoint set, so
+//! concurrent jobs share no mutable state at all; only the immutable
+//! halo plans are shared through the topology cache. An injected fault
+//! in job *k* is detected, corrected and *forgotten* inside job *k*
+//! regardless of what ran beside it (`serve_equivalence.rs` proves this
+//! bitwise under randomized concurrent mixes).
 //!
 //! **Panic containment**: a rank that panics mid-job is caught in its
 //! pool worker; dropping its channel endpoints cascades the failure to
 //! the job's other ranks (also caught), the job fails with
 //! [`DistError::RankPanicked`](crate::DistError::RankPanicked), the
 //! possibly-stale topology entry is discarded, and the pool itself
-//! survives to serve the next job.
+//! survives to serve the next job — including jobs that were running
+//! concurrently with the one that died.
 
 use crate::pipeline::{Ports, TopoKey, TopologyCache};
-use crate::worker::{self, RankTask, TaskResult};
+use crate::worker::{self, RankTask, TaskDone};
 use crate::{
     build_ranks, effective_halo, gather_report, run_snapshot, validate, DistConfig, DistError,
-    DistReport, HaloMode, Rank,
+    DistReport, GridSpec, HaloMode, Rank,
 };
+use abft_core::AbftConfig;
+use abft_fault::BitFlip;
 use abft_grid::{BoundarySpec, Grid3D};
 use abft_num::Real;
 use abft_stencil::Stencil3D;
-use std::collections::{HashMap, HashSet};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
@@ -57,8 +73,16 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
-/// Handle to one submitted job; claim its report with
-/// [`DistService::await_job`].
+/// How many times a queued job may be overtaken by later, smaller jobs
+/// before it becomes a head-of-line barrier (nothing behind it is
+/// admitted until it starts). Bounds the worst-case queue delay of a
+/// pool-sized job to `MAX_OVERTAKES` small-job executions plus one
+/// pool drain, which is what makes the bounded-skip policy
+/// starvation-free.
+pub const MAX_OVERTAKES: u32 = 8;
+
+/// Identifier of one submitted job; the raw form behind a [`JobHandle`],
+/// used by the [`DistService::await_job`] compatibility path.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct JobId(u64);
 
@@ -75,10 +99,95 @@ impl std::fmt::Display for JobId {
     }
 }
 
+/// Scheduling policy for admitted jobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedPolicy {
+    /// Slot-allocating concurrent scheduling (the default): every queued
+    /// job whose rank demand fits the free pool slots starts, skipping
+    /// blocked larger jobs at most [`MAX_OVERTAKES`] times each.
+    #[default]
+    Concurrent,
+    /// Strict one-job-at-a-time FIFO — the PR 6 behaviour, kept as the
+    /// benchmark baseline the concurrency gate compares against.
+    SerialFifo,
+}
+
+/// Construction-time configuration of a [`DistService`].
+///
+/// ```
+/// use abft_dist::{DistService, SchedPolicy, ServiceConfig};
+///
+/// let service = DistService::<f64>::with_config(
+///     ServiceConfig::new(8)
+///         .with_queue_capacity(32)
+///         .with_policy(SchedPolicy::Concurrent),
+/// )?;
+/// assert_eq!(service.pool_size(), 8);
+/// assert_eq!(service.queue_capacity(), 32);
+/// service.shutdown();
+/// # Ok::<(), abft_dist::DistError>(())
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceConfig {
+    pool: usize,
+    queue_capacity: usize,
+    policy: SchedPolicy,
+}
+
+impl ServiceConfig {
+    /// Capacity of the bounded admission queue when none is configured.
+    pub const DEFAULT_QUEUE_CAPACITY: usize = 64;
+
+    /// A pool of `pool` rank workers with the default queue capacity and
+    /// the concurrent scheduling policy.
+    pub fn new(pool: usize) -> Self {
+        Self {
+            pool,
+            queue_capacity: Self::DEFAULT_QUEUE_CAPACITY,
+            policy: SchedPolicy::default(),
+        }
+    }
+
+    /// Bound the admission queue: at most `capacity` jobs may be
+    /// admitted-but-unfinished at once (clamped to at least 1 — a queue
+    /// that can hold no job at all could never serve one).
+    pub fn with_queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = capacity.max(1);
+        self
+    }
+
+    /// Select the scheduling policy.
+    pub fn with_policy(mut self, policy: SchedPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+}
+
 /// One complete unit of serving work: the domain, kernel, boundaries,
 /// optional constant field and run configuration that
 /// [`crate::run_distributed`] takes as separate arguments, owned so the
 /// job can outlive the submitting call.
+///
+/// Built with [`JobSpec::over`] and the same `with_*` vocabulary as
+/// [`DistConfig`] — `with_halo`, `with_grid3`, `with_abft`, `with_flip`
+/// and friends forward to the embedded config, so one-shot and pooled
+/// call sites read identically:
+///
+/// ```
+/// use abft_core::AbftConfig;
+/// use abft_dist::JobSpec;
+/// use abft_grid::Grid3D;
+/// use abft_stencil::Stencil3D;
+///
+/// let job = JobSpec::over(
+///     Grid3D::from_fn(8, 16, 2, |x, y, z| (x + y + z) as f64),
+///     Stencil3D::seven_point(0.4, 0.1, 0.1, 0.1),
+/// )
+/// .with_ranks(4)
+/// .with_iters(10)
+/// .with_abft(AbftConfig::paper_defaults());
+/// assert_eq!(job.cfg.ranks, 4);
+/// ```
 #[derive(Debug, Clone)]
 pub struct JobSpec<T: Real> {
     /// Initial global domain.
@@ -94,7 +203,21 @@ pub struct JobSpec<T: Real> {
 }
 
 impl<T: Real> JobSpec<T> {
-    /// A job without a constant field.
+    /// A single-rank, single-iteration, clamped-boundary job over
+    /// `initial` with `stencil` — the builder's starting point; shape it
+    /// with the `with_*` methods.
+    pub fn over(initial: Grid3D<T>, stencil: Stencil3D<T>) -> Self {
+        Self {
+            initial,
+            stencil,
+            bounds: BoundarySpec::clamp(),
+            constant: None,
+            cfg: DistConfig::new(1, 1),
+        }
+    }
+
+    /// Positional constructor, superseded by the builder.
+    #[deprecated(note = "use `JobSpec::over(initial, stencil)` with the `with_*` builders")]
     pub fn new(
         initial: Grid3D<T>,
         stencil: Stencil3D<T>,
@@ -110,42 +233,154 @@ impl<T: Real> JobSpec<T> {
         }
     }
 
+    /// Set the global boundary conditions (default: clamp).
+    pub fn with_bounds(mut self, bounds: BoundarySpec<T>) -> Self {
+        self.bounds = bounds;
+        self
+    }
+
     /// Attach a per-cell constant field (shape-checked at admission).
     pub fn with_constant(mut self, constant: Grid3D<T>) -> Self {
         self.constant = Some(constant);
         self
     }
+
+    /// Replace the whole embedded [`DistConfig`] (for call sites that
+    /// already built one — [`crate::run_distributed`] rides on this).
+    pub fn with_dist(mut self, cfg: DistConfig<T>) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// Set the number of simulated ranks.
+    pub fn with_ranks(mut self, ranks: usize) -> Self {
+        self.cfg.ranks = ranks;
+        self
+    }
+
+    /// Set the number of stencil iterations.
+    pub fn with_iters(mut self, iters: usize) -> Self {
+        self.cfg.iters = iters;
+        self
+    }
+
+    /// Widen the halo beyond the stencil's extents
+    /// ([`DistConfig::with_halo`]).
+    pub fn with_halo(mut self, cells: usize) -> Self {
+        self.cfg = self.cfg.with_halo(cells);
+        self
+    }
+
+    /// Select the halo exchange strategy ([`DistConfig::with_mode`]).
+    pub fn with_mode(mut self, mode: HaloMode) -> Self {
+        self.cfg = self.cfg.with_mode(mode);
+        self
+    }
+
+    /// Decompose over an explicit `rx × ry` rank grid
+    /// ([`DistConfig::with_grid`]).
+    pub fn with_grid(mut self, rx: usize, ry: usize) -> Self {
+        self.cfg = self.cfg.with_grid(rx, ry);
+        self
+    }
+
+    /// Decompose over an explicit `rx × ry × rz` rank-brick grid
+    /// ([`DistConfig::with_grid3`]).
+    pub fn with_grid3(mut self, rx: usize, ry: usize, rz: usize) -> Self {
+        self.cfg = self.cfg.with_grid3(rx, ry, rz);
+        self
+    }
+
+    /// Auto-factor the rank count into a near-square grid
+    /// ([`DistConfig::with_auto_grid`]).
+    pub fn with_auto_grid(mut self) -> Self {
+        self.cfg = self.cfg.with_auto_grid();
+        self
+    }
+
+    /// Set the rank-grid shape from a [`GridSpec`]
+    /// ([`DistConfig::with_grid_spec`]).
+    pub fn with_grid_spec(mut self, grid: GridSpec) -> Self {
+        self.cfg = self.cfg.with_grid_spec(grid);
+        self
+    }
+
+    /// Enable per-rank online ABFT protection
+    /// ([`DistConfig::with_abft`]).
+    pub fn with_abft(mut self, cfg: AbftConfig<T>) -> Self {
+        self.cfg = self.cfg.with_abft(cfg);
+        self
+    }
+
+    /// Inject one bit-flip in `rank`'s brick
+    /// ([`DistConfig::with_flip`]).
+    pub fn with_flip(mut self, rank: usize, flip: BitFlip) -> Self {
+        self.cfg = self.cfg.with_flip(rank, flip);
+        self
+    }
 }
 
-/// Service counters: completed/failed jobs and topology-cache traffic.
+/// Service counters: completed/failed/rejected jobs, topology-cache
+/// traffic and the high-water mark of concurrent jobs.
 ///
 /// `topology_hits` counting up while `topology_misses` stays flat is the
 /// pool-reuse signal `exp_serve` measures: repeat jobs skip halo-plan and
-/// channel construction entirely.
+/// channel construction entirely. `peak_concurrent` above 1 is the
+/// slot-allocation signal: the scheduler actually ran jobs side by side.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ServeStats {
     /// Jobs that produced a report.
     pub jobs_completed: u64,
     /// Jobs that failed after admission (rank panic).
     pub jobs_failed: u64,
+    /// Jobs bounced at admission with
+    /// [`DistError::QueueFull`](crate::DistError::QueueFull).
+    pub jobs_rejected: u64,
     /// Jobs that reused a cached channel topology.
     pub topology_hits: u64,
     /// Jobs that had to build their topology.
     pub topology_misses: u64,
+    /// Most jobs ever in flight at once (inline snapshot jobs included).
+    pub peak_concurrent: u64,
 }
 
 /// An admitted job on its way to the scheduler.
-struct Admitted<T: Real> {
+pub(crate) struct Admitted<T: Real> {
     id: u64,
     spec: JobSpec<T>,
     submitted: Instant,
 }
 
+/// Everything that rides the scheduler's single event channel. The
+/// scheduler blocks on exactly one `recv`, so submissions from client
+/// threads, completions from pool workers and the shutdown signal are
+/// serialized into one deterministic event order.
+//
+// `Done` dwarfs the other variants (it carries a rank's full state
+// home), but every event is moved exactly once into the channel and
+// once out — boxing would add a per-rank-completion allocation to
+// save nothing.
+#[allow(clippy::large_enum_variant)]
+pub(crate) enum SchedEvent<T: Real> {
+    /// A validated job from [`DistService::submit`].
+    Submit(Admitted<T>),
+    /// One rank's completion from a pool worker.
+    Done(TaskDone<T>),
+    /// Shutdown: finish the queue and in-flight jobs, then exit.
+    Drain,
+}
+
+type Callback<T> = Box<dyn FnOnce(Result<DistReport<T>, DistError>) + Send>;
+
 struct ServeState<T: Real> {
-    /// Admitted but not yet completed job ids.
+    /// Admitted but not yet completed job ids; its size is what the
+    /// bounded admission queue caps.
     pending: HashSet<u64>,
-    /// Completed jobs awaiting claim by [`DistService::await_job`].
+    /// Completed jobs awaiting claim by a [`JobHandle`] (or the
+    /// [`DistService::await_job`] compatibility path).
     done: HashMap<u64, Result<DistReport<T>, DistError>>,
+    /// Streaming consumers registered via [`JobHandle::on_complete`].
+    callbacks: HashMap<u64, Callback<T>>,
     stats: ServeStats,
 }
 
@@ -154,6 +389,7 @@ impl<T: Real> Default for ServeState<T> {
         Self {
             pending: HashSet::new(),
             done: HashMap::new(),
+            callbacks: HashMap::new(),
             stats: ServeStats::default(),
         }
     }
@@ -169,72 +405,187 @@ struct WorkerHandle<T: Real> {
     handle: JoinHandle<()>,
 }
 
-/// A persistent rank pool serving a stream of distributed stencil jobs.
+/// A claim on one submitted job's [`DistReport`] — the canonical way to
+/// consume results (the id-based [`DistService::await_job`] survives
+/// only as a compatibility wrapper).
+///
+/// The handle is deliberately **not** `Clone` and [`JobHandle::wait`]
+/// consumes it, so a pure handle user can never observe
+/// [`DistError::UnknownJob`](crate::DistError::UnknownJob): every handle
+/// claims its own result exactly once, by construction. (Mixing a handle
+/// with `await_job(handle.id())` on the same job re-opens that door —
+/// whichever claims first wins.)
+///
+/// Dropping a handle without claiming leaks the report into the
+/// service's done-map until the service itself is dropped; prefer
+/// [`JobHandle::on_complete`] for fire-and-forget jobs.
+pub struct JobHandle<T: Real> {
+    id: u64,
+    shared: Arc<Shared<T>>,
+    /// A result already moved out of the service by
+    /// [`JobHandle::try_result`], kept so `wait` after a successful poll
+    /// still returns it.
+    taken: Option<Result<DistReport<T>, DistError>>,
+}
+
+impl<T: Real> std::fmt::Debug for JobHandle<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JobHandle")
+            .field("id", &self.id)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<T: Real> JobHandle<T> {
+    /// The underlying [`JobId`] (for logs, or the `await_job`
+    /// compatibility path).
+    pub fn id(&self) -> JobId {
+        JobId(self.id)
+    }
+
+    /// Block until the job finishes and claim its report.
+    ///
+    /// # Errors
+    /// The job's own failure ([`DistError::RankPanicked`]) — or
+    /// [`DistError::UnknownJob`] in the one mixed-API corner where
+    /// `await_job(self.id())` already claimed the report.
+    pub fn wait(mut self) -> Result<DistReport<T>, DistError> {
+        if let Some(result) = self.taken.take() {
+            return result;
+        }
+        let mut state = self.shared.state.lock().unwrap();
+        loop {
+            if let Some(result) = state.done.remove(&self.id) {
+                return result;
+            }
+            if !state.pending.contains(&self.id) {
+                return Err(DistError::UnknownJob { id: self.id });
+            }
+            state = self.shared.cv.wait(state).unwrap();
+        }
+    }
+
+    /// Non-blocking poll: `None` while the job is still queued or
+    /// running, the (borrowed) result once it finished. The first
+    /// `Some` moves the result into the handle, so later polls — and a
+    /// final [`JobHandle::wait`] — keep answering without touching the
+    /// service.
+    pub fn try_result(&mut self) -> Option<&Result<DistReport<T>, DistError>> {
+        if self.taken.is_none() {
+            let mut state = self.shared.state.lock().unwrap();
+            if let Some(result) = state.done.remove(&self.id) {
+                self.taken = Some(result);
+            } else if !state.pending.contains(&self.id) {
+                // Mixed-API corner: await_job already claimed it.
+                self.taken = Some(Err(DistError::UnknownJob { id: self.id }));
+            }
+        }
+        self.taken.as_ref()
+    }
+
+    /// Stream the result: run `f` with the report the moment the job
+    /// finishes (immediately, when it already has). The callback runs on
+    /// the **scheduler thread** — keep it short and never block it on
+    /// another job's completion, or the service stalls; a panicking
+    /// callback is contained and ignored.
+    pub fn on_complete<F>(mut self, f: F)
+    where
+        F: FnOnce(Result<DistReport<T>, DistError>) + Send + 'static,
+    {
+        if let Some(result) = self.taken.take() {
+            f(result);
+            return;
+        }
+        let mut state = self.shared.state.lock().unwrap();
+        if let Some(result) = state.done.remove(&self.id) {
+            drop(state);
+            f(result);
+        } else if state.pending.contains(&self.id) {
+            state.callbacks.insert(self.id, Box::new(f));
+        }
+        // Else: the mixed-API corner (await_job claimed the report
+        // first); there is no result left to deliver.
+    }
+}
+
+/// A persistent rank pool serving a stream of distributed stencil jobs
+/// concurrently.
 ///
 /// ```
-/// use abft_dist::{DistConfig, DistService, JobSpec};
-/// use abft_grid::{BoundarySpec, Grid3D};
+/// use abft_dist::{DistService, JobSpec};
+/// use abft_grid::Grid3D;
 /// use abft_stencil::Stencil3D;
 ///
 /// let service = DistService::<f64>::new(4)?;
-/// let job = JobSpec::new(
+/// let job = JobSpec::over(
 ///     Grid3D::from_fn(8, 16, 2, |x, y, z| (x + y + z) as f64),
 ///     Stencil3D::seven_point(0.4, 0.1, 0.1, 0.1),
-///     BoundarySpec::clamp(),
-///     DistConfig::new(4, 10),
-/// );
-/// let id = service.submit(job)?;
-/// let report = service.await_job(id)?;
+/// )
+/// .with_ranks(4)
+/// .with_iters(10);
+/// let handle = service.submit(job)?;
+/// let report = handle.wait()?;
 /// assert_eq!(report.global.dims(), (8, 16, 2));
 /// service.shutdown();
 /// # Ok::<(), abft_dist::DistError>(())
 /// ```
 pub struct DistService<T: Real> {
-    to_scheduler: Option<Sender<Admitted<T>>>,
+    to_scheduler: Option<Sender<SchedEvent<T>>>,
     scheduler: Option<JoinHandle<()>>,
     shared: Arc<Shared<T>>,
     next_id: AtomicU64,
     pool: usize,
+    capacity: usize,
 }
 
 impl<T: Real> DistService<T> {
-    /// Spawn a pool of `pool` persistent rank workers plus a scheduler.
+    /// Spawn a pool of `pool` persistent rank workers plus a scheduler,
+    /// with the default queue capacity and concurrent scheduling
+    /// (see [`ServiceConfig`]).
     ///
     /// # Errors
     /// [`DistError::NoRanks`] when `pool == 0`.
     pub fn new(pool: usize) -> Result<Self, DistError> {
-        if pool == 0 {
+        Self::with_config(ServiceConfig::new(pool))
+    }
+
+    /// Spawn a service from an explicit [`ServiceConfig`].
+    ///
+    /// # Errors
+    /// [`DistError::NoRanks`] when the configured pool is empty.
+    pub fn with_config(config: ServiceConfig) -> Result<Self, DistError> {
+        if config.pool == 0 {
             return Err(DistError::NoRanks);
         }
-        let (done_tx, done_rx) = channel();
-        let workers: Vec<WorkerHandle<T>> = (0..pool)
+        let (event_tx, event_rx) = channel();
+        let workers: Vec<WorkerHandle<T>> = (0..config.pool)
             .map(|i| {
                 let (tx, rx) = channel();
-                let done = done_tx.clone();
+                let events = event_tx.clone();
                 let handle = std::thread::Builder::new()
                     .name(format!("abft-serve-{i}"))
-                    .spawn(move || worker::pool_worker(rx, done))
+                    .spawn(move || worker::pool_worker(rx, events))
                     .expect("spawn pool worker");
                 WorkerHandle { tx, handle }
             })
             .collect();
-        drop(done_tx);
         let shared = Arc::new(Shared {
             state: Mutex::new(ServeState::default()),
             cv: Condvar::new(),
         });
-        let (job_tx, job_rx) = channel();
         let sched_shared = Arc::clone(&shared);
+        let policy = config.policy;
         let scheduler = std::thread::Builder::new()
             .name("abft-serve-scheduler".to_string())
-            .spawn(move || scheduler_loop(job_rx, sched_shared, workers, done_rx))
+            .spawn(move || Scheduler::new(sched_shared, workers, policy).run(event_rx))
             .expect("spawn scheduler");
         Ok(Self {
-            to_scheduler: Some(job_tx),
+            to_scheduler: Some(event_tx),
             scheduler: Some(scheduler),
             shared,
             next_id: AtomicU64::new(1),
-            pool,
+            pool: config.pool,
+            capacity: config.queue_capacity,
         })
     }
 
@@ -243,7 +594,13 @@ impl<T: Real> DistService<T> {
         self.pool
     }
 
-    /// Admit one job for execution; returns its [`JobId`] immediately.
+    /// Capacity of the bounded admission queue (the maximum number of
+    /// admitted-but-unfinished jobs).
+    pub fn queue_capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Admit one job and return its [`JobHandle`] immediately.
     ///
     /// Validation is synchronous and strict: on top of every
     /// [`crate::run_distributed`] check (empty grid, zero iterations,
@@ -255,19 +612,37 @@ impl<T: Real> DistService<T> {
     /// make progress, since every rank of a job must run concurrently).
     ///
     /// # Errors
-    /// Any [`DistError`] admission failure; the job is not enqueued.
-    pub fn submit(&self, spec: JobSpec<T>) -> Result<JobId, DistError> {
-        self.admit(spec, true)
+    /// Any [`DistError`] admission failure — including
+    /// [`DistError::QueueFull`] when the bounded queue is at capacity
+    /// (use [`DistService::submit_wait`] to block instead). The job is
+    /// not enqueued.
+    pub fn submit(&self, spec: JobSpec<T>) -> Result<JobHandle<T>, DistError> {
+        self.admit(spec, true, false)
+    }
+
+    /// Like [`DistService::submit`], but **block** until the bounded
+    /// queue has room instead of returning [`DistError::QueueFull`] —
+    /// the lossless backpressure form for batch producers.
+    ///
+    /// # Errors
+    /// Any non-capacity admission failure, as for `submit`.
+    pub fn submit_wait(&self, spec: JobSpec<T>) -> Result<JobHandle<T>, DistError> {
+        self.admit(spec, true, true)
     }
 
     /// Admission with the one-shot API's lenient halo semantics (a
     /// too-narrow halo is widened to the kernel reach, not rejected) —
     /// the compatibility path [`crate::run_distributed`] rides on.
-    pub(crate) fn submit_lenient(&self, spec: JobSpec<T>) -> Result<JobId, DistError> {
-        self.admit(spec, false)
+    pub(crate) fn submit_lenient(&self, spec: JobSpec<T>) -> Result<JobHandle<T>, DistError> {
+        self.admit(spec, false, false)
     }
 
-    fn admit(&self, spec: JobSpec<T>, strict: bool) -> Result<JobId, DistError> {
+    fn admit(
+        &self,
+        spec: JobSpec<T>,
+        strict: bool,
+        block: bool,
+    ) -> Result<JobHandle<T>, DistError> {
         let part = validate(
             &spec.initial,
             &spec.stencil,
@@ -285,7 +660,20 @@ impl<T: Real> DistService<T> {
             });
         }
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
-        self.shared.state.lock().unwrap().pending.insert(id);
+        {
+            let mut state = self.shared.state.lock().unwrap();
+            if block {
+                while state.pending.len() >= self.capacity {
+                    state = self.shared.cv.wait(state).unwrap();
+                }
+            } else if state.pending.len() >= self.capacity {
+                state.stats.jobs_rejected += 1;
+                return Err(DistError::QueueFull {
+                    capacity: self.capacity,
+                });
+            }
+            state.pending.insert(id);
+        }
         let admitted = Admitted {
             id,
             spec,
@@ -295,21 +683,27 @@ impl<T: Real> DistService<T> {
             .to_scheduler
             .as_ref()
             .expect("service already shut down");
-        if sender.send(admitted).is_err() {
+        if sender.send(SchedEvent::Submit(admitted)).is_err() {
             // Scheduler already gone — only reachable mid-teardown.
             self.shared.state.lock().unwrap().pending.remove(&id);
             return Err(DistError::UnknownJob { id });
         }
-        Ok(JobId(id))
+        Ok(JobHandle {
+            id,
+            shared: Arc::clone(&self.shared),
+            taken: None,
+        })
     }
 
-    /// Block until `id`'s report is ready and claim it. Each report can
-    /// be claimed exactly once.
+    /// Block until `id`'s report is ready and claim it — the pre-handle
+    /// compatibility surface. Each report can be claimed exactly once;
+    /// prefer keeping the [`JobHandle`] from `submit`, which cannot
+    /// mis-claim.
     ///
     /// # Errors
     /// The job's own failure ([`DistError::RankPanicked`]), or
     /// [`DistError::UnknownJob`] when `id` was never admitted here or
-    /// its report was already claimed.
+    /// its report was already claimed (by this method or a handle).
     pub fn await_job(&self, id: JobId) -> Result<DistReport<T>, DistError> {
         let mut state = self.shared.state.lock().unwrap();
         loop {
@@ -335,7 +729,9 @@ impl<T: Real> DistService<T> {
     }
 
     fn finish(&mut self) {
-        drop(self.to_scheduler.take());
+        if let Some(tx) = self.to_scheduler.take() {
+            let _ = tx.send(SchedEvent::Drain);
+        }
         if let Some(handle) = self.scheduler.take() {
             let _ = handle.join();
         }
@@ -370,165 +766,443 @@ fn strict_halo<T: Real>(spec: &JobSpec<T>, grid: (usize, usize, usize)) -> Resul
     Ok(())
 }
 
-/// The scheduler thread: pop admitted jobs in submit order, execute each
-/// against the pool, stamp its latency and publish the result.
-fn scheduler_loop<T: Real>(
-    jobs: Receiver<Admitted<T>>,
+/// How many pool slots `spec` occupies while running: one per rank in
+/// pipelined mode, none in snapshot mode (snapshot jobs run inline on
+/// the scheduler thread with scoped threads of their own).
+fn slots_needed<T: Real>(spec: &JobSpec<T>) -> usize {
+    match spec.cfg.mode {
+        HaloMode::Pipelined => spec.cfg.ranks,
+        HaloMode::Snapshot => 0,
+    }
+}
+
+/// The bounded-skip admission plan, as a pure function so the starvation
+/// properties are unit-testable: given the queued jobs' `(slot demand,
+/// times overtaken)` in submit order and the number of free slots,
+/// return the indices to start now (ascending).
+///
+/// A job is admitted when its demand fits what is left after every
+/// earlier admission in this pass. Each admission bumps the overtaken
+/// count of every still-blocked job ahead of it; scanning **stops** at
+/// the first blocked job that has already been overtaken
+/// `max_overtakes` times, making it a head-of-line barrier — later jobs
+/// cannot pass it again, slots drain back as running jobs finish, and
+/// since admission capped its demand at the pool size it eventually
+/// fits. That is the starvation-freedom argument, and
+/// `overtaking_stops_at_the_barrier` pins it.
+fn plan_admissions(queue: &mut [(usize, u32)], mut free: usize, max_overtakes: u32) -> Vec<usize> {
+    let mut admitted = vec![false; queue.len()];
+    let mut picks = Vec::new();
+    for i in 0..queue.len() {
+        let (need, overtaken) = queue[i];
+        if need <= free {
+            free -= need;
+            admitted[i] = true;
+            picks.push(i);
+            for j in 0..i {
+                if !admitted[j] {
+                    queue[j].1 += 1;
+                }
+            }
+        } else if overtaken >= max_overtakes {
+            break;
+        }
+    }
+    picks
+}
+
+/// A queued job plus its bounded-skip bookkeeping.
+struct QueuedJob<T: Real> {
+    adm: Admitted<T>,
+    overtaken: u32,
+}
+
+/// One in-flight pipelined job: completion slots for its ranks and the
+/// context needed to gather and stamp its report.
+struct Running<T: Real> {
+    submitted: Instant,
+    started: Instant,
+    key: TopoKey<T>,
+    grid: (usize, usize, usize),
+    dims: (usize, usize, usize),
+    ranks: Vec<Option<Rank<T>>>,
+    ports: Vec<Option<Ports<T>>>,
+    remaining: usize,
+    /// Lowest failing rank and its panic message (the cascade's
+    /// "producer/consumer hung up" echoes from higher ranks are noise).
+    failure: Option<(usize, String)>,
+}
+
+/// A job's pre-dispatch state: everything built under the scheduler's
+/// panic guard before any task is sent, so a build-phase panic can never
+/// leave half a job on the pool.
+struct Prepared<T: Real> {
+    key: TopoKey<T>,
+    grid: (usize, usize, usize),
+    dims: (usize, usize, usize),
+    ranks: Vec<Rank<T>>,
+    /// `Some` for pipelined jobs (checked out of the topology cache),
+    /// `None` for inline snapshot jobs.
+    ports: Option<Vec<Ports<T>>>,
+}
+
+/// The scheduler thread's whole world: free-slot accounting, the
+/// admission queue, in-flight jobs and the topology cache, driven by the
+/// unified event channel.
+struct Scheduler<T: Real> {
     shared: Arc<Shared<T>>,
     workers: Vec<WorkerHandle<T>>,
-    done: Receiver<TaskResult<T>>,
-) {
-    let mut cache: TopologyCache<T> = TopologyCache::new();
-    while let Ok(job) = jobs.recv() {
-        let outcome = catch_unwind(AssertUnwindSafe(|| {
-            execute_job(&job.spec, &mut cache, &workers, &done)
-        }));
-        let result = match outcome {
-            Ok(result) => result,
-            Err(payload) => {
-                // A panic escaped the per-rank containment (a snapshot-
-                // mode rank panicking through its scoped join, or a
-                // scheduler bug). The pool threads are unharmed, but any
-                // cached channels and in-flight completions are suspect:
-                // start the next job from a clean slate.
-                cache.clear();
-                while done.try_recv().is_ok() {}
-                Err(DistError::RankPanicked {
-                    rank: None,
-                    message: worker::panic_message(payload),
-                })
+    policy: SchedPolicy,
+    cache: TopologyCache<T>,
+    queue: VecDeque<QueuedJob<T>>,
+    running: HashMap<u64, Running<T>>,
+    /// Free pool-slot indices (a worker is free again the moment its
+    /// completion event arrives — not when its whole job finishes).
+    free: Vec<usize>,
+    peak: u64,
+}
+
+impl<T: Real> Scheduler<T> {
+    fn new(shared: Arc<Shared<T>>, workers: Vec<WorkerHandle<T>>, policy: SchedPolicy) -> Self {
+        let free = (0..workers.len()).collect();
+        Self {
+            shared,
+            workers,
+            policy,
+            cache: TopologyCache::new(),
+            queue: VecDeque::new(),
+            running: HashMap::new(),
+            free,
+            peak: 0,
+        }
+    }
+
+    fn run(mut self, events: Receiver<SchedEvent<T>>) {
+        let mut draining = false;
+        while let Ok(event) = events.recv() {
+            match event {
+                SchedEvent::Submit(adm) => self.queue.push_back(QueuedJob { adm, overtaken: 0 }),
+                SchedEvent::Done(done) => self.handle_done(done),
+                SchedEvent::Drain => draining = true,
+            }
+            self.admit_ready();
+            if draining && self.queue.is_empty() && self.running.is_empty() {
+                break;
+            }
+        }
+        // Service shut down: release the workers and join them.
+        let (senders, handles): (Vec<_>, Vec<_>) =
+            self.workers.into_iter().map(|w| (w.tx, w.handle)).unzip();
+        drop(senders);
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+
+    /// Plan one admission pass over the queue and start every picked job
+    /// in submit order.
+    fn admit_ready(&mut self) {
+        let mut demands: Vec<(usize, u32)> = self
+            .queue
+            .iter()
+            .map(|q| (slots_needed(&q.adm.spec), q.overtaken))
+            .collect();
+        let picks = match self.policy {
+            SchedPolicy::Concurrent => {
+                plan_admissions(&mut demands, self.free.len(), MAX_OVERTAKES)
+            }
+            SchedPolicy::SerialFifo => {
+                if self.running.is_empty()
+                    && demands
+                        .first()
+                        .is_some_and(|&(need, _)| need <= self.free.len())
+                {
+                    vec![0]
+                } else {
+                    Vec::new()
+                }
             }
         };
-        let result = result.map(|mut report| {
-            report.latency_s = job.submitted.elapsed().as_secs_f64();
-            report
-        });
-        let mut state = shared.state.lock().unwrap();
-        state.stats.topology_hits = cache.hits;
-        state.stats.topology_misses = cache.misses;
+        for (q, &(_, overtaken)) in self.queue.iter_mut().zip(&demands) {
+            q.overtaken = overtaken;
+        }
+        let mut started: Vec<Admitted<T>> = Vec::with_capacity(picks.len());
+        for &i in picks.iter().rev() {
+            started.push(self.queue.remove(i).expect("planned index in range").adm);
+        }
+        while let Some(adm) = started.pop() {
+            self.start_job(adm);
+        }
+    }
+
+    /// Build one admitted job under a panic guard and either dispatch
+    /// its ranks onto free slots (pipelined) or run it inline
+    /// (snapshot).
+    fn start_job(&mut self, adm: Admitted<T>) {
+        let started = Instant::now();
+        let prepared = match catch_unwind(AssertUnwindSafe(|| self.prepare(&adm.spec))) {
+            Ok(Ok(prepared)) => prepared,
+            Ok(Err(e)) => {
+                self.publish(adm.id, Err(e));
+                return;
+            }
+            Err(payload) => {
+                // A panic in validate/plan/build: nothing reached the
+                // pool, but the cache may hold a half-built entry.
+                self.cache.clear();
+                self.publish(
+                    adm.id,
+                    Err(DistError::RankPanicked {
+                        rank: None,
+                        message: worker::panic_message(payload),
+                    }),
+                );
+                return;
+            }
+        };
+        match prepared.ports {
+            None => {
+                // Snapshot jobs occupy no pool slots: they run inline on
+                // the scheduler thread with scoped threads of their own
+                // (concurrent pipelined jobs keep computing meanwhile;
+                // only scheduling decisions pause).
+                self.peak = self.peak.max(self.running.len() as u64 + 1);
+                let Prepared {
+                    grid,
+                    dims,
+                    mut ranks,
+                    ..
+                } = prepared;
+                let bounds = adm.spec.bounds;
+                let iters = adm.spec.cfg.iters;
+                let outcome = catch_unwind(AssertUnwindSafe(move || {
+                    let wall = Instant::now();
+                    run_snapshot(&mut ranks, &bounds, dims, iters);
+                    gather_report(ranks, grid, dims, wall.elapsed().as_secs_f64())
+                }));
+                let result = match outcome {
+                    Ok(report) => Ok(report),
+                    Err(payload) => Err(DistError::RankPanicked {
+                        rank: None,
+                        message: worker::panic_message(payload),
+                    }),
+                };
+                self.publish(adm.id, stamp(result, adm.submitted, started));
+            }
+            Some(ports) => {
+                let count = prepared.ranks.len();
+                let mut ranks = prepared.ranks;
+                for (idx, (rank, port)) in ranks.drain(..).zip(ports).enumerate() {
+                    let slot = self.free.pop().expect("admission guaranteed free slots");
+                    let task = RankTask {
+                        job: adm.id,
+                        slot,
+                        idx,
+                        rank,
+                        ports: port,
+                        bounds: adm.spec.bounds,
+                        dims: prepared.dims,
+                        iters: adm.spec.cfg.iters,
+                    };
+                    self.workers[slot]
+                        .tx
+                        .send(task)
+                        .expect("pool worker hung up");
+                }
+                self.running.insert(
+                    adm.id,
+                    Running {
+                        submitted: adm.submitted,
+                        started,
+                        key: prepared.key,
+                        grid: prepared.grid,
+                        dims: prepared.dims,
+                        ranks: (0..count).map(|_| None).collect(),
+                        ports: (0..count).map(|_| None).collect(),
+                        remaining: count,
+                        failure: None,
+                    },
+                );
+                self.peak = self.peak.max(self.running.len() as u64);
+            }
+        }
+    }
+
+    /// Resolve one job's topology (cache hit or build) and construct its
+    /// fresh per-job rank state. Pure build work — no task leaves the
+    /// scheduler here, which is what lets `start_job` treat a panic as
+    /// "nothing happened yet".
+    fn prepare(&mut self, spec: &JobSpec<T>) -> Result<Prepared<T>, DistError> {
+        // Re-validate: admission already did, but the scheduler must
+        // never trust a handed-over spec enough to panic a pooled worker.
+        let part = validate(
+            &spec.initial,
+            &spec.stencil,
+            &spec.bounds,
+            spec.constant.as_ref(),
+            &spec.cfg,
+        )?;
+        let dims = spec.initial.dims();
+        let grid = (part.rx(), part.ry(), part.rz());
+        let halo = effective_halo(&spec.cfg, &spec.stencil, grid);
+        let key = TopoKey {
+            dims,
+            grid,
+            halo,
+            bounds: spec.bounds,
+        };
+        let plans = self.cache.plans(&key, &part, &spec.bounds);
+        let ranks = build_ranks(
+            &spec.initial,
+            &spec.stencil,
+            &spec.bounds,
+            spec.constant.as_ref(),
+            &spec.cfg,
+            &part,
+            &plans,
+        );
+        let ports = match spec.cfg.mode {
+            HaloMode::Pipelined => {
+                if ranks.len() > self.workers.len() {
+                    return Err(DistError::PoolTooSmall {
+                        ranks: ranks.len(),
+                        pool: self.workers.len(),
+                    });
+                }
+                Some(self.cache.check_out(&key, &part))
+            }
+            HaloMode::Snapshot => None,
+        };
+        Ok(Prepared {
+            key,
+            grid,
+            dims,
+            ranks,
+            ports,
+        })
+    }
+
+    /// Fold one rank completion into its job; when it is the job's last,
+    /// gather and publish.
+    fn handle_done(&mut self, done: TaskDone<T>) {
+        // The worker parked the moment it sent this event: its slot is
+        // free even though the job may still be waiting on siblings.
+        self.free.push(done.slot);
+        let Some(job) = self.running.get_mut(&done.job) else {
+            // A completion for a job the scheduler no longer tracks —
+            // unreachable under the no-dispatch-before-prepare rule, but
+            // the recycled slot keeps even a bug from leaking capacity.
+            return;
+        };
+        match done.result {
+            Ok((rank, ports)) => {
+                job.ranks[done.idx] = Some(rank);
+                job.ports[done.idx] = Some(ports);
+            }
+            Err(message) => {
+                if job.failure.as_ref().is_none_or(|(r, _)| done.idx < *r) {
+                    job.failure = Some((done.idx, message));
+                }
+            }
+        }
+        job.remaining -= 1;
+        if job.remaining > 0 {
+            return;
+        }
+        let job = self.running.remove(&done.job).expect("job is in flight");
+        let Running {
+            submitted,
+            started,
+            key,
+            grid,
+            dims,
+            ranks,
+            ports,
+            failure,
+            ..
+        } = job;
+        let result = if let Some((rank, message)) = failure {
+            // The job died mid-exchange: its channels may hold stale
+            // messages, so the topology entry cannot be reused.
+            self.cache.discard(&key);
+            Err(DistError::RankPanicked {
+                rank: Some(rank),
+                message,
+            })
+        } else {
+            match catch_unwind(AssertUnwindSafe(move || {
+                let ranks: Vec<Rank<T>> = ranks
+                    .into_iter()
+                    .map(|r| r.expect("every rank reported"))
+                    .collect();
+                gather_report(ranks, grid, dims, started.elapsed().as_secs_f64())
+            })) {
+                Ok(report) => {
+                    self.cache.check_in(
+                        &key,
+                        ports
+                            .into_iter()
+                            .map(|p| p.expect("every rank reported"))
+                            .collect(),
+                    );
+                    Ok(report)
+                }
+                Err(payload) => {
+                    self.cache.discard(&key);
+                    Err(DistError::RankPanicked {
+                        rank: None,
+                        message: worker::panic_message(payload),
+                    })
+                }
+            }
+        };
+        self.publish(done.job, stamp(result, submitted, started));
+    }
+
+    /// Record one job's outcome: update the counters, hand the result to
+    /// a registered callback (outside the lock, panic-contained) or park
+    /// it for the job's handle, and wake every waiter.
+    fn publish(&mut self, id: u64, result: Result<DistReport<T>, DistError>) {
+        let mut state = self.shared.state.lock().unwrap();
+        state.stats.topology_hits = self.cache.hits;
+        state.stats.topology_misses = self.cache.misses;
+        state.stats.peak_concurrent = state.stats.peak_concurrent.max(self.peak);
         if result.is_ok() {
             state.stats.jobs_completed += 1;
         } else {
             state.stats.jobs_failed += 1;
         }
-        state.pending.remove(&job.id);
-        state.done.insert(job.id, result);
-        drop(state);
-        shared.cv.notify_all();
-    }
-    // Service shut down: release the workers and join them.
-    let (senders, handles): (Vec<_>, Vec<_>) =
-        workers.into_iter().map(|w| (w.tx, w.handle)).unzip();
-    drop(senders);
-    for handle in handles {
-        let _ = handle.join();
+        state.pending.remove(&id);
+        match state.callbacks.remove(&id) {
+            Some(callback) => {
+                drop(state);
+                self.shared.cv.notify_all();
+                // A panicking callback must not take down the scheduler.
+                let _ = catch_unwind(AssertUnwindSafe(move || callback(result)));
+            }
+            None => {
+                state.done.insert(id, result);
+                drop(state);
+                self.shared.cv.notify_all();
+            }
+        }
     }
 }
 
-/// Execute one admitted job: resolve its topology (cache hit or build),
-/// build fresh per-job rank state, fan the ranks out to the pool (or run
-/// the legacy snapshot loop), and gather the report.
-fn execute_job<T: Real>(
-    spec: &JobSpec<T>,
-    cache: &mut TopologyCache<T>,
-    workers: &[WorkerHandle<T>],
-    done: &Receiver<TaskResult<T>>,
+/// Stamp the serving-layer timing split onto a finished report:
+/// `queue_wait_s` (admission to dispatch), `exec_s` (dispatch to
+/// gathered) and their sum `latency_s`.
+fn stamp<T: Real>(
+    mut result: Result<DistReport<T>, DistError>,
+    submitted: Instant,
+    started: Instant,
 ) -> Result<DistReport<T>, DistError> {
-    // Re-validate: admission already did, but the scheduler must never
-    // trust a handed-over spec enough to panic a pooled worker.
-    let part = validate(
-        &spec.initial,
-        &spec.stencil,
-        &spec.bounds,
-        spec.constant.as_ref(),
-        &spec.cfg,
-    )?;
-    let dims = spec.initial.dims();
-    let grid = (part.rx(), part.ry(), part.rz());
-    let halo = effective_halo(&spec.cfg, &spec.stencil, grid);
-    let key = TopoKey {
-        dims,
-        grid,
-        halo,
-        bounds: spec.bounds,
-    };
-    let plans = cache.plans(&key, &part, &spec.bounds);
-    let mut ranks = build_ranks(
-        &spec.initial,
-        &spec.stencil,
-        &spec.bounds,
-        spec.constant.as_ref(),
-        &spec.cfg,
-        &part,
-        &plans,
-    );
-    let count = ranks.len();
-    let wall = Instant::now();
-    match spec.cfg.mode {
-        HaloMode::Pipelined => {
-            if count > workers.len() {
-                return Err(DistError::PoolTooSmall {
-                    ranks: count,
-                    pool: workers.len(),
-                });
-            }
-            let ports = cache.check_out(&key, &part);
-            debug_assert_eq!(ports.len(), count, "topology/rank count mismatch");
-            for (idx, (rank, port)) in ranks.drain(..).zip(ports).enumerate() {
-                let task = RankTask {
-                    idx,
-                    rank,
-                    ports: port,
-                    bounds: spec.bounds,
-                    dims,
-                    iters: spec.cfg.iters,
-                };
-                workers[idx].tx.send(task).expect("pool worker hung up");
-            }
-            let mut back_ranks: Vec<Option<Rank<T>>> = (0..count).map(|_| None).collect();
-            let mut back_ports: Vec<Option<Ports<T>>> = (0..count).map(|_| None).collect();
-            let mut failure: Option<(usize, String)> = None;
-            for _ in 0..count {
-                let (idx, result) = done.recv().expect("pool worker hung up");
-                match result {
-                    Ok((rank, port)) => {
-                        back_ranks[idx] = Some(rank);
-                        back_ports[idx] = Some(port);
-                    }
-                    Err(message) => {
-                        // Keep the lowest-rank panic (the cascade's
-                        // "producer/consumer hung up" echoes are noise).
-                        if failure.as_ref().is_none_or(|(r, _)| idx < *r) {
-                            failure = Some((idx, message));
-                        }
-                    }
-                }
-            }
-            if let Some((rank, message)) = failure {
-                cache.discard(&key);
-                return Err(DistError::RankPanicked {
-                    rank: Some(rank),
-                    message,
-                });
-            }
-            cache.check_in(
-                &key,
-                back_ports
-                    .into_iter()
-                    .map(|p| p.expect("every rank reported"))
-                    .collect(),
-            );
-            ranks = back_ranks
-                .into_iter()
-                .map(|r| r.expect("every rank reported"))
-                .collect();
-        }
-        HaloMode::Snapshot => {
-            run_snapshot(&mut ranks, &spec.bounds, dims, spec.cfg.iters);
-        }
+    if let Ok(report) = result.as_mut() {
+        report.queue_wait_s = started.duration_since(submitted).as_secs_f64();
+        report.exec_s = started.elapsed().as_secs_f64();
+        report.latency_s = submitted.elapsed().as_secs_f64();
     }
-    let wall_s = wall.elapsed().as_secs_f64();
-    Ok(gather_report(ranks, grid, dims, wall_s))
+    result
 }
 
 #[cfg(test)]
@@ -537,6 +1211,7 @@ mod tests {
     use abft_core::AbftConfig;
     use abft_fault::BitFlip;
     use abft_stencil::{Exec, StencilSim};
+    use std::sync::mpsc;
 
     fn field(nx: usize, ny: usize, nz: usize) -> Grid3D<f64> {
         Grid3D::from_fn(nx, ny, nz, |x, y, z| {
@@ -549,19 +1224,34 @@ mod tests {
     }
 
     fn job(ranks: usize, iters: usize) -> JobSpec<f64> {
-        JobSpec::new(
-            field(10, 16, 2),
-            heat(),
-            BoundarySpec::clamp(),
-            DistConfig::new(ranks, iters),
-        )
+        JobSpec::over(field(10, 16, 2), heat())
+            .with_ranks(ranks)
+            .with_iters(iters)
+    }
+
+    /// Submit a quick job whose completion callback blocks the scheduler
+    /// thread until the returned sender fires — the deterministic way to
+    /// line up submissions while the scheduler cannot run any of them.
+    /// The job is given enough iterations that it cannot finish in the
+    /// nanoseconds between `submit` returning and `on_complete`
+    /// registering the callback.
+    fn block_scheduler(service: &DistService<f64>) -> mpsc::Sender<()> {
+        let (gate_tx, gate_rx) = mpsc::channel::<()>();
+        let (entered_tx, entered_rx) = mpsc::channel::<()>();
+        let handle = service.submit(job(1, 400)).unwrap();
+        handle.on_complete(move |result| {
+            assert!(result.is_ok());
+            entered_tx.send(()).unwrap();
+            let _ = gate_rx.recv();
+        });
+        entered_rx.recv().unwrap();
+        gate_tx
     }
 
     #[test]
     fn service_report_matches_the_one_shot_api_bitwise() {
         let service = DistService::<f64>::new(4).unwrap();
-        let id = service.submit(job(4, 9)).unwrap();
-        let served = service.await_job(id).unwrap();
+        let served = service.submit(job(4, 9)).unwrap().wait().unwrap();
         let fresh = crate::run_distributed(
             &field(10, 16, 2),
             &heat(),
@@ -573,15 +1263,34 @@ mod tests {
         assert_eq!(served.global, fresh.global);
         assert_eq!(served.grid, fresh.grid);
         assert!(served.latency_s > 0.0);
+        assert!(served.exec_s > 0.0);
+        assert!(served.queue_wait_s >= 0.0);
+        assert!(served.latency_s >= served.queue_wait_s + served.exec_s - 1e-6);
         service.shutdown();
+    }
+
+    #[test]
+    fn deprecated_positional_constructor_still_builds_the_same_spec() {
+        #[allow(deprecated)]
+        let old = JobSpec::new(
+            field(10, 16, 2),
+            heat(),
+            BoundarySpec::clamp(),
+            DistConfig::new(4, 9),
+        );
+        let new = job(4, 9);
+        assert_eq!(old.initial, new.initial);
+        assert_eq!(old.cfg.ranks, new.cfg.ranks);
+        assert_eq!(old.cfg.iters, new.cfg.iters);
     }
 
     #[test]
     fn repeat_jobs_hit_the_topology_cache() {
         let service = DistService::<f64>::new(4).unwrap();
-        let ids: Vec<JobId> = (0..4).map(|_| service.submit(job(4, 5)).unwrap()).collect();
-        for id in ids {
-            service.await_job(id).unwrap();
+        let handles: Vec<JobHandle<f64>> =
+            (0..4).map(|_| service.submit(job(4, 5)).unwrap()).collect();
+        for handle in handles {
+            handle.wait().unwrap();
         }
         let stats = service.stats();
         assert_eq!(stats.jobs_completed, 4);
@@ -590,28 +1299,25 @@ mod tests {
         assert_eq!(stats.topology_hits, 3, "{stats:?}");
 
         // A different domain shape is a genuine miss.
-        let other = JobSpec::new(
-            field(8, 12, 2),
-            heat(),
-            BoundarySpec::clamp(),
-            DistConfig::new(4, 5),
-        );
-        let id = service.submit(other).unwrap();
-        service.await_job(id).unwrap();
+        let other = JobSpec::over(field(8, 12, 2), heat())
+            .with_ranks(4)
+            .with_iters(5);
+        service.submit(other).unwrap().wait().unwrap();
         assert_eq!(service.stats().topology_misses, 2);
         service.shutdown();
     }
 
     #[test]
-    fn results_arrive_regardless_of_await_order() {
+    fn results_arrive_regardless_of_wait_order() {
         let service = DistService::<f64>::new(2).unwrap();
         let a = service.submit(job(2, 4)).unwrap();
         let b = service.submit(job(2, 7)).unwrap();
         let c = service.submit(job(1, 3)).unwrap();
-        // Await in reverse submit order; the scheduler runs FIFO anyway.
-        let rc = service.await_job(c).unwrap();
-        let rb = service.await_job(b).unwrap();
-        let ra = service.await_job(a).unwrap();
+        // Wait in reverse submit order; completion order is up to the
+        // scheduler.
+        let rc = c.wait().unwrap();
+        let rb = b.wait().unwrap();
+        let ra = a.wait().unwrap();
         assert_eq!(ra.ranks.len(), 2);
         assert_eq!(rb.ranks.len(), 2);
         assert_eq!(rc.ranks.len(), 1);
@@ -619,16 +1325,211 @@ mod tests {
     }
 
     #[test]
+    fn try_result_polls_without_blocking_and_caches_the_claim() {
+        let service = DistService::<f64>::new(2).unwrap();
+        let mut handle = service.submit(job(2, 6)).unwrap();
+        // Poll until done (single-core safe: the pool makes progress
+        // while this thread sleeps).
+        let mut polled = 0u32;
+        while handle.try_result().is_none() {
+            polled += 1;
+            std::thread::sleep(std::time::Duration::from_millis(1));
+            assert!(polled < 60_000, "job never finished");
+        }
+        assert!(handle.try_result().unwrap().is_ok());
+        // The claim is cached in the handle; wait() still answers.
+        assert!(handle.wait().is_ok());
+        service.shutdown();
+    }
+
+    #[test]
+    fn on_complete_streams_the_report_from_the_scheduler() {
+        let service = DistService::<f64>::new(2).unwrap();
+        let (tx, rx) = mpsc::channel();
+        service
+            .submit(job(2, 5))
+            .unwrap()
+            .on_complete(move |result| {
+                tx.send(result.map(|r| r.global.dims())).unwrap();
+            });
+        assert_eq!(rx.recv().unwrap().unwrap(), (10, 16, 2));
+        // A callback registered after completion fires immediately on
+        // the registering thread.
+        let done = service.submit(job(1, 2)).unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        let (tx2, rx2) = mpsc::channel();
+        done.on_complete(move |result| tx2.send(result.is_ok()).unwrap());
+        assert!(rx2.recv().unwrap());
+        service.shutdown();
+    }
+
+    #[test]
+    fn a_full_queue_rejects_with_queue_full_and_counts_it() {
+        let service =
+            DistService::<f64>::with_config(ServiceConfig::new(1).with_queue_capacity(1)).unwrap();
+        let gate = block_scheduler(&service);
+        // The scheduler is parked in a callback: nothing below can start
+        // or finish, so the capacity arithmetic is deterministic.
+        let queued = service.submit(job(1, 2)).unwrap();
+        let err = service.submit(job(1, 2)).unwrap_err();
+        assert_eq!(err, DistError::QueueFull { capacity: 1 });
+        assert_eq!(service.stats().jobs_rejected, 1);
+        gate.send(()).unwrap();
+        queued.wait().unwrap();
+        service.shutdown();
+    }
+
+    #[test]
+    fn submit_wait_blocks_for_a_slot_instead_of_rejecting() {
+        let service = std::sync::Arc::new(
+            DistService::<f64>::with_config(ServiceConfig::new(1).with_queue_capacity(1)).unwrap(),
+        );
+        let gate = block_scheduler(&service);
+        let queued = service.submit(job(1, 2)).unwrap();
+        // submit_wait must block while the queue is full...
+        let svc = std::sync::Arc::clone(&service);
+        let waiter = std::thread::spawn(move || svc.submit_wait(job(1, 2)).unwrap().wait());
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        assert!(
+            !waiter.is_finished(),
+            "submit_wait returned on a full queue"
+        );
+        // ...and admit the job once capacity drains.
+        gate.send(()).unwrap();
+        queued.wait().unwrap();
+        assert!(waiter.join().unwrap().is_ok());
+        assert_eq!(service.stats().jobs_rejected, 0);
+        std::sync::Arc::try_unwrap(service).ok().unwrap().shutdown();
+    }
+
+    #[test]
+    fn queued_small_jobs_run_concurrently_on_free_slots() {
+        let service = DistService::<f64>::new(4).unwrap();
+        let gate = block_scheduler(&service);
+        // Four 1-rank jobs pile up while the scheduler is parked; their
+        // Submit events all precede any completion event, so one
+        // admission pass starts all four side by side.
+        let handles: Vec<JobHandle<f64>> =
+            (0..4).map(|_| service.submit(job(1, 6)).unwrap()).collect();
+        gate.send(()).unwrap();
+        let reports: Vec<_> = handles.into_iter().map(|h| h.wait().unwrap()).collect();
+        // Co-scheduling is invisible in the results...
+        let fresh = crate::run_distributed(
+            &field(10, 16, 2),
+            &heat(),
+            &BoundarySpec::clamp(),
+            None,
+            &DistConfig::new(1, 6),
+        )
+        .unwrap();
+        for report in &reports {
+            assert_eq!(report.global, fresh.global);
+        }
+        // ...but visible in the counters.
+        assert_eq!(service.stats().peak_concurrent, 4);
+        service.shutdown();
+    }
+
+    #[test]
+    fn serial_fifo_policy_never_overlaps_jobs() {
+        let service = DistService::<f64>::with_config(
+            ServiceConfig::new(4).with_policy(SchedPolicy::SerialFifo),
+        )
+        .unwrap();
+        let gate = block_scheduler(&service);
+        let handles: Vec<JobHandle<f64>> =
+            (0..4).map(|_| service.submit(job(1, 6)).unwrap()).collect();
+        gate.send(()).unwrap();
+        for handle in handles {
+            handle.wait().unwrap();
+        }
+        assert_eq!(service.stats().peak_concurrent, 1);
+        service.shutdown();
+    }
+
+    #[test]
+    fn small_jobs_overtake_a_blocked_big_job_without_starving_it() {
+        // Pool of 2: a 2-rank job runs, a second 2-rank job blocks, and
+        // 1-rank jobs queued behind it... cannot overtake (no free
+        // slots), but once the first finishes the blocked job and the
+        // small ones all complete. The pure-policy tests below pin the
+        // overtaking rules; this pins end-to-end completion.
+        let service = DistService::<f64>::new(2).unwrap();
+        let gate = block_scheduler(&service);
+        let big_a = service.submit(job(2, 8)).unwrap();
+        let big_b = service.submit(job(2, 8)).unwrap();
+        let smalls: Vec<JobHandle<f64>> =
+            (0..3).map(|_| service.submit(job(1, 3)).unwrap()).collect();
+        gate.send(()).unwrap();
+        big_a.wait().unwrap();
+        big_b.wait().unwrap();
+        for small in smalls {
+            small.wait().unwrap();
+        }
+        assert_eq!(service.stats().jobs_completed, 6);
+        service.shutdown();
+    }
+
+    #[test]
+    fn plan_admits_everything_that_fits() {
+        let mut queue = vec![(2, 0), (4, 0), (1, 0), (1, 0)];
+        // 4 free: the 4-slot job blocks, both 1-slot jobs overtake it.
+        let picks = plan_admissions(&mut queue, 4, MAX_OVERTAKES);
+        assert_eq!(picks, vec![0, 2, 3]);
+        assert_eq!(queue[1].1, 2, "blocked job was overtaken twice");
+    }
+
+    #[test]
+    fn overtaking_stops_at_the_barrier() {
+        // The blocked job has exhausted its overtake budget: nothing
+        // behind it may start, even though it would fit.
+        let mut queue = vec![(4, MAX_OVERTAKES), (1, 0)];
+        assert_eq!(
+            plan_admissions(&mut queue, 2, MAX_OVERTAKES),
+            Vec::<usize>::new()
+        );
+        assert_eq!(queue[1].1, 0, "nothing overtook, so no counts moved");
+        // One slot short of the barrier's demand: still nothing.
+        assert_eq!(
+            plan_admissions(&mut queue, 3, MAX_OVERTAKES),
+            Vec::<usize>::new()
+        );
+        // Enough slots: the barrier job starts, and jobs behind it are
+        // admitted again in the same pass.
+        let picks = plan_admissions(&mut queue, 5, MAX_OVERTAKES);
+        assert_eq!(picks, vec![0, 1]);
+    }
+
+    #[test]
+    fn jobs_admitted_before_the_barrier_forms_still_start() {
+        // The first fit is admitted even though a later job then trips
+        // its own barrier (an earlier queue position starting is not an
+        // overtake, so the barrier's count stays put).
+        let mut queue = vec![(1, 0), (4, MAX_OVERTAKES), (1, 0)];
+        let picks = plan_admissions(&mut queue, 2, MAX_OVERTAKES);
+        assert_eq!(picks, vec![0]);
+        assert_eq!(
+            queue[1].1, MAX_OVERTAKES,
+            "in-order starts are not overtakes"
+        );
+        assert_eq!(queue[2].1, 0, "the job behind the barrier stays untouched");
+    }
+
+    #[test]
+    fn snapshot_jobs_need_no_slots() {
+        let mut queue = vec![(0, 0), (0, 0)];
+        assert_eq!(plan_admissions(&mut queue, 0, MAX_OVERTAKES), vec![0, 1]);
+    }
+
+    #[test]
     fn strict_admission_rejects_a_halo_narrower_than_the_kernel() {
         // 4th-order star kernel: reach 2 on every axis; request halo 1 on
         // a y-decomposed domain.
         let wide = Stencil3D::diffusion_13pt_4th_order(0.02f64);
-        let spec = JobSpec::new(
-            field(12, 16, 4),
-            wide.clone(),
-            BoundarySpec::clamp(),
-            DistConfig::new(2, 3).with_halo(1),
-        );
+        let spec = JobSpec::over(field(12, 16, 4), wide.clone())
+            .with_ranks(2)
+            .with_iters(3)
+            .with_halo(1);
         let service = DistService::<f64>::new(2).unwrap();
         let err = service.submit(spec).unwrap_err();
         assert_eq!(
@@ -660,17 +1561,17 @@ mod tests {
         assert_eq!(err, DistError::PoolTooSmall { ranks: 4, pool: 2 });
         // Snapshot-mode ranks run on scoped threads, not pool slots, so
         // the same size is fine there.
-        let mut snap = job(4, 3);
-        snap.cfg = snap.cfg.with_mode(HaloMode::Snapshot);
-        let id = service.submit(snap).unwrap();
-        assert!(service.await_job(id).is_ok());
+        let snap = job(4, 3).with_mode(HaloMode::Snapshot);
+        assert!(service.submit(snap).unwrap().wait().is_ok());
         service.shutdown();
     }
 
     #[test]
-    fn reports_are_claimed_exactly_once() {
+    fn await_job_compat_path_claims_exactly_once() {
         let service = DistService::<f64>::new(2).unwrap();
-        let id = service.submit(job(2, 3)).unwrap();
+        let handle = service.submit(job(2, 3)).unwrap();
+        let id = handle.id();
+        drop(handle);
         assert!(service.await_job(id).is_ok());
         assert_eq!(
             service.await_job(id).unwrap_err(),
@@ -693,37 +1594,29 @@ mod tests {
         let rejects: Vec<(JobSpec<f64>, DistError)> = vec![
             (job(2, 0), DistError::ZeroIterations),
             (
-                {
-                    let mut s = job(2, 3);
-                    s.cfg = s.cfg.with_flip(
-                        5,
-                        BitFlip {
-                            iteration: 1,
-                            x: 0,
-                            y: 0,
-                            z: 0,
-                            bit: 3,
-                        },
-                    );
-                    s
-                },
+                job(2, 3).with_flip(
+                    5,
+                    BitFlip {
+                        iteration: 1,
+                        x: 0,
+                        y: 0,
+                        z: 0,
+                        bit: 3,
+                    },
+                ),
                 DistError::FlipRank { rank: 5, ranks: 2 },
             ),
             (
-                {
-                    let mut s = job(2, 3);
-                    s.cfg = s.cfg.with_flip(
-                        1,
-                        BitFlip {
-                            iteration: 1,
-                            x: 99,
-                            y: 0,
-                            z: 0,
-                            bit: 3,
-                        },
-                    );
-                    s
-                },
+                job(2, 3).with_flip(
+                    1,
+                    BitFlip {
+                        iteration: 1,
+                        x: 99,
+                        y: 0,
+                        z: 0,
+                        bit: 3,
+                    },
+                ),
                 DistError::FlipOutOfBrick {
                     rank: 1,
                     flip: (99, 0, 0),
@@ -735,8 +1628,7 @@ mod tests {
             assert_eq!(service.submit(spec).unwrap_err(), expected);
         }
         // The pool still serves.
-        let id = service.submit(job(4, 4)).unwrap();
-        assert!(service.await_job(id).is_ok());
+        assert!(service.submit(job(4, 4)).unwrap().wait().is_ok());
         service.shutdown();
     }
 
@@ -745,7 +1637,7 @@ mod tests {
         // Job k carries a flip; jobs k−1 and k+1 are identical but clean.
         // The fault must be detected and corrected inside job k only, and
         // all three must gather the same (corrected) global state as a
-        // serial run.
+        // serial run — even though the pool may run them concurrently.
         let initial = field(10, 16, 2);
         let stencil = heat();
         let bounds = BoundarySpec::clamp();
@@ -755,7 +1647,10 @@ mod tests {
             serial.step();
         }
 
-        let clean = DistConfig::new(4, 8).with_abft(AbftConfig::<f64>::paper_defaults());
+        let clean = JobSpec::over(initial.clone(), stencil.clone())
+            .with_ranks(4)
+            .with_iters(8)
+            .with_abft(AbftConfig::<f64>::paper_defaults());
         let faulty = clean.clone().with_flip(
             2,
             BitFlip {
@@ -767,34 +1662,13 @@ mod tests {
             },
         );
         let service = DistService::<f64>::new(4).unwrap();
-        let before = service
-            .submit(JobSpec::new(
-                initial.clone(),
-                stencil.clone(),
-                bounds,
-                clean.clone(),
-            ))
-            .unwrap();
-        let hit = service
-            .submit(JobSpec::new(
-                initial.clone(),
-                stencil.clone(),
-                bounds,
-                faulty,
-            ))
-            .unwrap();
-        let after = service
-            .submit(JobSpec::new(
-                initial.clone(),
-                stencil.clone(),
-                bounds,
-                clean,
-            ))
-            .unwrap();
+        let before = service.submit(clean.clone()).unwrap();
+        let hit = service.submit(faulty).unwrap();
+        let after = service.submit(clean).unwrap();
 
-        let r_before = service.await_job(before).unwrap();
-        let r_hit = service.await_job(hit).unwrap();
-        let r_after = service.await_job(after).unwrap();
+        let r_before = before.wait().unwrap();
+        let r_hit = hit.wait().unwrap();
+        let r_after = after.wait().unwrap();
 
         assert_eq!(r_hit.total_stats().detections, 1);
         assert_eq!(r_hit.total_stats().corrections, 1);
@@ -827,10 +1701,10 @@ mod tests {
         let service = DistService::<f64>::new(1).unwrap();
         let a = service.submit(job(1, 2)).unwrap();
         let b = service.submit(job(1, 2)).unwrap();
-        assert!(a < b);
-        assert_eq!(a.to_string(), format!("job #{}", a.as_u64()));
-        service.await_job(a).unwrap();
-        service.await_job(b).unwrap();
+        assert!(a.id() < b.id());
+        assert_eq!(a.id().to_string(), format!("job #{}", a.id().as_u64()));
+        a.wait().unwrap();
+        b.wait().unwrap();
         service.shutdown();
     }
 }

@@ -21,6 +21,7 @@
 //!    neighbour can never observe a known-corrupted cell.
 
 use crate::pipeline::{HaloMsg, Ports};
+use crate::service::SchedEvent;
 use crate::{HaloGhost, Rank};
 use abft_fault::MultiFlipHook;
 use abft_grid::{Boundary, BoundarySpec, Grid3D};
@@ -34,8 +35,14 @@ use std::time::Instant;
 /// built rank state, the checked-out channel endpoints for its slot in
 /// the topology, and the job's sweep parameters.
 pub(crate) struct RankTask<T> {
+    /// The job this rank belongs to (echoed back so the concurrent
+    /// scheduler can route the completion to the right in-flight job).
+    pub(crate) job: u64,
+    /// The pool slot the scheduler dispatched this task to (echoed back
+    /// so the slot returns to the free list the moment the worker parks).
+    pub(crate) slot: usize,
     /// Rank index within the job (echoed back so the scheduler can
-    /// restore ranks and ports to their slots).
+    /// restore ranks and ports to their topology positions).
     pub(crate) idx: usize,
     pub(crate) rank: Rank<T>,
     pub(crate) ports: Ports<T>,
@@ -48,7 +55,12 @@ pub(crate) struct RankTask<T> {
 /// or the panic message when the rank's simulation blew up mid-job (its
 /// rank and ports are dropped — dropping the senders is what cascades
 /// the failure to blocked neighbours).
-pub(crate) type TaskResult<T> = (usize, Result<(Rank<T>, Ports<T>), String>);
+pub(crate) struct TaskDone<T> {
+    pub(crate) job: u64,
+    pub(crate) slot: usize,
+    pub(crate) idx: usize,
+    pub(crate) result: Result<(Rank<T>, Ports<T>), String>,
+}
 
 /// Render a caught panic payload (the `&str`/`String` forms `panic!`
 /// produces) for a structured [`crate::DistError::RankPanicked`].
@@ -63,10 +75,12 @@ pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
 }
 
 /// The body of one long-lived pool thread: park on the task channel
-/// between jobs, run one rank per task, and contain any panic so a
+/// between tasks, run one rank per task, and contain any panic so a
 /// poisoned *job* never becomes a poisoned *pool* — the loop survives
-/// and the next `recv` parks it for the next job.
-pub(crate) fn pool_worker<T: Real>(tasks: Receiver<RankTask<T>>, done: Sender<TaskResult<T>>) {
+/// and the next `recv` parks it for the next task. Completions ride the
+/// scheduler's unified event channel, interleaved with submissions from
+/// whichever jobs are running concurrently.
+pub(crate) fn pool_worker<T: Real>(tasks: Receiver<RankTask<T>>, events: Sender<SchedEvent<T>>) {
     while let Ok(mut task) = tasks.recv() {
         let outcome = catch_unwind(AssertUnwindSafe(|| {
             run(
@@ -77,22 +91,26 @@ pub(crate) fn pool_worker<T: Real>(tasks: Receiver<RankTask<T>>, done: Sender<Ta
                 task.iters,
             );
         }));
+        let (job, slot, idx) = (task.job, task.slot, task.idx);
         let result = match outcome {
             Ok(()) => {
-                let RankTask {
-                    idx, rank, ports, ..
-                } = task;
-                (idx, Ok((rank, ports)))
+                let RankTask { rank, ports, .. } = task;
+                Ok((rank, ports))
             }
             Err(payload) => {
-                let idx = task.idx;
                 // Drop the rank and its ports: hung-up channels unblock
                 // (and fail) every neighbour still waiting on this rank.
                 drop(task);
-                (idx, Err(panic_message(payload)))
+                Err(panic_message(payload))
             }
         };
-        if done.send(result).is_err() {
+        let done = TaskDone {
+            job,
+            slot,
+            idx,
+            result,
+        };
+        if events.send(SchedEvent::Done(done)).is_err() {
             return;
         }
     }
@@ -289,12 +307,23 @@ mod tests {
         let ports = cache.check_out(&key, &part).remove(0);
         let mut ranks = build_ranks(&initial, &stencil, &bounds, None, &cfg, &part, &plans);
         RankTask {
+            job: 1,
+            slot: 0,
             idx: 0,
             rank: ranks.remove(0),
             ports,
             bounds,
             dims,
             iters,
+        }
+    }
+
+    /// Unwrap the `Done` event a pool worker sends (the only variant a
+    /// worker ever produces).
+    fn done_event(event: SchedEvent<f64>) -> TaskDone<f64> {
+        match event {
+            SchedEvent::Done(done) => done,
+            _ => panic!("pool workers only send Done events"),
         }
     }
 
@@ -309,14 +338,16 @@ mod tests {
         // Poison the first task: an incoming channel whose producer is
         // already gone makes the rank panic in its first halo wait.
         let mut poisoned = one_rank_task(3);
+        poisoned.job = 9;
+        poisoned.slot = 5;
         poisoned.idx = 7;
         let (dead_tx, dead_rx) = sync_channel::<HaloMsg<f64>>(2);
         drop(dead_tx);
         poisoned.ports.recvs.push(dead_rx);
         task_tx.send(poisoned).unwrap();
-        let (idx, result) = done_rx.recv().unwrap();
-        assert_eq!(idx, 7);
-        let message = result.err().expect("poisoned task must fail");
+        let done = done_event(done_rx.recv().unwrap());
+        assert_eq!((done.job, done.slot, done.idx), (9, 5, 7));
+        let message = done.result.err().expect("poisoned task must fail");
         assert!(
             message.contains("hung up"),
             "unexpected panic message: {message}"
@@ -324,9 +355,9 @@ mod tests {
 
         // The same worker must still be alive for a clean task.
         task_tx.send(one_rank_task(3)).unwrap();
-        let (idx, result) = done_rx.recv().unwrap();
-        assert_eq!(idx, 0);
-        assert!(result.is_ok(), "pool worker was poisoned by the panic");
+        let done = done_event(done_rx.recv().unwrap());
+        assert_eq!((done.job, done.slot, done.idx), (1, 0, 0));
+        assert!(done.result.is_ok(), "pool worker was poisoned by the panic");
 
         drop(task_tx);
         worker.join().expect("worker thread exits cleanly");

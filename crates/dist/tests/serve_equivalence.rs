@@ -2,13 +2,16 @@
 //! of heterogeneous jobs pushed through one pooled [`DistService`] has
 //! to come back job-by-job bitwise identical to dedicated
 //! [`run_distributed`] calls — pooled workers, cached channel
-//! topologies and queued admission may change *when* work happens,
-//! never *what* it computes. Fault plans are job-scoped: a flip
-//! injected into job *k* is detected and corrected inside job *k* and
-//! leaves zero trace in its neighbours.
+//! topologies, queued admission and **concurrent co-scheduling** may
+//! change *when* work happens, never *what* it computes. Fault plans
+//! are job-scoped: a flip injected into job *k* is detected and
+//! corrected inside job *k* and leaves zero trace in its neighbours,
+//! even while they run side by side on the same pool.
 
 use abft_core::AbftConfig;
-use abft_dist::{run_distributed, DistConfig, DistService, HaloMode, JobSpec};
+use abft_dist::{
+    run_distributed, DistService, HaloMode, JobHandle, JobSpec, SchedPolicy, ServiceConfig,
+};
 use abft_fault::BitFlip;
 use abft_grid::{Boundary, BoundarySpec, Grid3D};
 use abft_stencil::Stencil3D;
@@ -30,89 +33,87 @@ fn y_periodic() -> BoundarySpec<f64> {
 
 /// A deliberately mixed job catalogue: shapes, kernels (7-point star,
 /// 27-point box, wide 13-point star), boundaries, protection, halo
-/// modes and one mid-job fault — nothing two consecutive jobs agree on.
+/// modes, rank demands and one mid-job fault — nothing two consecutive
+/// jobs agree on, so concurrent admission constantly re-packs the pool.
 fn catalogue() -> Vec<(&'static str, JobSpec<f64>)> {
     vec![
         (
             "7pt clamp unprotected",
-            JobSpec::new(
+            JobSpec::over(
                 wavy(10, 16, 2, 0),
                 Stencil3D::seven_point(0.4f64, 0.1, 0.1, 0.1),
-                BoundarySpec::clamp(),
-                DistConfig::new(4, 8),
-            ),
+            )
+            .with_ranks(4)
+            .with_iters(8),
         ),
         (
             "27pt periodic protected bricks",
-            JobSpec::new(
-                wavy(12, 12, 4, 1),
-                Stencil3D::diffusion_27pt(0.19f64),
-                y_periodic(),
-                DistConfig::new(4, 6)
-                    .with_grid3(1, 2, 2)
-                    .with_abft(AbftConfig::<f64>::paper_defaults()),
-            ),
+            JobSpec::over(wavy(12, 12, 4, 1), Stencil3D::diffusion_27pt(0.19f64))
+                .with_bounds(y_periodic())
+                .with_ranks(4)
+                .with_iters(6)
+                .with_grid3(1, 2, 2)
+                .with_abft(AbftConfig::<f64>::paper_defaults()),
         ),
         (
             "7pt periodic with mid-job flip",
-            JobSpec::new(
+            JobSpec::over(
                 wavy(9, 24, 3, 2),
                 Stencil3D::seven_point(0.38f64, 0.08, 0.27, 0.08),
-                y_periodic(),
-                DistConfig::new(3, 9)
-                    .with_abft(AbftConfig::<f64>::paper_defaults())
-                    .with_flip(
-                        1,
-                        BitFlip {
-                            iteration: 3,
-                            x: 2,
-                            y: 3,
-                            z: 1,
-                            bit: 51,
-                        },
-                    ),
+            )
+            .with_bounds(y_periodic())
+            .with_ranks(3)
+            .with_iters(9)
+            .with_abft(AbftConfig::<f64>::paper_defaults())
+            .with_flip(
+                1,
+                BitFlip {
+                    iteration: 3,
+                    x: 2,
+                    y: 3,
+                    z: 1,
+                    bit: 51,
+                },
             ),
         ),
         (
             "13pt wide halo protected",
-            JobSpec::new(
+            JobSpec::over(
                 wavy(14, 10, 4, 3),
                 Stencil3D::diffusion_13pt_4th_order(0.02f64),
-                BoundarySpec::clamp(),
-                DistConfig::new(2, 5)
-                    .with_halo(2)
-                    .with_abft(AbftConfig::<f64>::paper_defaults()),
-            ),
+            )
+            .with_ranks(2)
+            .with_iters(5)
+            .with_halo(2)
+            .with_abft(AbftConfig::<f64>::paper_defaults()),
         ),
         (
             "7pt snapshot mode",
-            JobSpec::new(
+            JobSpec::over(
                 wavy(10, 16, 2, 4),
                 Stencil3D::seven_point(0.4f64, 0.1, 0.1, 0.1),
-                BoundarySpec::clamp(),
-                DistConfig::new(4, 8).with_mode(HaloMode::Snapshot),
-            ),
+            )
+            .with_ranks(4)
+            .with_iters(8)
+            .with_mode(HaloMode::Snapshot),
         ),
         (
             "27pt small bricks with flip",
-            JobSpec::new(
-                wavy(8, 8, 2, 5),
-                Stencil3D::diffusion_27pt(0.15f64),
-                BoundarySpec::clamp(),
-                DistConfig::new(4, 7)
-                    .with_grid3(2, 2, 1)
-                    .with_abft(AbftConfig::<f64>::paper_defaults())
-                    .with_flip(
-                        2,
-                        BitFlip {
-                            iteration: 2,
-                            x: 1,
-                            y: 2,
-                            z: 1,
-                            bit: 50,
-                        },
-                    ),
-            ),
+            JobSpec::over(wavy(8, 8, 2, 5), Stencil3D::diffusion_27pt(0.15f64))
+                .with_ranks(4)
+                .with_iters(7)
+                .with_grid3(2, 2, 1)
+                .with_abft(AbftConfig::<f64>::paper_defaults())
+                .with_flip(
+                    2,
+                    BitFlip {
+                        iteration: 2,
+                        x: 1,
+                        y: 2,
+                        z: 1,
+                        bit: 50,
+                    },
+                ),
         ),
     ]
 }
@@ -138,13 +139,13 @@ fn interleaved_heterogeneous_jobs_match_fresh_one_shot_runs() {
     let service = DistService::<f64>::new(4).unwrap();
     // Two passes over the catalogue: pass 0 misses the topology cache,
     // pass 1 hits it. Both must be invisible in the results.
-    let ids: Vec<_> = (0..2)
+    let handles: Vec<_> = (0..2)
         .flat_map(|pass| jobs.iter().map(move |(name, spec)| (pass, name, spec)))
         .map(|(pass, name, spec)| (pass, name, service.submit(spec.clone()).unwrap()))
         .collect();
-    for (pass, name, id) in ids {
+    for (pass, name, handle) in handles {
         let (_, spec) = jobs.iter().find(|(n, _)| n == name).unwrap();
-        let served = service.await_job(id).unwrap();
+        let served = handle.wait().unwrap();
         let expect = fresh(spec);
         let ctx = format!("{name} (pass {pass})");
         assert_eq!(served.global, expect.global, "{ctx} diverged");
@@ -177,13 +178,13 @@ fn interleaved_heterogeneous_jobs_match_fresh_one_shot_runs() {
 fn faults_in_one_job_leave_no_trace_in_neighbours() {
     let jobs = catalogue();
     let service = DistService::<f64>::new(4).unwrap();
-    let ids: Vec<_> = jobs
+    let handles: Vec<_> = jobs
         .iter()
         .map(|(_, spec)| service.submit(spec.clone()).unwrap())
         .collect();
-    let reports: Vec<_> = ids
+    let reports: Vec<_> = handles
         .into_iter()
-        .map(|id| service.await_job(id).unwrap())
+        .map(|handle| handle.wait().unwrap())
         .collect();
     service.shutdown();
 
@@ -203,6 +204,44 @@ fn faults_in_one_job_leave_no_trace_in_neighbours() {
         }
         assert_eq!(reports[k].global, fresh(spec).global, "`{name}` diverged");
     }
+}
+
+/// Build the sampled job for one `(shape, kernel, periodic, ranks,
+/// snapshot, faulty)` pick — shared by both proptests below.
+fn sampled_job(i: usize, pick: (usize, usize, bool, usize, bool, bool)) -> JobSpec<f64> {
+    let (shape, kernel, periodic, ranks, snapshot, faulty) = pick;
+    let (nx, ny, nz) = [(10, 16, 2), (12, 12, 4), (8, 10, 3)][shape];
+    let stencil = if kernel == 0 {
+        Stencil3D::seven_point(0.4f64, 0.1, 0.1, 0.1)
+    } else {
+        Stencil3D::diffusion_27pt(0.19f64)
+    };
+    let mut spec = JobSpec::over(wavy(nx, ny, nz, i), stencil)
+        .with_ranks([2, 4][ranks])
+        .with_iters(3 + (i % 5));
+    if periodic {
+        spec = spec.with_bounds(y_periodic());
+    }
+    if snapshot {
+        spec = spec.with_mode(HaloMode::Snapshot);
+    }
+    if faulty {
+        // Protection is required to survive the flip; the site
+        // (0, 1, 1) sits inside every sampled brick.
+        spec = spec
+            .with_abft(AbftConfig::<f64>::paper_defaults())
+            .with_flip(
+                0,
+                BitFlip {
+                    iteration: 1,
+                    x: 0,
+                    y: 1,
+                    z: 1,
+                    bit: 51,
+                },
+            );
+    }
+    spec
 }
 
 proptest! {
@@ -225,43 +264,107 @@ proptest! {
         let specs: Vec<JobSpec<f64>> = picks
             .iter()
             .enumerate()
-            .map(|(i, &(shape, kernel, periodic, ranks, snapshot, faulty))| {
-                let (nx, ny, nz) = [(10, 16, 2), (12, 12, 4), (8, 10, 3)][shape];
-                let stencil = if kernel == 0 {
-                    Stencil3D::seven_point(0.4f64, 0.1, 0.1, 0.1)
-                } else {
-                    Stencil3D::diffusion_27pt(0.19f64)
-                };
-                let bounds = if periodic { y_periodic() } else { BoundarySpec::clamp() };
-                let mut cfg = DistConfig::new([2, 4][ranks], 3 + (i % 5));
-                if snapshot {
-                    cfg = cfg.with_mode(HaloMode::Snapshot);
-                }
-                if faulty {
-                    // Protection is required to survive the flip; the
-                    // site (0, 1, 1) sits inside every sampled brick.
-                    cfg = cfg
-                        .with_abft(AbftConfig::<f64>::paper_defaults())
-                        .with_flip(
-                            0,
-                            BitFlip { iteration: 1, x: 0, y: 1, z: 1, bit: 51 },
-                        );
-                }
-                JobSpec::new(wavy(nx, ny, nz, i), stencil, bounds, cfg)
-            })
+            .map(|(i, &pick)| sampled_job(i, pick))
             .collect();
-        let ids: Vec<_> = specs
+        let handles: Vec<JobHandle<f64>> = specs
             .iter()
             .map(|spec| service.submit(spec.clone()).unwrap())
             .collect();
-        for (k, (spec, id)) in specs.iter().zip(ids).enumerate() {
-            let served = service.await_job(id).unwrap();
+        for (k, (spec, handle)) in specs.iter().zip(handles).enumerate() {
+            let served = handle.wait().unwrap();
             let expect = fresh(spec);
             prop_assert_eq!(&served.global, &expect.global, "job {} diverged", k);
             prop_assert_eq!(
                 served.total_stats().detections,
                 expect.total_stats().detections,
                 "job {} changed its ABFT verdict", k
+            );
+        }
+        service.shutdown();
+    }
+
+    /// The tentpole's determinism proof: random job mixes forced into
+    /// **guaranteed concurrent interleavings**. A sacrificial first job
+    /// parks the scheduler inside its completion callback while the
+    /// whole sampled batch (including faulty and snapshot jobs) is
+    /// submitted; releasing the gate hands the scheduler every
+    /// submission at once, so its admission pass packs as many jobs
+    /// side by side as their sampled rank demands allow. Every report
+    /// must still be bitwise identical to a dedicated
+    /// `run_distributed` call, and every fault must stay inside the
+    /// job that carries it.
+    #[test]
+    fn randomized_concurrent_mixes_serve_bitwise_identically(
+        picks in proptest::collection::vec(
+            (0usize..3, 0usize..2, any::<bool>(), 0usize..2, any::<bool>(), any::<bool>()),
+            2..7,
+        ),
+    ) {
+        let service = DistService::<f64>::with_config(
+            ServiceConfig::new(8).with_policy(SchedPolicy::Concurrent),
+        )
+        .unwrap();
+        // Park the scheduler so the whole batch queues before any of it
+        // can start: the admission pass then co-schedules maximally.
+        let (gate_tx, gate_rx) = std::sync::mpsc::channel::<()>();
+        let (entered_tx, entered_rx) = std::sync::mpsc::channel::<()>();
+        let sacrificial = JobSpec::over(
+            wavy(10, 16, 2, 99),
+            Stencil3D::seven_point(0.4f64, 0.1, 0.1, 0.1),
+        )
+        .with_ranks(1)
+        .with_iters(400);
+        service.submit(sacrificial).unwrap().on_complete(move |result| {
+            assert!(result.is_ok());
+            entered_tx.send(()).unwrap();
+            let _ = gate_rx.recv();
+        });
+        entered_rx.recv().unwrap();
+
+        let specs: Vec<JobSpec<f64>> = picks
+            .iter()
+            .enumerate()
+            .map(|(i, &pick)| sampled_job(i, pick))
+            .collect();
+        let handles: Vec<JobHandle<f64>> = specs
+            .iter()
+            .map(|spec| service.submit(spec.clone()).unwrap())
+            .collect();
+        gate_tx.send(()).unwrap();
+
+        for (k, (spec, handle)) in specs.iter().zip(handles).enumerate() {
+            let served = handle.wait().unwrap();
+            let expect = fresh(spec);
+            prop_assert_eq!(&served.global, &expect.global, "job {} diverged", k);
+            prop_assert_eq!(
+                served.total_stats().detections,
+                expect.total_stats().detections,
+                "job {} changed its ABFT verdict", k
+            );
+            prop_assert_eq!(
+                served.total_stats().corrections,
+                expect.total_stats().corrections,
+                "job {} changed its correction count", k
+            );
+        }
+        let stats = service.stats();
+        prop_assert_eq!(stats.jobs_failed, 0);
+        // Any two pipelined jobs fit the 8-slot pool at once (max
+        // sampled demand is 4), and the gate guaranteed their Submit
+        // events all preceded any completion — so whenever the batch
+        // holds two pipelined jobs, they really did run side by side.
+        // (Snapshot jobs run inline on the scheduler and cannot overlap
+        // each other, so an all-snapshot batch legitimately peaks at 1.)
+        let pipelined = specs
+            .iter()
+            .filter(|s| s.cfg.mode == HaloMode::Pipelined)
+            .count();
+        if pipelined >= 2 {
+            prop_assert!(
+                stats.peak_concurrent >= 2,
+                "{} pipelined jobs never overlapped (peak {})",
+                pipelined,
+                stats.peak_concurrent
             );
         }
         service.shutdown();

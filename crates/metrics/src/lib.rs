@@ -9,7 +9,7 @@ mod table;
 mod timer;
 
 pub use l2::{l2_error, l2_error_slices};
-pub use latency::{LatencySummary, P2Quantile};
+pub use latency::{LatencySplit, LatencySummary, P2Quantile};
 pub use stats::{BoxStats, Quantiles, Summary, Welford};
 pub use table::{write_csv, Table};
 pub use timer::Timer;
