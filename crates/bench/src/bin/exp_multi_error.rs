@@ -9,12 +9,127 @@
 //! most multi-error layers (deltas rarely collide), keeping the final l2
 //! error near the single-error level, while `Strict`'s error grows with
 //! `k`. Offline rollback handles any `k` by construction.
+//!
+//! The second half is the **recovery campaign**: mixed bit-flip +
+//! rank-kill storms against the distributed substrate, sweeping the
+//! checkpoint period Δ. Every campaign must come back **bitwise
+//! identical** to the fault-free trajectory (kills repaired by rollback
+//! and respawn, flips repaired in place by Eq. 10, uncorrectable storms
+//! escalated to rollback) — any unrecovered campaign fails the binary,
+//! which is what the CI `recovery-smoke` gate relies on. `--json PATH`
+//! publishes the per-period ledger as `BENCH_recovery.json`.
 
 use abft_bench::{fmt_log, hotspot_campaign, scenario_config, Cli};
-use abft_core::MultiErrorPolicy;
-use abft_fault::{random_flips, Fault, Method};
+use abft_checkpoint::CheckpointPolicy;
+use abft_core::{AbftConfig, MultiErrorPolicy};
+use abft_dist::{run_distributed, DistConfig, HaloMode};
+use abft_fault::{random_flips, random_flips_at_bit, random_kills, Fault, Method};
+use abft_grid::{BoundarySpec, Grid3D};
 use abft_hotspot::Scenario;
-use abft_metrics::{write_csv, Summary, Table};
+use abft_metrics::{write_csv, RecoveryStats, Summary, Table};
+use abft_stencil::Stencil3D;
+
+/// One checkpoint-period point of the recovery campaign ledger.
+struct RecoveryPoint {
+    period: usize,
+    campaigns: usize,
+    unrecovered: usize,
+    stats: RecoveryStats,
+}
+
+/// Storm campaigns on a 2×2 rank grid, seeded deterministically, with
+/// both halo modes alternating. Even campaigns are kill-only: rollback
+/// replay must reproduce the fault-free grid **bitwise**. Odd campaigns
+/// add two correctable flips on top of the kill: Eq. 10's in-place
+/// correction reconstructs from checksum deltas in floating point, so
+/// those must land within the same `1e-9` residual bound the
+/// fault-matrix suite holds single-flip runs to.
+fn recovery_campaigns(seed: u64, campaigns: usize, periods: &[usize]) -> Vec<RecoveryPoint> {
+    const NX: usize = 16;
+    const NY: usize = 16;
+    const NZ: usize = 4;
+    const ITERS: usize = 24;
+    const RANKS: usize = 4;
+    let brick = (NX / 2, NY / 2, NZ);
+    let initial = Grid3D::from_fn(NX, NY, NZ, |x, y, z| {
+        60.0 + ((x * 7 + y * 3 + z * 5) % 19) as f64 * 0.3
+    });
+    let stencil = Stencil3D::seven_point(0.4f64, 0.12, 0.08, 0.1);
+    let bounds = BoundarySpec::clamp();
+    let modes = [HaloMode::Pipelined, HaloMode::Snapshot];
+    // One fault-free reference per halo mode; every campaign must
+    // reproduce its mode's reference exactly.
+    let expect: Vec<Grid3D<f64>> = modes
+        .iter()
+        .map(|mode| {
+            let cfg = DistConfig::new(RANKS, ITERS)
+                .with_grid(2, 2)
+                .with_abft(AbftConfig::<f64>::paper_defaults())
+                .with_mode(*mode);
+            run_distributed(&initial, &stencil, &bounds, None, &cfg)
+                .expect("fault-free reference")
+                .global
+        })
+        .collect();
+
+    let mut points = Vec::new();
+    for &period in periods {
+        let mut stats = RecoveryStats::default();
+        let mut unrecovered = 0usize;
+        for c in 0..campaigns {
+            let storm_seed = seed ^ ((period as u64) << 40) ^ ((c as u64) << 8);
+            let kill = random_kills(storm_seed, 1, RANKS, ITERS)[0];
+            let mixed = c % 2 == 1;
+            let mode_idx = c % modes.len();
+            let mut cfg = DistConfig::new(RANKS, ITERS)
+                .with_grid(2, 2)
+                .with_abft(AbftConfig::<f64>::paper_defaults())
+                .with_checkpoint(CheckpointPolicy::every(period))
+                .with_rank_kill(kill)
+                .with_mode(modes[mode_idx]);
+            if mixed {
+                let flips = random_flips_at_bit(storm_seed ^ 0x5a5a, 2, ITERS, brick, 51);
+                for (i, flip) in flips.into_iter().enumerate() {
+                    cfg = cfg.with_flip((storm_seed as usize + i * 7) % RANKS, flip);
+                }
+            }
+            match run_distributed(&initial, &stencil, &bounds, None, &cfg) {
+                Ok(rep) => {
+                    // Rollback replay alone is bitwise; an in-place flip
+                    // correction may leave float-reconstruction residual.
+                    let recovered = if mixed {
+                        rep.global.max_abs_diff(&expect[mode_idx]) < 1e-9
+                    } else {
+                        rep.global == expect[mode_idx]
+                    };
+                    if recovered {
+                        stats.merge(&rep.recovery);
+                    } else {
+                        eprintln!(
+                            "[exp_multi_error] UNRECOVERED (residual {:.3e}): Δ={period} \
+                             campaign {c} kill rank {} at t={} mixed={mixed}",
+                            rep.global.max_abs_diff(&expect[mode_idx]),
+                            kill.rank,
+                            kill.iter
+                        );
+                        unrecovered += 1;
+                    }
+                }
+                Err(e) => {
+                    eprintln!("[exp_multi_error] UNRECOVERED (error {e}): Δ={period} campaign {c}");
+                    unrecovered += 1;
+                }
+            }
+        }
+        points.push(RecoveryPoint {
+            period,
+            campaigns,
+            unrecovered,
+            stats,
+        });
+    }
+    points
+}
 
 fn main() {
     let cli = Cli::parse();
@@ -88,4 +203,96 @@ fn main() {
     let path = format!("{}/exp_multi_error.csv", cli.out);
     write_csv(&table, &path).expect("write CSV");
     println!("\n[csv] {path}");
+
+    // ---- mixed bit-flip + rank-kill recovery campaigns (dist layer) ----
+    let campaigns = cli.reps.div_ceil(4).max(6);
+    let periods = [2usize, 4, 8];
+    eprintln!(
+        "[exp_multi_error] recovery: {campaigns} mixed-storm campaigns x Δ in {periods:?} \
+         on a 2x2 rank grid"
+    );
+    let points = recovery_campaigns(cli.seed, campaigns, &periods);
+
+    let mut recovery_table = Table::new(vec![
+        "checkpoint period",
+        "campaigns",
+        "unrecovered",
+        "rank losses",
+        "rollbacks",
+        "steps lost",
+        "recovery s",
+        "checkpoints stored",
+    ]);
+    for p in &points {
+        println!(
+            "Δ={} campaigns {:>3} unrecovered {} losses {:>3} rollbacks {:>3} \
+             steps_lost {:>4} recovery {:.3}s checkpoints {:>4}",
+            p.period,
+            p.campaigns,
+            p.unrecovered,
+            p.stats.rank_losses,
+            p.stats.rollbacks,
+            p.stats.steps_lost,
+            p.stats.recovery_s,
+            p.stats.checkpoints_stored,
+        );
+        recovery_table.row(vec![
+            p.period.to_string(),
+            p.campaigns.to_string(),
+            p.unrecovered.to_string(),
+            p.stats.rank_losses.to_string(),
+            p.stats.rollbacks.to_string(),
+            p.stats.steps_lost.to_string(),
+            format!("{:.6}", p.stats.recovery_s),
+            p.stats.checkpoints_stored.to_string(),
+        ]);
+    }
+    let path = format!("{}/exp_multi_error_recovery.csv", cli.out);
+    write_csv(&recovery_table, &path).expect("write CSV");
+    println!("[csv] {path}");
+
+    if let Some(json_path) = &cli.json {
+        let rows: Vec<String> = points
+            .iter()
+            .map(|p| {
+                format!(
+                    "    {{\"ranks\": 4, \"grid\": [2, 2, 1], \"kernel\": \"star7\", \
+                     \"recovery\": true, \"checkpoint_period\": {}, \
+                     \"campaigns\": {}, \"unrecovered\": {}, \
+                     \"rank_losses\": {}, \"rollbacks\": {}, \"steps_lost\": {}, \
+                     \"recovery_s\": {:.6}, \"checkpoints_stored\": {}}}",
+                    p.period,
+                    p.campaigns,
+                    p.unrecovered,
+                    p.stats.rank_losses,
+                    p.stats.rollbacks,
+                    p.stats.steps_lost,
+                    p.stats.recovery_s,
+                    p.stats.checkpoints_stored,
+                )
+            })
+            .collect();
+        let json = format!(
+            "{{\n  \"experiment\": \"exp_multi_error\",\n  \"grid\": [16, 16, 4],\n  \
+             \"kernel\": \"star7\",\n  \"iters\": 24,\n  \"recovery\": true,\n  \
+             \"points\": [\n{}\n  ]\n}}\n",
+            rows.join(",\n"),
+        );
+        if let Some(dir) = std::path::Path::new(json_path).parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir).expect("create JSON output dir");
+            }
+        }
+        std::fs::write(json_path, json).expect("write JSON");
+        println!("[json] {json_path}");
+    }
+
+    // The gate the CI recovery-smoke job relies on: every mixed storm
+    // must have been repaired exactly.
+    let unrecovered: usize = points.iter().map(|p| p.unrecovered).sum();
+    assert_eq!(
+        unrecovered, 0,
+        "{unrecovered} campaigns failed to recover bitwise"
+    );
+    println!("[recovery] all campaigns recovered bitwise");
 }

@@ -7,8 +7,47 @@
 //! [`CheckpointStore`] holds exactly that: one snapshot of the domain, an
 //! auxiliary float payload (the checksum vectors) and the iteration number.
 
+use std::collections::VecDeque;
+
 use abft_grid::Grid3D;
 use abft_num::Real;
+
+/// When and how deep to checkpoint a protected run.
+///
+/// `period` is the paper's Δ: a snapshot is taken at the start of every
+/// iteration `t` with `t % period == 0` (so always at `t = 0`). `keep`
+/// bounds the [`EpochRing`] depth; `None` lets the consumer auto-size it —
+/// the distributed scheduler derives the bound from the pipeline's maximum
+/// rank skew so that all ranks always share at least one common epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckpointPolicy {
+    /// Checkpoint period Δ in iterations (≥ 1).
+    pub period: usize,
+    /// Ring depth: how many recent epochs to retain (`None` = auto).
+    pub keep: Option<usize>,
+}
+
+impl CheckpointPolicy {
+    /// Checkpoint every `period` iterations (auto-sized ring).
+    ///
+    /// # Panics
+    /// Panics if `period == 0`.
+    pub fn every(period: usize) -> Self {
+        assert!(period >= 1, "checkpoint period must be at least 1");
+        Self { period, keep: None }
+    }
+
+    /// Pin the ring depth instead of auto-sizing it.
+    pub fn with_keep(mut self, keep: usize) -> Self {
+        self.keep = Some(keep.max(1));
+        self
+    }
+
+    /// True when a snapshot is due at the start of iteration `t`.
+    pub fn due(&self, t: usize) -> bool {
+        t.is_multiple_of(self.period)
+    }
+}
 
 /// One saved state: the domain grid, an auxiliary payload (checksums) and
 /// the iteration it was taken at.
@@ -107,6 +146,137 @@ impl<T: Real> CheckpointStore<T> {
     }
 }
 
+/// Bounded multi-epoch checkpoint ring.
+///
+/// The pipelined distributed runtime has no global barrier, so when a rank
+/// dies its peers may have drifted a few iterations apart — each holding a
+/// *different* most-recent snapshot. Rolling everyone back to one common
+/// epoch therefore needs more than [`CheckpointStore`]'s single slot: the
+/// ring retains the last `keep` epochs so that the scheduler can pick the
+/// newest epoch present in **every** rank's ring. Epochs are strictly
+/// increasing; storing the current latest epoch again overwrites it in
+/// place (the resume path re-arms without duplicating).
+#[derive(Debug, Clone)]
+pub struct EpochRing<T> {
+    keep: usize,
+    ring: VecDeque<Snapshot<T>>,
+    stats: CheckpointStats,
+}
+
+impl<T: Real> EpochRing<T> {
+    /// Empty ring retaining at most `keep` epochs (`keep ≥ 1`).
+    pub fn new(keep: usize) -> Self {
+        Self {
+            keep: keep.max(1),
+            ring: VecDeque::new(),
+            stats: CheckpointStats::default(),
+        }
+    }
+
+    /// Ring depth bound.
+    pub fn keep(&self) -> usize {
+        self.keep
+    }
+
+    /// Save a snapshot for epoch `iteration`, evicting the oldest epoch
+    /// when the ring is full. Evicted allocations are reused when the
+    /// incoming snapshot has matching dimensions. Re-storing the current
+    /// latest epoch overwrites it in place.
+    ///
+    /// # Panics
+    /// Panics if `iteration` is older than the latest stored epoch —
+    /// epochs must arrive in increasing order.
+    pub fn store(&mut self, grid: &Grid3D<T>, aux: &[T], iteration: usize) {
+        if let Some(last) = self.ring.back_mut() {
+            assert!(
+                iteration >= last.iteration,
+                "epoch {iteration} older than latest stored epoch {}",
+                last.iteration
+            );
+            if last.iteration == iteration {
+                fill_snapshot(last, grid, aux, iteration);
+                self.stats.stores += 1;
+                return;
+            }
+        }
+        let mut snap = if self.ring.len() == self.keep {
+            self.ring.pop_front().expect("ring is non-empty")
+        } else {
+            Snapshot {
+                grid: grid.clone(),
+                aux: aux.to_vec(),
+                iteration,
+            }
+        };
+        fill_snapshot(&mut snap, grid, aux, iteration);
+        self.ring.push_back(snap);
+        self.stats.stores += 1;
+    }
+
+    /// Newest stored epoch, if any.
+    pub fn latest_epoch(&self) -> Option<usize> {
+        self.ring.back().map(|s| s.iteration)
+    }
+
+    /// Stored epochs, oldest first.
+    pub fn epochs(&self) -> Vec<usize> {
+        self.ring.iter().map(|s| s.iteration).collect()
+    }
+
+    /// Borrow the snapshot for exactly `epoch`, if still retained.
+    pub fn get(&self, epoch: usize) -> Option<&Snapshot<T>> {
+        self.ring.iter().find(|s| s.iteration == epoch)
+    }
+
+    /// Serve a rollback to `epoch`: borrow the snapshot and count the
+    /// restore. The snapshot stays in the ring (a replay may roll back to
+    /// the same epoch again).
+    ///
+    /// # Panics
+    /// Panics if `epoch` is not retained.
+    pub fn restore(&mut self, epoch: usize) -> &Snapshot<T> {
+        self.stats.restores += 1;
+        self.ring
+            .iter()
+            .find(|s| s.iteration == epoch)
+            .unwrap_or_else(|| panic!("rollback to epoch {epoch} but ring retains none such"))
+    }
+
+    /// Activity counters.
+    pub fn stats(&self) -> CheckpointStats {
+        self.stats
+    }
+
+    /// Approximate heap footprint of all retained snapshots in bytes.
+    pub fn bytes(&self) -> usize {
+        self.ring
+            .iter()
+            .map(|s| s.grid.bytes() + s.aux.len() * std::mem::size_of::<T>())
+            .sum()
+    }
+
+    /// Number of retained epochs.
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// True when no epoch is stored yet.
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+}
+
+fn fill_snapshot<T: Real>(snap: &mut Snapshot<T>, grid: &Grid3D<T>, aux: &[T], iteration: usize) {
+    if snap.grid.dims() == grid.dims() && snap.aux.len() == aux.len() {
+        snap.grid.copy_from(grid);
+        snap.aux.copy_from_slice(aux);
+    } else {
+        snap.grid = grid.clone();
+        snap.aux = aux.to_vec();
+    }
+    snap.iteration = iteration;
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -160,5 +330,75 @@ mod tests {
     fn restore_without_store_panics() {
         let mut cp = CheckpointStore::<f64>::new();
         let _ = cp.restore();
+    }
+
+    #[test]
+    fn policy_fires_on_multiples_of_the_period() {
+        let p = CheckpointPolicy::every(4);
+        assert!(p.due(0) && p.due(4) && p.due(8));
+        assert!(!p.due(1) && !p.due(7));
+        assert_eq!(p.keep, None);
+        assert_eq!(p.with_keep(3).keep, Some(3));
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_period_is_rejected() {
+        let _ = CheckpointPolicy::every(0);
+    }
+
+    #[test]
+    fn ring_retains_the_last_keep_epochs() {
+        let mut ring = EpochRing::new(3);
+        assert!(ring.is_empty());
+        for (i, t) in [0usize, 4, 8, 12, 16].iter().enumerate() {
+            ring.store(&grid(i as f64), &[i as f64], *t);
+        }
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.epochs(), vec![8, 12, 16]);
+        assert_eq!(ring.latest_epoch(), Some(16));
+        assert!(ring.get(4).is_none());
+        assert_eq!(ring.get(12).unwrap().grid.at(0, 0, 0), 3.0);
+        assert_eq!(ring.stats().stores, 5);
+    }
+
+    #[test]
+    fn ring_restore_is_bitwise_and_keeps_the_epoch() {
+        let mut ring = EpochRing::new(2);
+        let g = grid(1.25);
+        ring.store(&g, &[7.0, 9.0], 0);
+        let s = ring.restore(0);
+        assert_eq!(s.grid, g);
+        assert_eq!(s.aux, vec![7.0, 9.0]);
+        // still there for a second rollback
+        let s = ring.restore(0);
+        assert_eq!(s.iteration, 0);
+        assert_eq!(ring.stats().restores, 2);
+    }
+
+    #[test]
+    fn ring_overwrites_the_latest_epoch_in_place() {
+        let mut ring = EpochRing::new(2);
+        ring.store(&grid(1.0), &[1.0], 0);
+        ring.store(&grid(2.0), &[2.0], 0);
+        assert_eq!(ring.len(), 1);
+        assert_eq!(ring.get(0).unwrap().grid.at(0, 0, 0), 2.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn ring_rejects_out_of_order_epochs() {
+        let mut ring = EpochRing::new(2);
+        ring.store(&grid(1.0), &[], 8);
+        ring.store(&grid(1.0), &[], 4);
+    }
+
+    #[test]
+    #[should_panic]
+    fn ring_rollback_to_evicted_epoch_panics() {
+        let mut ring = EpochRing::new(1);
+        ring.store(&grid(1.0), &[], 0);
+        ring.store(&grid(1.0), &[], 4);
+        let _ = ring.restore(0);
     }
 }

@@ -137,6 +137,50 @@ impl<T: Real> OnlineAbft<T> {
         self.col_t[z * self.ny + y] += delta;
     }
 
+    /// Serialise the trusted checksum state — `b(t)` and, when maintained,
+    /// `a(t)` — into `out`. Together with the grid this is exactly what the
+    /// paper checkpoints ("the current state of the grid and of the
+    /// checksums", §5.4): restoring both via
+    /// [`OnlineAbft::restore_checksums`] resumes protection without a
+    /// recompute and without a trust gap.
+    pub fn write_checksum_payload(&self, out: &mut Vec<T>) {
+        out.clear();
+        out.extend_from_slice(&self.col_t);
+        if let Some(r) = &self.row_t {
+            out.extend_from_slice(r);
+        }
+    }
+
+    /// Restore the trusted checksum state from a payload written by
+    /// [`OnlineAbft::write_checksum_payload`]. Cumulative
+    /// [`ProtectorStats`] are deliberately *not* rolled back: detections
+    /// and corrections that happened before a rollback really happened.
+    ///
+    /// # Panics
+    /// Panics if the payload length does not match this protector's shape.
+    pub fn restore_checksums(&mut self, payload: &[T]) {
+        let ncol = self.nz * self.ny;
+        match &mut self.row_t {
+            Some(r) => {
+                assert_eq!(
+                    payload.len(),
+                    ncol + self.nz * self.nx,
+                    "checksum payload does not match protector shape"
+                );
+                self.col_t.copy_from_slice(&payload[..ncol]);
+                r.copy_from_slice(&payload[ncol..]);
+            }
+            None => {
+                assert_eq!(
+                    payload.len(),
+                    ncol,
+                    "checksum payload does not match protector shape"
+                );
+                self.col_t.copy_from_slice(payload);
+            }
+        }
+    }
+
     /// Advance the simulation one protected iteration.
     pub fn step<H: SweepHook<T>>(&mut self, sim: &mut StencilSim<T>, hook: &H) -> StepOutcome<T> {
         self.step_with_ghosts(sim, hook, &NoGhosts)
@@ -200,6 +244,29 @@ impl<T: Real> OnlineAbft<T> {
         G: GhostCells<T>,
         W: FnOnce() -> G,
     {
+        self.try_step_overlapped(sim, hook, interior, || Some(wait()))
+            .expect("infallible wait returned a ghost source")
+    }
+
+    /// Fallible variant of [`OnlineAbft::step_overlapped`] for exchanges
+    /// that can fail (a peer rank died mid-run). `wait` returning `None`
+    /// aborts the step *cleanly*: no edge sweep, no buffer swap, no
+    /// verification — the simulation still holds iteration `t`, the
+    /// trusted checksums still describe it, and no detection statistics
+    /// are perturbed, so a checkpoint rollback can replay from a
+    /// consistent state with zero false positives.
+    pub fn try_step_overlapped<H, G, W>(
+        &mut self,
+        sim: &mut StencilSim<T>,
+        hook: &H,
+        interior: Range<usize>,
+        wait: W,
+    ) -> Option<(StepOutcome<T>, SplitStepTimes)>
+    where
+        H: SweepHook<T>,
+        G: GhostCells<T>,
+        W: FnOnce() -> Option<G>,
+    {
         debug_assert_eq!(
             sim.dims(),
             (self.nx, self.ny, self.nz),
@@ -207,26 +274,26 @@ impl<T: Real> OnlineAbft<T> {
         );
         if self.cfg.maintain_row {
             let t0 = Instant::now();
-            let ghosts = wait();
+            let ghosts = wait()?;
             let wait_s = t0.elapsed().as_secs_f64();
             let t1 = Instant::now();
             let outcome = self.step_with_ghosts(sim, hook, &ghosts);
             let edge_s = t1.elapsed().as_secs_f64();
-            return (
+            return Some((
                 outcome,
                 SplitStepTimes {
                     wait_s,
                     edge_s,
                     ..SplitStepTimes::default()
                 },
-            );
+            ));
         }
         let (ghosts, mut times) =
-            sim.step_overlapped(hook, interior, wait, Some(&mut self.col_comp));
+            sim.try_step_overlapped(hook, interior, wait, Some(&mut self.col_comp))?;
         let t = Instant::now();
         let outcome = self.verify_after_sweep(sim, &ghosts);
         times.verify_s = t.elapsed().as_secs_f64();
-        (outcome, times)
+        Some((outcome, times))
     }
 
     /// Advance one protected iteration with a **box** overlapped window —
@@ -254,20 +321,43 @@ impl<T: Real> OnlineAbft<T> {
         G: GhostCells<T>,
         W: FnOnce() -> G,
     {
+        self.try_step_overlapped_region(sim, hook, interior_x, interior_y, interior_z, || {
+            Some(wait())
+        })
+        .expect("infallible wait returned a ghost source")
+    }
+
+    /// Fallible variant of [`OnlineAbft::step_overlapped_region`]; see
+    /// [`OnlineAbft::try_step_overlapped`] for the clean-abort contract.
+    pub fn try_step_overlapped_region<H, G, W>(
+        &mut self,
+        sim: &mut StencilSim<T>,
+        hook: &H,
+        interior_x: Range<usize>,
+        interior_y: Range<usize>,
+        interior_z: Range<usize>,
+        wait: W,
+    ) -> Option<(StepOutcome<T>, SplitStepTimes)>
+    where
+        H: SweepHook<T>,
+        G: GhostCells<T>,
+        W: FnOnce() -> Option<G>,
+    {
         let (nx, nz) = (self.nx, self.nz);
         let ix = interior_x.start.min(nx)..interior_x.end.min(nx);
         let ix = ix.start..ix.end.max(ix.start);
         let iz = interior_z.start.min(nz)..interior_z.end.min(nz);
         let iz = iz.start..iz.end.max(iz.start);
         if self.cfg.maintain_row || (ix == (0..nx) && iz == (0..nz)) {
-            return self.step_overlapped(sim, hook, interior_y, wait);
+            return self.try_step_overlapped(sim, hook, interior_y, wait);
         }
-        let (ghosts, mut times) = sim.step_overlapped_region(hook, ix, interior_y, iz, wait, None);
+        let (ghosts, mut times) =
+            sim.try_step_overlapped_region(hook, ix, interior_y, iz, wait, None)?;
         let t = Instant::now();
         compute_col_into(sim.current(), &mut self.col_comp);
         let outcome = self.verify_after_sweep(sim, &ghosts);
         times.verify_s = t.elapsed().as_secs_f64();
-        (outcome, times)
+        Some((outcome, times))
     }
 
     /// Steps 2–5 of the protected iteration: interpolate the expected

@@ -66,9 +66,11 @@
 //! boundary value — including at brick edges and corners, where two or
 //! all three axes resolve.
 
+use abft_checkpoint::{CheckpointPolicy, EpochRing};
 use abft_core::{AbftConfig, OnlineAbft, ProtectorStats};
-use abft_fault::BitFlip;
+use abft_fault::{BitFlip, RankKill};
 use abft_grid::{AxisHit, Boundary, BoundarySpec, GhostCells, Grid3D};
+use abft_metrics::RecoveryStats;
 use abft_num::Real;
 use abft_stencil::{Exec, Stencil3D, StencilSim};
 use std::sync::Arc;
@@ -208,6 +210,14 @@ pub enum DistError {
     FlipBit { bit: u32, bits: u32 },
     /// A flip is scheduled for an iteration that never runs.
     FlipIteration { iteration: usize, iters: usize },
+    /// A kill names a rank that does not exist.
+    KillRank { rank: usize, ranks: usize },
+    /// A kill is scheduled for an iteration that never runs.
+    KillIteration { iter: usize, iters: usize },
+    /// A rank was lost (killed, or aborted past the point of local
+    /// correction) and no checkpoint policy was configured, so the job
+    /// cannot be rolled back and respawned.
+    RankLost { rank: usize, iter: usize },
 }
 
 impl std::fmt::Display for DistError {
@@ -306,6 +316,18 @@ impl std::fmt::Display for DistError {
                 f,
                 "flip iteration {iteration} never runs ({iters} iterations configured)"
             ),
+            Self::KillRank { rank, ranks } => {
+                write!(f, "kill rank {rank} out of range ({ranks} ranks)")
+            }
+            Self::KillIteration { iter, iters } => write!(
+                f,
+                "kill iteration {iter} never runs ({iters} iterations configured)"
+            ),
+            Self::RankLost { rank, iter } => write!(
+                f,
+                "rank {rank} was lost at iteration {iter} and no checkpoint policy is \
+                 configured; enable one with DistConfig::with_checkpoint to recover"
+            ),
         }
     }
 }
@@ -348,6 +370,13 @@ pub struct DistConfig<T> {
     /// Rank-grid shape (default: [`GridSpec::Slabs`], the legacy 1×R×1
     /// y-slab decomposition).
     pub grid: GridSpec,
+    /// Periodic in-memory checkpointing; `None` (the default) stores no
+    /// snapshots, so a lost rank is unrecoverable
+    /// ([`DistError::RankLost`]).
+    pub checkpoint: Option<CheckpointPolicy>,
+    /// Whole-rank losses to inject: each kill removes its rank at the
+    /// start of the given iteration (before that iteration's halo post).
+    pub kills: Vec<RankKill>,
 }
 
 impl<T: Real> DistConfig<T> {
@@ -362,6 +391,8 @@ impl<T: Real> DistConfig<T> {
             flips: Vec::new(),
             mode: HaloMode::default(),
             grid: GridSpec::default(),
+            checkpoint: None,
+            kills: Vec::new(),
         }
     }
 
@@ -417,6 +448,21 @@ impl<T: Real> DistConfig<T> {
     /// out-of-brick flips with a [`DistError`].
     pub fn with_flip(mut self, rank: usize, flip: BitFlip) -> Self {
         self.flips.push((rank, flip));
+        self
+    }
+
+    /// Store an in-memory snapshot of every rank each time the policy
+    /// fires, enabling rollback-and-respawn recovery from rank loss.
+    pub fn with_checkpoint(mut self, policy: CheckpointPolicy) -> Self {
+        self.checkpoint = Some(policy);
+        self
+    }
+
+    /// Kill `rank` at the start of iteration `iter`. Without a checkpoint
+    /// policy the run fails with [`DistError::RankLost`]; with one, every
+    /// rank rolls back to the newest common epoch and replays.
+    pub fn with_rank_kill(mut self, kill: RankKill) -> Self {
+        self.kills.push(kill);
         self
     }
 }
@@ -539,6 +585,11 @@ pub struct DistReport<T> {
     /// build, the iteration loop, and the gather. Zero outside a
     /// [`DistService`].
     pub exec_s: f64,
+    /// Rank-loss and rollback accounting for this job. All-zero
+    /// ([`RecoveryStats::is_clean`]) when no rank was lost;
+    /// `checkpoints_stored`/`checkpoint_period` are populated whenever a
+    /// checkpoint policy was active, even on clean runs.
+    pub recovery: RecoveryStats,
 }
 
 impl<T: Real> DistReport<T> {
@@ -1066,6 +1117,20 @@ fn validate<T: Real>(
             });
         }
     }
+    for kill in &cfg.kills {
+        if kill.rank >= cfg.ranks {
+            return Err(DistError::KillRank {
+                rank: kill.rank,
+                ranks: cfg.ranks,
+            });
+        }
+        if kill.iter >= cfg.iters {
+            return Err(DistError::KillIteration {
+                iter: kill.iter,
+                iters: cfg.iters,
+            });
+        }
+    }
     Ok(part)
 }
 
@@ -1249,23 +1314,102 @@ pub(crate) fn gather_report<T: Real>(
         latency_s: 0.0,
         queue_wait_s: 0.0,
         exec_s: 0.0,
+        recovery: RecoveryStats::default(),
     }
 }
 
 /// The legacy barriered execution: snapshot all requested halo cells on
 /// the driver, then spawn one thread per rank per iteration.
+///
+/// Checkpointing and recovery run in lock-step on the driver: every rank
+/// stores a snapshot when the policy fires, a kill (or an uncorrectable
+/// detection under an armed policy) rolls every rank back to the newest
+/// epoch and the loop replays from there. Without a policy a kill is
+/// fatal ([`DistError::RankLost`]).
 fn run_snapshot<T: Real>(
     ranks: &mut [Rank<T>],
     bounds: &BoundarySpec<T>,
     dims: (usize, usize, usize),
     iters: usize,
-) {
+    policy: Option<CheckpointPolicy>,
+    kills: &[RankKill],
+) -> Result<RecoveryStats, DistError> {
+    let mut recovery = RecoveryStats::default();
+    let mut rings: Option<Vec<EpochRing<T>>> = policy.map(|p| {
+        recovery.checkpoint_period = p.period;
+        (0..ranks.len())
+            .map(|_| EpochRing::new(p.keep.unwrap_or(1)))
+            .collect()
+    });
+    let mut kills: Vec<RankKill> = kills.to_vec();
+    let mut aux: Vec<T> = Vec::new();
+    // Roll every rank back to the newest epoch; `fired` is the flip
+    // filter marking which already-fired faults must not replay.
+    let rollback = |ranks: &mut [Rank<T>],
+                    rings: &mut [EpochRing<T>],
+                    recovery: &mut RecoveryStats,
+                    progress: usize,
+                    fired: &dyn Fn(&BitFlip) -> bool|
+     -> usize {
+        let t0 = Instant::now();
+        let e = rings[0].latest_epoch().expect("epoch 0 is always stored");
+        for (rank, ring) in ranks.iter_mut().zip(rings.iter_mut()) {
+            let snap = ring.restore(e);
+            rank.sim.restore(&snap.grid, e);
+            if let Some(a) = rank.abft.as_mut() {
+                a.restore_checksums(&snap.aux);
+            }
+            rank.flips.retain(|f| !fired(f));
+        }
+        recovery.rollbacks += 1;
+        recovery.steps_lost += (progress - e) * ranks.len();
+        recovery.recovery_s += t0.elapsed().as_secs_f64();
+        e
+    };
     // Wire traffic measured at the copy site: elements copied between
     // *different* ranks, attributed to the producing and consuming rank
     // (self-served boundary folds are not wire traffic).
     let mut sent_elems = vec![0usize; ranks.len()];
     let mut recv_elems = vec![0usize; ranks.len()];
-    for t in 0..iters {
+    let mut t = 0;
+    let mut start = 0; // rewind target of the latest rollback
+    while t < iters {
+        // --- Checkpoint every rank in lock-step when the policy fires.
+        // Skipped right after a rollback (`t == start`): that epoch is
+        // already stored — except at t = 0, whose overwrite-in-place
+        // keeps the "epoch 0 always exists" invariant trivially true.
+        if policy.is_some_and(|p| p.due(t)) && (t == 0 || t != start) {
+            let rings = rings.as_mut().expect("policy implies rings");
+            for (rank, ring) in ranks.iter().zip(rings.iter_mut()) {
+                match &rank.abft {
+                    Some(a) => a.write_checksum_payload(&mut aux),
+                    None => aux.clear(),
+                }
+                ring.store(rank.sim.current(), &aux, t);
+            }
+        }
+
+        // --- Kill check: a lost rank is detected at iteration start, the
+        // lock-step analogue of the pipeline's dropped-channel cascade.
+        let lost: Vec<RankKill> = kills.iter().copied().filter(|k| k.iter == t).collect();
+        if !lost.is_empty() {
+            let Some(rings) = rings.as_mut() else {
+                return Err(DistError::RankLost {
+                    rank: lost[0].rank,
+                    iter: t,
+                });
+            };
+            // One-shot fault semantics: flips before t fired on the first
+            // pass and must not re-fire on replay; the kills just
+            // consumed are removed the same way.
+            let e = rollback(ranks, rings, &mut recovery, t, &|f| f.iteration < t);
+            kills.retain(|k| k.iter != t);
+            recovery.rank_losses += lost.len();
+            t = e;
+            start = e;
+            continue;
+        }
+
         // --- Halo exchange: snapshot every requested time-t cell. ------
         // In an MPI deployment this is the send/recv pairs (face, edge
         // and corner strips); here the scalars are copied out of the
@@ -1300,24 +1444,54 @@ fn run_snapshot<T: Real>(
             .collect();
         let exchange_share = t0.elapsed().as_secs_f64() / ranks.len() as f64;
 
-        // --- Step all ranks concurrently (one thread per rank). --------
-        std::thread::scope(|scope| {
-            for (rank, ghost) in ranks.iter_mut().zip(ghosts) {
-                scope.spawn(move || {
-                    let t1 = Instant::now();
-                    worker::step_rank_barriered(rank, t, &ghost);
-                    rank.timing.edge_s += t1.elapsed().as_secs_f64();
-                });
-            }
+        // --- Step all ranks concurrently (one thread per rank),
+        // collecting uncorrectable-error counts for escalation. ---------
+        let uncorrectable: usize = std::thread::scope(|scope| {
+            let handles: Vec<_> = ranks
+                .iter_mut()
+                .zip(ghosts)
+                .map(|(rank, ghost)| {
+                    scope.spawn(move || {
+                        let t1 = Instant::now();
+                        let unc = worker::step_rank_barriered(rank, t, &ghost);
+                        rank.timing.edge_s += t1.elapsed().as_secs_f64();
+                        unc
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap_or_else(|p| std::panic::resume_unwind(p)))
+                .sum()
         });
         for rank in ranks.iter_mut() {
             rank.timing.post_s += exchange_share;
         }
+
+        // --- Escalate Eq. 10 correction failure to rollback when armed:
+        // instead of letting a known-wrong grid flow to the answer, replay
+        // from the newest epoch. Step t committed before detection, so
+        // its flips count as fired — consuming them is what makes the
+        // replay converge. Unarmed runs keep the legacy behaviour (the
+        // uncorrectable count is reported via ProtectorStats).
+        if uncorrectable > 0 {
+            if let Some(rings) = rings.as_mut() {
+                let e = rollback(ranks, rings, &mut recovery, t + 1, &|f| f.iteration <= t);
+                t = e;
+                start = e;
+                continue;
+            }
+        }
+        t += 1;
     }
     for (i, rank) in ranks.iter_mut().enumerate() {
         rank.timing.halo_bytes_sent += (sent_elems[i] * std::mem::size_of::<T>()) as u64;
         rank.timing.halo_bytes_recv += (recv_elems[i] * std::mem::size_of::<T>()) as u64;
     }
+    if let Some(rings) = &rings {
+        recovery.checkpoints_stored = rings.iter().map(|r| r.stats().stores).sum();
+    }
+    Ok(recovery)
 }
 
 #[cfg(test)]

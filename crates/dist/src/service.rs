@@ -54,15 +54,17 @@
 //! survives to serve the next job — including jobs that were running
 //! concurrently with the one that died.
 
-use crate::pipeline::{Ports, TopoKey, TopologyCache};
-use crate::worker::{self, RankTask, TaskDone};
+use crate::pipeline::{Ports, TopoKey, TopologyCache, CHANNEL_DEPTH};
+use crate::worker::{self, RankExit, RankResult, RankTask, TaskDone, Vault};
 use crate::{
     build_ranks, effective_halo, gather_report, run_snapshot, validate, DistConfig, DistError,
-    DistReport, GridSpec, HaloMode, Rank,
+    DistReport, GridSpec, HaloMode, Partition3, Rank,
 };
+use abft_checkpoint::CheckpointPolicy;
 use abft_core::AbftConfig;
-use abft_fault::BitFlip;
+use abft_fault::{BitFlip, RankKill};
 use abft_grid::{BoundarySpec, Grid3D};
+use abft_metrics::RecoveryStats;
 use abft_num::Real;
 use abft_stencil::Stencil3D;
 use std::collections::{HashMap, HashSet, VecDeque};
@@ -216,23 +218,6 @@ impl<T: Real> JobSpec<T> {
         }
     }
 
-    /// Positional constructor, superseded by the builder.
-    #[deprecated(note = "use `JobSpec::over(initial, stencil)` with the `with_*` builders")]
-    pub fn new(
-        initial: Grid3D<T>,
-        stencil: Stencil3D<T>,
-        bounds: BoundarySpec<T>,
-        cfg: DistConfig<T>,
-    ) -> Self {
-        Self {
-            initial,
-            stencil,
-            bounds,
-            constant: None,
-            cfg,
-        }
-    }
-
     /// Set the global boundary conditions (default: clamp).
     pub fn with_bounds(mut self, bounds: BoundarySpec<T>) -> Self {
         self.bounds = bounds;
@@ -318,6 +303,20 @@ impl<T: Real> JobSpec<T> {
         self.cfg = self.cfg.with_flip(rank, flip);
         self
     }
+
+    /// Arm periodic in-memory checkpointing, enabling rank-loss recovery
+    /// ([`DistConfig::with_checkpoint`]).
+    pub fn with_checkpoint(mut self, policy: CheckpointPolicy) -> Self {
+        self.cfg = self.cfg.with_checkpoint(policy);
+        self
+    }
+
+    /// Kill one rank at the start of an iteration
+    /// ([`DistConfig::with_rank_kill`]).
+    pub fn with_rank_kill(mut self, kill: RankKill) -> Self {
+        self.cfg = self.cfg.with_rank_kill(kill);
+        self
+    }
 }
 
 /// Service counters: completed/failed/rejected jobs, topology-cache
@@ -342,6 +341,11 @@ pub struct ServeStats {
     pub topology_misses: u64,
     /// Most jobs ever in flight at once (inline snapshot jobs included).
     pub peak_concurrent: u64,
+    /// Simulated ranks lost to kill injections, across all jobs.
+    pub rank_losses: u64,
+    /// Rollback-and-respawn recovery rounds completed (pipelined
+    /// respawns and snapshot-mode lock-step rollbacks alike).
+    pub recoveries: u64,
 }
 
 /// An admitted job on its way to the scheduler.
@@ -818,19 +822,41 @@ struct QueuedJob<T: Real> {
 }
 
 /// One in-flight pipelined job: completion slots for its ranks and the
-/// context needed to gather and stamp its report.
+/// context needed to gather and stamp its report — plus everything a
+/// rollback-and-respawn recovery needs to re-dispatch the job's ranks
+/// from the newest common checkpoint epoch.
 struct Running<T: Real> {
     submitted: Instant,
     started: Instant,
     key: TopoKey<T>,
+    part: Partition3,
     grid: (usize, usize, usize),
     dims: (usize, usize, usize),
+    bounds: BoundarySpec<T>,
+    iters: usize,
     ranks: Vec<Option<Rank<T>>>,
     ports: Vec<Option<Ports<T>>>,
     remaining: usize,
     /// Lowest failing rank and its panic message (the cascade's
     /// "producer/consumer hung up" echoes from higher ranks are noise).
     failure: Option<(usize, String)>,
+    /// The job's checkpoint vault when a policy is armed; `None` means a
+    /// rank loss is unrecoverable.
+    vault: Option<Arc<Vault<T>>>,
+    /// Kill plans that have not fired yet.
+    kills: Vec<RankKill>,
+    /// Per-rank replay bound: the first iteration each rank has *not*
+    /// durably executed, from the latest round's exits.
+    progress: Vec<usize>,
+    /// True when some rank of the current round aborted (killed, peer
+    /// loss, or uncorrectable escalation).
+    aborted: bool,
+    /// Lowest killed rank and its iteration — the root cause reported
+    /// when no vault is armed.
+    lost: Option<(usize, usize)>,
+    /// When the current recovery round was detected (for `recovery_s`).
+    recovery_began: Option<Instant>,
+    recovery: RecoveryStats,
 }
 
 /// A job's pre-dispatch state: everything built under the scheduler's
@@ -838,12 +864,30 @@ struct Running<T: Real> {
 /// leave half a job on the pool.
 struct Prepared<T: Real> {
     key: TopoKey<T>,
+    part: Partition3,
     grid: (usize, usize, usize),
     dims: (usize, usize, usize),
     ranks: Vec<Rank<T>>,
     /// `Some` for pipelined jobs (checked out of the topology cache),
     /// `None` for inline snapshot jobs.
     ports: Option<Vec<Ports<T>>>,
+}
+
+/// Ring depth covering the pipeline's maximum epoch skew, so the newest
+/// epoch common to every ring always exists: neighbouring ranks drift at
+/// most `CHANNEL_DEPTH + 1` iterations apart, the drift compounds across
+/// the rank grid's diameter, and `+2` covers the boundary epochs of the
+/// window. An explicit [`CheckpointPolicy::with_keep`] overrides.
+fn ring_keep(policy: CheckpointPolicy, (rx, ry, rz): (usize, usize, usize)) -> usize {
+    policy.keep.unwrap_or_else(|| {
+        let diam = ((rx - 1) + (ry - 1) + (rz - 1)).max(1);
+        ((CHANNEL_DEPTH + 1) * diam).div_ceil(policy.period) + 2
+    })
+}
+
+/// The earliest unfired kill plan for rank `idx`.
+fn next_kill(kills: &[RankKill], idx: usize) -> Option<usize> {
+    kills.iter().filter(|k| k.rank == idx).map(|k| k.iter).min()
 }
 
 /// The scheduler thread's whole world: free-slot accounting, the
@@ -856,10 +900,18 @@ struct Scheduler<T: Real> {
     cache: TopologyCache<T>,
     queue: VecDeque<QueuedJob<T>>,
     running: HashMap<u64, Running<T>>,
+    /// Jobs whose ranks all exited with a recoverable abort, waiting for
+    /// enough free slots to respawn. Served before any queued admission —
+    /// a waiting recovery is a head-of-line barrier, so the slots its
+    /// job just released (plus any that drain back) cannot be stolen
+    /// from under it indefinitely.
+    pending_recovery: VecDeque<u64>,
     /// Free pool-slot indices (a worker is free again the moment its
     /// completion event arrives — not when its whole job finishes).
     free: Vec<usize>,
     peak: u64,
+    rank_losses: u64,
+    recoveries: u64,
 }
 
 impl<T: Real> Scheduler<T> {
@@ -872,8 +924,11 @@ impl<T: Real> Scheduler<T> {
             cache: TopologyCache::new(),
             queue: VecDeque::new(),
             running: HashMap::new(),
+            pending_recovery: VecDeque::new(),
             free,
             peak: 0,
+            rank_losses: 0,
+            recoveries: 0,
         }
     }
 
@@ -900,8 +955,26 @@ impl<T: Real> Scheduler<T> {
     }
 
     /// Plan one admission pass over the queue and start every picked job
-    /// in submit order.
+    /// in submit order. Pending recoveries go first: a recovering job
+    /// already *had* its slots, so its respawn outranks new admissions,
+    /// and while one waits for slots nothing new is admitted past it
+    /// (running jobs drain back into the free list, so it always
+    /// eventually fits — its demand was capped at the pool size when the
+    /// job was first admitted).
     fn admit_ready(&mut self) {
+        while let Some(&id) = self.pending_recovery.front() {
+            let need = self
+                .running
+                .get(&id)
+                .expect("recovering job is in flight")
+                .ranks
+                .len();
+            if need > self.free.len() {
+                return;
+            }
+            self.pending_recovery.pop_front();
+            self.respawn(id);
+        }
         let mut demands: Vec<(usize, u32)> = self
             .queue
             .iter()
@@ -975,13 +1048,25 @@ impl<T: Real> Scheduler<T> {
                 } = prepared;
                 let bounds = adm.spec.bounds;
                 let iters = adm.spec.cfg.iters;
+                let policy = adm.spec.cfg.checkpoint;
+                let kills = adm.spec.cfg.kills.clone();
                 let outcome = catch_unwind(AssertUnwindSafe(move || {
                     let wall = Instant::now();
-                    run_snapshot(&mut ranks, &bounds, dims, iters);
-                    gather_report(ranks, grid, dims, wall.elapsed().as_secs_f64())
+                    run_snapshot(&mut ranks, &bounds, dims, iters, policy, &kills).map(|recovery| {
+                        let mut report =
+                            gather_report(ranks, grid, dims, wall.elapsed().as_secs_f64());
+                        report.recovery = recovery;
+                        report
+                    })
                 }));
                 let result = match outcome {
-                    Ok(report) => Ok(report),
+                    Ok(result) => {
+                        if let Ok(report) = &result {
+                            self.rank_losses += report.recovery.rank_losses as u64;
+                            self.recoveries += report.recovery.rollbacks as u64;
+                        }
+                        result
+                    }
                     Err(payload) => Err(DistError::RankPanicked {
                         rank: None,
                         message: worker::panic_message(payload),
@@ -991,6 +1076,11 @@ impl<T: Real> Scheduler<T> {
             }
             Some(ports) => {
                 let count = prepared.ranks.len();
+                let vault =
+                    adm.spec.cfg.checkpoint.map(|p| {
+                        Arc::new(Vault::new(p.period, ring_keep(p, prepared.grid), count))
+                    });
+                let kills = adm.spec.cfg.kills.clone();
                 let mut ranks = prepared.ranks;
                 for (idx, (rank, port)) in ranks.drain(..).zip(ports).enumerate() {
                     let slot = self.free.pop().expect("admission guaranteed free slots");
@@ -1003,6 +1093,9 @@ impl<T: Real> Scheduler<T> {
                         bounds: adm.spec.bounds,
                         dims: prepared.dims,
                         iters: adm.spec.cfg.iters,
+                        start: 0,
+                        kill: next_kill(&kills, idx),
+                        vault: vault.clone(),
                     };
                     self.workers[slot]
                         .tx
@@ -1015,12 +1108,22 @@ impl<T: Real> Scheduler<T> {
                         submitted: adm.submitted,
                         started,
                         key: prepared.key,
+                        part: prepared.part,
                         grid: prepared.grid,
                         dims: prepared.dims,
+                        bounds: adm.spec.bounds,
+                        iters: adm.spec.cfg.iters,
                         ranks: (0..count).map(|_| None).collect(),
                         ports: (0..count).map(|_| None).collect(),
                         remaining: count,
                         failure: None,
+                        vault,
+                        kills,
+                        progress: vec![0; count],
+                        aborted: false,
+                        lost: None,
+                        recovery_began: None,
+                        recovery: RecoveryStats::default(),
                     },
                 );
                 self.peak = self.peak.max(self.running.len() as u64);
@@ -1075,6 +1178,7 @@ impl<T: Real> Scheduler<T> {
         };
         Ok(Prepared {
             key,
+            part,
             grid,
             dims,
             ranks,
@@ -1083,7 +1187,8 @@ impl<T: Real> Scheduler<T> {
     }
 
     /// Fold one rank completion into its job; when it is the job's last,
-    /// gather and publish.
+    /// either gather and publish, or — when a rank was lost and a vault
+    /// is armed — queue a rollback-and-respawn round instead.
     fn handle_done(&mut self, done: TaskDone<T>) {
         // The worker parked the moment it sent this event: its slot is
         // free even though the job may still be waiting on siblings.
@@ -1095,11 +1200,26 @@ impl<T: Real> Scheduler<T> {
             return;
         };
         match done.result {
-            Ok((rank, ports)) => {
+            RankResult::Finished(rank, ports) => {
+                job.progress[done.idx] = job.iters;
                 job.ranks[done.idx] = Some(rank);
                 job.ports[done.idx] = Some(ports);
             }
-            Err(message) => {
+            RankResult::Aborted { rank, exit } => {
+                job.aborted = true;
+                job.progress[done.idx] = exit.progress(job.iters);
+                job.ranks[done.idx] = Some(rank);
+                if let RankExit::Killed { iter } = exit {
+                    self.rank_losses += 1;
+                    job.recovery.rank_losses += 1;
+                    job.kills
+                        .retain(|k| !(k.rank == done.idx && k.iter == iter));
+                    if job.lost.is_none_or(|(r, _)| done.idx < r) {
+                        job.lost = Some((done.idx, iter));
+                    }
+                }
+            }
+            RankResult::Panicked(message) => {
                 if job.failure.as_ref().is_none_or(|(r, _)| done.idx < *r) {
                     job.failure = Some((done.idx, message));
                 }
@@ -1107,6 +1227,29 @@ impl<T: Real> Scheduler<T> {
         }
         job.remaining -= 1;
         if job.remaining > 0 {
+            return;
+        }
+        // Every rank has exited. A panic anywhere is fatal for the job
+        // (a panicked rank's state is gone — there is nothing to roll
+        // back); a recoverable abort with a vault queues a respawn.
+        if job.failure.is_none() && job.aborted {
+            if job.vault.is_some() {
+                job.recovery_began = Some(Instant::now());
+                self.pending_recovery.push_back(done.job);
+                // admit_ready (run after every event) performs the
+                // respawn as soon as enough slots are free.
+                return;
+            }
+            let job = self.running.remove(&done.job).expect("job is in flight");
+            let (rank, iter) = job.lost.expect("abort without a panic implies a kill");
+            self.publish(
+                done.job,
+                stamp(
+                    Err(DistError::RankLost { rank, iter }),
+                    job.submitted,
+                    job.started,
+                ),
+            );
             return;
         }
         let job = self.running.remove(&done.job).expect("job is in flight");
@@ -1119,6 +1262,8 @@ impl<T: Real> Scheduler<T> {
             ranks,
             ports,
             failure,
+            vault,
+            mut recovery,
             ..
         } = job;
         let result = if let Some((rank, message)) = failure {
@@ -1137,7 +1282,7 @@ impl<T: Real> Scheduler<T> {
                     .collect();
                 gather_report(ranks, grid, dims, started.elapsed().as_secs_f64())
             })) {
-                Ok(report) => {
+                Ok(mut report) => {
                     self.cache.check_in(
                         &key,
                         ports
@@ -1145,6 +1290,11 @@ impl<T: Real> Scheduler<T> {
                             .map(|p| p.expect("every rank reported"))
                             .collect(),
                     );
+                    if let Some(v) = &vault {
+                        recovery.checkpoints_stored = v.stores();
+                        recovery.checkpoint_period = v.period;
+                    }
+                    report.recovery = recovery;
                     Ok(report)
                 }
                 Err(payload) => {
@@ -1159,6 +1309,75 @@ impl<T: Real> Scheduler<T> {
         self.publish(done.job, stamp(result, submitted, started));
     }
 
+    /// One recovery round: roll every rank of a fully-exited job back to
+    /// the vault's newest common epoch, consume the faults that already
+    /// fired, and re-dispatch all ranks over a fresh channel set with
+    /// `start` at the rollback epoch. The replayed run's final grid is
+    /// bitwise what the fault-free run produces: snapshots capture
+    /// exactly the committed state (grid + trusted checksums), and the
+    /// replay performs the identical sweeps in the identical order.
+    fn respawn(&mut self, id: u64) {
+        let mut job = self.running.remove(&id).expect("job is in flight");
+        let vault = Arc::clone(job.vault.as_ref().expect("respawn requires a vault"));
+        let e = vault
+            .common_epoch()
+            .expect("ring depth covers the pipeline's epoch skew");
+        let count = job.ranks.len();
+        for (idx, slot) in job.ranks.iter_mut().enumerate() {
+            let rank = slot.as_mut().expect("every rank reported");
+            let mut ring = vault.rings[idx].lock().expect("vault ring poisoned");
+            let snap = ring.restore(e);
+            rank.sim.restore(&snap.grid, e);
+            if let Some(a) = rank.abft.as_mut() {
+                a.restore_checksums(&snap.aux);
+            }
+            // One-shot fault semantics: flips below this rank's progress
+            // fired (and were committed) on the lost attempt; only the
+            // rest may fire again during replay.
+            let progress = job.progress[idx];
+            rank.flips.retain(|f| f.iteration >= progress);
+            job.recovery.steps_lost += progress - e;
+        }
+        // The lost round's channels are unusable (the victims dropped
+        // their endpoints mid-iteration): drop the surviving halves and
+        // check out a fresh set. plans() re-registers the key if a
+        // concurrent panic discarded the cache entry meanwhile.
+        job.ports = (0..count).map(|_| None).collect();
+        let _ = self.cache.plans(&job.key, &job.part, &job.bounds);
+        let ports = self.cache.check_out(&job.key, &job.part);
+        for (idx, (slot, port)) in job.ranks.iter_mut().zip(ports).enumerate() {
+            let rank = slot.take().expect("every rank reported");
+            let worker_slot = self.free.pop().expect("respawn waited for enough slots");
+            let task = RankTask {
+                job: id,
+                slot: worker_slot,
+                idx,
+                rank,
+                ports: port,
+                bounds: job.bounds,
+                dims: job.dims,
+                iters: job.iters,
+                start: e,
+                kill: next_kill(&job.kills, idx),
+                vault: Some(Arc::clone(&vault)),
+            };
+            self.workers[worker_slot]
+                .tx
+                .send(task)
+                .expect("pool worker hung up");
+        }
+        job.progress = vec![e; count];
+        job.remaining = count;
+        job.aborted = false;
+        job.lost = None;
+        job.recovery.rollbacks += 1;
+        if let Some(began) = job.recovery_began.take() {
+            job.recovery.recovery_s += began.elapsed().as_secs_f64();
+        }
+        self.recoveries += 1;
+        self.running.insert(id, job);
+    }
+
     /// Record one job's outcome: update the counters, hand the result to
     /// a registered callback (outside the lock, panic-contained) or park
     /// it for the job's handle, and wake every waiter.
@@ -1167,6 +1386,8 @@ impl<T: Real> Scheduler<T> {
         state.stats.topology_hits = self.cache.hits;
         state.stats.topology_misses = self.cache.misses;
         state.stats.peak_concurrent = state.stats.peak_concurrent.max(self.peak);
+        state.stats.rank_losses = self.rank_losses;
+        state.stats.recoveries = self.recoveries;
         if result.is_ok() {
             state.stats.jobs_completed += 1;
         } else {
@@ -1267,21 +1488,6 @@ mod tests {
         assert!(served.queue_wait_s >= 0.0);
         assert!(served.latency_s >= served.queue_wait_s + served.exec_s - 1e-6);
         service.shutdown();
-    }
-
-    #[test]
-    fn deprecated_positional_constructor_still_builds_the_same_spec() {
-        #[allow(deprecated)]
-        let old = JobSpec::new(
-            field(10, 16, 2),
-            heat(),
-            BoundarySpec::clamp(),
-            DistConfig::new(4, 9),
-        );
-        let new = job(4, 9);
-        assert_eq!(old.initial, new.initial);
-        assert_eq!(old.cfg.ranks, new.cfg.ranks);
-        assert_eq!(old.cfg.iters, new.cfg.iters);
     }
 
     #[test]

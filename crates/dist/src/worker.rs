@@ -23,13 +23,103 @@
 use crate::pipeline::{HaloMsg, Ports};
 use crate::service::SchedEvent;
 use crate::{HaloGhost, Rank};
+use abft_checkpoint::EpochRing;
 use abft_fault::MultiFlipHook;
 use abft_grid::{Boundary, BoundarySpec, Grid3D};
 use abft_num::Real;
 use abft_stencil::{ChecksumMode, NoHook, SplitStepTimes};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
+
+/// One job's shared checkpoint vault: a per-rank [`EpochRing`] written by
+/// the workers (each rank stores a snapshot of its own brick at the start
+/// of every iteration `t` with `t % period == 0`) and read by the
+/// scheduler's recovery path, which rolls every rank back to the newest
+/// epoch present in *all* rings.
+pub(crate) struct Vault<T> {
+    /// Checkpoint period Δ in iterations.
+    pub(crate) period: usize,
+    /// One ring per rank index. A `Mutex` rather than sharded ownership so
+    /// the scheduler can read the rings while workers are parked — there
+    /// is never contention (a rank only writes its own ring, and the
+    /// scheduler only reads after every rank of the job has exited).
+    pub(crate) rings: Vec<Mutex<EpochRing<T>>>,
+}
+
+impl<T: Real> Vault<T> {
+    pub(crate) fn new(period: usize, keep: usize, ranks: usize) -> Self {
+        Self {
+            period,
+            rings: (0..ranks)
+                .map(|_| Mutex::new(EpochRing::new(keep)))
+                .collect(),
+        }
+    }
+
+    /// Total snapshots stored across all rings.
+    pub(crate) fn stores(&self) -> usize {
+        self.rings
+            .iter()
+            .map(|r| r.lock().expect("vault ring poisoned").stats().stores)
+            .sum()
+    }
+
+    /// The newest epoch present in every ring — the common rollback
+    /// target. `None` if the rings share no epoch (cannot happen when the
+    /// ring depth covers the pipeline's maximum skew: every rank stores
+    /// epoch 0 before its first post, and eviction only trims epochs
+    /// older than `keep` periods behind that rank's own progress).
+    pub(crate) fn common_epoch(&self) -> Option<usize> {
+        let rings: Vec<_> = self
+            .rings
+            .iter()
+            .map(|r| r.lock().expect("vault ring poisoned"))
+            .collect();
+        let first = rings.first()?;
+        first
+            .epochs()
+            .into_iter()
+            .rev()
+            .find(|&e| rings[1..].iter().all(|r| r.get(e).is_some()))
+    }
+}
+
+/// How one rank's share of a job ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum RankExit {
+    /// Ran every iteration; rank and ports are reusable.
+    Complete,
+    /// A [`abft_fault::RankKill`] plan fired at the start of iteration
+    /// `iter`: the rank posted nothing for `iter` and dropped its channel
+    /// endpoints, which is what its neighbours observe as the loss.
+    Killed { iter: usize },
+    /// A channel send or receive failed during iteration `iter` — some
+    /// peer died and dropped its endpoints. The step was abandoned
+    /// *before* commit: the simulation still holds the last completed
+    /// iteration and no verification ran on torn data.
+    PeerLost { iter: usize },
+    /// ABFT verification of iteration `iter` found damage Eq. 10 cannot
+    /// repair, and a checkpoint vault is armed: escalate to rollback
+    /// instead of carrying a known-wrong grid forward. (Without a vault
+    /// the rank keeps running and the damage is reported in its stats,
+    /// as before.) The step *was* committed: replay must restart past
+    /// the fault, i.e. this rank's progress is `iter + 1`.
+    Uncorrectable { iter: usize },
+}
+
+impl RankExit {
+    /// First iteration this rank has *not* durably executed — the replay
+    /// start bound used to decide which one-shot faults already fired.
+    pub(crate) fn progress(&self, iters: usize) -> usize {
+        match *self {
+            RankExit::Complete => iters,
+            RankExit::Killed { iter } | RankExit::PeerLost { iter } => iter,
+            RankExit::Uncorrectable { iter } => iter + 1,
+        }
+    }
+}
 
 /// One rank's share of one job, dispatched to a pool worker: the freshly
 /// built rank state, the checked-out channel endpoints for its slot in
@@ -49,17 +139,32 @@ pub(crate) struct RankTask<T> {
     pub(crate) bounds: BoundarySpec<T>,
     pub(crate) dims: (usize, usize, usize),
     pub(crate) iters: usize,
+    /// First iteration to execute: 0 for a fresh job, the rollback epoch
+    /// for a respawn after recovery.
+    pub(crate) start: usize,
+    /// Pending kill plan for this rank (the earliest unfired one).
+    pub(crate) kill: Option<usize>,
+    /// The job's checkpoint vault, when a [`abft_checkpoint::CheckpointPolicy`]
+    /// is armed.
+    pub(crate) vault: Option<Arc<Vault<T>>>,
 }
 
-/// What a pool worker hands back per task: the rank and ports for reuse,
-/// or the panic message when the rank's simulation blew up mid-job (its
-/// rank and ports are dropped — dropping the senders is what cascades
-/// the failure to blocked neighbours).
+/// How a pool worker's task ended: reusable state, a recoverable abort
+/// (rank returned for rollback, ports deliberately dropped — dropping the
+/// endpoints is what cascades the loss to blocked neighbours), or a panic
+/// (everything dropped).
+pub(crate) enum RankResult<T> {
+    Finished(Rank<T>, Ports<T>),
+    Aborted { rank: Rank<T>, exit: RankExit },
+    Panicked(String),
+}
+
+/// What a pool worker hands back per task.
 pub(crate) struct TaskDone<T> {
     pub(crate) job: u64,
     pub(crate) slot: usize,
     pub(crate) idx: usize,
-    pub(crate) result: Result<(Rank<T>, Ports<T>), String>,
+    pub(crate) result: RankResult<T>,
 }
 
 /// Render a caught panic payload (the `&str`/`String` forms `panic!`
@@ -89,19 +194,33 @@ pub(crate) fn pool_worker<T: Real>(tasks: Receiver<RankTask<T>>, events: Sender<
                 task.bounds,
                 task.dims,
                 task.iters,
-            );
+                task.start,
+                task.kill,
+                task.idx,
+                task.vault.as_deref(),
+            )
         }));
         let (job, slot, idx) = (task.job, task.slot, task.idx);
         let result = match outcome {
-            Ok(()) => {
+            Ok(RankExit::Complete) => {
                 let RankTask { rank, ports, .. } = task;
-                Ok((rank, ports))
+                RankResult::Finished(rank, ports)
+            }
+            Ok(exit) => {
+                // A killed (or peer-bereaved) rank drops its ports: the
+                // hung-up channels unblock — and error — every neighbour
+                // still waiting on this rank, cascading the loss through
+                // the topology instead of hanging the pipeline. The rank
+                // itself survives for the scheduler's rollback.
+                let RankTask { rank, ports, .. } = task;
+                drop(ports);
+                RankResult::Aborted { rank, exit }
             }
             Err(payload) => {
                 // Drop the rank and its ports: hung-up channels unblock
                 // (and fail) every neighbour still waiting on this rank.
                 drop(task);
-                Err(panic_message(payload))
+                RankResult::Panicked(panic_message(payload))
             }
         };
         let done = TaskDone {
@@ -142,13 +261,25 @@ pub(crate) fn pack_cells<T: Real>(grid: &Grid3D<T>, cells: &[(usize, usize, usiz
 /// borrowed, not consumed: a clean job drains every channel (one send
 /// and one recv per channel per iteration), so the same endpoints carry
 /// the pool's next job.
+///
+/// Each iteration `t` of `start..iters`: store a checkpoint when due
+/// (before anything else, so even an immediate kill leaves a recoverable
+/// epoch behind), die if a kill plan fires, then post / sweep / verify.
+/// Any channel error — a peer dropped its endpoints — aborts the step
+/// cleanly ([`RankExit::PeerLost`]): no partial state is committed, so
+/// the scheduler can roll the whole job back to a common epoch.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn run<T: Real>(
     rank: &mut Rank<T>,
     ports: &Ports<T>,
     bounds: BoundarySpec<T>,
     dims: (usize, usize, usize),
     iters: usize,
-) {
+    start: usize,
+    kill: Option<usize>,
+    idx: usize,
+    vault: Option<&Vault<T>>,
+) -> RankExit {
     let brick = rank.brick;
     let ex = rank.sim.stencil().extent_x();
     let ey = rank.sim.stencil().extent_y();
@@ -169,8 +300,33 @@ pub(crate) fn run<T: Real>(
         0..brick.z_len
     };
     let index = rank.plan.index.clone();
+    let mut aux = Vec::new();
 
-    for t in 0..iters {
+    for t in start..iters {
+        // --- 0. checkpoint / kill -------------------------------------
+        // The snapshot (grid + trusted checksums, the paper's §5.4
+        // "state of the grid and of the checksums") is taken *before*
+        // the kill check: both happen "at the start of t", and storing
+        // first guarantees every rank — even one killed at t = 0 —
+        // leaves at least one recoverable epoch in its ring. Skipped at
+        // `t == start` of a resume: the ring already holds that epoch.
+        if let Some(v) = vault {
+            if t % v.period == 0 && (t == 0 || t != start) {
+                match &rank.abft {
+                    Some(a) => a.write_checksum_payload(&mut aux),
+                    None => aux.clear(),
+                }
+                v.rings[idx].lock().expect("vault ring poisoned").store(
+                    rank.sim.current(),
+                    &aux,
+                    t,
+                );
+            }
+        }
+        if kill == Some(t) {
+            return RankExit::Killed { iter: t };
+        }
+
         // --- 1. post ---------------------------------------------------
         let t0 = Instant::now();
         let current = rank.sim.current();
@@ -178,7 +334,9 @@ pub(crate) fn run<T: Real>(
         for (tx, cells) in &ports.sends {
             let msg = pack_cells(current, cells);
             sent += msg.len();
-            tx.send(msg).expect("consumer rank hung up");
+            if tx.send(msg).is_err() {
+                return RankExit::PeerLost { iter: t };
+            }
         }
         let self_values = pack_cells(current, &ports.self_cells);
         rank.timing.post_s += t0.elapsed().as_secs_f64();
@@ -195,16 +353,20 @@ pub(crate) fn run<T: Real>(
         let wait = move || {
             let mut values = self_values;
             for rx in recvs {
-                values.extend(rx.recv().expect("producer rank hung up"));
+                match rx.recv() {
+                    Ok(msg) => values.extend(msg),
+                    Err(_) => return None,
+                }
             }
             recv_ref.set(values.len() - self_len);
-            HaloGhost::new(index, values, bounds, brick, dims)
+            Some(HaloGhost::new(index, values, bounds, brick, dims))
         };
 
         let flips_now = rank.flips_at(t);
-        let times: SplitStepTimes = match (&mut rank.abft, flips_now.is_empty()) {
-            (Some(abft), true) => {
-                abft.step_overlapped_region(
+        let stepped: Option<(usize, SplitStepTimes)> = match (&mut rank.abft, flips_now.is_empty())
+        {
+            (Some(abft), true) => abft
+                .try_step_overlapped_region(
                     &mut rank.sim,
                     &NoHook,
                     interior_x.clone(),
@@ -212,11 +374,10 @@ pub(crate) fn run<T: Real>(
                     interior_z.clone(),
                     wait,
                 )
-                .1
-            }
+                .map(|(o, times)| (o.uncorrectable, times)),
             (Some(abft), false) => {
                 let hook = MultiFlipHook::new(flips_now);
-                abft.step_overlapped_region(
+                abft.try_step_overlapped_region(
                     &mut rank.sim,
                     &hook,
                     interior_x.clone(),
@@ -224,24 +385,23 @@ pub(crate) fn run<T: Real>(
                     interior_z.clone(),
                     wait,
                 )
-                .1
+                .map(|(o, times)| (o.uncorrectable, times))
             }
-            (None, true) => {
-                rank.sim
-                    .step_overlapped_region(
-                        &NoHook,
-                        interior_x.clone(),
-                        interior_y.clone(),
-                        interior_z.clone(),
-                        wait,
-                        None,
-                    )
-                    .1
-            }
+            (None, true) => rank
+                .sim
+                .try_step_overlapped_region(
+                    &NoHook,
+                    interior_x.clone(),
+                    interior_y.clone(),
+                    interior_z.clone(),
+                    wait,
+                    None,
+                )
+                .map(|(_, times)| (0, times)),
             (None, false) => {
                 let hook = MultiFlipHook::new(flips_now);
                 rank.sim
-                    .step_overlapped_region(
+                    .try_step_overlapped_region(
                         &hook,
                         interior_x.clone(),
                         interior_y.clone(),
@@ -249,33 +409,54 @@ pub(crate) fn run<T: Real>(
                         wait,
                         None,
                     )
-                    .1
+                    .map(|(_, times)| (0, times))
             }
+        };
+        let Some((uncorrectable, times)) = stepped else {
+            // A producer died: the step was abandoned before the edge
+            // sweep, so the simulation still holds iteration t intact.
+            return RankExit::PeerLost { iter: t };
         };
         rank.timing.add_step(&times);
         rank.timing.halo_bytes_recv += (recv_elems.get() * std::mem::size_of::<T>()) as u64;
+        // Eq. 10 was defeated (multi-point damage). With a vault armed,
+        // escalate to rollback instead of carrying a wrong grid forward.
+        if uncorrectable > 0 && vault.is_some() {
+            return RankExit::Uncorrectable { iter: t };
+        }
     }
+    RankExit::Complete
 }
 
 /// Advance one rank by one iteration against a pre-built ghost (snapshot
 /// mode), injecting any flips scheduled for iteration `t` and protecting
-/// the sweep when ABFT is enabled.
-pub(crate) fn step_rank_barriered<T: Real>(rank: &mut Rank<T>, t: usize, ghost: &HaloGhost<T>) {
+/// the sweep when ABFT is enabled. Returns the number of layers whose
+/// damage defeated Eq. 10 this step (always 0 unprotected), so the
+/// barriered driver can escalate to a checkpoint rollback.
+pub(crate) fn step_rank_barriered<T: Real>(
+    rank: &mut Rank<T>,
+    t: usize,
+    ghost: &HaloGhost<T>,
+) -> usize {
     let flips_now = rank.flips_at(t);
     match (&mut rank.abft, flips_now.is_empty()) {
         (Some(abft), true) => {
-            abft.step_with_ghosts(&mut rank.sim, &NoHook, ghost);
+            abft.step_with_ghosts(&mut rank.sim, &NoHook, ghost)
+                .uncorrectable
         }
         (Some(abft), false) => {
             let hook = MultiFlipHook::new(flips_now);
-            abft.step_with_ghosts(&mut rank.sim, &hook, ghost);
+            abft.step_with_ghosts(&mut rank.sim, &hook, ghost)
+                .uncorrectable
         }
         (None, true) => {
             rank.sim.step_full(&NoHook, ghost, ChecksumMode::None);
+            0
         }
         (None, false) => {
             let hook = MultiFlipHook::new(flips_now);
             rank.sim.step_full(&hook, ghost, ChecksumMode::None);
+            0
         }
     }
 }
@@ -285,17 +466,19 @@ mod tests {
     use super::*;
     use crate::pipeline::{TopoKey, TopologyCache};
     use crate::{build_ranks, DistConfig, Partition3};
+    use abft_fault::BitFlip;
     use abft_stencil::Stencil3D;
     use std::sync::mpsc::{channel, sync_channel};
 
-    /// A complete single-rank task over a 6×6×2 clamped domain.
+    /// A complete single-rank task over a 6×6×4 clamped domain with a
+    /// width-1 y-halo topology and a seven-point kernel.
     fn one_rank_task(iters: usize) -> RankTask<f64> {
-        let dims = (6, 6, 2);
-        let part = Partition3::new(6, 6, 2, 1, 1, 1);
+        let dims = (6, 6, 4);
+        let part = Partition3::new(6, 6, 4, 1, 1, 1);
         let bounds = BoundarySpec::clamp();
-        let stencil = Stencil3D::seven_point(0.4f64, 0.1, 0.1, 0.1);
-        let initial = Grid3D::from_fn(6, 6, 2, |x, y, z| (x * 3 + y + z * 5) as f64);
+        let initial = Grid3D::from_fn(6, 6, 4, |x, y, z| (x * 3 + y + z * 5) as f64);
         let cfg = DistConfig::<f64>::new(1, iters);
+        let stencil = Stencil3D::seven_point(0.4f64, 0.1, 0.1, 0.1);
         let key = TopoKey {
             dims,
             grid: (1, 1, 1),
@@ -315,6 +498,9 @@ mod tests {
             bounds,
             dims,
             iters,
+            start: 0,
+            kill: None,
+            vault: None,
         }
     }
 
@@ -335,21 +521,29 @@ mod tests {
         let (done_tx, done_rx) = channel();
         let worker = std::thread::spawn(move || pool_worker::<f64>(task_rx, done_tx));
 
-        // Poison the first task: an incoming channel whose producer is
-        // already gone makes the rank panic in its first halo wait.
+        // Poison the first task: a flip with an impossible bit position
+        // blows the hook constructor's assert mid-iteration, inside the
+        // worker thread.
         let mut poisoned = one_rank_task(3);
+        poisoned.rank.flips.push(BitFlip {
+            iteration: 1,
+            x: 0,
+            y: 0,
+            z: 0,
+            bit: 64,
+        });
         poisoned.job = 9;
         poisoned.slot = 5;
         poisoned.idx = 7;
-        let (dead_tx, dead_rx) = sync_channel::<HaloMsg<f64>>(2);
-        drop(dead_tx);
-        poisoned.ports.recvs.push(dead_rx);
         task_tx.send(poisoned).unwrap();
         let done = done_event(done_rx.recv().unwrap());
         assert_eq!((done.job, done.slot, done.idx), (9, 5, 7));
-        let message = done.result.err().expect("poisoned task must fail");
+        let message = match done.result {
+            RankResult::Panicked(message) => message,
+            _ => panic!("poisoned task must panic"),
+        };
         assert!(
-            message.contains("hung up"),
+            message.contains("out of range"),
             "unexpected panic message: {message}"
         );
 
@@ -357,10 +551,75 @@ mod tests {
         task_tx.send(one_rank_task(3)).unwrap();
         let done = done_event(done_rx.recv().unwrap());
         assert_eq!((done.job, done.slot, done.idx), (1, 0, 0));
-        assert!(done.result.is_ok(), "pool worker was poisoned by the panic");
+        assert!(
+            matches!(done.result, RankResult::Finished(..)),
+            "pool worker was poisoned by the panic"
+        );
 
         drop(task_tx);
         worker.join().expect("worker thread exits cleanly");
+    }
+
+    /// A dead producer channel is no longer a panic: the worker reports a
+    /// clean recoverable abort carrying the iteration it died at, and the
+    /// rank still holds its last committed state.
+    #[test]
+    fn dead_producer_aborts_cleanly_as_peer_lost() {
+        let (task_tx, task_rx) = channel();
+        let (done_tx, done_rx) = channel();
+        let worker = std::thread::spawn(move || pool_worker::<f64>(task_rx, done_tx));
+
+        let mut task = one_rank_task(3);
+        let (dead_tx, dead_rx) = sync_channel::<HaloMsg<f64>>(2);
+        drop(dead_tx);
+        task.ports.recvs.push(dead_rx);
+        task_tx.send(task).unwrap();
+        let done = done_event(done_rx.recv().unwrap());
+        match done.result {
+            RankResult::Aborted { rank, exit } => {
+                assert_eq!(exit, RankExit::PeerLost { iter: 0 });
+                assert_eq!(rank.sim.iteration(), 0, "aborted step must not commit");
+            }
+            _ => panic!("dead producer must abort, not panic or finish"),
+        }
+
+        drop(task_tx);
+        worker.join().expect("worker thread exits cleanly");
+    }
+
+    /// A kill plan fires at the start of its iteration: the rank exits
+    /// with `Killed` having committed exactly `iter` steps, and its
+    /// vault ring holds every due epoch (including 0).
+    #[test]
+    fn kill_plan_fires_at_iteration_start_after_checkpointing() {
+        let mut task = one_rank_task(6);
+        task.kill = Some(4);
+        task.vault = Some(Arc::new(Vault::new(2, 8, 1)));
+        let vault = task.vault.clone().unwrap();
+        let exit = run(
+            &mut task.rank,
+            &task.ports,
+            task.bounds,
+            task.dims,
+            task.iters,
+            task.start,
+            task.kill,
+            task.idx,
+            task.vault.as_deref(),
+        );
+        assert_eq!(exit, RankExit::Killed { iter: 4 });
+        assert_eq!(task.rank.sim.iteration(), 4);
+        // epochs 0, 2 and 4: the snapshot at t=4 lands before the kill
+        assert_eq!(vault.rings[0].lock().unwrap().epochs(), vec![0, 2, 4]);
+        assert_eq!(vault.common_epoch(), Some(4));
+    }
+
+    #[test]
+    fn rank_exit_progress_bounds() {
+        assert_eq!(RankExit::Complete.progress(7), 7);
+        assert_eq!(RankExit::Killed { iter: 3 }.progress(7), 3);
+        assert_eq!(RankExit::PeerLost { iter: 5 }.progress(7), 5);
+        assert_eq!(RankExit::Uncorrectable { iter: 2 }.progress(7), 3);
     }
 
     #[test]

@@ -1,0 +1,302 @@
+//! Rank-loss recovery matrix: a whole simulated rank is killed mid-run
+//! and the job must roll every rank back to the newest common checkpoint
+//! epoch, replay, and finish **bitwise-identical** to the fault-free
+//! trajectory — in both halo modes, on 2-D and 3-D rank grids, under
+//! clamped and periodic boundaries. Survivor ranks must never raise an
+//! ABFT alarm over the loss (a vanished neighbour is fail-stop, not data
+//! corruption), and a kill without a checkpoint policy must surface as
+//! a typed error rather than a hang or a wrong answer.
+
+use abft_checkpoint::CheckpointPolicy;
+use abft_core::AbftConfig;
+use abft_dist::{run_distributed, DistConfig, DistError, DistReport, HaloMode};
+use abft_fault::{BitFlip, RankKill};
+use abft_grid::{BoundarySpec, Grid3D};
+use abft_stencil::Stencil3D;
+
+const NX: usize = 12;
+const NY: usize = 12;
+const NZ: usize = 6;
+const ITERS: usize = 10;
+
+fn initial() -> Grid3D<f64> {
+    Grid3D::from_fn(NX, NY, NZ, |x, y, z| {
+        40.0 + ((x * 5 + y * 3 + z * 11) % 17) as f64 * 0.4
+    })
+}
+
+fn stencil() -> Stencil3D<f64> {
+    Stencil3D::seven_point(0.4f64, 0.12, 0.08, 0.1)
+}
+
+fn run(cfg: &DistConfig<f64>, bounds: &BoundarySpec<f64>) -> DistReport<f64> {
+    run_distributed(&initial(), &stencil(), bounds, None, cfg).expect("valid dist config")
+}
+
+/// Fault-free reference on the same rank grid (no checkpointing, no
+/// faults) — the trajectory every recovered run must reproduce exactly.
+fn reference(
+    grid: (usize, usize, usize),
+    bounds: &BoundarySpec<f64>,
+    mode: HaloMode,
+) -> Grid3D<f64> {
+    let cfg = DistConfig::new(grid.0 * grid.1 * grid.2, ITERS)
+        .with_grid3(grid.0, grid.1, grid.2)
+        .with_abft(AbftConfig::<f64>::paper_defaults())
+        .with_mode(mode);
+    run(&cfg, bounds).global
+}
+
+/// Checkpointing a clean run is pure observation: snapshots are taken on
+/// schedule but the trajectory is bitwise-unchanged, on 2-D and 3-D
+/// bricks under both boundary families.
+#[test]
+fn clean_checkpointed_runs_are_bitwise_identical() {
+    let grids = [(2, 2, 1), (1, 2, 2)];
+    let bounds = [BoundarySpec::clamp(), BoundarySpec::periodic()];
+    for grid in grids {
+        for bounds in &bounds {
+            for mode in [HaloMode::Pipelined, HaloMode::Snapshot] {
+                let expect = reference(grid, bounds, mode);
+                let cfg = DistConfig::new(4, ITERS)
+                    .with_grid3(grid.0, grid.1, grid.2)
+                    .with_abft(AbftConfig::<f64>::paper_defaults())
+                    .with_checkpoint(CheckpointPolicy::every(3))
+                    .with_mode(mode);
+                let rep = run(&cfg, bounds);
+                let ctx = format!("{grid:?} {mode:?}");
+                assert_eq!(
+                    rep.global, expect,
+                    "checkpointing perturbed the run at {ctx}"
+                );
+                assert!(rep.recovery.is_clean(), "phantom rollback at {ctx}");
+                assert!(
+                    rep.recovery.checkpoints_stored >= 4 * (ITERS / 3),
+                    "missing snapshots at {ctx}: {}",
+                    rep.recovery.checkpoints_stored
+                );
+                assert_eq!(
+                    rep.recovery.checkpoint_period, 3,
+                    "period tag lost at {ctx}"
+                );
+            }
+        }
+    }
+}
+
+/// The kill matrix: every rank of a 2×2 grid is killed early (before the
+/// first non-trivial epoch), mid-run, and on the final iteration, in
+/// both halo modes. Each run must detect exactly one loss, roll back,
+/// and converge bitwise to the fault-free grid with zero ABFT alarms in
+/// the survivors.
+#[test]
+fn kill_matrix_2x2_recovers_bitwise() {
+    for mode in [HaloMode::Pipelined, HaloMode::Snapshot] {
+        let expect = reference((2, 2, 1), &BoundarySpec::clamp(), mode);
+        for rank in 0..4 {
+            for iter in [1, 5, ITERS - 1] {
+                let cfg = DistConfig::new(4, ITERS)
+                    .with_grid(2, 2)
+                    .with_abft(AbftConfig::<f64>::paper_defaults())
+                    .with_checkpoint(CheckpointPolicy::every(3))
+                    .with_rank_kill(RankKill::new(rank, iter))
+                    .with_mode(mode);
+                let rep = run(&cfg, &BoundarySpec::clamp());
+                let ctx = format!("rank {rank} killed at t={iter}, {mode:?}");
+                assert_eq!(rep.global, expect, "inexact recovery at {ctx}");
+                assert_eq!(rep.recovery.rank_losses, 1, "loss not counted at {ctx}");
+                assert!(rep.recovery.rollbacks >= 1, "no rollback at {ctx}");
+                assert!(
+                    rep.recovery.steps_lost <= 4 * ITERS,
+                    "impossible steps_lost at {ctx}: {}",
+                    rep.recovery.steps_lost
+                );
+                // Zero false positives: a fail-stop loss is not data
+                // corruption, so no rank may raise an ABFT alarm.
+                for (r, report) in rep.ranks.iter().enumerate() {
+                    assert_eq!(
+                        report.stats.detections, 0,
+                        "false positive in rank {r} at {ctx}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Rank loss on a 3-D (1×2×2) brick grid: the z-halo channels are the
+/// ones that observe the disconnect, under both boundary families.
+#[test]
+fn kill_on_3d_brick_grid_recovers_bitwise() {
+    for bounds in [BoundarySpec::clamp(), BoundarySpec::periodic()] {
+        for mode in [HaloMode::Pipelined, HaloMode::Snapshot] {
+            let expect = reference((1, 2, 2), &bounds, mode);
+            for rank in 0..4 {
+                let cfg = DistConfig::new(4, ITERS)
+                    .with_grid3(1, 2, 2)
+                    .with_abft(AbftConfig::<f64>::paper_defaults())
+                    .with_checkpoint(CheckpointPolicy::every(4))
+                    .with_rank_kill(RankKill::new(rank, 6))
+                    .with_mode(mode);
+                let rep = run(&cfg, &bounds);
+                let ctx = format!("rank {rank}, {mode:?}, {bounds:?}");
+                assert_eq!(rep.global, expect, "inexact recovery at {ctx}");
+                assert_eq!(rep.recovery.rank_losses, 1, "loss not counted at {ctx}");
+            }
+        }
+    }
+}
+
+/// A kill with no checkpoint policy must not hang, panic, or return a
+/// wrong grid: it surfaces as `DistError::RankLost` carrying the victim
+/// and the iteration, in both modes.
+#[test]
+fn kill_without_checkpoint_policy_is_a_typed_error() {
+    for mode in [HaloMode::Pipelined, HaloMode::Snapshot] {
+        let cfg = DistConfig::new(4, ITERS)
+            .with_grid(2, 2)
+            .with_rank_kill(RankKill::new(2, 5))
+            .with_mode(mode);
+        let err = run_distributed(&initial(), &stencil(), &BoundarySpec::clamp(), None, &cfg)
+            .expect_err("an unprotected kill must fail the job");
+        match err {
+            DistError::RankLost { rank, iter } => {
+                assert_eq!(rank, 2, "{mode:?}");
+                assert_eq!(iter, 5, "{mode:?}");
+            }
+            other => panic!("expected RankLost, got {other:?} under {mode:?}"),
+        }
+    }
+}
+
+/// Mixed storm: a correctable bit-flip (repaired in place by Eq. 10) and
+/// a rank kill (repaired by rollback) in the same run. The flip must not
+/// replay after the rollback rewinds past its iteration — injected
+/// faults are physical one-shot events — and the final grid is still
+/// bitwise fault-free.
+#[test]
+fn mixed_flip_and_kill_recover_together() {
+    for mode in [HaloMode::Pipelined, HaloMode::Snapshot] {
+        let expect = reference((2, 2, 1), &BoundarySpec::clamp(), mode);
+        let flip = BitFlip {
+            iteration: 4,
+            x: 3,
+            y: 2,
+            z: 1,
+            bit: 51,
+        };
+        let cfg = DistConfig::new(4, ITERS)
+            .with_grid(2, 2)
+            .with_abft(AbftConfig::<f64>::paper_defaults())
+            .with_checkpoint(CheckpointPolicy::every(3))
+            .with_flip(1, flip)
+            .with_rank_kill(RankKill::new(3, 7))
+            .with_mode(mode);
+        let rep = run(&cfg, &BoundarySpec::clamp());
+        assert_eq!(rep.global, expect, "inexact mixed recovery under {mode:?}");
+        assert_eq!(rep.recovery.rank_losses, 1, "{mode:?}");
+        assert!(rep.recovery.rollbacks >= 1, "{mode:?}");
+        // The flip fired exactly once (before or after rollback, never
+        // twice): exactly one detection and one correction job-wide.
+        let total = rep.total_stats();
+        assert_eq!(
+            total.detections, 1,
+            "flip replayed or vanished under {mode:?}"
+        );
+        assert_eq!(total.corrections, 1, "{mode:?}");
+    }
+}
+
+/// Eq. 10's escalation path: two same-layer flips in one iteration are
+/// detected but uncorrectable under the strict policy. Instead of
+/// publishing a silently-wrong grid, the job rolls back past the storm;
+/// the one-shot flips are consumed, and the replay converges bitwise.
+#[test]
+fn uncorrectable_storm_escalates_to_rollback() {
+    for mode in [HaloMode::Pipelined, HaloMode::Snapshot] {
+        let expect = reference((2, 2, 1), &BoundarySpec::clamp(), mode);
+        let storm = [
+            BitFlip {
+                iteration: 5,
+                x: 1,
+                y: 2,
+                z: 1,
+                bit: 53,
+            },
+            BitFlip {
+                iteration: 5,
+                x: 4,
+                y: 4,
+                z: 1,
+                bit: 53,
+            },
+        ];
+        let mut cfg = DistConfig::new(4, ITERS)
+            .with_grid(2, 2)
+            .with_abft(AbftConfig::<f64>::paper_defaults())
+            .with_checkpoint(CheckpointPolicy::every(3))
+            .with_mode(mode);
+        for flip in storm {
+            cfg = cfg.with_flip(2, flip);
+        }
+        let rep = run(&cfg, &BoundarySpec::clamp());
+        let ctx = format!("{mode:?}");
+        assert_eq!(rep.global, expect, "uncorrectable storm leaked at {ctx}");
+        assert!(rep.recovery.rollbacks >= 1, "no escalation at {ctx}");
+        assert_eq!(
+            rep.recovery.rank_losses, 0,
+            "storm is not a rank loss at {ctx}"
+        );
+        assert_eq!(
+            rep.total_stats().uncorrectable,
+            1,
+            "storm must be flagged exactly once at {ctx}"
+        );
+    }
+}
+
+/// Simultaneous loss of two ranks is one rollback round: both victims
+/// rewind with the survivors to a single common epoch.
+#[test]
+fn double_kill_in_one_iteration_is_one_rollback_round() {
+    for mode in [HaloMode::Pipelined, HaloMode::Snapshot] {
+        let expect = reference((2, 2, 1), &BoundarySpec::clamp(), mode);
+        let cfg = DistConfig::new(4, ITERS)
+            .with_grid(2, 2)
+            .with_abft(AbftConfig::<f64>::paper_defaults())
+            .with_checkpoint(CheckpointPolicy::every(3))
+            .with_rank_kill(RankKill::new(0, 6))
+            .with_rank_kill(RankKill::new(3, 6))
+            .with_mode(mode);
+        let rep = run(&cfg, &BoundarySpec::clamp());
+        assert_eq!(rep.global, expect, "{mode:?}");
+        assert_eq!(rep.recovery.rank_losses, 2, "{mode:?}");
+    }
+}
+
+/// Kill validation mirrors flip validation: out-of-range victims and
+/// iterations are rejected before any thread spawns.
+#[test]
+fn kill_specs_are_validated_up_front() {
+    let cfg = DistConfig::<f64>::new(4, ITERS)
+        .with_grid(2, 2)
+        .with_checkpoint(CheckpointPolicy::every(3))
+        .with_rank_kill(RankKill::new(4, 1));
+    let err = run_distributed(&initial(), &stencil(), &BoundarySpec::clamp(), None, &cfg)
+        .expect_err("rank 4 does not exist");
+    assert!(matches!(err, DistError::KillRank { rank: 4, ranks: 4 }));
+
+    let cfg = DistConfig::<f64>::new(4, ITERS)
+        .with_grid(2, 2)
+        .with_checkpoint(CheckpointPolicy::every(3))
+        .with_rank_kill(RankKill::new(1, ITERS));
+    let err = run_distributed(&initial(), &stencil(), &BoundarySpec::clamp(), None, &cfg)
+        .expect_err("iteration never runs");
+    assert!(matches!(
+        err,
+        DistError::KillIteration {
+            iter: ITERS,
+            iters: ITERS
+        }
+    ));
+}

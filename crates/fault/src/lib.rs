@@ -23,4 +23,4 @@ mod model;
 pub use analysis::{detection_floor, first_detectable_bit, flip_magnitude};
 pub use campaign::{Campaign, Method, RunRecord};
 pub use hook::{FlipHook, MultiFlipHook};
-pub use model::{random_flips, random_flips_at_bit, BitFlip, Fault};
+pub use model::{random_flips, random_flips_at_bit, random_kills, BitFlip, Fault, RankKill};

@@ -83,6 +83,47 @@ impl Fault {
     }
 }
 
+/// A whole-rank loss plan for the distributed substrate: simulated rank
+/// `rank` dies at the *start* of sweep `iter` — it posts nothing for that
+/// iteration and drops its halo channel endpoints, so every neighbour
+/// observes a disconnect instead of a hang.
+///
+/// This is the fail-stop complement to [`BitFlip`]'s silent-corruption
+/// model: the paper's Eq. 10 corrects a single flipped point, but a lost
+/// rank (or a multi-point fault that defeats Eq. 10) can only be repaired
+/// by rolling back to a checkpoint and replaying.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RankKill {
+    /// Victim rank index (row-major over the rank grid).
+    pub rank: usize,
+    /// Sweep index at whose start the rank dies (0-based; `0` kills the
+    /// rank before it ever posts).
+    pub iter: usize,
+}
+
+impl RankKill {
+    /// Kill plan for `rank` at the start of sweep `iter`.
+    pub fn new(rank: usize, iter: usize) -> Self {
+        Self { rank, iter }
+    }
+
+    /// Uniformly random kill: rank in `0..ranks`, iteration in `0..iters`.
+    pub fn random(rng: &mut impl Rng, ranks: usize, iters: usize) -> Self {
+        Self {
+            rank: rng.random_range(0..ranks),
+            iter: rng.random_range(0..iters),
+        }
+    }
+}
+
+/// Deterministic batch of uniformly random rank kills from a seed.
+pub fn random_kills(seed: u64, n: usize, ranks: usize, iters: usize) -> Vec<RankKill> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| RankKill::random(&mut rng, ranks, iters))
+        .collect()
+}
+
 /// Deterministic batch of uniformly random flips from a seed.
 pub fn random_flips(
     seed: u64,
@@ -141,6 +182,14 @@ mod tests {
             let flips = random_flips_at_bit(1, 50, 64, (8, 8, 2), bit);
             assert!(flips.iter().all(|f| f.bit == bit));
         }
+    }
+
+    #[test]
+    fn random_kills_within_bounds_and_deterministic() {
+        let a = random_kills(9, 40, 4, 24);
+        assert!(a.iter().all(|k| k.rank < 4 && k.iter < 24));
+        assert_eq!(a, random_kills(9, 40, 4, 24));
+        assert_ne!(a, random_kills(10, 40, 4, 24));
     }
 
     #[test]

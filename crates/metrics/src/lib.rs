@@ -4,12 +4,14 @@
 
 mod l2;
 mod latency;
+mod recovery;
 mod stats;
 mod table;
 mod timer;
 
 pub use l2::{l2_error, l2_error_slices};
 pub use latency::{LatencySplit, LatencySummary, P2Quantile};
+pub use recovery::RecoveryStats;
 pub use stats::{BoxStats, Quantiles, Summary, Welford};
 pub use table::{write_csv, Table};
 pub use timer::Timer;

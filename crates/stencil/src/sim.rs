@@ -259,12 +259,35 @@ impl<T: Real> StencilSim<T> {
         hook: &H,
         interior: Range<usize>,
         wait: W,
-        mut col: Option<&mut [T]>,
+        col: Option<&mut [T]>,
     ) -> (G, SplitStepTimes)
     where
         H: SweepHook<T>,
         G: GhostCells<T>,
         W: FnOnce() -> G,
+    {
+        self.try_step_overlapped(hook, interior, || Some(wait()), col)
+            .expect("infallible wait returned a ghost source")
+    }
+
+    /// Fallible variant of [`StencilSim::step_overlapped`] for exchanges
+    /// that can *fail* (a peer rank died and its halo never arrives).
+    /// `wait` returns `None` to abort the step: the edge sweep is skipped,
+    /// the buffers are **not** swapped and the iteration counter does not
+    /// advance — the current state still holds iteration `t` (the back
+    /// buffer holds a torn partial sweep, overwritten by the next sweep or
+    /// a [`StencilSim::restore`]), so the caller can roll back cleanly.
+    pub fn try_step_overlapped<H, G, W>(
+        &mut self,
+        hook: &H,
+        interior: Range<usize>,
+        wait: W,
+        mut col: Option<&mut [T]>,
+    ) -> Option<(G, SplitStepTimes)>
+    where
+        H: SweepHook<T>,
+        G: GhostCells<T>,
+        W: FnOnce() -> Option<G>,
     {
         let ny = self.dims().1;
         let interior = interior.start.min(ny)..interior.end.min(ny);
@@ -275,7 +298,7 @@ impl<T: Real> StencilSim<T> {
         // stray ghost access into a panic rather than silent corruption.
         self.sweep_rows_partial(hook, &NoGhosts, interior.clone(), col.as_deref_mut());
         let t1 = Instant::now();
-        let ghosts = wait();
+        let ghosts = wait()?;
         let t2 = Instant::now();
         self.sweep_rows_partial(hook, &ghosts, 0..interior.start, col.as_deref_mut());
         self.sweep_rows_partial(hook, &ghosts, interior.end..ny, col);
@@ -288,7 +311,7 @@ impl<T: Real> StencilSim<T> {
             edge_s: (t3 - t2).as_secs_f64(),
             verify_s: 0.0,
         };
-        (ghosts, times)
+        Some((ghosts, times))
     }
 
     /// One overlapped step with a box interior window — the 3-D
@@ -321,13 +344,41 @@ impl<T: Real> StencilSim<T> {
         G: GhostCells<T>,
         W: FnOnce() -> G,
     {
+        self.try_step_overlapped_region(
+            hook,
+            interior_x,
+            interior_y,
+            interior_z,
+            || Some(wait()),
+            col,
+        )
+        .expect("infallible wait returned a ghost source")
+    }
+
+    /// Fallible variant of [`StencilSim::step_overlapped_region`]; see
+    /// [`StencilSim::try_step_overlapped`] for the abort contract (`wait`
+    /// returning `None` leaves the step uncommitted).
+    pub fn try_step_overlapped_region<H, G, W>(
+        &mut self,
+        hook: &H,
+        interior_x: Range<usize>,
+        interior_y: Range<usize>,
+        interior_z: Range<usize>,
+        wait: W,
+        col: Option<&mut [T]>,
+    ) -> Option<(G, SplitStepTimes)>
+    where
+        H: SweepHook<T>,
+        G: GhostCells<T>,
+        W: FnOnce() -> Option<G>,
+    {
         let (nx, ny, nz) = self.dims();
         let ix = interior_x.start.min(nx)..interior_x.end.min(nx);
         let ix = ix.start..ix.end.max(ix.start);
         let iz = interior_z.start.min(nz)..interior_z.end.min(nz);
         let iz = iz.start..iz.end.max(iz.start);
         if ix == (0..nx) && iz == (0..nz) {
-            return self.step_overlapped(hook, interior_y, wait, col);
+            return self.try_step_overlapped(hook, interior_y, wait, col);
         }
         assert!(
             col.is_none(),
@@ -340,7 +391,7 @@ impl<T: Real> StencilSim<T> {
         let t0 = Instant::now();
         self.sweep_region_partial(hook, &NoGhosts, iy.clone(), ix.clone(), iz.clone());
         let t1 = Instant::now();
-        let ghosts = wait();
+        let ghosts = wait()?;
         let t2 = Instant::now();
         self.sweep_region_partial(hook, &ghosts, 0..ny, 0..nx, 0..iz.start);
         self.sweep_region_partial(hook, &ghosts, 0..ny, 0..nx, iz.end..nz);
@@ -357,7 +408,7 @@ impl<T: Real> StencilSim<T> {
             edge_s: (t3 - t2).as_secs_f64(),
             verify_s: 0.0,
         };
-        (ghosts, times)
+        Some((ghosts, times))
     }
 
     /// Restore the simulation to a checkpointed state.

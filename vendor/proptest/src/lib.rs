@@ -87,10 +87,12 @@ pub mod test_runner {
     /// Result type of one generated test case.
     pub type TestCaseResult = Result<(), TestCaseError>;
 
-    /// Deterministic per-test RNG.
+    /// Deterministic per-test RNG. The resolved seed is kept so a failing
+    /// case can be reported and replayed (`PROPTEST_SEED=<seed>`).
     #[derive(Debug, Clone)]
     pub struct TestRng {
         inner: StdRng,
+        seed: u64,
     }
 
     impl TestRng {
@@ -101,9 +103,20 @@ pub mod test_runner {
                 Ok(s) => s.parse().unwrap_or_else(|_| fnv1a(s.as_bytes())),
                 Err(_) => fnv1a(name.as_bytes()),
             };
+            Self::from_seed(seed)
+        }
+
+        /// Explicitly seeded RNG — the replay entry point.
+        pub fn from_seed(seed: u64) -> Self {
             Self {
                 inner: StdRng::seed_from_u64(seed),
+                seed,
             }
+        }
+
+        /// The seed this RNG started from.
+        pub fn seed(&self) -> u64 {
+            self.seed
         }
 
         pub fn next_u64(&mut self) -> u64 {
@@ -113,6 +126,42 @@ pub mod test_runner {
         pub fn rng(&mut self) -> &mut StdRng {
             &mut self.inner
         }
+    }
+
+    /// Report a failing case and panic. Mirrors real proptest's regression
+    /// persistence in spirit: the repro line (seed + case index) goes to
+    /// stderr — so it lands in the job log even when the harness captures
+    /// stdout — and is appended to `proptest-regressions/<test>.txt`
+    /// relative to the test binary's working directory (the crate root
+    /// under `cargo test`), which CI uploads as an artifact on failure.
+    /// Replay with `PROPTEST_SEED=<seed>`; cases are deterministic, so
+    /// the same seed walks through the same failing case.
+    pub fn report_failure(test: &str, case: u32, seed: u64, msg: &str) -> ! {
+        let repro = format!(
+            "proptest regression: {test} failed at case {case} with seed {seed}; \
+             replay with `PROPTEST_SEED={seed} cargo test {}`",
+            test.rsplit("::").next().unwrap_or(test),
+        );
+        eprintln!("{repro}");
+        let dir = std::path::Path::new("proptest-regressions");
+        let file = dir.join(format!("{}.txt", test.replace("::", "-")));
+        let entry = format!("# {msg}\nseed = {seed} # case {case} of {test}\n");
+        // Persistence is best-effort: a read-only checkout must not turn
+        // the real failure into an I/O panic.
+        let persisted = std::fs::create_dir_all(dir)
+            .and_then(|()| {
+                use std::io::Write;
+                std::fs::OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(&file)
+                    .and_then(|mut fh| fh.write_all(entry.as_bytes()))
+            })
+            .is_ok();
+        if persisted {
+            eprintln!("proptest regression: seed persisted to {}", file.display());
+        }
+        panic!("proptest case {case} failed (seed {seed}): {msg}");
     }
 
     fn fnv1a(bytes: &[u8]) -> u64 {
@@ -451,7 +500,12 @@ macro_rules! __proptest_impl {
                     ::std::result::Result::Err(
                         $crate::test_runner::TestCaseError::Fail(msg),
                     ) => {
-                        panic!("proptest case {__case} failed: {msg}");
+                        $crate::test_runner::report_failure(
+                            concat!(module_path!(), "::", stringify!($name)),
+                            __case,
+                            rng.seed(),
+                            &msg,
+                        );
                     }
                 }
             }
@@ -612,5 +666,42 @@ mod tests {
         let mut r1 = crate::test_runner::TestRng::for_test("x");
         let mut r2 = crate::test_runner::TestRng::for_test("x");
         assert_eq!(s.generate(&mut r1), s.generate(&mut r2));
+    }
+
+    #[test]
+    fn seed_replays_the_same_stream() {
+        use crate::test_runner::TestRng;
+        // A name-derived RNG replayed through `from_seed(seed())` walks
+        // the identical stream — the contract the failure repro line
+        // (`PROPTEST_SEED=<seed>`) depends on.
+        let mut named = TestRng::for_test("some::module::some_test");
+        let mut replay = TestRng::from_seed(named.seed());
+        assert_eq!(named.seed(), replay.seed());
+        for _ in 0..16 {
+            assert_eq!(named.next_u64(), replay.next_u64());
+        }
+    }
+
+    #[test]
+    fn failing_case_reports_seed_and_persists_regression() {
+        let result = std::panic::catch_unwind(|| {
+            crate::test_runner::report_failure("shim::self_test::synthetic", 3, 42, "boom")
+        });
+        let payload = result.expect_err("report_failure must panic");
+        let msg = payload
+            .downcast_ref::<String>()
+            .expect("panic carries a formatted message");
+        assert!(msg.contains("seed 42"), "repro seed missing: {msg}");
+        assert!(msg.contains("case 3"), "case index missing: {msg}");
+        let file = std::path::Path::new("proptest-regressions/shim-self_test-synthetic.txt");
+        let body = std::fs::read_to_string(file).expect("regression file persisted");
+        assert!(body.contains("seed = 42"), "seed not persisted: {body}");
+        assert!(
+            body.contains("boom"),
+            "failure message not persisted: {body}"
+        );
+        // Clean up so repeated local runs do not accumulate entries.
+        std::fs::remove_file(file).ok();
+        std::fs::remove_dir("proptest-regressions").ok();
     }
 }
