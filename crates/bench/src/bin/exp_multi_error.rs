@@ -29,104 +29,124 @@ use abft_hotspot::Scenario;
 use abft_metrics::{write_csv, RecoveryStats, Summary, Table};
 use abft_stencil::Stencil3D;
 
-/// One checkpoint-period point of the recovery campaign ledger.
+/// One (rank grid, checkpoint period) point of the recovery campaign
+/// ledger.
 struct RecoveryPoint {
+    grid: (usize, usize),
     period: usize,
     campaigns: usize,
     unrecovered: usize,
     stats: RecoveryStats,
 }
 
-/// Storm campaigns on a 2×2 rank grid, seeded deterministically, with
-/// both halo modes alternating. Even campaigns are kill-only: rollback
-/// replay must reproduce the fault-free grid **bitwise**. Odd campaigns
-/// add two correctable flips on top of the kill: Eq. 10's in-place
-/// correction reconstructs from checksum deltas in floating point, so
-/// those must land within the same `1e-9` residual bound the
-/// fault-matrix suite holds single-flip runs to.
+/// Storm campaigns seeded deterministically, with both halo modes
+/// alternating, swept over rank grids × checkpoint periods. The 2×2 grid
+/// is the workhorse shape; the 1×4 slab grid has rank-graph diameter 3,
+/// so with tight periods the pipeline's epoch skew crosses checkpoint
+/// boundaries — the regime where survivors retain epochs newer than the
+/// rollback target and replay must not trip over them. Even campaigns
+/// are kill-only: rollback replay must reproduce the fault-free grid
+/// **bitwise**. Odd campaigns add two correctable flips on top of the
+/// kill: Eq. 10's in-place correction reconstructs from checksum deltas
+/// in floating point, so those must land within the same `1e-9` residual
+/// bound the fault-matrix suite holds single-flip runs to.
 fn recovery_campaigns(seed: u64, campaigns: usize, periods: &[usize]) -> Vec<RecoveryPoint> {
     const NX: usize = 16;
     const NY: usize = 16;
     const NZ: usize = 4;
     const ITERS: usize = 24;
     const RANKS: usize = 4;
-    let brick = (NX / 2, NY / 2, NZ);
+    let grids = [(2usize, 2usize), (1, 4)];
     let initial = Grid3D::from_fn(NX, NY, NZ, |x, y, z| {
         60.0 + ((x * 7 + y * 3 + z * 5) % 19) as f64 * 0.3
     });
     let stencil = Stencil3D::seven_point(0.4f64, 0.12, 0.08, 0.1);
     let bounds = BoundarySpec::clamp();
     let modes = [HaloMode::Pipelined, HaloMode::Snapshot];
-    // One fault-free reference per halo mode; every campaign must
-    // reproduce its mode's reference exactly.
-    let expect: Vec<Grid3D<f64>> = modes
+    // One fault-free reference per (grid, halo mode); every campaign must
+    // reproduce its shape's reference exactly.
+    let expect: Vec<Vec<Grid3D<f64>>> = grids
         .iter()
-        .map(|mode| {
-            let cfg = DistConfig::new(RANKS, ITERS)
-                .with_grid(2, 2)
-                .with_abft(AbftConfig::<f64>::paper_defaults())
-                .with_mode(*mode);
-            run_distributed(&initial, &stencil, &bounds, None, &cfg)
-                .expect("fault-free reference")
-                .global
+        .map(|(rx, ry)| {
+            modes
+                .iter()
+                .map(|mode| {
+                    let cfg = DistConfig::new(RANKS, ITERS)
+                        .with_grid(*rx, *ry)
+                        .with_abft(AbftConfig::<f64>::paper_defaults())
+                        .with_mode(*mode);
+                    run_distributed(&initial, &stencil, &bounds, None, &cfg)
+                        .expect("fault-free reference")
+                        .global
+                })
+                .collect()
         })
         .collect();
 
     let mut points = Vec::new();
-    for &period in periods {
-        let mut stats = RecoveryStats::default();
-        let mut unrecovered = 0usize;
-        for c in 0..campaigns {
-            let storm_seed = seed ^ ((period as u64) << 40) ^ ((c as u64) << 8);
-            let kill = random_kills(storm_seed, 1, RANKS, ITERS)[0];
-            let mixed = c % 2 == 1;
-            let mode_idx = c % modes.len();
-            let mut cfg = DistConfig::new(RANKS, ITERS)
-                .with_grid(2, 2)
-                .with_abft(AbftConfig::<f64>::paper_defaults())
-                .with_checkpoint(CheckpointPolicy::every(period))
-                .with_rank_kill(kill)
-                .with_mode(modes[mode_idx]);
-            if mixed {
-                let flips = random_flips_at_bit(storm_seed ^ 0x5a5a, 2, ITERS, brick, 51);
-                for (i, flip) in flips.into_iter().enumerate() {
-                    cfg = cfg.with_flip((storm_seed as usize + i * 7) % RANKS, flip);
+    for (gi, &(rx, ry)) in grids.iter().enumerate() {
+        let brick = (NX / rx, NY / ry, NZ);
+        for &period in periods {
+            let mut stats = RecoveryStats::default();
+            let mut unrecovered = 0usize;
+            for c in 0..campaigns {
+                let storm_seed =
+                    seed ^ ((gi as u64) << 52) ^ ((period as u64) << 40) ^ ((c as u64) << 8);
+                let kill = random_kills(storm_seed, 1, RANKS, ITERS)[0];
+                let mixed = c % 2 == 1;
+                let mode_idx = c % modes.len();
+                let mut cfg = DistConfig::new(RANKS, ITERS)
+                    .with_grid(rx, ry)
+                    .with_abft(AbftConfig::<f64>::paper_defaults())
+                    .with_checkpoint(CheckpointPolicy::every(period))
+                    .with_rank_kill(kill)
+                    .with_mode(modes[mode_idx]);
+                if mixed {
+                    let flips = random_flips_at_bit(storm_seed ^ 0x5a5a, 2, ITERS, brick, 51);
+                    for (i, flip) in flips.into_iter().enumerate() {
+                        cfg = cfg.with_flip((storm_seed as usize + i * 7) % RANKS, flip);
+                    }
                 }
-            }
-            match run_distributed(&initial, &stencil, &bounds, None, &cfg) {
-                Ok(rep) => {
-                    // Rollback replay alone is bitwise; an in-place flip
-                    // correction may leave float-reconstruction residual.
-                    let recovered = if mixed {
-                        rep.global.max_abs_diff(&expect[mode_idx]) < 1e-9
-                    } else {
-                        rep.global == expect[mode_idx]
-                    };
-                    if recovered {
-                        stats.merge(&rep.recovery);
-                    } else {
+                match run_distributed(&initial, &stencil, &bounds, None, &cfg) {
+                    Ok(rep) => {
+                        // Rollback replay alone is bitwise; an in-place flip
+                        // correction may leave float-reconstruction residual.
+                        let recovered = if mixed {
+                            rep.global.max_abs_diff(&expect[gi][mode_idx]) < 1e-9
+                        } else {
+                            rep.global == expect[gi][mode_idx]
+                        };
+                        if recovered {
+                            stats.merge(&rep.recovery);
+                        } else {
+                            eprintln!(
+                                "[exp_multi_error] UNRECOVERED (residual {:.3e}): \
+                                 {rx}x{ry} Δ={period} campaign {c} kill rank {} at t={} \
+                                 mixed={mixed}",
+                                rep.global.max_abs_diff(&expect[gi][mode_idx]),
+                                kill.rank,
+                                kill.iter
+                            );
+                            unrecovered += 1;
+                        }
+                    }
+                    Err(e) => {
                         eprintln!(
-                            "[exp_multi_error] UNRECOVERED (residual {:.3e}): Δ={period} \
-                             campaign {c} kill rank {} at t={} mixed={mixed}",
-                            rep.global.max_abs_diff(&expect[mode_idx]),
-                            kill.rank,
-                            kill.iter
+                            "[exp_multi_error] UNRECOVERED (error {e}): {rx}x{ry} \
+                             Δ={period} campaign {c}"
                         );
                         unrecovered += 1;
                     }
                 }
-                Err(e) => {
-                    eprintln!("[exp_multi_error] UNRECOVERED (error {e}): Δ={period} campaign {c}");
-                    unrecovered += 1;
-                }
             }
+            points.push(RecoveryPoint {
+                grid: (rx, ry),
+                period,
+                campaigns,
+                unrecovered,
+                stats,
+            });
         }
-        points.push(RecoveryPoint {
-            period,
-            campaigns,
-            unrecovered,
-            stats,
-        });
     }
     points
 }
@@ -206,14 +226,15 @@ fn main() {
 
     // ---- mixed bit-flip + rank-kill recovery campaigns (dist layer) ----
     let campaigns = cli.reps.div_ceil(4).max(6);
-    let periods = [2usize, 4, 8];
+    let periods = [1usize, 2, 4, 8];
     eprintln!(
         "[exp_multi_error] recovery: {campaigns} mixed-storm campaigns x Δ in {periods:?} \
-         on a 2x2 rank grid"
+         on 2x2 and 1x4 rank grids"
     );
     let points = recovery_campaigns(cli.seed, campaigns, &periods);
 
     let mut recovery_table = Table::new(vec![
+        "rank grid",
         "checkpoint period",
         "campaigns",
         "unrecovered",
@@ -225,8 +246,10 @@ fn main() {
     ]);
     for p in &points {
         println!(
-            "Δ={} campaigns {:>3} unrecovered {} losses {:>3} rollbacks {:>3} \
+            "{}x{} Δ={} campaigns {:>3} unrecovered {} losses {:>3} rollbacks {:>3} \
              steps_lost {:>4} recovery {:.3}s checkpoints {:>4}",
+            p.grid.0,
+            p.grid.1,
             p.period,
             p.campaigns,
             p.unrecovered,
@@ -237,6 +260,7 @@ fn main() {
             p.stats.checkpoints_stored,
         );
         recovery_table.row(vec![
+            format!("{}x{}", p.grid.0, p.grid.1),
             p.period.to_string(),
             p.campaigns.to_string(),
             p.unrecovered.to_string(),
@@ -256,11 +280,13 @@ fn main() {
             .iter()
             .map(|p| {
                 format!(
-                    "    {{\"ranks\": 4, \"grid\": [2, 2, 1], \"kernel\": \"star7\", \
+                    "    {{\"ranks\": 4, \"grid\": [{}, {}, 1], \"kernel\": \"star7\", \
                      \"recovery\": true, \"checkpoint_period\": {}, \
                      \"campaigns\": {}, \"unrecovered\": {}, \
                      \"rank_losses\": {}, \"rollbacks\": {}, \"steps_lost\": {}, \
                      \"recovery_s\": {:.6}, \"checkpoints_stored\": {}}}",
+                    p.grid.0,
+                    p.grid.1,
                     p.period,
                     p.campaigns,
                     p.unrecovered,

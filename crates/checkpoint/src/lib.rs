@@ -242,6 +242,17 @@ impl<T: Real> EpochRing<T> {
             .unwrap_or_else(|| panic!("rollback to epoch {epoch} but ring retains none such"))
     }
 
+    /// Drop every retained epoch newer than `epoch`, making it the latest
+    /// (a no-op when nothing newer is stored). Rollback must call this on
+    /// rings that ran ahead of the rollback target: the replay re-reaches
+    /// those epochs and re-stores them, which must arrive as fresh
+    /// in-order stores rather than collide with the stale retained ones.
+    pub fn truncate_after(&mut self, epoch: usize) {
+        while self.ring.back().is_some_and(|s| s.iteration > epoch) {
+            self.ring.pop_back();
+        }
+    }
+
     /// Activity counters.
     pub fn stats(&self) -> CheckpointStats {
         self.stats
@@ -383,6 +394,26 @@ mod tests {
         ring.store(&grid(2.0), &[2.0], 0);
         assert_eq!(ring.len(), 1);
         assert_eq!(ring.get(0).unwrap().grid.at(0, 0, 0), 2.0);
+    }
+
+    #[test]
+    fn ring_truncate_after_drops_newer_epochs_and_reopens_the_ring() {
+        let mut ring = EpochRing::new(4);
+        for t in [0usize, 2, 4, 6] {
+            ring.store(&grid(t as f64), &[t as f64], t);
+        }
+        ring.truncate_after(2);
+        assert_eq!(ring.epochs(), vec![0, 2]);
+        assert_eq!(ring.latest_epoch(), Some(2));
+        // The rollback target survives and the replay may re-store the
+        // dropped epochs in order without tripping the ordering assert.
+        assert_eq!(ring.restore(2).grid.at(0, 0, 0), 2.0);
+        ring.store(&grid(40.0), &[40.0], 4);
+        assert_eq!(ring.epochs(), vec![0, 2, 4]);
+        assert_eq!(ring.get(4).unwrap().grid.at(0, 0, 0), 40.0);
+        // Truncating past the newest epoch is a no-op.
+        ring.truncate_after(9);
+        assert_eq!(ring.epochs(), vec![0, 2, 4]);
     }
 
     #[test]

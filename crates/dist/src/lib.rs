@@ -218,6 +218,14 @@ pub enum DistError {
     /// correction) and no checkpoint policy was configured, so the job
     /// cannot be rolled back and respawned.
     RankLost { rank: usize, iter: usize },
+    /// A rollback was required but the per-rank checkpoint rings share no
+    /// common epoch: an explicit [`CheckpointPolicy::with_keep`] shallower
+    /// than the pipeline's epoch skew evicted the overlap before the loss
+    /// was detected. The job is lost but the pool survives; deepen the
+    /// ring or leave `keep` auto-sized.
+    ///
+    /// [`CheckpointPolicy::with_keep`]: abft_checkpoint::CheckpointPolicy::with_keep
+    NoCommonEpoch { keep: usize },
 }
 
 impl std::fmt::Display for DistError {
@@ -327,6 +335,11 @@ impl std::fmt::Display for DistError {
                 f,
                 "rank {rank} was lost at iteration {iter} and no checkpoint policy is \
                  configured; enable one with DistConfig::with_checkpoint to recover"
+            ),
+            Self::NoCommonEpoch { keep } => write!(
+                f,
+                "checkpoint rings (keep = {keep}) share no common epoch to roll back to; \
+                 deepen CheckpointPolicy::with_keep or leave the depth auto-sized"
             ),
         }
     }

@@ -1319,13 +1319,35 @@ impl<T: Real> Scheduler<T> {
     fn respawn(&mut self, id: u64) {
         let mut job = self.running.remove(&id).expect("job is in flight");
         let vault = Arc::clone(job.vault.as_ref().expect("respawn requires a vault"));
-        let e = vault
-            .common_epoch()
-            .expect("ring depth covers the pipeline's epoch skew");
+        let Some(e) = vault.common_epoch() else {
+            // An explicit `with_keep` shallower than the pipeline's epoch
+            // skew evicted the overlap: there is no epoch every rank can
+            // roll back to. Fail this job with a typed error — the
+            // auto-sized ring depth makes this unreachable, but a user-
+            // pinned depth must not panic the scheduler (which would
+            // strand every waiter and kill the whole service).
+            let keep = vault.rings[0].lock().expect("vault ring poisoned").keep();
+            self.cache.discard(&job.key);
+            self.publish(
+                id,
+                stamp(
+                    Err(DistError::NoCommonEpoch { keep }),
+                    job.submitted,
+                    job.started,
+                ),
+            );
+            return;
+        };
         let count = job.ranks.len();
         for (idx, slot) in job.ranks.iter_mut().enumerate() {
             let rank = slot.as_mut().expect("every rank reported");
             let mut ring = vault.rings[idx].lock().expect("vault ring poisoned");
+            // Ranks that ran ahead of the rollback target still retain
+            // epochs newer than `e`. The replay re-reaches those epochs
+            // and stores them again, so drop the stale copies now — the
+            // ring's in-order assert would otherwise panic the worker on
+            // the first re-store (a recoverable loss turned fatal).
+            ring.truncate_after(e);
             let snap = ring.restore(e);
             rank.sim.restore(&snap.grid, e);
             if let Some(a) = rank.abft.as_mut() {

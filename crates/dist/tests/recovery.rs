@@ -147,6 +147,57 @@ fn kill_on_3d_brick_grid_recovers_bitwise() {
     }
 }
 
+/// Deep pipeline, tight checkpoint periods: on a 1×4 slab grid (rank-graph
+/// diameter 3) with Δ ∈ {1, 2}, pipeline skew spans several checkpoint
+/// periods, so at kill time survivors retain epochs *newer* than the
+/// common rollback target and the replay re-stores those epochs. The
+/// rollback must truncate the stale copies first — this is the regression
+/// case where the ring's in-order assert used to panic a worker on
+/// replay, turning a recoverable loss into `RankPanicked`. The skew at
+/// kill time varies with thread scheduling, hence the repeated rounds.
+#[test]
+fn deep_pipeline_kill_with_tight_periods_recovers_bitwise() {
+    let expect = reference((1, 4, 1), &BoundarySpec::clamp(), HaloMode::Pipelined);
+    for period in [1, 2] {
+        for round in 0..6 {
+            let cfg = DistConfig::new(4, ITERS)
+                .with_grid(1, 4)
+                .with_abft(AbftConfig::<f64>::paper_defaults())
+                .with_checkpoint(CheckpointPolicy::every(period))
+                .with_rank_kill(RankKill::new(0, 5))
+                .with_mode(HaloMode::Pipelined);
+            let rep = run(&cfg, &BoundarySpec::clamp());
+            let ctx = format!("period {period}, round {round}");
+            assert_eq!(rep.global, expect, "inexact recovery at {ctx}");
+            assert_eq!(rep.recovery.rank_losses, 1, "loss not counted at {ctx}");
+            assert!(rep.recovery.rollbacks >= 1, "no rollback at {ctx}");
+        }
+    }
+}
+
+/// An explicitly pinned ring depth too shallow for the pipeline's epoch
+/// skew must never hang the service or panic the scheduler. Depending on
+/// the skew at kill time the rings either still share an epoch (the run
+/// recovers bitwise) or share none — which must surface as the typed
+/// `NoCommonEpoch` error, with the pool alive for the next round.
+#[test]
+fn too_shallow_keep_is_a_typed_error_not_a_hang() {
+    let expect = reference((1, 4, 1), &BoundarySpec::clamp(), HaloMode::Pipelined);
+    for round in 0..6 {
+        let cfg = DistConfig::new(4, ITERS)
+            .with_grid(1, 4)
+            .with_abft(AbftConfig::<f64>::paper_defaults())
+            .with_checkpoint(CheckpointPolicy::every(1).with_keep(1))
+            .with_rank_kill(RankKill::new(0, 5))
+            .with_mode(HaloMode::Pipelined);
+        match run_distributed(&initial(), &stencil(), &BoundarySpec::clamp(), None, &cfg) {
+            Ok(rep) => assert_eq!(rep.global, expect, "inexact recovery at round {round}"),
+            Err(DistError::NoCommonEpoch { keep }) => assert_eq!(keep, 1, "round {round}"),
+            Err(other) => panic!("expected NoCommonEpoch at round {round}, got {other:?}"),
+        }
+    }
+}
+
 /// A kill with no checkpoint policy must not hang, panic, or return a
 /// wrong grid: it surfaces as `DistError::RankLost` carrying the victim
 /// and the iteration, in both modes.
