@@ -23,6 +23,10 @@
 //! `--grid RXxRY` selects the rank grid (default 2×2; the study needs a
 //! decomposed x axis), `--json PATH` writes the machine-readable record
 //! tagged with kernel + grid for CI's `BENCH_corner_traffic.json`.
+//! `--steps-per-exchange K` batches `K` sweeps per exchange: the shells
+//! deepen to `max(halo, K·r)` per decomposed axis and the analytic
+//! volume check generalises accordingly, so the same asserts cover the
+//! temporally tiled exchange in 2-D and 3-D rank grids.
 
 use abft_bench::{Cli, KernelArg};
 use abft_core::AbftConfig;
@@ -63,11 +67,13 @@ fn main() {
     } else {
         (64, 64, 4)
     };
+    let k = cli.steps_per_exchange.unwrap_or(1);
     // A z-decomposed run must fit the deepest library kernel (the
-    // extent-2 13-point star needs bricks thicker than 2 layers).
+    // extent-2 13-point star needs bricks thicker than 2 layers, and an
+    // epoch of k sweeps multiplies every shell depth by k).
     if let GridSpec::Explicit { rz, .. } = cli.grid_spec() {
         if rz > 1 {
-            nz = nz.max(6 * rz);
+            nz = nz.max(6 * rz * k);
         }
     }
     let nz = nz;
@@ -99,7 +105,7 @@ fn main() {
 
     eprintln!(
         "[exp_corner_traffic] {nx}x{ny}x{nz}, {rx}x{ry}x{rz} rank grid, {iters} iterations, \
-         {reps} reps per point"
+         {reps} reps per point, {k} sweeps per exchange"
     );
     println!(
         "{:<8} {:>5} {:>10} {:>10} {:>10} {:>9} {:>12} {:>12} {:>12} {:>10}",
@@ -117,6 +123,7 @@ fn main() {
     let mut table = Table::new(vec![
         "kernel",
         "grid",
+        "steps_per_exchange",
         "halo",
         "row_cells",
         "col_cells",
@@ -144,6 +151,7 @@ fn main() {
                 DistConfig::<f32>::new(ranks, iters)
                     .with_grid3(rx, ry, rz)
                     .with_halo(halo)
+                    .with_steps_per_exchange(k)
             };
             let mut pipe_t = f64::INFINITY;
             let mut abft_t = f64::INFINITY;
@@ -160,10 +168,14 @@ fn main() {
                 );
 
                 // --- Acceptance check: reported per-channel counts must
-                //     equal the analytic halo volumes, rank by rank. ---
-                let hx_eff = halo.max(stencil.extent_x());
-                let hy_eff = halo.max(stencil.extent_y());
-                let hz_eff = halo.max(stencil.extent_z());
+                //     equal the analytic halo volumes, rank by rank. An
+                //     epoch of k sweeps deepens every shell to k stencil
+                //     reaches (mirroring the library's effective-halo
+                //     rule), so the same window products self-assert the
+                //     temporally tiled exchange too. ---
+                let hx_eff = halo.max(k * stencil.extent_x());
+                let hy_eff = halo.max(k * stencil.extent_y());
+                let hz_eff = halo.max(k * stencil.extent_z());
                 for r in &rep.ranks {
                     let b = part.brick(r.rank);
                     let wx = clamp_window_len(b.x0, b.x_len, nx, hx_eff);
@@ -253,6 +265,7 @@ fn main() {
             table.row(vec![
                 point.kernel.to_string(),
                 format!("{rx}x{ry}x{rz}"),
+                k.to_string(),
                 point.halo.to_string(),
                 point.traffic.row_cells.to_string(),
                 point.traffic.col_cells.to_string(),
@@ -315,6 +328,7 @@ fn main() {
         let json = format!(
             "{{\n  \"experiment\": \"exp_corner_traffic\",\n  \"grid\": [{nx}, {ny}, {nz}],\n  \
              \"kernel\": \"sweep\",\n  \"rank_grid\": [{rx}, {ry}, {rz}],\n  \
+             \"steps_per_exchange\": {k},\n  \
              \"iters\": {iters},\n  \"reps\": {reps},\n  \"points\": [\n{}\n  ]\n}}\n",
             rows.join(",\n")
         );

@@ -21,7 +21,7 @@
 
 use abft_bench::{fmt_log, hotspot_campaign, scenario_config, Cli};
 use abft_checkpoint::CheckpointPolicy;
-use abft_core::{AbftConfig, MultiErrorPolicy};
+use abft_core::{AbftConfig, MultiErrorPolicy, VerifyCadence};
 use abft_dist::{run_distributed, DistConfig, HaloMode};
 use abft_fault::{random_flips, random_flips_at_bit, random_kills, Fault, Method};
 use abft_grid::{BoundarySpec, Grid3D};
@@ -34,6 +34,8 @@ use abft_stencil::Stencil3D;
 struct RecoveryPoint {
     grid: (usize, usize),
     period: usize,
+    /// Sweeps batched per halo exchange during the campaigns (`k`).
+    steps_per_exchange: usize,
     campaigns: usize,
     unrecovered: usize,
     stats: RecoveryStats,
@@ -50,7 +52,21 @@ struct RecoveryPoint {
 /// kill: Eq. 10's in-place correction reconstructs from checksum deltas
 /// in floating point, so those must land within the same `1e-9` residual
 /// bound the fault-matrix suite holds single-flip runs to.
-fn recovery_campaigns(seed: u64, campaigns: usize, periods: &[usize]) -> Vec<RecoveryPoint> {
+///
+/// With `steps_per_exchange = k > 1` the same storms run against the
+/// temporally tiled exchange (deep shells decayed locally for `k` sweeps
+/// per exchange): kill-only campaigns additionally batch verification to
+/// the exchange boundaries, so rollback replay must restore both the
+/// brick and the carried checksum state; mixed campaigns keep per-sweep
+/// verification so Eq. 10 repairs random flips in place mid-epoch. The
+/// caller only passes periods aligned to `k` (the library rejects the
+/// rest by construction).
+fn recovery_campaigns(
+    seed: u64,
+    campaigns: usize,
+    periods: &[usize],
+    steps_per_exchange: usize,
+) -> Vec<RecoveryPoint> {
     const NX: usize = 16;
     const NY: usize = 16;
     const NZ: usize = 4;
@@ -95,9 +111,18 @@ fn recovery_campaigns(seed: u64, campaigns: usize, periods: &[usize]) -> Vec<Rec
                 let kill = random_kills(storm_seed, 1, RANKS, ITERS)[0];
                 let mixed = c % 2 == 1;
                 let mode_idx = c % modes.len();
+                // Kill-only storms also batch verification to the
+                // exchange boundary; mixed storms keep per-sweep verify
+                // so randomly placed flips are repaired in place.
+                let abft = if !mixed && steps_per_exchange > 1 {
+                    AbftConfig::<f64>::paper_defaults().with_cadence(VerifyCadence::EpochBoundary)
+                } else {
+                    AbftConfig::<f64>::paper_defaults()
+                };
                 let mut cfg = DistConfig::new(RANKS, ITERS)
                     .with_grid(rx, ry)
-                    .with_abft(AbftConfig::<f64>::paper_defaults())
+                    .with_abft(abft)
+                    .with_steps_per_exchange(steps_per_exchange)
                     .with_checkpoint(CheckpointPolicy::every(period))
                     .with_rank_kill(kill)
                     .with_mode(modes[mode_idx]);
@@ -121,8 +146,8 @@ fn recovery_campaigns(seed: u64, campaigns: usize, periods: &[usize]) -> Vec<Rec
                         } else {
                             eprintln!(
                                 "[exp_multi_error] UNRECOVERED (residual {:.3e}): \
-                                 {rx}x{ry} Δ={period} campaign {c} kill rank {} at t={} \
-                                 mixed={mixed}",
+                                 {rx}x{ry} Δ={period} k={steps_per_exchange} campaign {c} \
+                                 kill rank {} at t={} mixed={mixed}",
                                 rep.global.max_abs_diff(&expect[gi][mode_idx]),
                                 kill.rank,
                                 kill.iter
@@ -133,7 +158,7 @@ fn recovery_campaigns(seed: u64, campaigns: usize, periods: &[usize]) -> Vec<Rec
                     Err(e) => {
                         eprintln!(
                             "[exp_multi_error] UNRECOVERED (error {e}): {rx}x{ry} \
-                             Δ={period} campaign {c}"
+                             Δ={period} k={steps_per_exchange} campaign {c}"
                         );
                         unrecovered += 1;
                     }
@@ -142,6 +167,7 @@ fn recovery_campaigns(seed: u64, campaigns: usize, periods: &[usize]) -> Vec<Rec
             points.push(RecoveryPoint {
                 grid: (rx, ry),
                 period,
+                steps_per_exchange,
                 campaigns,
                 unrecovered,
                 stats,
@@ -227,15 +253,32 @@ fn main() {
     // ---- mixed bit-flip + rank-kill recovery campaigns (dist layer) ----
     let campaigns = cli.reps.div_ceil(4).max(6);
     let periods = [1usize, 2, 4, 8];
+    // The same storms also run against the temporally tiled exchange:
+    // `--steps-per-exchange K` pins one epoch length, the default sweeps
+    // k ∈ {1, 2}. Checkpoint periods must land on exchange boundaries,
+    // so each k only sweeps its aligned periods.
+    let epoch_lens = match cli.steps_per_exchange {
+        Some(k) => vec![k],
+        None => vec![1, 2],
+    };
     eprintln!(
         "[exp_multi_error] recovery: {campaigns} mixed-storm campaigns x Δ in {periods:?} \
-         on 2x2 and 1x4 rank grids"
+         x k in {epoch_lens:?} on 2x2 and 1x4 rank grids"
     );
-    let points = recovery_campaigns(cli.seed, campaigns, &periods);
+    let mut points = Vec::new();
+    for &k in &epoch_lens {
+        let aligned: Vec<usize> = periods.iter().copied().filter(|p| p % k == 0).collect();
+        assert!(
+            !aligned.is_empty(),
+            "no checkpoint period in {periods:?} aligns with --steps-per-exchange {k}"
+        );
+        points.extend(recovery_campaigns(cli.seed, campaigns, &aligned, k));
+    }
 
     let mut recovery_table = Table::new(vec![
         "rank grid",
         "checkpoint period",
+        "steps_per_exchange",
         "campaigns",
         "unrecovered",
         "rank losses",
@@ -246,11 +289,12 @@ fn main() {
     ]);
     for p in &points {
         println!(
-            "{}x{} Δ={} campaigns {:>3} unrecovered {} losses {:>3} rollbacks {:>3} \
+            "{}x{} Δ={} k={} campaigns {:>3} unrecovered {} losses {:>3} rollbacks {:>3} \
              steps_lost {:>4} recovery {:.3}s checkpoints {:>4}",
             p.grid.0,
             p.grid.1,
             p.period,
+            p.steps_per_exchange,
             p.campaigns,
             p.unrecovered,
             p.stats.rank_losses,
@@ -262,6 +306,7 @@ fn main() {
         recovery_table.row(vec![
             format!("{}x{}", p.grid.0, p.grid.1),
             p.period.to_string(),
+            p.steps_per_exchange.to_string(),
             p.campaigns.to_string(),
             p.unrecovered.to_string(),
             p.stats.rank_losses.to_string(),
@@ -282,12 +327,14 @@ fn main() {
                 format!(
                     "    {{\"ranks\": 4, \"grid\": [{}, {}, 1], \"kernel\": \"star7\", \
                      \"recovery\": true, \"checkpoint_period\": {}, \
+                     \"steps_per_exchange\": {}, \
                      \"campaigns\": {}, \"unrecovered\": {}, \
                      \"rank_losses\": {}, \"rollbacks\": {}, \"steps_lost\": {}, \
                      \"recovery_s\": {:.6}, \"checkpoints_stored\": {}}}",
                     p.grid.0,
                     p.grid.1,
                     p.period,
+                    p.steps_per_exchange,
                     p.campaigns,
                     p.unrecovered,
                     p.stats.rank_losses,

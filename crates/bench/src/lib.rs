@@ -113,9 +113,11 @@ impl KernelArg {
 /// (override an experiment's iteration count), `--json PATH` (machine
 /// readable results, used by CI's bench-smoke artifact),
 /// `--grid RXxRY[xRZ]|auto` (rank-grid shape; an explicit shape pins the
-/// rank sweep to `RX·RY·RZ` ranks) and `--kernel star7|9pt|27pt|13pt`
-/// (library stencil override). `--iters`, `--json` and `--grid` are
-/// honoured by
+/// rank sweep to `RX·RY·RZ` ranks), `--kernel star7|9pt|27pt|13pt`
+/// (library stencil override) and `--steps-per-exchange K` (epoch
+/// length: exchange a depth-`K·r` halo once per `K` sweeps;
+/// `exp_halo_overlap` and `exp_corner_traffic`). `--iters`, `--json`
+/// and `--grid` are honoured by
 /// the distributed experiments (`exp_dist_scaling`, `exp_halo_overlap`,
 /// `exp_corner_traffic`); `--kernel` only by `exp_halo_overlap`
 /// (`exp_dist_scaling` pins the HotSpot3D workload and
@@ -133,6 +135,7 @@ pub struct Cli {
     pub json: Option<String>,
     pub grid: Option<GridArg>,
     pub kernel: Option<KernelArg>,
+    pub steps_per_exchange: Option<usize>,
 }
 
 impl Default for Cli {
@@ -147,6 +150,7 @@ impl Default for Cli {
             json: None,
             grid: None,
             kernel: None,
+            steps_per_exchange: None,
         }
     }
 }
@@ -193,10 +197,16 @@ impl Cli {
                     i += 1;
                     cli.kernel = Some(KernelArg::parse(&args[i]));
                 }
+                "--steps-per-exchange" => {
+                    i += 1;
+                    let k: usize = args[i].parse().expect("--steps-per-exchange K");
+                    assert!(k >= 1, "--steps-per-exchange K must be >= 1");
+                    cli.steps_per_exchange = Some(k);
+                }
                 other => panic!(
                     "unknown flag {other}; supported: --reps N --seed S --threads N --large --out DIR \
                      --iters N --json PATH --grid RXxRY[xRZ]|auto --kernel star7|9pt|27pt|13pt \
-                     (dist experiments only)"
+                     --steps-per-exchange K (dist experiments only)"
                 ),
             }
             i += 1;

@@ -21,6 +21,25 @@ pub enum MultiErrorPolicy {
     RefreshOnly,
 }
 
+/// When the online protector compares interpolated against computed
+/// checksums. The distributed deep-halo mode (`steps_per_exchange > 1`)
+/// sweeps several steps per halo exchange; batching the comparison to
+/// the exchange boundary trades detection latency for verification cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum VerifyCadence {
+    /// Verify after every sweep (the paper's online protocol, §3).
+    #[default]
+    EveryStep,
+    /// Carry the trusted checksums analytically through the interior
+    /// steps of an exchange epoch (Theorem 1 applied `k` times) and
+    /// compare only on the epoch's final sweep. A fault injected at an
+    /// interior step has propagated by the time it is seen, so it
+    /// surfaces as a multi-line mismatch — uncorrectable in place — and
+    /// the distributed layer attributes the faulty step by replaying
+    /// the epoch from the last checkpoint with per-step verification.
+    EpochBoundary,
+}
+
 /// Configuration shared by the online and offline protectors.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AbftConfig<T> {
@@ -48,6 +67,8 @@ pub struct AbftConfig<T> {
     /// window before giving up (a second fault during recomputation is
     /// possible in an error-prone environment).
     pub max_rollback_retries: usize,
+    /// Online: when to compare interpolated against computed checksums.
+    pub cadence: VerifyCadence,
 }
 
 impl<T: Real> AbftConfig<T> {
@@ -63,6 +84,7 @@ impl<T: Real> AbftConfig<T> {
             maintain_row: false,
             policy: MultiErrorPolicy::default(),
             max_rollback_retries: 3,
+            cadence: VerifyCadence::default(),
         }
     }
 
@@ -88,6 +110,12 @@ impl<T: Real> AbftConfig<T> {
     /// Select the multi-error policy.
     pub fn with_policy(mut self, policy: MultiErrorPolicy) -> Self {
         self.policy = policy;
+        self
+    }
+
+    /// Select the online verification cadence.
+    pub fn with_cadence(mut self, cadence: VerifyCadence) -> Self {
+        self.cadence = cadence;
         self
     }
 
@@ -117,6 +145,13 @@ mod tests {
         assert_eq!(c.period, 16);
         assert!(!c.maintain_row);
         assert_eq!(c.policy, MultiErrorPolicy::Strict);
+        assert_eq!(c.cadence, VerifyCadence::EveryStep);
+    }
+
+    #[test]
+    fn cadence_builder() {
+        let c = AbftConfig::<f64>::paper_defaults().with_cadence(VerifyCadence::EpochBoundary);
+        assert_eq!(c.cadence, VerifyCadence::EpochBoundary);
     }
 
     #[test]

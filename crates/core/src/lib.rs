@@ -63,7 +63,7 @@ pub use checksum::{
     compute_col_into, compute_col_layer_into, compute_row_into, compute_row_layer_into,
     constant_sums, ChecksumState,
 };
-pub use config::{AbftConfig, MultiErrorPolicy};
+pub use config::{AbftConfig, MultiErrorPolicy, VerifyCadence};
 pub use correct::{correct_layer, CorrectionEvent};
 pub use detect::{classify_layer, compare_vectors, pair_by_delta, LayerDiagnosis, Mismatch};
 pub use interpolate::{needs_strips_x, needs_strips_y, Interpolator};

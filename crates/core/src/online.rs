@@ -89,6 +89,11 @@ pub struct OnlineAbft<T> {
     row_comp: Vec<T>,
     row_interp: Vec<T>,
     row_t_scratch: Vec<T>,
+    /// Sweeps carried without verification since the last comparison
+    /// (non-zero only inside a deep-halo epoch). While non-zero the
+    /// time-`t` buffer is *untrusted*, so the verifying step must not
+    /// materialise reference rows from it.
+    carried: usize,
     stats: ProtectorStats,
 }
 
@@ -113,6 +118,7 @@ impl<T: Real> OnlineAbft<T> {
             row_comp: vec![T::ZERO; nz * nx],
             row_interp: vec![T::ZERO; nz * nx],
             row_t_scratch: vec![T::ZERO; nz * nx],
+            carried: 0,
             stats: ProtectorStats::default(),
         }
     }
@@ -120,6 +126,21 @@ impl<T: Real> OnlineAbft<T> {
     /// Cumulative statistics.
     pub fn stats(&self) -> ProtectorStats {
         self.stats
+    }
+
+    /// The configuration this protector runs under.
+    pub fn config(&self) -> &AbftConfig<T> {
+        &self.cfg
+    }
+
+    /// Fold an external duplicate-execution guard's events into this
+    /// protector's statistics. The distributed deep-halo mode advances
+    /// ghost-shell cells locally between exchanges; those cells live
+    /// outside the brick the checksums span, so their redundant-recompute
+    /// guard reports detections/corrections through this hook instead.
+    pub fn note_shell_guard(&mut self, detections: usize, corrections: usize) {
+        self.stats.detections += detections;
+        self.stats.corrections += corrections;
     }
 
     /// Trusted column checksums of the current iteration.
@@ -179,6 +200,9 @@ impl<T: Real> OnlineAbft<T> {
                 self.col_t.copy_from_slice(payload);
             }
         }
+        // A checkpoint captures a verified state: the restored grid and
+        // checksums agree, so any carried-epoch distrust is void.
+        self.carried = 0;
     }
 
     /// Advance the simulation one protected iteration.
@@ -360,6 +384,117 @@ impl<T: Real> OnlineAbft<T> {
         Some((outcome, times))
     }
 
+    /// Advance one iteration **without** comparing: sweep plainly, then
+    /// move the trusted checksums forward analytically (Theorem 1) so
+    /// they keep describing the new iteration. The interior steps of a
+    /// deep-halo exchange epoch use this under
+    /// [`VerifyCadence::EpochBoundary`](crate::VerifyCadence): the
+    /// carried vectors are the *expected* chain, so a fault injected at
+    /// any carried step leaves them untouched and is exposed by the
+    /// comparison at the epoch's final, verifying sweep.
+    pub fn carry_step_with_ghosts<H: SweepHook<T>, G: GhostCells<T>>(
+        &mut self,
+        sim: &mut StencilSim<T>,
+        hook: &H,
+        ghosts: &G,
+    ) -> StepOutcome<T> {
+        debug_assert_eq!(
+            sim.dims(),
+            (self.nx, self.ny, self.nz),
+            "simulation/protector shape"
+        );
+        sim.step_full(hook, ghosts, abft_stencil::ChecksumMode::None);
+        self.carry_commit(sim, ghosts);
+        StepOutcome::new(sim.iteration())
+    }
+
+    /// Overlapped-window epoch step: like
+    /// [`OnlineAbft::try_step_overlapped_region`] but returns the ghost
+    /// source to the caller (the deep-halo worker keeps the exchanged
+    /// shell alive across the whole epoch) and, with `verify == false`,
+    /// carries the trusted checksums instead of comparing them.
+    #[allow(clippy::too_many_arguments)]
+    pub fn try_step_overlapped_region_epoch<H, G, W>(
+        &mut self,
+        sim: &mut StencilSim<T>,
+        hook: &H,
+        interior_x: Range<usize>,
+        interior_y: Range<usize>,
+        interior_z: Range<usize>,
+        wait: W,
+        verify: bool,
+    ) -> Option<(StepOutcome<T>, SplitStepTimes, G)>
+    where
+        H: SweepHook<T>,
+        G: GhostCells<T>,
+        W: FnOnce() -> Option<G>,
+    {
+        let (nx, nz) = (self.nx, self.nz);
+        let ix = interior_x.start.min(nx)..interior_x.end.min(nx);
+        let ix = ix.start..ix.end.max(ix.start);
+        let iz = interior_z.start.min(nz)..interior_z.end.min(nz);
+        let iz = iz.start..iz.end.max(iz.start);
+        if self.cfg.maintain_row {
+            // Row checksums need a whole-domain fused sweep: forgo the
+            // overlap (same fallback as the per-step path).
+            let t0 = Instant::now();
+            let ghosts = wait()?;
+            let wait_s = t0.elapsed().as_secs_f64();
+            let t1 = Instant::now();
+            let outcome = if verify {
+                self.step_with_ghosts(sim, hook, &ghosts)
+            } else {
+                self.carry_step_with_ghosts(sim, hook, &ghosts)
+            };
+            let edge_s = t1.elapsed().as_secs_f64();
+            return Some((
+                outcome,
+                SplitStepTimes {
+                    wait_s,
+                    edge_s,
+                    ..SplitStepTimes::default()
+                },
+                ghosts,
+            ));
+        }
+        let (ghosts, mut times) =
+            sim.try_step_overlapped_region(hook, ix, interior_y, iz, wait, None)?;
+        let t = Instant::now();
+        let outcome = if verify {
+            // The fused column accumulation cannot ride a split window;
+            // recompute from the finished step (bitwise-identical line
+            // reduction), exactly as the per-step region path does.
+            compute_col_into(sim.current(), &mut self.col_comp);
+            self.verify_after_sweep(sim, &ghosts)
+        } else {
+            self.carry_commit(sim, &ghosts);
+            StepOutcome::new(sim.iteration())
+        };
+        times.verify_s += t.elapsed().as_secs_f64();
+        Some((outcome, times, ghosts))
+    }
+
+    /// Move the trusted checksums one iteration forward analytically
+    /// without comparing. The carried state is the **expected** chain:
+    /// it is derived from the previously trusted vectors, never from the
+    /// (possibly faulted) swept data, so interior-step corruption cannot
+    /// launder itself into the trusted state.
+    fn carry_commit<G: GhostCells<T>>(&mut self, sim: &StencilSim<T>, ghosts: &G) {
+        self.stats.steps += 1;
+        self.carried += 1;
+        let source = StripSet::Grid(sim.previous());
+        self.interp
+            .interpolate_col(&self.col_t, &source, ghosts, &mut self.col_interp);
+        std::mem::swap(&mut self.col_t, &mut self.col_interp);
+        if self.cfg.maintain_row {
+            if let Some(rt) = &mut self.row_t {
+                self.interp
+                    .interpolate_row(rt, &source, ghosts, &mut self.row_interp);
+                std::mem::swap(rt, &mut self.row_interp);
+            }
+        }
+    }
+
     /// Steps 2–5 of the protected iteration: interpolate the expected
     /// checksums, detect, correct/refresh, and commit the trusted state.
     /// The sweep must already have filled `self.col_comp` (and
@@ -395,6 +530,24 @@ impl<T: Real> OnlineAbft<T> {
             }
         }
 
+        if !flagged.is_empty() && self.carried > 0 && !self.cfg.maintain_row {
+            // Batched verification without a maintained row chain: the
+            // time-`t` buffer carries every fault since the last compare,
+            // so rows materialised from it would agree with the faulted
+            // columns and misdiagnose the mismatch as checksum-only
+            // (Fig. 5b). Without a trusted second axis the mismatch
+            // cannot be localised — escalate each flagged layer so the
+            // distributed layer replays the epoch with per-step
+            // verification to attribute and correct the faulty sweep.
+            for (z, _) in flagged.drain(..) {
+                self.stats.detections += 1;
+                outcome.detections += 1;
+                self.stats.uncorrectable += 1;
+                outcome.uncorrectable += 1;
+                self.refresh_layer(sim, z);
+            }
+        }
+
         if !flagged.is_empty() {
             // 4. Materialise the row side (only now — §3.4: "it is only
             //    necessary to perform the detection on one of the two
@@ -426,6 +579,7 @@ impl<T: Real> OnlineAbft<T> {
 
         // 5. Commit: the (possibly repaired) computed checksums become the
         //    trusted state for the next iteration.
+        self.carried = 0;
         std::mem::swap(&mut self.col_t, &mut self.col_comp);
         if self.cfg.maintain_row {
             if let Some(rt) = &mut self.row_t {
@@ -705,6 +859,112 @@ mod tests {
             assert!(out.is_clean());
         }
         assert_eq!(sim.current(), reference.current());
+    }
+
+    #[test]
+    fn carried_epoch_is_clean_and_bitwise_neutral() {
+        // Three carried steps plus a verifying one: no false positive,
+        // and the data never deviates from an unprotected run.
+        let mut plain = make_sim();
+        let mut sim = make_sim();
+        let mut abft = OnlineAbft::new(&sim, AbftConfig::<f64>::paper_defaults());
+        for epoch in 0..3 {
+            for j in 0..4 {
+                plain.step();
+                let out = if j == 3 {
+                    abft.step(&mut sim, &NoHook)
+                } else {
+                    abft.carry_step_with_ghosts(&mut sim, &NoHook, &NoGhosts)
+                };
+                assert!(out.is_clean(), "false positive in epoch {epoch} step {j}");
+            }
+        }
+        assert_eq!(plain.current(), sim.current());
+        assert_eq!(abft.stats().steps, 12);
+        assert_eq!(abft.stats().verifications, 3);
+    }
+
+    #[test]
+    fn carried_step_fault_surfaces_at_the_boundary_as_uncorrectable() {
+        let mut sim = make_sim();
+        let mut abft = OnlineAbft::new(&sim, AbftConfig::<f64>::paper_defaults());
+        let hook = |x: usize, y: usize, z: usize, v: f64| {
+            if (x, y, z) == (5, 4, 1) {
+                v + 50.0
+            } else {
+                v
+            }
+        };
+        // Fault at the first carried step of a 3-step epoch: the carried
+        // expected chain stays clean, so the corruption has propagated by
+        // the verifying sweep and cannot be paired to a single point.
+        let out = abft.carry_step_with_ghosts(&mut sim, &hook, &NoGhosts);
+        assert!(out.is_clean(), "carried steps never compare");
+        abft.carry_step_with_ghosts(&mut sim, &NoHook, &NoGhosts);
+        let out = abft.step(&mut sim, &NoHook);
+        assert!(out.detections > 0, "propagated fault missed at boundary");
+        assert!(
+            out.uncorrectable > 0,
+            "propagated fault is not point-correctable"
+        );
+    }
+
+    #[test]
+    fn boundary_step_fault_with_maintained_rows_is_corrected_in_place() {
+        // With a carried (trusted) row chain the boundary sweep's own
+        // fault is still point-correctable at the epoch boundary.
+        let mut sim = make_sim();
+        let mut reference = make_sim();
+        let cfg = AbftConfig::<f64>::paper_defaults().with_maintain_row(true);
+        let mut abft = OnlineAbft::new(&sim, cfg);
+        for _ in 0..2 {
+            abft.carry_step_with_ghosts(&mut sim, &NoHook, &NoGhosts);
+            reference.step();
+        }
+        let hook = |x: usize, y: usize, z: usize, v: f64| {
+            if (x, y, z) == (5, 4, 1) {
+                v + 50.0
+            } else {
+                v
+            }
+        };
+        let out = abft.step(&mut sim, &hook);
+        reference.step();
+        assert_eq!(out.detections, 1);
+        assert_eq!(out.corrections.len(), 1);
+        assert!(sim.current().max_abs_diff(reference.current()) < 1e-9);
+    }
+
+    #[test]
+    fn boundary_step_fault_without_rows_escalates_after_carried_steps() {
+        // Without a maintained row chain the untrusted time-t buffer
+        // cannot supply reference rows, so a batched mismatch escalates
+        // for replay attribution instead of risking a misdiagnosis.
+        let mut sim = make_sim();
+        let mut abft = OnlineAbft::new(&sim, AbftConfig::<f64>::paper_defaults());
+        for _ in 0..2 {
+            abft.carry_step_with_ghosts(&mut sim, &NoHook, &NoGhosts);
+        }
+        let hook = |x: usize, y: usize, z: usize, v: f64| {
+            if (x, y, z) == (5, 4, 1) {
+                v + 50.0
+            } else {
+                v
+            }
+        };
+        let out = abft.step(&mut sim, &hook);
+        assert_eq!(out.detections, 1);
+        assert_eq!(out.uncorrectable, 1);
+        assert!(out.corrections.is_empty());
+    }
+
+    #[test]
+    fn shell_guard_events_fold_into_stats() {
+        let sim = make_sim();
+        let mut abft = OnlineAbft::new(&sim, AbftConfig::<f64>::paper_defaults());
+        abft.note_shell_guard(2, 1);
+        assert_eq!(abft.stats().detections, 2);
+        assert_eq!(abft.stats().corrections, 1);
     }
 
     #[test]

@@ -279,6 +279,12 @@ pub struct HaloTraffic {
     pub remote_cells: usize,
     /// Payload bytes per cell (`size_of::<T>()`).
     pub cell_bytes: usize,
+    /// Inbound messages per exchange **epoch**: one per remote producer
+    /// group. With `steps_per_exchange = k` an exchange serves `k`
+    /// sweeps, so the per-iteration message rate is `epoch_messages / k`
+    /// while the cell counts above grow with the deep shell — the
+    /// bytes-up/messages-down trade the deep-halo experiment measures.
+    pub epoch_messages: usize,
 }
 
 impl HaloTraffic {
@@ -362,6 +368,7 @@ impl HaloTraffic {
         self.self_cells += other.self_cells;
         self.remote_cells += other.remote_cells;
         self.cell_bytes = self.cell_bytes.max(other.cell_bytes);
+        self.epoch_messages += other.epoch_messages;
     }
 }
 
@@ -371,7 +378,7 @@ impl std::fmt::Display for HaloTraffic {
             f,
             "rows {} cells/{} B · cols {} cells/{} B · corners {} cells/{} B \
              ({:.1}% corner share) · z-channels {} cells/{} B ({:.1}% z share) · \
-             wire {} cells/{} B per iteration",
+             wire {} cells/{} B per iteration · {} msgs per epoch",
             self.row_cells,
             self.row_bytes(),
             self.col_cells,
@@ -384,6 +391,7 @@ impl std::fmt::Display for HaloTraffic {
             100.0 * self.z_share(),
             self.remote_cells,
             self.wire_bytes(),
+            self.epoch_messages,
         )
     }
 }
@@ -424,6 +432,8 @@ impl HaloPlan {
             .iter()
             .filter(|&&(x, y, z)| brick.contains(x, y, z))
             .count();
+        let groups = group_cells(cells.clone(), part, me);
+        let epoch_messages = groups.iter().filter(|(owner, _)| *owner != me).count();
         let traffic = HaloTraffic {
             row_cells: brick.x_len * wy.len() * brick.z_len,
             col_cells: wx.len() * brick.y_len * brick.z_len,
@@ -435,8 +445,8 @@ impl HaloPlan {
             self_cells,
             remote_cells: cells.len() - self_cells,
             cell_bytes: std::mem::size_of::<T>(),
+            epoch_messages,
         };
-        let groups = group_cells(cells, part, me);
         let index = std::sync::Arc::new(HaloIndex::new(&groups));
         Self {
             groups,
@@ -769,6 +779,7 @@ mod tests {
             self_cells: 1,
             remote_cells: 12,
             cell_bytes: 8,
+            epoch_messages: 3,
         };
         let b = a;
         a.merge(&b);
@@ -777,10 +788,12 @@ mod tests {
         assert_eq!(a.cell_bytes, 8);
         assert_eq!(a.z_cells(), 12);
         assert_eq!(a.channel_cells(), 26);
+        assert_eq!(a.epoch_messages, 6);
         let s = a.to_string();
         assert!(s.contains("rows 8 cells"), "{s}");
         assert!(s.contains("corner share"), "{s}");
         assert!(s.contains("z share"), "{s}");
+        assert!(s.contains("msgs per epoch"), "{s}");
     }
 
     #[test]

@@ -67,7 +67,7 @@
 //! all three axes resolve.
 
 use abft_checkpoint::{CheckpointPolicy, EpochRing};
-use abft_core::{AbftConfig, OnlineAbft, ProtectorStats};
+use abft_core::{AbftConfig, OnlineAbft, ProtectorStats, VerifyCadence};
 use abft_fault::{BitFlip, RankKill};
 use abft_grid::{AxisHit, Boundary, BoundarySpec, GhostCells, Grid3D};
 use abft_metrics::RecoveryStats;
@@ -76,6 +76,7 @@ use abft_stencil::{Exec, Stencil3D, StencilSim};
 use std::sync::Arc;
 use std::time::Instant;
 
+mod epoch;
 mod index;
 mod pipeline;
 mod service;
@@ -226,6 +227,37 @@ pub enum DistError {
     ///
     /// [`CheckpointPolicy::with_keep`]: abft_checkpoint::CheckpointPolicy::with_keep
     NoCommonEpoch { keep: usize },
+    /// `steps_per_exchange == 0`: an epoch must contain at least one sweep.
+    ZeroStepsPerExchange,
+    /// The checkpoint period is not a multiple of `steps_per_exchange`.
+    /// Snapshots must land on exchange boundaries — only there is the
+    /// ghost shell empty (it is rebuilt from the next exchange, not
+    /// stored) and the epoch-batched checksums verified, so a rollback
+    /// target inside an epoch would restore an unverifiable state.
+    CheckpointEpochMismatch {
+        period: usize,
+        steps_per_exchange: usize,
+    },
+    /// A deep halo (`steps_per_exchange · reach`) is at least as wide as
+    /// the domain axis itself, so boundary resolution of shell cells
+    /// would wrap/fold more than once.
+    HaloTooDeep { axis: char, halo: usize, len: usize },
+    /// A ghost-shell flip's global coordinates never appear in the
+    /// rank's exchanged halo shell, so it would never fire.
+    ShellFlipOutsideHalo {
+        rank: usize,
+        x: usize,
+        y: usize,
+        z: usize,
+    },
+    /// A ghost-shell flip is scheduled on an exchange boundary, where the
+    /// shell is rebuilt from freshly exchanged cells (there is no decayed
+    /// shell to corrupt). With `steps_per_exchange == 1` every iteration
+    /// is a boundary.
+    ShellFlipAtBoundary {
+        iter: usize,
+        steps_per_exchange: usize,
+    },
 }
 
 impl std::fmt::Display for DistError {
@@ -341,6 +373,34 @@ impl std::fmt::Display for DistError {
                 "checkpoint rings (keep = {keep}) share no common epoch to roll back to; \
                  deepen CheckpointPolicy::with_keep or leave the depth auto-sized"
             ),
+            Self::ZeroStepsPerExchange => {
+                write!(f, "steps_per_exchange must be at least 1")
+            }
+            Self::CheckpointEpochMismatch {
+                period,
+                steps_per_exchange,
+            } => write!(
+                f,
+                "checkpoint period {period} is not a multiple of steps_per_exchange \
+                 {steps_per_exchange}; snapshots must land on exchange boundaries"
+            ),
+            Self::HaloTooDeep { axis, halo, len } => write!(
+                f,
+                "deep halo of {halo} cells is not narrower than the {len}-cell {axis} axis; \
+                 lower steps_per_exchange or grow the domain"
+            ),
+            Self::ShellFlipOutsideHalo { rank, x, y, z } => write!(
+                f,
+                "shell flip ({x}, {y}, {z}) is not in rank {rank}'s exchanged ghost shell"
+            ),
+            Self::ShellFlipAtBoundary {
+                iter,
+                steps_per_exchange,
+            } => write!(
+                f,
+                "shell flip at iteration {iter} lands on an exchange boundary \
+                 (steps_per_exchange = {steps_per_exchange}); the shell is rebuilt there"
+            ),
         }
     }
 }
@@ -390,6 +450,19 @@ pub struct DistConfig<T> {
     /// Whole-rank losses to inject: each kill removes its rank at the
     /// start of the given iteration (before that iteration's halo post).
     pub kills: Vec<RankKill>,
+    /// Sweeps per halo exchange (temporal tiling). `1` — the default —
+    /// is the paper's per-step exchange and is bitwise-legacy. With
+    /// `k > 1` the halo is exchanged at depth `k · reach` once per
+    /// epoch, then each rank sweeps `k` steps locally while the ghost
+    /// shell decays by one stencil reach per step.
+    pub steps_per_exchange: usize,
+    /// Faults to inject into a rank's *received ghost shell* mid-decay:
+    /// `(rank, flip)` with the flip's coordinates **global** (the shell
+    /// holds neighbour cells, which have no brick-local address in the
+    /// consumer). Only meaningful with `steps_per_exchange > 1`; the
+    /// flip fires while the named rank advances its shell after the
+    /// flip's iteration completes.
+    pub shell_flips: Vec<(usize, BitFlip)>,
 }
 
 impl<T: Real> DistConfig<T> {
@@ -406,6 +479,8 @@ impl<T: Real> DistConfig<T> {
             grid: GridSpec::default(),
             checkpoint: None,
             kills: Vec::new(),
+            steps_per_exchange: 1,
+            shell_flips: Vec::new(),
         }
     }
 
@@ -478,6 +553,24 @@ impl<T: Real> DistConfig<T> {
         self.kills.push(kill);
         self
     }
+
+    /// Sweep `k` steps per halo exchange over a depth-`k · reach` ghost
+    /// shell. `1` (the default) is the per-step legacy protocol; any
+    /// checkpoint period must be a multiple of `k` (checked by
+    /// [`run_distributed`]).
+    pub fn with_steps_per_exchange(mut self, k: usize) -> Self {
+        self.steps_per_exchange = k;
+        self
+    }
+
+    /// Inject one bit-flip into `rank`'s received ghost shell mid-decay
+    /// (global coordinates; requires `steps_per_exchange > 1` and an
+    /// iteration off the exchange boundary — both checked by
+    /// [`run_distributed`]).
+    pub fn with_shell_flip(mut self, rank: usize, flip: BitFlip) -> Self {
+        self.shell_flips.push((rank, flip));
+        self
+    }
 }
 
 /// Per-rank wall-clock breakdown of one distributed run, in seconds,
@@ -516,6 +609,14 @@ pub struct PhaseTimings {
     /// Halo payload bytes this rank received from other ranks over the
     /// whole run, measured at halo-assembly time.
     pub halo_bytes_recv: u64,
+    /// Halo messages this rank sent over the whole run (one per remote
+    /// consumer group per exchange epoch). With `steps_per_exchange = k`
+    /// ranks exchange once per `k` sweeps, so this falls as `1/k` while
+    /// the per-message byte payload grows with the deep shell.
+    pub halo_msgs_sent: u64,
+    /// Halo messages this rank received over the whole run (one per
+    /// remote producer group per exchange epoch).
+    pub halo_msgs_recv: u64,
 }
 
 impl PhaseTimings {
@@ -603,6 +704,9 @@ pub struct DistReport<T> {
     /// `checkpoints_stored`/`checkpoint_period` are populated whenever a
     /// checkpoint policy was active, even on clean runs.
     pub recovery: RecoveryStats,
+    /// Sweeps per halo exchange this run used (the epoch length; `1` is
+    /// the legacy per-step protocol).
+    pub steps_per_exchange: usize,
 }
 
 impl<T: Real> DistReport<T> {
@@ -931,6 +1035,12 @@ impl<T: Real> HaloGhost<T> {
             nz_global,
         }
     }
+
+    /// Consume the ghost, keeping only the payload scalars (in canonical
+    /// slot order — the epoch schedule decays these between sweeps).
+    pub(crate) fn into_values(self) -> Vec<T> {
+        self.values
+    }
 }
 
 impl<T: Real> GhostCells<T> for HaloGhost<T> {
@@ -984,12 +1094,30 @@ pub(crate) struct Rank<T> {
     /// the same shape reuse one copy.
     pub(crate) plan: Arc<HaloPlan>,
     pub(crate) timing: PhaseTimings,
+    /// Ghost-shell faults to inject while this rank decays its shell
+    /// (global coordinates; only fire with `steps_per_exchange > 1`).
+    pub(crate) shell_flips: Vec<BitFlip>,
+    /// The per-epoch ghost-shell decay schedule; `Some` exactly when
+    /// `steps_per_exchange > 1`. Captured at build time because shell
+    /// cells live outside the brick (their constant-field terms are not
+    /// in the rank's local slice).
+    pub(crate) shell: Option<Arc<epoch::ShellSchedule<T>>>,
 }
 
 impl<T: Real> Rank<T> {
     /// The flips scheduled to fire during iteration `t`.
     pub(crate) fn flips_at(&self, t: usize) -> Vec<BitFlip> {
         self.flips
+            .iter()
+            .filter(|f| f.iteration == t)
+            .copied()
+            .collect()
+    }
+
+    /// The ghost-shell flips scheduled to fire in the shell advance that
+    /// follows sweep `t`.
+    pub(crate) fn shell_flips_at(&self, t: usize) -> Vec<BitFlip> {
+        self.shell_flips
             .iter()
             .filter(|f| f.iteration == t)
             .copied()
@@ -1144,6 +1272,79 @@ fn validate<T: Real>(
             });
         }
     }
+    let k = cfg.steps_per_exchange;
+    if k == 0 {
+        return Err(DistError::ZeroStepsPerExchange);
+    }
+    if k > 1 {
+        // Deep shells fold through the boundary at most once: the
+        // effective halo must stay narrower than each exchanged axis.
+        let (hx, hy, hz) = effective_halo(cfg, stencil, (rx, ry, rz));
+        for (axis, h, n) in [('x', hx, nx), ('y', hy, ny), ('z', hz, nz)] {
+            if h > 0 && h >= n {
+                return Err(DistError::HaloTooDeep {
+                    axis,
+                    halo: h,
+                    len: n,
+                });
+            }
+        }
+    }
+    if let Some(p) = cfg.checkpoint {
+        // Snapshots must land on exchange boundaries: only there is the
+        // decayed ghost shell empty (rebuilt from the next exchange
+        // rather than stored) and the epoch-batched checksums verified.
+        if p.period % k != 0 {
+            return Err(DistError::CheckpointEpochMismatch {
+                period: p.period,
+                steps_per_exchange: k,
+            });
+        }
+    }
+    for (rank, flip) in &cfg.shell_flips {
+        if *rank >= cfg.ranks {
+            return Err(DistError::FlipRank {
+                rank: *rank,
+                ranks: cfg.ranks,
+            });
+        }
+        if flip.bit >= T::BITS {
+            return Err(DistError::FlipBit {
+                bit: flip.bit,
+                bits: T::BITS,
+            });
+        }
+        if flip.iteration >= cfg.iters {
+            return Err(DistError::FlipIteration {
+                iteration: flip.iteration,
+                iters: cfg.iters,
+            });
+        }
+        // The shell decays after every sweep except an epoch's last (the
+        // next exchange rebuilds it), so a flip on the boundary — or any
+        // flip at k = 1 — would never fire.
+        if k == 1 || flip.iteration % k == k - 1 {
+            return Err(DistError::ShellFlipAtBoundary {
+                iter: flip.iteration,
+                steps_per_exchange: k,
+            });
+        }
+        let (hx, hy, hz) = effective_halo(cfg, stencil, (rx, ry, rz));
+        let brick = part.brick(*rank);
+        let wx = index::resolved_window(brick.x0, brick.x_len, hx, nx, &bounds.x);
+        let wy = index::resolved_window(brick.y0, brick.y_len, hy, ny, &bounds.y);
+        let wz = index::resolved_window(brick.z0, brick.z_len, hz, nz, &bounds.z);
+        let shell = index::needed_halo_cells(&brick, &wx, &wy, &wz);
+        let cell = (flip.x, flip.y, flip.z);
+        if !shell.contains(&cell) || brick.contains(flip.x, flip.y, flip.z) {
+            return Err(DistError::ShellFlipOutsideHalo {
+                rank: *rank,
+                x: flip.x,
+                y: flip.y,
+                z: flip.z,
+            });
+        }
+    }
     Ok(part)
 }
 
@@ -1212,14 +1413,18 @@ pub(crate) fn effective_halo<T: Real>(
     stencil: &Stencil3D<T>,
     (rx, _ry, rz): (usize, usize, usize),
 ) -> (usize, usize, usize) {
-    let hy = cfg.halo.unwrap_or(0).max(stencil.extent_y());
+    // Temporal tiling deepens the shell: k sweeps per exchange need k
+    // stencil reaches of ghost cells (the shell decays by one reach per
+    // sweep). k = 1 reduces to the legacy per-step widths.
+    let k = cfg.steps_per_exchange.max(1);
+    let hy = cfg.halo.unwrap_or(0).max(k * stencil.extent_y());
     let hx = if rx > 1 {
-        cfg.halo.unwrap_or(0).max(stencil.extent_x())
+        cfg.halo.unwrap_or(0).max(k * stencil.extent_x())
     } else {
         0
     };
     let hz = if rz > 1 {
-        cfg.halo.unwrap_or(0).max(stencil.extent_z())
+        cfg.halo.unwrap_or(0).max(k * stencil.extent_z())
     } else {
         0
     };
@@ -1250,6 +1455,14 @@ pub(crate) fn build_ranks<T: Real>(
         y: Boundary::Ghost,
         z: if rz > 1 { Boundary::Ghost } else { bounds.z },
     };
+    let k = cfg.steps_per_exchange.max(1);
+    // Ghost depth the brick sweep reads per axis — the validity the
+    // decay schedule must preserve across every interior sweep.
+    let read_halo = (
+        if rx > 1 { stencil.extent_x() } else { 0 },
+        stencil.extent_y(),
+        if rz > 1 { stencil.extent_z() } else { 0 },
+    );
     (0..part.ranks())
         .map(|r| {
             let brick = part.brick(r);
@@ -1277,6 +1490,24 @@ pub(crate) fn build_ranks<T: Real>(
                     .collect(),
                 plan: plans[r].clone(),
                 timing: PhaseTimings::default(),
+                shell_flips: cfg
+                    .shell_flips
+                    .iter()
+                    .filter(|(fr, _)| *fr == r)
+                    .map(|(_, f)| *f)
+                    .collect(),
+                shell: (k > 1).then(|| {
+                    Arc::new(epoch::ShellSchedule::new(
+                        &plans[r],
+                        &brick,
+                        initial.dims(),
+                        bounds,
+                        stencil,
+                        constant,
+                        read_halo,
+                        k,
+                    ))
+                }),
             }
         })
         .collect()
@@ -1289,6 +1520,7 @@ pub(crate) fn gather_report<T: Real>(
     grid: (usize, usize, usize),
     dims: (usize, usize, usize),
     wall_s: f64,
+    steps_per_exchange: usize,
 ) -> DistReport<T> {
     let (nx, ny, nz) = dims;
     // One pass per brick, contiguous x-line copies.
@@ -1328,6 +1560,7 @@ pub(crate) fn gather_report<T: Real>(
         queue_wait_s: 0.0,
         exec_s: 0.0,
         recovery: RecoveryStats::default(),
+        steps_per_exchange,
     }
 }
 
@@ -1346,7 +1579,15 @@ fn run_snapshot<T: Real>(
     iters: usize,
     policy: Option<CheckpointPolicy>,
     kills: &[RankKill],
+    steps_per_exchange: usize,
 ) -> Result<RecoveryStats, DistError> {
+    let k = steps_per_exchange.max(1);
+    // Verification cadence is job-wide (one `AbftConfig` for all ranks).
+    let cadence = ranks
+        .iter()
+        .find_map(|r| r.abft.as_ref())
+        .map(|a| a.config().cadence)
+        .unwrap_or(VerifyCadence::EveryStep);
     let mut recovery = RecoveryStats::default();
     let mut rings: Option<Vec<EpochRing<T>>> = policy.map(|p| {
         recovery.checkpoint_period = p.period;
@@ -1373,6 +1614,7 @@ fn run_snapshot<T: Real>(
                 a.restore_checksums(&snap.aux);
             }
             rank.flips.retain(|f| !fired(f));
+            rank.shell_flips.retain(|f| !fired(f));
         }
         recovery.rollbacks += 1;
         recovery.steps_lost += (progress - e) * ranks.len();
@@ -1384,9 +1626,26 @@ fn run_snapshot<T: Real>(
     // (self-served boundary folds are not wire traffic).
     let mut sent_elems = vec![0usize; ranks.len()];
     let mut recv_elems = vec![0usize; ranks.len()];
+    let mut sent_msgs = vec![0u64; ranks.len()];
+    let mut recv_msgs = vec![0u64; ranks.len()];
+    // Per-rank decayed ghost shells, live only *inside* an epoch: the
+    // exchange at j == 0 rebuilds them, a rollback (always to an
+    // exchange-aligned epoch — validate() enforces period % k == 0)
+    // simply drops them. The shell is deliberately never checkpointed.
+    let mut shells: Vec<Option<Vec<T>>> = vec![None; ranks.len()];
+    // Epoch-boundary fault attribution: after an uncorrectable batched
+    // verification, replay the epoch from the last snapshot *with the
+    // fault plan kept* and per-step verification forced on, so the
+    // detection lands on the exact sweep that was hit.
+    let mut attributing = false;
+    let mut verify_until = 0usize;
     let mut t = 0;
     let mut start = 0; // rewind target of the latest rollback
     while t < iters {
+        let j = t % k;
+        if attributing && t >= verify_until {
+            attributing = false;
+        }
         // --- Checkpoint every rank in lock-step when the policy fires.
         // Skipped right after a rollback (`t == start`): that epoch is
         // already stored — except at t = 0, whose overwrite-in-place
@@ -1418,68 +1677,148 @@ fn run_snapshot<T: Real>(
             let e = rollback(ranks, rings, &mut recovery, t, &|f| f.iteration < t);
             kills.retain(|k| k.iter != t);
             recovery.rank_losses += lost.len();
+            shells.iter_mut().for_each(|s| *s = None);
             t = e;
             start = e;
             continue;
         }
 
-        // --- Halo exchange: snapshot every requested time-t cell. ------
-        // In an MPI deployment this is the send/recv pairs (face, edge
-        // and corner strips); here the scalars are copied out of the
-        // owning rank's current buffer.
-        let t0 = Instant::now();
-        let ghosts: Vec<HaloGhost<T>> = ranks
-            .iter()
-            .enumerate()
-            .map(|(consumer, rank)| {
-                let mut values = Vec::with_capacity(rank.plan.index.len());
-                for (owner, cells) in &rank.plan.groups {
-                    let owner_brick = ranks[*owner].brick;
-                    let grid = ranks[*owner].sim.current();
-                    let before = values.len();
-                    for &(gx, gy, gz) in cells {
-                        worker::push_cell(
-                            grid,
-                            gx - owner_brick.x0,
-                            gy - owner_brick.y0,
-                            gz - owner_brick.z0,
-                            &mut values,
-                        );
-                    }
-                    if *owner != consumer {
-                        let copied = values.len() - before;
-                        sent_elems[*owner] += copied;
-                        recv_elems[consumer] += copied;
-                    }
-                }
-                HaloGhost::new(rank.plan.index.clone(), values, *bounds, rank.brick, dims)
-            })
-            .collect();
-        let exchange_share = t0.elapsed().as_secs_f64() / ranks.len() as f64;
+        // Per-step ABFT verification: always under the default cadence;
+        // under the epoch-batched cadence only on the last sweep of an
+        // epoch, the final sweep of the run, and during an attribution
+        // replay window. Unverified interior sweeps carry the checksums
+        // through Eq. 10's one-step interpolation instead.
+        let verify = match cadence {
+            VerifyCadence::EveryStep => true,
+            VerifyCadence::EpochBoundary => j == k - 1 || t + 1 == iters || t < verify_until,
+        };
 
-        // --- Step all ranks concurrently (one thread per rank),
-        // collecting uncorrectable-error counts for escalation. ---------
-        let uncorrectable: usize = std::thread::scope(|scope| {
-            let handles: Vec<_> = ranks
-                .iter_mut()
-                .zip(ghosts)
-                .map(|(rank, ghost)| {
-                    scope.spawn(move || {
-                        let t1 = Instant::now();
-                        let unc = worker::step_rank_barriered(rank, t, &ghost);
-                        rank.timing.edge_s += t1.elapsed().as_secs_f64();
-                        unc
-                    })
+        let uncorrectable: usize = if j == 0 {
+            // --- Halo exchange: snapshot every requested time-t cell. --
+            // In an MPI deployment this is the send/recv pairs (face,
+            // edge and corner strips); here the scalars are copied out of
+            // the owning rank's current buffer. One message per remote
+            // producer group per *epoch*, not per sweep.
+            let t0 = Instant::now();
+            let ghosts: Vec<HaloGhost<T>> = ranks
+                .iter()
+                .enumerate()
+                .map(|(consumer, rank)| {
+                    let mut values = Vec::with_capacity(rank.plan.index.len());
+                    for (owner, cells) in &rank.plan.groups {
+                        let owner_brick = ranks[*owner].brick;
+                        let grid = ranks[*owner].sim.current();
+                        let before = values.len();
+                        for &(gx, gy, gz) in cells {
+                            worker::push_cell(
+                                grid,
+                                gx - owner_brick.x0,
+                                gy - owner_brick.y0,
+                                gz - owner_brick.z0,
+                                &mut values,
+                            );
+                        }
+                        if *owner != consumer {
+                            let copied = values.len() - before;
+                            sent_elems[*owner] += copied;
+                            recv_elems[consumer] += copied;
+                            sent_msgs[*owner] += 1;
+                            recv_msgs[consumer] += 1;
+                        }
+                    }
+                    HaloGhost::new(rank.plan.index.clone(), values, *bounds, rank.brick, dims)
                 })
                 .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().unwrap_or_else(|p| std::panic::resume_unwind(p)))
-                .sum()
-        });
-        for rank in ranks.iter_mut() {
-            rank.timing.post_s += exchange_share;
-        }
+            let exchange_share = t0.elapsed().as_secs_f64() / ranks.len() as f64;
+
+            // --- Step all ranks concurrently (one thread per rank),
+            // collecting uncorrectable-error counts for escalation. The
+            // ghost payloads come back out of the threads: they seed the
+            // decaying shells for the epoch's interior sweeps. ----------
+            let stepped: Vec<(usize, HaloGhost<T>)> = std::thread::scope(|scope| {
+                let handles: Vec<_> = ranks
+                    .iter_mut()
+                    .zip(ghosts)
+                    .map(|(rank, ghost)| {
+                        scope.spawn(move || {
+                            let t1 = Instant::now();
+                            let unc = worker::step_rank_barriered(rank, t, &ghost, verify);
+                            rank.timing.edge_s += t1.elapsed().as_secs_f64();
+                            (unc, ghost)
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().unwrap_or_else(|p| std::panic::resume_unwind(p)))
+                    .collect()
+            });
+            for rank in ranks.iter_mut() {
+                rank.timing.post_s += exchange_share;
+            }
+            let mut unc_total = 0;
+            for (i, (unc, ghost)) in stepped.into_iter().enumerate() {
+                unc_total += unc;
+                if k > 1 {
+                    shells[i] = Some(ghost.into_values());
+                }
+            }
+            unc_total
+        } else {
+            // --- Interior sweep: no exchange. Each rank first advances
+            // its decayed shell by one sweep (duplicated execution, DMR-
+            // guarded when protected), then steps the brick against the
+            // freshly advanced ghost values.
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = ranks
+                    .iter_mut()
+                    .zip(shells.iter_mut())
+                    .map(|(rank, shell)| {
+                        scope.spawn(move || {
+                            let sched = rank
+                                .shell
+                                .clone()
+                                .expect("steps_per_exchange > 1 implies a shell schedule");
+                            let values =
+                                shell.as_mut().expect("interior sweep inside a live epoch");
+                            let t0 = Instant::now();
+                            let shell_flips = rank.shell_flips_at(t - 1);
+                            let guard = rank.abft.is_some();
+                            let mut scratch = Vec::new();
+                            let (det, corr) = sched.advance(
+                                values,
+                                &mut scratch,
+                                rank.sim.previous(),
+                                rank.sim.current(),
+                                j - 1,
+                                &shell_flips,
+                                guard,
+                            );
+                            if let Some(a) = rank.abft.as_mut() {
+                                a.note_shell_guard(det, corr);
+                            }
+                            rank.timing.post_s += t0.elapsed().as_secs_f64();
+                            let ghost = HaloGhost::new(
+                                rank.plan.index.clone(),
+                                std::mem::take(values),
+                                *bounds,
+                                rank.brick,
+                                dims,
+                            );
+                            let t1 = Instant::now();
+                            let unc = worker::step_rank_barriered(rank, t, &ghost, verify);
+                            rank.timing.edge_s += t1.elapsed().as_secs_f64();
+                            *values = ghost.into_values();
+                            unc
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().unwrap_or_else(|p| std::panic::resume_unwind(p)))
+                    .sum()
+            })
+        };
 
         // --- Escalate Eq. 10 correction failure to rollback when armed:
         // instead of letting a known-wrong grid flow to the answer, replay
@@ -1487,9 +1826,27 @@ fn run_snapshot<T: Real>(
         // its flips count as fired — consuming them is what makes the
         // replay converge. Unarmed runs keep the legacy behaviour (the
         // uncorrectable count is reported via ProtectorStats).
+        //
+        // Under the epoch-batched cadence the first escalation instead
+        // *attributes*: the batched verify only says "somewhere in this
+        // epoch"; replaying with the fault plan kept and per-step
+        // verification forced on pins the detection to the faulty sweep.
+        // Only if that verified replay is again defeated (a genuinely
+        // uncorrectable multi-point hit) does the fault plan get consumed.
         if uncorrectable > 0 {
             if let Some(rings) = rings.as_mut() {
+                if cadence == VerifyCadence::EpochBoundary && !attributing {
+                    let e = rings[0].latest_epoch().expect("epoch 0 is always stored");
+                    let e = rollback(ranks, rings, &mut recovery, t + 1, &|f| f.iteration < e);
+                    verify_until = t + 1;
+                    attributing = true;
+                    shells.iter_mut().for_each(|s| *s = None);
+                    t = e;
+                    start = e;
+                    continue;
+                }
                 let e = rollback(ranks, rings, &mut recovery, t + 1, &|f| f.iteration <= t);
+                shells.iter_mut().for_each(|s| *s = None);
                 t = e;
                 start = e;
                 continue;
@@ -1500,6 +1857,8 @@ fn run_snapshot<T: Real>(
     for (i, rank) in ranks.iter_mut().enumerate() {
         rank.timing.halo_bytes_sent += (sent_elems[i] * std::mem::size_of::<T>()) as u64;
         rank.timing.halo_bytes_recv += (recv_elems[i] * std::mem::size_of::<T>()) as u64;
+        rank.timing.halo_msgs_sent += sent_msgs[i];
+        rank.timing.halo_msgs_recv += recv_msgs[i];
     }
     if let Some(rings) = &rings {
         recovery.checkpoints_stored = rings.iter().map(|r| r.stats().stores).sum();

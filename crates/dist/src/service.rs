@@ -61,7 +61,7 @@ use crate::{
     DistReport, GridSpec, HaloMode, Partition3, Rank,
 };
 use abft_checkpoint::CheckpointPolicy;
-use abft_core::AbftConfig;
+use abft_core::{AbftConfig, VerifyCadence};
 use abft_fault::{BitFlip, RankKill};
 use abft_grid::{BoundarySpec, Grid3D};
 use abft_metrics::RecoveryStats;
@@ -315,6 +315,20 @@ impl<T: Real> JobSpec<T> {
     /// ([`DistConfig::with_rank_kill`]).
     pub fn with_rank_kill(mut self, kill: RankKill) -> Self {
         self.cfg = self.cfg.with_rank_kill(kill);
+        self
+    }
+
+    /// Sweep `k` steps per halo exchange over a deep ghost shell
+    /// ([`DistConfig::with_steps_per_exchange`]).
+    pub fn with_steps_per_exchange(mut self, k: usize) -> Self {
+        self.cfg = self.cfg.with_steps_per_exchange(k);
+        self
+    }
+
+    /// Inject one bit-flip into `rank`'s received ghost shell mid-decay
+    /// ([`DistConfig::with_shell_flip`]).
+    pub fn with_shell_flip(mut self, rank: usize, flip: BitFlip) -> Self {
+        self.cfg = self.cfg.with_shell_flip(rank, flip);
         self
     }
 }
@@ -857,6 +871,23 @@ struct Running<T: Real> {
     /// When the current recovery round was detected (for `recovery_s`).
     recovery_began: Option<Instant>,
     recovery: RecoveryStats,
+    /// Sweeps per halo exchange (the epoch length; 1 is per-step legacy).
+    steps_per_exchange: usize,
+    /// True when the job verifies checksums at epoch boundaries only —
+    /// an uncorrectable abort then triggers an *attribution* replay
+    /// (per-step verification with the faults re-enabled) instead of the
+    /// standard consume-and-replay round.
+    epoch_verify: bool,
+    /// True when some rank of the current round exited with an
+    /// uncorrectable-detection abort.
+    uncorrectable_round: bool,
+    /// True while the current round *is* the attribution replay, so a
+    /// second uncorrectable exit falls back to standard consumption
+    /// instead of looping.
+    attributing: bool,
+    /// Iteration bound of per-step verification during an attribution
+    /// replay (0 outside one).
+    verify_until: usize,
 }
 
 /// A job's pre-dispatch state: everything built under the scheduler's
@@ -878,10 +909,17 @@ struct Prepared<T: Real> {
 /// most `CHANNEL_DEPTH + 1` iterations apart, the drift compounds across
 /// the rank grid's diameter, and `+2` covers the boundary epochs of the
 /// window. An explicit [`CheckpointPolicy::with_keep`] overrides.
-fn ring_keep(policy: CheckpointPolicy, (rx, ry, rz): (usize, usize, usize)) -> usize {
+fn ring_keep(
+    policy: CheckpointPolicy,
+    (rx, ry, rz): (usize, usize, usize),
+    steps_per_exchange: usize,
+) -> usize {
     policy.keep.unwrap_or_else(|| {
         let diam = ((rx - 1) + (ry - 1) + (rz - 1)).max(1);
-        ((CHANNEL_DEPTH + 1) * diam).div_ceil(policy.period) + 2
+        // Epoch batching scales the skew: neighbours drift in whole
+        // exchange epochs of `steps_per_exchange` iterations each.
+        let skew = (CHANNEL_DEPTH + 1) * steps_per_exchange.max(1) * diam;
+        skew.div_ceil(policy.period) + 2
     })
 }
 
@@ -1050,14 +1088,17 @@ impl<T: Real> Scheduler<T> {
                 let iters = adm.spec.cfg.iters;
                 let policy = adm.spec.cfg.checkpoint;
                 let kills = adm.spec.cfg.kills.clone();
+                let k = adm.spec.cfg.steps_per_exchange;
                 let outcome = catch_unwind(AssertUnwindSafe(move || {
                     let wall = Instant::now();
-                    run_snapshot(&mut ranks, &bounds, dims, iters, policy, &kills).map(|recovery| {
-                        let mut report =
-                            gather_report(ranks, grid, dims, wall.elapsed().as_secs_f64());
-                        report.recovery = recovery;
-                        report
-                    })
+                    run_snapshot(&mut ranks, &bounds, dims, iters, policy, &kills, k).map(
+                        |recovery| {
+                            let mut report =
+                                gather_report(ranks, grid, dims, wall.elapsed().as_secs_f64(), k);
+                            report.recovery = recovery;
+                            report
+                        },
+                    )
                 }));
                 let result = match outcome {
                     Ok(result) => {
@@ -1076,9 +1117,10 @@ impl<T: Real> Scheduler<T> {
             }
             Some(ports) => {
                 let count = prepared.ranks.len();
+                let k = adm.spec.cfg.steps_per_exchange;
                 let vault =
                     adm.spec.cfg.checkpoint.map(|p| {
-                        Arc::new(Vault::new(p.period, ring_keep(p, prepared.grid), count))
+                        Arc::new(Vault::new(p.period, ring_keep(p, prepared.grid, k), count))
                     });
                 let kills = adm.spec.cfg.kills.clone();
                 let mut ranks = prepared.ranks;
@@ -1096,6 +1138,8 @@ impl<T: Real> Scheduler<T> {
                         start: 0,
                         kill: next_kill(&kills, idx),
                         vault: vault.clone(),
+                        steps_per_exchange: k,
+                        verify_until: 0,
                     };
                     self.workers[slot]
                         .tx
@@ -1124,6 +1168,15 @@ impl<T: Real> Scheduler<T> {
                         lost: None,
                         recovery_began: None,
                         recovery: RecoveryStats::default(),
+                        steps_per_exchange: k,
+                        epoch_verify: adm
+                            .spec
+                            .cfg
+                            .abft
+                            .is_some_and(|a| a.cadence == VerifyCadence::EpochBoundary),
+                        uncorrectable_round: false,
+                        attributing: false,
+                        verify_until: 0,
                     },
                 );
                 self.peak = self.peak.max(self.running.len() as u64);
@@ -1209,6 +1262,9 @@ impl<T: Real> Scheduler<T> {
                 job.aborted = true;
                 job.progress[done.idx] = exit.progress(job.iters);
                 job.ranks[done.idx] = Some(rank);
+                if matches!(exit, RankExit::Uncorrectable { .. }) {
+                    job.uncorrectable_round = true;
+                }
                 if let RankExit::Killed { iter } = exit {
                     self.rank_losses += 1;
                     job.recovery.rank_losses += 1;
@@ -1264,6 +1320,7 @@ impl<T: Real> Scheduler<T> {
             failure,
             vault,
             mut recovery,
+            steps_per_exchange,
             ..
         } = job;
         let result = if let Some((rank, message)) = failure {
@@ -1280,7 +1337,13 @@ impl<T: Real> Scheduler<T> {
                     .into_iter()
                     .map(|r| r.expect("every rank reported"))
                     .collect();
-                gather_report(ranks, grid, dims, started.elapsed().as_secs_f64())
+                gather_report(
+                    ranks,
+                    grid,
+                    dims,
+                    started.elapsed().as_secs_f64(),
+                    steps_per_exchange,
+                )
             })) {
                 Ok(mut report) => {
                     self.cache.check_in(
@@ -1339,6 +1402,20 @@ impl<T: Real> Scheduler<T> {
             return;
         };
         let count = job.ranks.len();
+        // An uncorrectable exit under epoch-boundary verification means a
+        // fault struck *somewhere inside* the failed epoch — the batched
+        // comparison cannot say where. The attribution replay re-enables
+        // the faults that fired since the rollback target and re-runs
+        // with per-step verification, which pins (and corrects) each
+        // fault at its true step. A kill-triggered round, or a second
+        // uncorrectable round, uses the standard consume-and-replay
+        // semantics instead.
+        let attribute = job.epoch_verify && job.uncorrectable_round && !job.attributing;
+        let verify_until = if attribute {
+            job.progress.iter().copied().max().unwrap_or(0)
+        } else {
+            0
+        };
         for (idx, slot) in job.ranks.iter_mut().enumerate() {
             let rank = slot.as_mut().expect("every rank reported");
             let mut ring = vault.rings[idx].lock().expect("vault ring poisoned");
@@ -1355,9 +1432,14 @@ impl<T: Real> Scheduler<T> {
             }
             // One-shot fault semantics: flips below this rank's progress
             // fired (and were committed) on the lost attempt; only the
-            // rest may fire again during replay.
+            // rest may fire again during replay — except during an
+            // attribution replay, which deliberately re-fires everything
+            // after the rollback target so per-step verification can
+            // catch each fault at its own step.
             let progress = job.progress[idx];
-            rank.flips.retain(|f| f.iteration >= progress);
+            let keep_from = if attribute { e } else { progress };
+            rank.flips.retain(|f| f.iteration >= keep_from);
+            rank.shell_flips.retain(|f| f.iteration >= keep_from);
             job.recovery.steps_lost += progress - e;
         }
         // The lost round's channels are unusable (the victims dropped
@@ -1382,6 +1464,8 @@ impl<T: Real> Scheduler<T> {
                 start: e,
                 kill: next_kill(&job.kills, idx),
                 vault: Some(Arc::clone(&vault)),
+                steps_per_exchange: job.steps_per_exchange,
+                verify_until,
             };
             self.workers[worker_slot]
                 .tx
@@ -1392,6 +1476,9 @@ impl<T: Real> Scheduler<T> {
         job.remaining = count;
         job.aborted = false;
         job.lost = None;
+        job.attributing = attribute;
+        job.uncorrectable_round = false;
+        job.verify_until = verify_until;
         job.recovery.rollbacks += 1;
         if let Some(began) = job.recovery_began.take() {
             job.recovery.recovery_s += began.elapsed().as_secs_f64();

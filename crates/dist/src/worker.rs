@@ -24,6 +24,7 @@ use crate::pipeline::{HaloMsg, Ports};
 use crate::service::SchedEvent;
 use crate::{HaloGhost, Rank};
 use abft_checkpoint::EpochRing;
+use abft_core::VerifyCadence;
 use abft_fault::MultiFlipHook;
 use abft_grid::{Boundary, BoundarySpec, Grid3D};
 use abft_num::Real;
@@ -147,6 +148,14 @@ pub(crate) struct RankTask<T> {
     /// The job's checkpoint vault, when a [`abft_checkpoint::CheckpointPolicy`]
     /// is armed.
     pub(crate) vault: Option<Arc<Vault<T>>>,
+    /// Sweeps per halo exchange (`k`): 1 is the legacy lock-step-per-
+    /// iteration protocol, `k > 1` posts once per epoch and decays the
+    /// deep ghost shell locally between exchanges.
+    pub(crate) steps_per_exchange: usize,
+    /// Attribution window: per-step verification is forced on for every
+    /// sweep `t < verify_until`, pinning an epoch-batched detection to
+    /// the exact faulty sweep during a replay. 0 outside attribution.
+    pub(crate) verify_until: usize,
 }
 
 /// How a pool worker's task ended: reusable state, a recoverable abort
@@ -198,6 +207,8 @@ pub(crate) fn pool_worker<T: Real>(tasks: Receiver<RankTask<T>>, events: Sender<
                 task.kill,
                 task.idx,
                 task.vault.as_deref(),
+                task.steps_per_exchange,
+                task.verify_until,
             )
         }));
         let (job, slot, idx) = (task.job, task.slot, task.idx);
@@ -279,7 +290,20 @@ pub(crate) fn run<T: Real>(
     kill: Option<usize>,
     idx: usize,
     vault: Option<&Vault<T>>,
+    steps_per_exchange: usize,
+    verify_until: usize,
 ) -> RankExit {
+    let k = steps_per_exchange.max(1);
+    debug_assert!(
+        k == 1 || start.is_multiple_of(k),
+        "resume must land on an exchange boundary (validate pins period % k == 0)"
+    );
+    let cadence = rank
+        .abft
+        .as_ref()
+        .map(|a| a.config().cadence)
+        .unwrap_or(VerifyCadence::EveryStep);
+    let sched = rank.shell.clone();
     let brick = rank.brick;
     let ex = rank.sim.stencil().extent_x();
     let ey = rank.sim.stencil().extent_y();
@@ -301,8 +325,15 @@ pub(crate) fn run<T: Real>(
     };
     let index = rank.plan.index.clone();
     let mut aux = Vec::new();
+    // The decaying deep-halo shell, live only between the epoch's
+    // exchange and its last sweep (`None` at every `j == 0`). A rollback
+    // never needs it: recovery targets are exchange-aligned, so the
+    // replay's first post rebuilds it from scratch.
+    let mut shell_vals: Option<Vec<T>> = None;
+    let mut scratch: Vec<T> = Vec::new();
 
     for t in start..iters {
+        let j = t % k;
         // --- 0. checkpoint / kill -------------------------------------
         // The snapshot (grid + trusted checksums, the paper's §5.4
         // "state of the grid and of the checksums") is taken *before*
@@ -327,126 +358,247 @@ pub(crate) fn run<T: Real>(
             return RankExit::Killed { iter: t };
         }
 
-        // --- 1. post ---------------------------------------------------
-        let t0 = Instant::now();
-        let current = rank.sim.current();
-        let mut sent = 0usize;
-        for (tx, cells) in &ports.sends {
-            let msg = pack_cells(current, cells);
-            sent += msg.len();
-            if tx.send(msg).is_err() {
-                return RankExit::PeerLost { iter: t };
-            }
-        }
-        let self_values = pack_cells(current, &ports.self_cells);
-        rank.timing.post_s += t0.elapsed().as_secs_f64();
-        rank.timing.halo_bytes_sent += (sent * std::mem::size_of::<T>()) as u64;
+        // Per-step ABFT verification: always under the default cadence;
+        // under the epoch-batched cadence only on the epoch's last
+        // sweep, the run's final sweep, and inside an attribution
+        // replay window. Unverified sweeps carry the checksums through
+        // Eq. 10's one-step interpolation instead.
+        let verify = match cadence {
+            VerifyCadence::EveryStep => true,
+            VerifyCadence::EpochBoundary => j == k - 1 || t + 1 == iters || t < verify_until,
+        };
 
-        // --- 2–5. overlapped step -------------------------------------
-        let recvs = &ports.recvs;
-        let index = index.clone();
-        let self_len = self_values.len();
-        // Wire bytes measured at assembly: everything in the payload
-        // beyond the self-served prefix arrived over a channel.
-        let recv_elems = std::cell::Cell::new(0usize);
-        let recv_ref = &recv_elems;
-        let wait = move || {
-            let mut values = self_values;
-            for rx in recvs {
-                match rx.recv() {
-                    Ok(msg) => values.extend(msg),
-                    Err(_) => return None,
+        if j == 0 {
+            // --- 1. post (once per epoch) -----------------------------
+            let t0 = Instant::now();
+            let current = rank.sim.current();
+            let mut sent = 0usize;
+            for (tx, cells) in &ports.sends {
+                let msg = pack_cells(current, cells);
+                sent += msg.len();
+                if tx.send(msg).is_err() {
+                    return RankExit::PeerLost { iter: t };
                 }
             }
-            recv_ref.set(values.len() - self_len);
-            Some(HaloGhost::new(index, values, bounds, brick, dims))
-        };
+            let self_values = pack_cells(current, &ports.self_cells);
+            rank.timing.post_s += t0.elapsed().as_secs_f64();
+            rank.timing.halo_bytes_sent += (sent * std::mem::size_of::<T>()) as u64;
+            rank.timing.halo_msgs_sent += ports.sends.len() as u64;
 
-        let flips_now = rank.flips_at(t);
-        let stepped: Option<(usize, SplitStepTimes)> = match (&mut rank.abft, flips_now.is_empty())
-        {
-            (Some(abft), true) => abft
-                .try_step_overlapped_region(
-                    &mut rank.sim,
-                    &NoHook,
-                    interior_x.clone(),
-                    interior_y.clone(),
-                    interior_z.clone(),
-                    wait,
-                )
-                .map(|(o, times)| (o.uncorrectable, times)),
-            (Some(abft), false) => {
-                let hook = MultiFlipHook::new(flips_now);
-                abft.try_step_overlapped_region(
-                    &mut rank.sim,
-                    &hook,
-                    interior_x.clone(),
-                    interior_y.clone(),
-                    interior_z.clone(),
-                    wait,
-                )
-                .map(|(o, times)| (o.uncorrectable, times))
+            // --- 2–5. overlapped step ---------------------------------
+            let recvs = &ports.recvs;
+            let index = index.clone();
+            let self_len = self_values.len();
+            // Wire bytes measured at assembly: everything in the payload
+            // beyond the self-served prefix arrived over a channel.
+            let recv_elems = std::cell::Cell::new(0usize);
+            let recv_ref = &recv_elems;
+            let wait = move || {
+                let mut values = self_values;
+                for rx in recvs {
+                    match rx.recv() {
+                        Ok(msg) => values.extend(msg),
+                        Err(_) => return None,
+                    }
+                }
+                recv_ref.set(values.len() - self_len);
+                Some(HaloGhost::new(index, values, bounds, brick, dims))
+            };
+
+            let flips_now = rank.flips_at(t);
+            // k == 1 keeps the legacy calls bit-for-bit; k > 1 routes
+            // through the epoch variants, which hand the ghost payload
+            // back so it can seed the decaying shell.
+            let stepped: Option<(usize, SplitStepTimes, Option<HaloGhost<T>>)> = if k == 1 {
+                match (&mut rank.abft, flips_now.is_empty()) {
+                    (Some(abft), true) => abft
+                        .try_step_overlapped_region(
+                            &mut rank.sim,
+                            &NoHook,
+                            interior_x.clone(),
+                            interior_y.clone(),
+                            interior_z.clone(),
+                            wait,
+                        )
+                        .map(|(o, times)| (o.uncorrectable, times, None)),
+                    (Some(abft), false) => {
+                        let hook = MultiFlipHook::new(flips_now);
+                        abft.try_step_overlapped_region(
+                            &mut rank.sim,
+                            &hook,
+                            interior_x.clone(),
+                            interior_y.clone(),
+                            interior_z.clone(),
+                            wait,
+                        )
+                        .map(|(o, times)| (o.uncorrectable, times, None))
+                    }
+                    (None, true) => rank
+                        .sim
+                        .try_step_overlapped_region(
+                            &NoHook,
+                            interior_x.clone(),
+                            interior_y.clone(),
+                            interior_z.clone(),
+                            wait,
+                            None,
+                        )
+                        .map(|(_, times)| (0, times, None)),
+                    (None, false) => {
+                        let hook = MultiFlipHook::new(flips_now);
+                        rank.sim
+                            .try_step_overlapped_region(
+                                &hook,
+                                interior_x.clone(),
+                                interior_y.clone(),
+                                interior_z.clone(),
+                                wait,
+                                None,
+                            )
+                            .map(|(_, times)| (0, times, None))
+                    }
+                }
+            } else {
+                match (&mut rank.abft, flips_now.is_empty()) {
+                    (Some(abft), true) => abft
+                        .try_step_overlapped_region_epoch(
+                            &mut rank.sim,
+                            &NoHook,
+                            interior_x.clone(),
+                            interior_y.clone(),
+                            interior_z.clone(),
+                            wait,
+                            verify,
+                        )
+                        .map(|(o, times, g)| (o.uncorrectable, times, Some(g))),
+                    (Some(abft), false) => {
+                        let hook = MultiFlipHook::new(flips_now);
+                        abft.try_step_overlapped_region_epoch(
+                            &mut rank.sim,
+                            &hook,
+                            interior_x.clone(),
+                            interior_y.clone(),
+                            interior_z.clone(),
+                            wait,
+                            verify,
+                        )
+                        .map(|(o, times, g)| (o.uncorrectable, times, Some(g)))
+                    }
+                    (None, true) => rank
+                        .sim
+                        .try_step_overlapped_region(
+                            &NoHook,
+                            interior_x.clone(),
+                            interior_y.clone(),
+                            interior_z.clone(),
+                            wait,
+                            None,
+                        )
+                        .map(|(g, times)| (0, times, Some(g))),
+                    (None, false) => {
+                        let hook = MultiFlipHook::new(flips_now);
+                        rank.sim
+                            .try_step_overlapped_region(
+                                &hook,
+                                interior_x.clone(),
+                                interior_y.clone(),
+                                interior_z.clone(),
+                                wait,
+                                None,
+                            )
+                            .map(|(g, times)| (0, times, Some(g)))
+                    }
+                }
+            };
+            let Some((uncorrectable, times, ghost)) = stepped else {
+                // A producer died: the step was abandoned before the edge
+                // sweep, so the simulation still holds iteration t intact.
+                return RankExit::PeerLost { iter: t };
+            };
+            rank.timing.add_step(&times);
+            rank.timing.halo_bytes_recv += (recv_elems.get() * std::mem::size_of::<T>()) as u64;
+            rank.timing.halo_msgs_recv += ports.recvs.len() as u64;
+            if let Some(g) = ghost {
+                shell_vals = Some(g.into_values());
             }
-            (None, true) => rank
-                .sim
-                .try_step_overlapped_region(
-                    &NoHook,
-                    interior_x.clone(),
-                    interior_y.clone(),
-                    interior_z.clone(),
-                    wait,
-                    None,
-                )
-                .map(|(_, times)| (0, times)),
-            (None, false) => {
-                let hook = MultiFlipHook::new(flips_now);
-                rank.sim
-                    .try_step_overlapped_region(
-                        &hook,
-                        interior_x.clone(),
-                        interior_y.clone(),
-                        interior_z.clone(),
-                        wait,
-                        None,
-                    )
-                    .map(|(_, times)| (0, times))
+            // Eq. 10 was defeated (multi-point damage). With a vault
+            // armed, escalate to rollback instead of carrying a wrong
+            // grid forward.
+            if uncorrectable > 0 && vault.is_some() {
+                return RankExit::Uncorrectable { iter: t };
             }
-        };
-        let Some((uncorrectable, times)) = stepped else {
-            // A producer died: the step was abandoned before the edge
-            // sweep, so the simulation still holds iteration t intact.
-            return RankExit::PeerLost { iter: t };
-        };
-        rank.timing.add_step(&times);
-        rank.timing.halo_bytes_recv += (recv_elems.get() * std::mem::size_of::<T>()) as u64;
-        // Eq. 10 was defeated (multi-point damage). With a vault armed,
-        // escalate to rollback instead of carrying a wrong grid forward.
-        if uncorrectable > 0 && vault.is_some() {
-            return RankExit::Uncorrectable { iter: t };
+        } else {
+            // --- Interior sweep: no post, no wait. Advance the decayed
+            // shell by one sweep (duplicated execution, DMR-guarded when
+            // protected), then step the brick against the freshly
+            // advanced ghost values.
+            let sched = sched
+                .as_deref()
+                .expect("steps_per_exchange > 1 implies a shell schedule");
+            let values = shell_vals
+                .as_mut()
+                .expect("interior sweep inside a live epoch");
+            let t0 = Instant::now();
+            let shell_flips = rank.shell_flips_at(t - 1);
+            let guard = rank.abft.is_some();
+            let (det, corr) = sched.advance(
+                values,
+                &mut scratch,
+                rank.sim.previous(),
+                rank.sim.current(),
+                j - 1,
+                &shell_flips,
+                guard,
+            );
+            if let Some(a) = rank.abft.as_mut() {
+                a.note_shell_guard(det, corr);
+            }
+            rank.timing.post_s += t0.elapsed().as_secs_f64();
+            let ghost = HaloGhost::new(index.clone(), std::mem::take(values), bounds, brick, dims);
+            let t1 = Instant::now();
+            let uncorrectable = step_rank_barriered(rank, t, &ghost, verify);
+            rank.timing.edge_s += t1.elapsed().as_secs_f64();
+            *values = ghost.into_values();
+            if uncorrectable > 0 && vault.is_some() {
+                return RankExit::Uncorrectable { iter: t };
+            }
         }
     }
     RankExit::Complete
 }
 
 /// Advance one rank by one iteration against a pre-built ghost (snapshot
-/// mode), injecting any flips scheduled for iteration `t` and protecting
-/// the sweep when ABFT is enabled. Returns the number of layers whose
-/// damage defeated Eq. 10 this step (always 0 unprotected), so the
+/// mode or an epoch's interior sweep), injecting any flips scheduled for
+/// iteration `t` and protecting the sweep when ABFT is enabled. With
+/// `verify` false a protected rank carries its checksums through Eq. 10's
+/// interpolation instead of verifying (the epoch-batched cadence's
+/// interior sweeps). Returns the number of layers whose damage defeated
+/// Eq. 10 this step (always 0 unprotected or unverified), so the
 /// barriered driver can escalate to a checkpoint rollback.
 pub(crate) fn step_rank_barriered<T: Real>(
     rank: &mut Rank<T>,
     t: usize,
     ghost: &HaloGhost<T>,
+    verify: bool,
 ) -> usize {
     let flips_now = rank.flips_at(t);
     match (&mut rank.abft, flips_now.is_empty()) {
-        (Some(abft), true) => {
+        (Some(abft), true) if verify => {
             abft.step_with_ghosts(&mut rank.sim, &NoHook, ghost)
+                .uncorrectable
+        }
+        (Some(abft), false) if verify => {
+            let hook = MultiFlipHook::new(flips_now);
+            abft.step_with_ghosts(&mut rank.sim, &hook, ghost)
+                .uncorrectable
+        }
+        (Some(abft), true) => {
+            abft.carry_step_with_ghosts(&mut rank.sim, &NoHook, ghost)
                 .uncorrectable
         }
         (Some(abft), false) => {
             let hook = MultiFlipHook::new(flips_now);
-            abft.step_with_ghosts(&mut rank.sim, &hook, ghost)
+            abft.carry_step_with_ghosts(&mut rank.sim, &hook, ghost)
                 .uncorrectable
         }
         (None, true) => {
@@ -501,6 +653,8 @@ mod tests {
             start: 0,
             kill: None,
             vault: None,
+            steps_per_exchange: 1,
+            verify_until: 0,
         }
     }
 
@@ -606,6 +760,8 @@ mod tests {
             task.kill,
             task.idx,
             task.vault.as_deref(),
+            task.steps_per_exchange,
+            task.verify_until,
         );
         assert_eq!(exit, RankExit::Killed { iter: 4 });
         assert_eq!(task.rank.sim.iteration(), 4);

@@ -5,7 +5,8 @@
 //! no other failure mode. The service's counters must account for every
 //! submission.
 
-use abft_dist::{DistError, DistService, JobHandle, JobSpec, ServiceConfig};
+use abft_core::{AbftConfig, VerifyCadence};
+use abft_dist::{DistError, DistService, JobHandle, JobSpec, SchedPolicy, ServiceConfig};
 use abft_grid::Grid3D;
 use abft_stencil::Stencil3D;
 use proptest::prelude::*;
@@ -62,6 +63,46 @@ proptest! {
         prop_assert_eq!(stats.jobs_rejected, rejected);
         prop_assert_eq!(stats.jobs_failed, 0);
         prop_assert_eq!(admitted + rejected, burst.len() as u64);
+        service.shutdown();
+    }
+
+    /// Epoch-batched jobs behave no differently under the concurrent
+    /// scheduler: bursts mixing `steps_per_exchange > 1` with
+    /// boundary-batched verification all complete exactly once, each
+    /// report echoes the epoch length its job was submitted with, and
+    /// no clean run raises a detection.
+    #[test]
+    fn epoch_batched_jobs_complete_exactly_once_under_concurrent_scheduling(
+        burst in proptest::collection::vec(
+            (0usize..2, 1usize..7, 2usize..4, any::<bool>()),  // (rank pick, iters, k, protect)
+            1..12,
+        ),
+    ) {
+        let service = DistService::<f64>::with_config(
+            ServiceConfig::new(4).with_policy(SchedPolicy::Concurrent),
+        )
+        .unwrap();
+        let mut handles: Vec<(usize, JobHandle<f64>)> = Vec::new();
+        for (i, &(ranks, iters, k, protect)) in burst.iter().enumerate() {
+            let mut spec = job(i, [1, 2][ranks], iters).with_steps_per_exchange(k);
+            if protect {
+                spec = spec.with_abft(
+                    AbftConfig::<f64>::paper_defaults().with_cadence(VerifyCadence::EpochBoundary),
+                );
+            }
+            handles.push((k, service.submit_wait(spec).unwrap()));
+        }
+        for (k, handle) in handles {
+            let report = handle.wait();
+            prop_assert!(report.is_ok(), "epoch-batched job failed: {:?}", report.err());
+            let report = report.unwrap();
+            prop_assert_eq!(report.steps_per_exchange, k);
+            prop_assert_eq!(report.total_stats().detections, 0);
+        }
+        let stats = service.stats();
+        prop_assert_eq!(stats.jobs_completed, burst.len() as u64);
+        prop_assert_eq!(stats.jobs_rejected, 0);
+        prop_assert_eq!(stats.jobs_failed, 0);
         service.shutdown();
     }
 

@@ -351,3 +351,82 @@ fn kill_specs_are_validated_up_front() {
         }
     ));
 }
+
+/// Mixed storm under temporal tiling (`k = 2`): a correctable bit-flip
+/// on a mid-epoch sweep of one rank plus a later kill of another. The
+/// flip is repaired in place before the kill's rollback, the rollback
+/// lands on an exchange-aligned epoch (so the decayed shells rebuild
+/// cleanly), and the job converges to the fault-free trajectory.
+#[test]
+fn mixed_flip_and_kill_recover_with_deep_halos() {
+    for mode in [HaloMode::Pipelined, HaloMode::Snapshot] {
+        let expect = reference((2, 2, 1), &BoundarySpec::clamp(), mode);
+        let cfg = DistConfig::new(4, ITERS)
+            .with_grid(2, 2)
+            .with_steps_per_exchange(2)
+            .with_abft(AbftConfig::<f64>::paper_defaults())
+            .with_checkpoint(CheckpointPolicy::every(4))
+            .with_flip(
+                1,
+                BitFlip {
+                    iteration: 3,
+                    x: 3,
+                    y: 2,
+                    z: 1,
+                    bit: 51,
+                },
+            )
+            .with_rank_kill(RankKill::new(2, 6))
+            .with_mode(mode);
+        let rep = run(&cfg, &BoundarySpec::clamp());
+        let ctx = format!("{mode:?}");
+        let diff = rep.global.max_abs_diff(&expect);
+        assert!(diff < 1e-9, "residual error {diff:.3e} at {ctx}");
+        assert_eq!(rep.recovery.rank_losses, 1, "{ctx}");
+        assert!(rep.recovery.rollbacks >= 1, "{ctx}");
+        // The flip fired exactly once: it was repaired at t = 3, and the
+        // kill's rollback (to epoch 4) never replays it.
+        let total = rep.total_stats();
+        assert_eq!(total.detections, 1, "flip replayed or vanished at {ctx}");
+        assert_eq!(total.corrections, 1, "{ctx}");
+    }
+}
+
+/// Uncorrectable storm under temporal tiling: two same-layer flips on a
+/// mid-epoch sweep defeat Eq. 10 under per-step verification, the job
+/// escalates to rollback (to an exchange-aligned epoch), consumes the
+/// one-shot storm, and the replay converges bitwise.
+#[test]
+fn uncorrectable_storm_escalates_to_rollback_with_deep_halos() {
+    for mode in [HaloMode::Pipelined, HaloMode::Snapshot] {
+        let expect = reference((2, 2, 1), &BoundarySpec::clamp(), mode);
+        let mut cfg = DistConfig::new(4, ITERS)
+            .with_grid(2, 2)
+            .with_steps_per_exchange(2)
+            .with_abft(AbftConfig::<f64>::paper_defaults())
+            .with_checkpoint(CheckpointPolicy::every(2))
+            .with_mode(mode);
+        for x in [1, 4] {
+            cfg = cfg.with_flip(
+                2,
+                BitFlip {
+                    iteration: 5,
+                    x,
+                    y: 2 + x / 2,
+                    z: 1,
+                    bit: 53,
+                },
+            );
+        }
+        let rep = run(&cfg, &BoundarySpec::clamp());
+        let ctx = format!("{mode:?}");
+        assert_eq!(rep.global, expect, "uncorrectable storm leaked at {ctx}");
+        assert!(rep.recovery.rollbacks >= 1, "no escalation at {ctx}");
+        assert_eq!(rep.recovery.rank_losses, 0, "{ctx}");
+        assert_eq!(
+            rep.total_stats().uncorrectable,
+            1,
+            "storm must be flagged exactly once at {ctx}"
+        );
+    }
+}

@@ -207,9 +207,11 @@ fn faults_in_one_job_leave_no_trace_in_neighbours() {
 }
 
 /// Build the sampled job for one `(shape, kernel, periodic, ranks,
-/// snapshot, faulty)` pick — shared by both proptests below.
-fn sampled_job(i: usize, pick: (usize, usize, bool, usize, bool, bool)) -> JobSpec<f64> {
-    let (shape, kernel, periodic, ranks, snapshot, faulty) = pick;
+/// snapshot, faulty, k)` pick — shared by both proptests below. `k` is
+/// the sampled `steps_per_exchange`: temporal tiling must be invisible
+/// to the serving layer.
+fn sampled_job(i: usize, pick: (usize, usize, bool, usize, bool, bool, usize)) -> JobSpec<f64> {
+    let (shape, kernel, periodic, ranks, snapshot, faulty, k) = pick;
     let (nx, ny, nz) = [(10, 16, 2), (12, 12, 4), (8, 10, 3)][shape];
     let stencil = if kernel == 0 {
         Stencil3D::seven_point(0.4f64, 0.1, 0.1, 0.1)
@@ -218,7 +220,8 @@ fn sampled_job(i: usize, pick: (usize, usize, bool, usize, bool, bool)) -> JobSp
     };
     let mut spec = JobSpec::over(wavy(nx, ny, nz, i), stencil)
         .with_ranks([2, 4][ranks])
-        .with_iters(3 + (i % 5));
+        .with_iters(3 + (i % 5))
+        .with_steps_per_exchange(k);
     if periodic {
         spec = spec.with_bounds(y_periodic());
     }
@@ -256,7 +259,8 @@ proptest! {
     #[test]
     fn sampled_job_sequences_serve_bitwise_identically(
         picks in proptest::collection::vec(
-            (0usize..3, 0usize..2, any::<bool>(), 0usize..2, any::<bool>(), any::<bool>()),
+            (0usize..3, 0usize..2, any::<bool>(), 0usize..2, any::<bool>(), any::<bool>(),
+             1usize..=3),
             1..6,
         ),
     ) {
@@ -296,7 +300,8 @@ proptest! {
     #[test]
     fn randomized_concurrent_mixes_serve_bitwise_identically(
         picks in proptest::collection::vec(
-            (0usize..3, 0usize..2, any::<bool>(), 0usize..2, any::<bool>(), any::<bool>()),
+            (0usize..3, 0usize..2, any::<bool>(), 0usize..2, any::<bool>(), any::<bool>(),
+             1usize..=3),
             2..7,
         ),
     ) {

@@ -171,6 +171,10 @@ proptest! {
     fn distributed_equivalence_over_rank_grids(
         rx in 1usize..=3,
         ry in 1usize..=3,
+        // Sweeps per halo exchange: k > 1 exchanges a depth-k·r shell
+        // once per epoch and decays it locally, and must stay bitwise
+        // interchangeable with the per-step protocol.
+        k in 1usize..=3,
         iters in 1usize..=12,
         boundary in prop_oneof![
             Just(Boundary::Clamp),
@@ -188,10 +192,14 @@ proptest! {
         for _ in 0..iters {
             sim.step();
         }
-        let cfg = DistConfig::<f64>::new(rx * ry, iters).with_grid(rx, ry).with_mode(mode);
+        let cfg = DistConfig::<f64>::new(rx * ry, iters)
+            .with_grid(rx, ry)
+            .with_steps_per_exchange(k)
+            .with_mode(mode);
         let rep = run_distributed(&initial, &stencil, &bounds, Some(&constant), &cfg)
             .expect("valid config");
         prop_assert_eq!(rep.grid, (rx, ry, 1));
+        prop_assert_eq!(rep.steps_per_exchange, k);
         prop_assert_eq!(&rep.global, sim.current());
     }
 }
